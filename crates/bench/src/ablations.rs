@@ -1,0 +1,270 @@
+//! Ablation studies: the paper's §V future-work directions and the design
+//! choices `DESIGN.md §5` calls out.
+
+use samhita_core::{ConsistencyVariant, EvictionPolicy, FabricProfile, SamhitaConfig, TopologyKind};
+use samhita_kernels::{run_micro, AllocMode, MicroParams};
+use samhita_rt::SamhitaRt;
+
+use crate::harness::{FigureData, HarnessConfig, Series};
+
+fn micro(cfg: &HarnessConfig, sys: SamhitaConfig, m: usize, s: usize, mode: AllocMode, threads: u32)
+    -> samhita_kernels::MicroResult
+{
+    let rt = SamhitaRt::new(sys);
+    run_micro(
+        &rt,
+        &MicroParams { n_outer: cfg.n_outer, m_inner: m, s_rows: s, b_cols: cfg.b_cols, mode, threads },
+    )
+}
+
+/// A cold sequential sweep over a large shared array — every line is a
+/// demand miss, so anticipatory paging and line geometry are on the
+/// critical path (unlike the warm-cache micro-benchmark iterations).
+fn stream_secs(sys: SamhitaConfig, threads: u32, doubles_per_thread: usize) -> f64 {
+    let rt = SamhitaRt::new(sys);
+    let total = doubles_per_thread * threads as usize;
+    let arr = rt.alloc_f64_global(total);
+    use samhita_rt::KernelRt;
+    let report = rt.run(threads, &move |ctx| {
+        let base = ctx.tid() as usize * doubles_per_thread;
+        let mut buf = vec![0.0f64; 512];
+        let mut acc = 0.0;
+        let mut at = 0;
+        while at < doubles_per_thread {
+            let take = 512.min(doubles_per_thread - at);
+            ctx.read_block(arr, base + at, &mut buf[..take]);
+            acc += buf[..take].iter().sum::<f64>();
+            ctx.compute(take as u64);
+            at += take;
+        }
+        std::hint::black_box(acc);
+    });
+    report.mean_compute().as_secs_f64()
+}
+
+/// Anticipatory paging on/off: cold sequential streaming, where adjacent-
+/// line prefetch hides the fetch round-trip.
+pub fn prefetch(cfg: &HarnessConfig) -> FigureData {
+    let per_thread = 1 << 16; // 512 KiB of doubles per thread
+    let mut series = Vec::new();
+    for (label, on) in [("prefetch on", true), ("prefetch off", false)] {
+        let mut points = Vec::new();
+        for &p in &cfg.smh_cores {
+            let sys = SamhitaConfig { prefetch: on, ..cfg.base.clone() };
+            points.push((p as f64, stream_secs(sys, p, per_thread)));
+        }
+        series.push(Series { label: label.into(), points });
+    }
+    FigureData {
+        id: "ablation-prefetch".into(),
+        title: "Anticipatory paging (adjacent-line prefetch), cold stream".into(),
+        xlabel: "number of cores".into(),
+        ylabel: "compute time (s)".into(),
+        series,
+    }
+}
+
+/// Cache-line size sweep (pages per line): the tradeoff the paper's
+/// multi-page lines buy into. Bigger lines amortize cold-miss round-trips
+/// (streaming series) but enlarge refetch bulk under false sharing
+/// (strided series).
+pub fn linesize(cfg: &HarnessConfig) -> FigureData {
+    let mut cold = Vec::new();
+    let mut shared = Vec::new();
+    for line_pages in [1u32, 2, 4, 8] {
+        let sys = SamhitaConfig { line_pages, ..cfg.base.clone() };
+        cold.push((line_pages as f64, stream_secs(sys, 4, 1 << 16)));
+        let sys = SamhitaConfig { line_pages, ..cfg.base.clone() };
+        let r = micro(cfg, sys, 1, cfg.s_fixed, AllocMode::GlobalStrided, cfg.p_fixed);
+        shared.push((line_pages as f64, r.report.mean_compute().as_secs_f64()));
+    }
+    FigureData {
+        id: "ablation-linesize".into(),
+        title: "Cache-line size (pages per line)".into(),
+        xlabel: "pages per cache line".into(),
+        ylabel: "compute time (s)".into(),
+        series: vec![
+            Series { label: "cold stream (4 threads)".into(), points: cold },
+            Series { label: "strided, M=1 (false sharing)".into(), points: shared },
+        ],
+    }
+}
+
+/// Eviction policy under cache pressure: the paper's written-page bias vs
+/// plain LRU. Uses a cache small enough that the working set does not fit.
+pub fn eviction(cfg: &HarnessConfig) -> FigureData {
+    let mut series = Vec::new();
+    for (label, policy) in
+        [("dirty-first (paper)", EvictionPolicy::DirtyFirst), ("plain LRU", EvictionPolicy::Lru)]
+    {
+        let mut points = Vec::new();
+        for &s in &cfg.s_values {
+            let sys = SamhitaConfig {
+                cache_capacity_lines: 4,
+                eviction: policy,
+                ..cfg.base.clone()
+            };
+            let r = micro(cfg, sys, cfg.m_fixed, s, AllocMode::Global, cfg.p_fixed);
+            points.push((s as f64, r.report.mean_compute().as_secs_f64()));
+        }
+        series.push(Series { label: label.into(), points });
+    }
+    FigureData {
+        id: "ablation-eviction".into(),
+        title: "Eviction policy under cache pressure (4-line cache)".into(),
+        xlabel: "number of rows of data (S)".into(),
+        ylabel: "compute time (s)".into(),
+        series,
+    }
+}
+
+/// RegC's fine-grain consistency-region updates vs whole-page handling:
+/// synchronization time and update traffic of the lock-carrying
+/// micro-benchmark.
+pub fn finegrain(cfg: &HarnessConfig) -> FigureData {
+    let mut series = Vec::new();
+    for (label, variant) in [
+        ("fine-grain (RegC)", ConsistencyVariant::FineGrain),
+        ("whole-page", ConsistencyVariant::WholePage),
+    ] {
+        let mut sync_pts = Vec::new();
+        for &p in &cfg.smh_cores {
+            let sys = SamhitaConfig { consistency: variant, ..cfg.base.clone() };
+            let r = micro(cfg, sys, cfg.m_fixed, cfg.s_fixed, AllocMode::Local, p);
+            sync_pts.push((p as f64, r.report.mean_sync().as_secs_f64()));
+        }
+        series.push(Series { label: label.into(), points: sync_pts });
+    }
+    FigureData {
+        id: "ablation-finegrain".into(),
+        title: "Consistency-region update granularity".into(),
+        xlabel: "number of cores".into(),
+        ylabel: "synchronization time (s)".into(),
+        series,
+    }
+}
+
+/// §V: single-node manager bypass for synchronization.
+pub fn bypass(cfg: &HarnessConfig) -> FigureData {
+    let mut series = Vec::new();
+    for (label, on) in [("manager RPCs", false), ("local bypass (§V)", true)] {
+        let mut points = Vec::new();
+        for &p in &cfg.smh_cores {
+            let sys = SamhitaConfig {
+                topology: TopologyKind::SingleNode,
+                manager_bypass: on,
+                ..cfg.base.clone()
+            };
+            let r = micro(cfg, sys, cfg.m_fixed, cfg.s_fixed, AllocMode::Local, p);
+            points.push((p as f64, r.report.mean_sync().as_secs_f64()));
+        }
+        series.push(Series { label: label.into(), points });
+    }
+    FigureData {
+        id: "ablation-bypass".into(),
+        title: "Single-node synchronization: manager vs local bypass".into(),
+        xlabel: "number of cores".into(),
+        ylabel: "synchronization time (s)".into(),
+        series,
+    }
+}
+
+/// §V: SCL over SCIF vs the verbs-proxy path on a host+coprocessor node.
+pub fn scif(cfg: &HarnessConfig) -> FigureData {
+    let mut series = Vec::new();
+    for (label, fabric) in
+        [("verbs proxy", FabricProfile::PcieVerbsProxy), ("SCIF (§V)", FabricProfile::Scif)]
+    {
+        let mut points = Vec::new();
+        for &p in &cfg.smh_cores {
+            let sys = SamhitaConfig {
+                topology: TopologyKind::HeteroNode { coprocessors: 1, cores_per_cop: 60 },
+                fabric,
+                ..cfg.base.clone()
+            };
+            let r = micro(cfg, sys, 1, cfg.s_fixed, AllocMode::Global, p);
+            let total = r.report.mean_compute() + r.report.mean_sync();
+            points.push((p as f64, total.as_secs_f64()));
+        }
+        series.push(Series { label: label.into(), points });
+    }
+    FigureData {
+        id: "ablation-scif".into(),
+        title: "Host+coprocessor SCL transport (M=1, global)".into(),
+        xlabel: "number of cores".into(),
+        ylabel: "compute + synchronization time (s)".into(),
+        series,
+    }
+}
+
+/// Memory-server striping: hot-spot relief. A cold stream from many
+/// threads queues at a single memory server; striping a large allocation
+/// across servers (strategy 3's purpose) spreads the fetch load.
+pub fn stripe(cfg: &HarnessConfig) -> FigureData {
+    let mut points_by_servers = Vec::new();
+    let threads = *cfg.smh_cores.last().expect("nonempty cores");
+    for servers in [1u32, 2, 4] {
+        let nodes = 2 + servers + 4; // manager + servers + compute nodes
+        let sys = SamhitaConfig {
+            mem_servers: servers,
+            topology: TopologyKind::Cluster { nodes },
+            ..cfg.base.clone()
+        };
+        points_by_servers.push((servers as f64, stream_secs(sys, threads, 1 << 16)));
+    }
+    FigureData {
+        id: "ablation-stripe".into(),
+        title: format!("Memory-server striping, cold stream ({threads} threads)"),
+        xlabel: "memory servers".into(),
+        ylabel: "compute time (s)".into(),
+        series: vec![Series { label: "cold stream".into(), points: points_by_servers }],
+    }
+}
+
+/// The interconnect sweep behind the paper's motivation: "the DSM systems
+/// proposed 10 or 20 years ago never made a big impact (primarily due to
+/// relatively slow interconnects)" — the same workload on a 10 GbE-class
+/// fabric vs QDR InfiniBand vs SCIF-grade PCIe.
+pub fn interconnect(cfg: &HarnessConfig) -> FigureData {
+    let mut series = Vec::new();
+    for (label, fabric) in [
+        ("10GbE sockets", FabricProfile::Ethernet10g),
+        ("QDR InfiniBand", FabricProfile::IbQdr),
+        ("PCIe / SCIF", FabricProfile::Scif),
+    ] {
+        let mut points = Vec::new();
+        for &p in &cfg.smh_cores {
+            let sys = SamhitaConfig { fabric, ..cfg.base.clone() };
+            let r = micro(cfg, sys, cfg.m_fixed, cfg.s_fixed, AllocMode::Global, p);
+            let total = r.report.mean_compute() + r.report.mean_sync();
+            points.push((p as f64, total.as_secs_f64()));
+        }
+        series.push(Series { label: label.into(), points });
+    }
+    FigureData {
+        id: "ablation-interconnect".into(),
+        title: "Is it time to rethink DSM? Interconnect generations".into(),
+        xlabel: "number of cores".into(),
+        ylabel: "compute + synchronization time (s)".into(),
+        series,
+    }
+}
+
+/// Dispatch by name.
+pub fn ablation(name: &str, cfg: &HarnessConfig) -> FigureData {
+    match name {
+        "prefetch" => prefetch(cfg),
+        "linesize" => linesize(cfg),
+        "eviction" => eviction(cfg),
+        "finegrain" => finegrain(cfg),
+        "bypass" => bypass(cfg),
+        "scif" => scif(cfg),
+        "stripe" => stripe(cfg),
+        "interconnect" => interconnect(cfg),
+        other => panic!("unknown ablation '{other}' (see DESIGN.md §5)"),
+    }
+}
+
+/// All ablation names.
+pub const ALL_ABLATIONS: [&str; 8] =
+    ["prefetch", "linesize", "eviction", "finegrain", "bypass", "scif", "stripe", "interconnect"];

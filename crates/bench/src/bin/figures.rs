@@ -1,0 +1,114 @@
+//! Figure-regeneration harness.
+//!
+//! ```text
+//! figures --fig 3            # regenerate Figure 3 at paper scale
+//! figures --all              # all experimental figures (3..=13)
+//! figures --ablation scif    # one ablation (see DESIGN.md §5)
+//! figures --ablation all    # every ablation
+//! figures --quick            # reduced scale (CI-sized sweeps)
+//! figures --out results/     # also write CSV files
+//! ```
+//!
+//! Output is a text table per figure; with `--out DIR`, CSVs named
+//! `<id>.csv` are written as well.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use samhita_bench::ablations::{ablation, ALL_ABLATIONS};
+use samhita_bench::figures::{figure, ALL_FIGURES};
+use samhita_bench::{FigureData, HarnessConfig};
+
+struct Args {
+    figs: Vec<u32>,
+    ablations: Vec<String>,
+    quick: bool,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { figs: Vec::new(), ablations: Vec::new(), quick: false, out: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--fig" => {
+                let v = it.next().ok_or("--fig needs a number (3..=13)")?;
+                let n: u32 = v.parse().map_err(|_| format!("bad figure number '{v}'"))?;
+                if !(3..=13).contains(&n) {
+                    return Err(format!("figure {n} out of range (3..=13)"));
+                }
+                args.figs.push(n);
+            }
+            "--all" => args.figs.extend_from_slice(&ALL_FIGURES),
+            "--ablation" => {
+                let v = it.next().ok_or("--ablation needs a name or 'all'")?;
+                if v == "all" {
+                    args.ablations.extend(ALL_ABLATIONS.iter().map(|s| s.to_string()));
+                } else if ALL_ABLATIONS.contains(&v.as_str()) {
+                    args.ablations.push(v);
+                } else {
+                    return Err(format!(
+                        "unknown ablation '{v}'; choose from {ALL_ABLATIONS:?} or 'all'"
+                    ));
+                }
+            }
+            "--quick" => args.quick = true,
+            "--out" => {
+                let v = it.next().ok_or("--out needs a directory")?;
+                args.out = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: figures [--fig N]... [--all] [--ablation NAME|all]... [--quick] [--out DIR]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}' (try --help)")),
+        }
+    }
+    if args.figs.is_empty() && args.ablations.is_empty() {
+        return Err("nothing to do: pass --fig N, --all, or --ablation NAME".into());
+    }
+    args.figs.sort_unstable();
+    args.figs.dedup();
+    Ok(args)
+}
+
+fn emit(fig: &FigureData, out: &Option<PathBuf>) {
+    println!("{}", fig.to_table());
+    if let Some(dir) = out {
+        std::fs::create_dir_all(dir).expect("create output directory");
+        let path = dir.join(format!("{}.csv", fig.id));
+        std::fs::write(&path, fig.to_csv()).expect("write CSV");
+        println!("   -> {}", path.display());
+    }
+    println!();
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = if args.quick { HarnessConfig::quick() } else { HarnessConfig::paper() };
+    println!(
+        "# Samhita figure harness ({} scale): virtual-time simulation, see DESIGN.md\n",
+        if args.quick { "quick" } else { "paper" }
+    );
+    for &n in &args.figs {
+        let t0 = std::time::Instant::now();
+        let fig = figure(n, &cfg);
+        emit(&fig, &args.out);
+        eprintln!("   [fig {n} regenerated in {:.1}s]", t0.elapsed().as_secs_f64());
+    }
+    for name in &args.ablations {
+        let t0 = std::time::Instant::now();
+        let fig = ablation(name, &cfg);
+        emit(&fig, &args.out);
+        eprintln!("   [ablation {name} in {:.1}s]", t0.elapsed().as_secs_f64());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,292 @@
+//! Regeneration of the paper's Figures 3–13.
+//!
+//! Figure-by-figure mapping is documented in `DESIGN.md §4`. Each function
+//! runs the corresponding workload sweep on fresh backend instances (fresh
+//! instances keep virtual service clocks independent between data points)
+//! and returns the series the paper plots.
+
+use samhita_kernels::{
+    run_jacobi, run_md, run_micro, AllocMode, JacobiParams, MdParams, MicroParams,
+};
+use samhita_rt::{KernelRt, NativeRt, SamhitaRt};
+
+use crate::harness::{FigureData, HarnessConfig, Series};
+
+fn smh_rt(cfg: &HarnessConfig) -> SamhitaRt {
+    SamhitaRt::new(cfg.base.clone())
+}
+
+/// Mean per-thread compute time, seconds.
+fn micro_compute_secs(rt: &dyn KernelRt, p: &MicroParams) -> f64 {
+    run_micro(rt, p).report.mean_compute().as_secs_f64()
+}
+
+/// Mean per-thread synchronization time, seconds.
+fn micro_sync_secs(rt: &dyn KernelRt, p: &MicroParams) -> f64 {
+    run_micro(rt, p).report.mean_sync().as_secs_f64()
+}
+
+fn micro_params(cfg: &HarnessConfig, m: usize, s: usize, mode: AllocMode, threads: u32) -> MicroParams {
+    MicroParams { n_outer: cfg.n_outer, m_inner: m, s_rows: s, b_cols: cfg.b_cols, mode, threads }
+}
+
+/// Figures 3–5: normalized compute time vs cores, Pthreads vs Samhita,
+/// `M ∈ m_values`, one allocation mode per figure. Normalization is the
+/// 1-thread Pthreads compute time for the same `M`.
+fn fig_normalized(cfg: &HarnessConfig, mode: AllocMode, id: &str) -> FigureData {
+    let mut series = Vec::new();
+    for &m in &cfg.m_values {
+        let baseline = micro_compute_secs(
+            &NativeRt::default(),
+            &micro_params(cfg, m, cfg.s_fixed, mode, 1),
+        );
+        let mut pth = Vec::new();
+        for &p in &cfg.pth_cores {
+            let t = micro_compute_secs(
+                &NativeRt::default(),
+                &micro_params(cfg, m, cfg.s_fixed, mode, p),
+            );
+            pth.push((p as f64, t / baseline));
+        }
+        series.push(Series { label: format!("pth, M={m}"), points: pth });
+
+        let mut smh = Vec::new();
+        for &p in &cfg.smh_cores {
+            let t = micro_compute_secs(&smh_rt(cfg), &micro_params(cfg, m, cfg.s_fixed, mode, p));
+            smh.push((p as f64, t / baseline));
+        }
+        series.push(Series { label: format!("smh, M={m}"), points: smh });
+    }
+    FigureData {
+        id: id.into(),
+        title: format!("Normalized compute time vs cores ({})", mode.label()),
+        xlabel: "number of cores".into(),
+        ylabel: "compute time (normalized to 1-thread pthreads)".into(),
+        series,
+    }
+}
+
+/// Figures 6–8: Samhita compute time (seconds) vs cores for
+/// `S ∈ s_values`, fixed `M`, one allocation mode per figure.
+fn fig_compute_vs_cores(cfg: &HarnessConfig, mode: AllocMode, id: &str) -> FigureData {
+    let mut series = Vec::new();
+    for &s in &cfg.s_values {
+        let mut points = Vec::new();
+        for &p in &cfg.smh_cores {
+            let t = micro_compute_secs(&smh_rt(cfg), &micro_params(cfg, cfg.m_fixed, s, mode, p));
+            points.push((p as f64, t));
+        }
+        series.push(Series { label: format!("S = {s}"), points });
+    }
+    FigureData {
+        id: id.into(),
+        title: format!("Compute time vs cores ({}, M={})", mode.label(), cfg.m_fixed),
+        xlabel: "number of cores".into(),
+        ylabel: "compute time (s)".into(),
+        series,
+    }
+}
+
+const MODES: [AllocMode; 3] = [AllocMode::Local, AllocMode::Global, AllocMode::GlobalStrided];
+
+/// Figure 9: Samhita compute time vs `S` for the three modes at `P = 16`.
+pub fn fig09(cfg: &HarnessConfig) -> FigureData {
+    let mut series = Vec::new();
+    for mode in MODES {
+        let mut points = Vec::new();
+        for &s in &cfg.s_values {
+            let t = micro_compute_secs(
+                &smh_rt(cfg),
+                &micro_params(cfg, cfg.m_fixed, s, mode, cfg.p_fixed),
+            );
+            points.push((s as f64, t));
+        }
+        series.push(Series { label: mode.label().into(), points });
+    }
+    FigureData {
+        id: "fig09".into(),
+        title: format!("Compute time vs ordinary-region size (P={})", cfg.p_fixed),
+        xlabel: "number of rows of data (S)".into(),
+        ylabel: "compute time (s)".into(),
+        series,
+    }
+}
+
+/// Figure 10: Samhita synchronization time vs `S`, same setting as Fig. 9.
+pub fn fig10(cfg: &HarnessConfig) -> FigureData {
+    let mut series = Vec::new();
+    for mode in MODES {
+        let mut points = Vec::new();
+        for &s in &cfg.s_values {
+            let t = micro_sync_secs(
+                &smh_rt(cfg),
+                &micro_params(cfg, cfg.m_fixed, s, mode, cfg.p_fixed),
+            );
+            points.push((s as f64, t));
+        }
+        series.push(Series { label: mode.label().into(), points });
+    }
+    FigureData {
+        id: "fig10".into(),
+        title: format!("Synchronization time vs ordinary-region size (P={})", cfg.p_fixed),
+        xlabel: "number of rows of data (S)".into(),
+        ylabel: "synchronization time (s)".into(),
+        series,
+    }
+}
+
+/// Figure 11: synchronization time (log scale in the paper) vs cores for
+/// Pthreads and Samhita across the three modes; fixed `M`, `S`.
+pub fn fig11(cfg: &HarnessConfig) -> FigureData {
+    let mut series = Vec::new();
+    for mode in MODES {
+        let mut pth = Vec::new();
+        for &p in &cfg.pth_cores {
+            let t = micro_sync_secs(
+                &NativeRt::default(),
+                &micro_params(cfg, cfg.m_fixed, cfg.s_fixed, mode, p),
+            );
+            pth.push((p as f64, t));
+        }
+        series.push(Series { label: format!("pth_{}", mode.label().replace(' ', "_")), points: pth });
+    }
+    for mode in MODES {
+        let mut smh = Vec::new();
+        for &p in &cfg.smh_cores {
+            let t = micro_sync_secs(
+                &smh_rt(cfg),
+                &micro_params(cfg, cfg.m_fixed, cfg.s_fixed, mode, p),
+            );
+            smh.push((p as f64, t));
+        }
+        series.push(Series { label: format!("smh_{}", mode.label().replace(' ', "_")), points: smh });
+    }
+    FigureData {
+        id: "fig11".into(),
+        title: format!("Synchronization time vs cores (M={}, S={})", cfg.m_fixed, cfg.s_fixed),
+        xlabel: "number of cores".into(),
+        ylabel: "synchronization time (s, log scale)".into(),
+        series,
+    }
+}
+
+/// Figure 12: Jacobi strong-scaling speed-up (relative to 1-core Pthreads).
+pub fn fig12(cfg: &HarnessConfig) -> FigureData {
+    let p1 = JacobiParams { n: cfg.jacobi_n, iters: cfg.jacobi_iters, threads: 1 };
+    let baseline = run_jacobi(&NativeRt::default(), &p1).report.makespan.as_secs_f64();
+
+    let mut pth = Vec::new();
+    for &p in &cfg.pth_cores {
+        let t = run_jacobi(
+            &NativeRt::default(),
+            &JacobiParams { threads: p, ..p1 },
+        )
+        .report
+        .makespan
+        .as_secs_f64();
+        pth.push((p as f64, baseline / t));
+    }
+    let mut smh = Vec::new();
+    for &p in &cfg.smh_cores {
+        let t = run_jacobi(&smh_rt(cfg), &JacobiParams { threads: p, ..p1 })
+            .report
+            .makespan
+            .as_secs_f64();
+        smh.push((p as f64, baseline / t));
+    }
+    FigureData {
+        id: "fig12".into(),
+        title: format!("Jacobi speed-up vs cores ({0}x{0} grid)", cfg.jacobi_n),
+        xlabel: "number of cores".into(),
+        ylabel: "speed-up vs 1-core pthreads".into(),
+        series: vec![
+            Series { label: "pthreads".into(), points: pth },
+            Series { label: "samhita".into(), points: smh },
+        ],
+    }
+}
+
+/// Figure 13: molecular-dynamics strong-scaling speed-up.
+pub fn fig13(cfg: &HarnessConfig) -> FigureData {
+    let p1 = MdParams { threads: 1, ..MdParams::paper(cfg.md_n, 1) };
+    let p1 = MdParams { steps: cfg.md_steps, ..p1 };
+    let baseline = run_md(&NativeRt::default(), &p1).report.makespan.as_secs_f64();
+
+    let mut pth = Vec::new();
+    for &p in &cfg.pth_cores {
+        let t = run_md(&NativeRt::default(), &MdParams { threads: p, ..p1 })
+            .report
+            .makespan
+            .as_secs_f64();
+        pth.push((p as f64, baseline / t));
+    }
+    let mut smh = Vec::new();
+    for &p in &cfg.smh_cores {
+        let t = run_md(&smh_rt(cfg), &MdParams { threads: p, ..p1 })
+            .report
+            .makespan
+            .as_secs_f64();
+        smh.push((p as f64, baseline / t));
+    }
+    FigureData {
+        id: "fig13".into(),
+        title: format!("MD speed-up vs cores ({} particles)", cfg.md_n),
+        xlabel: "number of cores".into(),
+        ylabel: "speed-up vs 1-core pthreads".into(),
+        series: vec![
+            Series { label: "pthreads".into(), points: pth },
+            Series { label: "samhita".into(), points: smh },
+        ],
+    }
+}
+
+/// Figure 3: local allocation.
+pub fn fig03(cfg: &HarnessConfig) -> FigureData {
+    fig_normalized(cfg, AllocMode::Local, "fig03")
+}
+
+/// Figure 4: global allocation.
+pub fn fig04(cfg: &HarnessConfig) -> FigureData {
+    fig_normalized(cfg, AllocMode::Global, "fig04")
+}
+
+/// Figure 5: global allocation, strided access.
+pub fn fig05(cfg: &HarnessConfig) -> FigureData {
+    fig_normalized(cfg, AllocMode::GlobalStrided, "fig05")
+}
+
+/// Figure 6: compute vs cores, local allocation.
+pub fn fig06(cfg: &HarnessConfig) -> FigureData {
+    fig_compute_vs_cores(cfg, AllocMode::Local, "fig06")
+}
+
+/// Figure 7: compute vs cores, global allocation.
+pub fn fig07(cfg: &HarnessConfig) -> FigureData {
+    fig_compute_vs_cores(cfg, AllocMode::Global, "fig07")
+}
+
+/// Figure 8: compute vs cores, global strided access.
+pub fn fig08(cfg: &HarnessConfig) -> FigureData {
+    fig_compute_vs_cores(cfg, AllocMode::GlobalStrided, "fig08")
+}
+
+/// Dispatch by figure number (3..=13).
+pub fn figure(number: u32, cfg: &HarnessConfig) -> FigureData {
+    match number {
+        3 => fig03(cfg),
+        4 => fig04(cfg),
+        5 => fig05(cfg),
+        6 => fig06(cfg),
+        7 => fig07(cfg),
+        8 => fig08(cfg),
+        9 => fig09(cfg),
+        10 => fig10(cfg),
+        11 => fig11(cfg),
+        12 => fig12(cfg),
+        13 => fig13(cfg),
+        n => panic!("figure {n} is not an experimental figure (use 3..=13)"),
+    }
+}
+
+/// All experimental figure numbers.
+pub const ALL_FIGURES: [u32; 11] = [3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13];

@@ -1,0 +1,206 @@
+//! Shared harness types: scales, figure data, CSV/tabular output.
+
+use samhita_core::SamhitaConfig;
+use serde::{Deserialize, Serialize};
+
+/// One labelled series of a figure.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Series {
+    pub label: String,
+    /// (x, y) points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// One regenerated figure.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FigureData {
+    /// Identifier, e.g. `"fig03"` or `"ablation-prefetch"`.
+    pub id: String,
+    pub title: String,
+    pub xlabel: String,
+    pub ylabel: String,
+    pub series: Vec<Series>,
+}
+
+impl FigureData {
+    /// Render as CSV (`series,x,y` rows with a commented header).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# {}: {}\n", self.id, self.title));
+        out.push_str(&format!("# x = {}, y = {}\n", self.xlabel, self.ylabel));
+        out.push_str("series,x,y\n");
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                out.push_str(&format!("{},{},{}\n", s.label, x, y));
+            }
+        }
+        out
+    }
+
+    /// Render as an aligned text table for the terminal.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        out.push_str(&format!("   ({} vs {})\n", self.ylabel, self.xlabel));
+        // Union of x values across series, in order.
+        let mut xs: Vec<f64> = Vec::new();
+        for s in &self.series {
+            for &(x, _) in &s.points {
+                if !xs.contains(&x) {
+                    xs.push(x);
+                }
+            }
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
+        out.push_str(&format!("{:>24}", "x"));
+        for &x in &xs {
+            out.push_str(&format!("{x:>12}"));
+        }
+        out.push('\n');
+        for s in &self.series {
+            out.push_str(&format!("{:>24}", s.label));
+            for &x in &xs {
+                match s.points.iter().find(|&&(px, _)| px == x) {
+                    Some(&(_, y)) if y != 0.0 && y.abs() < 0.01 => {
+                        out.push_str(&format!("{y:>12.3e}"))
+                    }
+                    Some(&(_, y)) => out.push_str(&format!("{y:>12.4}")),
+                    None => out.push_str(&format!("{:>12}", "-")),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Look up a series by label (tests).
+    pub fn series(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+}
+
+/// Sweep scales: the paper's parameters, or a reduced scale for CI.
+#[derive(Clone, Debug)]
+pub struct HarnessConfig {
+    /// Pthreads core counts (the paper's node had 8 cores).
+    pub pth_cores: Vec<u32>,
+    /// Samhita core counts (up to 32 across four compute nodes).
+    pub smh_cores: Vec<u32>,
+    /// Micro-benchmark constants.
+    pub n_outer: usize,
+    pub b_cols: usize,
+    /// The `M` sweep of Figures 3–5.
+    pub m_values: Vec<usize>,
+    /// The `S` sweep of Figures 6–10.
+    pub s_values: Vec<usize>,
+    /// Fixed `M` for Figures 6–11.
+    pub m_fixed: usize,
+    /// Fixed `S` for Figures 3–5 and 11.
+    pub s_fixed: usize,
+    /// Thread count for Figures 9–10.
+    pub p_fixed: u32,
+    /// Jacobi interior grid size and sweeps (Figure 12).
+    pub jacobi_n: usize,
+    pub jacobi_iters: usize,
+    /// MD particle count and steps (Figure 13).
+    pub md_n: usize,
+    pub md_steps: usize,
+    /// Base Samhita configuration (the paper's cluster).
+    pub base: SamhitaConfig,
+}
+
+impl HarnessConfig {
+    /// The paper's scales.
+    pub fn paper() -> Self {
+        HarnessConfig {
+            pth_cores: vec![1, 2, 4, 8],
+            smh_cores: vec![1, 2, 4, 8, 16, 32],
+            n_outer: 10,
+            b_cols: 260,
+            m_values: vec![1, 10, 100],
+            s_values: vec![1, 2, 4, 8],
+            m_fixed: 10,
+            s_fixed: 2,
+            p_fixed: 16,
+            jacobi_n: 1022,
+            jacobi_iters: 20,
+            md_n: 2048,
+            md_steps: 5,
+            base: SamhitaConfig::default(),
+        }
+    }
+
+    /// A reduced scale for CI: same shapes, seconds not minutes.
+    pub fn quick() -> Self {
+        HarnessConfig {
+            pth_cores: vec![1, 2, 4],
+            smh_cores: vec![1, 2, 4, 8],
+            n_outer: 4,
+            // Scale the paper's geometry down 4x in both row length and
+            // page size: a row stays ~half a page, so the false-sharing
+            // contrast between the three modes is preserved.
+            b_cols: 68,
+            m_values: vec![1, 10],
+            s_values: vec![1, 2, 4],
+            m_fixed: 10,
+            s_fixed: 2,
+            p_fixed: 4,
+            jacobi_n: 62,
+            jacobi_iters: 6,
+            md_n: 256,
+            md_steps: 3,
+            base: SamhitaConfig { page_size: 1024, ..SamhitaConfig::default() },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FigureData {
+        FigureData {
+            id: "fig00".into(),
+            title: "sample".into(),
+            xlabel: "cores".into(),
+            ylabel: "time".into(),
+            series: vec![
+                Series { label: "a".into(), points: vec![(1.0, 2.0), (2.0, 3.0)] },
+                Series { label: "b".into(), points: vec![(1.0, 5.0)] },
+            ],
+        }
+    }
+
+    #[test]
+    fn csv_contains_all_points() {
+        let csv = sample().to_csv();
+        assert!(csv.contains("a,1,2"));
+        assert!(csv.contains("a,2,3"));
+        assert!(csv.contains("b,1,5"));
+        assert!(csv.starts_with("# fig00"));
+    }
+
+    #[test]
+    fn table_renders_missing_points_as_dash() {
+        let table = sample().to_table();
+        assert!(table.contains("fig00"));
+        assert!(table.contains('-'), "series b has no x=2 point");
+    }
+
+    #[test]
+    fn series_lookup() {
+        let f = sample();
+        assert_eq!(f.series("a").unwrap().points.len(), 2);
+        assert!(f.series("zz").is_none());
+    }
+
+    #[test]
+    fn scales_are_consistent() {
+        for cfg in [HarnessConfig::paper(), HarnessConfig::quick()] {
+            assert!(!cfg.pth_cores.is_empty());
+            assert!(cfg.smh_cores.iter().all(|&c| c <= 32));
+            assert!(cfg.m_values.contains(&1));
+            cfg.base.validate();
+        }
+    }
+}

@@ -1,0 +1,789 @@
+//! The per-thread software cache.
+//!
+//! Each compute thread accesses the shared global address space exclusively
+//! through this cache. Geometry follows the paper: the unit of *fetch* is a
+//! cache line of multiple pages (amortizing fabric latency for spatially
+//! local applications), while the unit of *consistency* — twins, diffs,
+//! invalidation — is the page.
+//!
+//! The cache owns the RegC page protocol: [`SoftCache::write_page`] applies
+//! [`samhita_regc::protocol`] transitions (twin creation, fine-grain
+//! logging decisions, twin write-through), and [`SoftCache::flush_page`]
+//! produces the diff to ship home at synchronization operations.
+//!
+//! Eviction implements the paper's "biased towards pages that have been
+//! written to" policy ([`EvictionPolicy::DirtyFirst`]) with plain LRU as the
+//! ablation baseline.
+
+use std::collections::HashMap;
+
+use samhita_regc::{protocol, Diff, PageState, RegionKind};
+
+use crate::config::EvictionPolicy;
+
+/// Per-page bookkeeping within a resident line.
+#[derive(Clone, Debug)]
+pub struct PageSlot {
+    /// Protocol state.
+    pub state: PageState,
+    /// Pristine copy made on the first ordinary-region write.
+    pub twin: Option<Vec<u8>>,
+    /// Home version at fetch time (diagnostics / staleness checks).
+    pub version: u64,
+}
+
+/// One resident cache line: `line_pages` consecutive pages.
+#[derive(Clone, Debug)]
+pub struct CacheLine {
+    /// Global page number of the first page in the line.
+    pub first_page: u64,
+    /// LRU stamp.
+    last_use: u64,
+    slots: Vec<PageSlot>,
+    data: Vec<u8>,
+}
+
+impl CacheLine {
+    /// Slot and data of page index `idx` within the line, split-borrowed.
+    fn page_parts_mut(&mut self, idx: usize, page_size: usize) -> (&mut PageSlot, &mut [u8]) {
+        let data = &mut self.data[idx * page_size..(idx + 1) * page_size];
+        (&mut self.slots[idx], data)
+    }
+
+    /// Data of page index `idx`.
+    fn page_data(&self, idx: usize, page_size: usize) -> &[u8] {
+        &self.data[idx * page_size..(idx + 1) * page_size]
+    }
+
+    /// True when any page of the line is dirty.
+    pub fn has_dirty(&self) -> bool {
+        self.slots.iter().any(|s| s.state == PageState::Dirty)
+    }
+
+    /// Pages of this line in a given state.
+    pub fn pages_in_state(&self, state: PageState) -> impl Iterator<Item = u64> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(move |(_, s)| s.state == state)
+            .map(move |(i, _)| self.first_page + i as u64)
+    }
+}
+
+/// What a write did, as reported to the thread context.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct WriteOutcome {
+    /// The store must be recorded in the fine-grain write set.
+    pub log_fine_grain: bool,
+    /// A twin was created by this write (statistics).
+    pub twin_created: bool,
+}
+
+/// The software cache of one compute thread.
+#[derive(Debug)]
+pub struct SoftCache {
+    page_size: usize,
+    line_pages: usize,
+    capacity_lines: usize,
+    policy: EvictionPolicy,
+    lines: HashMap<u64, CacheLine>,
+    tick: u64,
+}
+
+impl SoftCache {
+    /// An empty cache.
+    ///
+    /// # Panics
+    /// Panics on degenerate geometry (see [`crate::config::SamhitaConfig::validate`]).
+    pub fn new(
+        page_size: usize,
+        line_pages: usize,
+        capacity_lines: usize,
+        policy: EvictionPolicy,
+    ) -> Self {
+        assert!(page_size.is_power_of_two() && page_size >= 64);
+        assert!(line_pages >= 1);
+        assert!(capacity_lines >= 2);
+        SoftCache {
+            page_size,
+            line_pages,
+            capacity_lines,
+            policy,
+            lines: HashMap::new(),
+            tick: 0,
+        }
+    }
+
+    /// The line a page belongs to.
+    #[inline]
+    pub fn line_of(&self, page: u64) -> u64 {
+        page / self.line_pages as u64
+    }
+
+    /// Pages per line.
+    pub fn line_pages(&self) -> usize {
+        self.line_pages
+    }
+
+    /// Bytes per line.
+    pub fn line_bytes(&self) -> usize {
+        self.line_pages * self.page_size
+    }
+
+    /// Is this line resident?
+    pub fn contains_line(&self, line: u64) -> bool {
+        self.lines.contains_key(&line)
+    }
+
+    /// Protocol state of a page; `None` when its line is not resident.
+    pub fn page_state(&self, page: u64) -> Option<PageState> {
+        let line = self.lines.get(&self.line_of(page))?;
+        let idx = (page - line.first_page) as usize;
+        Some(line.slots[idx].state)
+    }
+
+    /// Number of resident lines.
+    pub fn resident_lines(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// True when a new line cannot be installed without eviction.
+    pub fn is_full(&self) -> bool {
+        self.lines.len() >= self.capacity_lines
+    }
+
+    /// Bump the LRU stamp of a line (called on every access).
+    pub fn touch_line(&mut self, line: u64) {
+        self.tick += 1;
+        if let Some(l) = self.lines.get_mut(&line) {
+            l.last_use = self.tick;
+        }
+    }
+
+    /// Install a freshly fetched line. All pages enter `Clean`.
+    ///
+    /// # Panics
+    /// Panics if the line is already resident, the cache is full (evict
+    /// first), or the payload has the wrong size.
+    pub fn install_line(&mut self, line: u64, data: Vec<u8>, versions: Vec<u64>) {
+        assert!(!self.contains_line(line), "line {line} already resident");
+        assert!(!self.is_full(), "install into a full cache: evict first");
+        assert_eq!(data.len(), self.line_bytes(), "line payload size mismatch");
+        assert_eq!(versions.len(), self.line_pages, "line version count mismatch");
+        self.tick += 1;
+        let slots = versions
+            .into_iter()
+            .map(|version| PageSlot { state: PageState::Clean, twin: None, version })
+            .collect();
+        self.lines.insert(
+            line,
+            CacheLine {
+                first_page: line * self.line_pages as u64,
+                last_use: self.tick,
+                slots,
+                data,
+            },
+        );
+    }
+
+    /// Re-validate a single page of a resident line with fresh home data
+    /// (after an invalidation notice).
+    ///
+    /// # Panics
+    /// Panics if the line is absent, the page is `Dirty`, or the payload has
+    /// the wrong size.
+    pub fn install_page(&mut self, page: u64, data: &[u8], version: u64) {
+        assert_eq!(data.len(), self.page_size, "page payload size mismatch");
+        let ps = self.page_size;
+        let line_id = self.line_of(page);
+        let line = self.lines.get_mut(&line_id).expect("install_page into absent line");
+        let idx = (page - line.first_page) as usize;
+        let (slot, dst) = line.page_parts_mut(idx, ps);
+        assert_ne!(slot.state, PageState::Dirty, "refetch would clobber dirty page");
+        dst.copy_from_slice(data);
+        slot.state = PageState::Clean;
+        slot.twin = None;
+        slot.version = version;
+    }
+
+    /// Read bytes from a resident, valid page.
+    ///
+    /// # Panics
+    /// Panics if the page is absent or `Invalid` (the fault handler must run
+    /// first) or the range overruns the page.
+    pub fn read_page(&self, page: u64, offset: usize, out: &mut [u8]) {
+        let line = self.lines.get(&self.line_of(page)).expect("read of non-resident page");
+        let idx = (page - line.first_page) as usize;
+        assert_ne!(line.slots[idx].state, PageState::Invalid, "read of invalid page");
+        let data = line.page_data(idx, self.page_size);
+        out.copy_from_slice(&data[offset..offset + out.len()]);
+    }
+
+    /// Borrow the bytes of a resident, valid page (zero-copy read path).
+    ///
+    /// # Panics
+    /// As [`SoftCache::read_page`].
+    pub fn page_bytes(&self, page: u64) -> &[u8] {
+        let line = self.lines.get(&self.line_of(page)).expect("read of non-resident page");
+        let idx = (page - line.first_page) as usize;
+        assert_ne!(line.slots[idx].state, PageState::Invalid, "read of invalid page");
+        line.page_data(idx, self.page_size)
+    }
+
+    /// Write bytes to a resident, valid page, applying the RegC protocol for
+    /// the current region kind. Returns what the caller must do (fine-grain
+    /// logging) and what happened (twin creation).
+    ///
+    /// # Panics
+    /// Panics if the page is absent or `Invalid`, or the range overruns the
+    /// page.
+    pub fn write_page(
+        &mut self,
+        page: u64,
+        offset: usize,
+        bytes: &[u8],
+        region: RegionKind,
+    ) -> WriteOutcome {
+        let ps = self.page_size;
+        let line_id = self.line_of(page);
+        let line = self.lines.get_mut(&line_id).expect("write to non-resident page");
+        let idx = (page - line.first_page) as usize;
+        let (slot, data) = line.page_parts_mut(idx, ps);
+        let effect = protocol::on_write(slot.state, region);
+        let mut twin_created = false;
+        if effect.make_twin {
+            debug_assert!(slot.twin.is_none());
+            slot.twin = Some(data.to_vec());
+            twin_created = true;
+        }
+        data[offset..offset + bytes.len()].copy_from_slice(bytes);
+        if effect.write_through_twin {
+            let twin = slot.twin.as_mut().expect("write-through without twin");
+            twin[offset..offset + bytes.len()].copy_from_slice(bytes);
+        }
+        slot.state = effect.next;
+        WriteOutcome { log_fine_grain: effect.log_fine_grain, twin_created }
+    }
+
+    /// All currently dirty pages, in unspecified order.
+    pub fn dirty_pages(&self) -> Vec<u64> {
+        let mut pages: Vec<u64> = self
+            .lines
+            .values()
+            .flat_map(|l| l.pages_in_state(PageState::Dirty).collect::<Vec<_>>())
+            .collect();
+        pages.sort_unstable();
+        pages
+    }
+
+    /// Flush one page at a synchronization operation: diff against the twin,
+    /// drop the twin, mark the page clean. Returns `None` for clean/invalid
+    /// pages and `Some(diff)` (possibly empty) for dirty ones.
+    pub fn flush_page(&mut self, page: u64) -> Option<Diff> {
+        let ps = self.page_size;
+        let line_id = self.line_of(page);
+        let line = self.lines.get_mut(&line_id)?;
+        let idx = (page - line.first_page) as usize;
+        let (slot, data) = line.page_parts_mut(idx, ps);
+        if slot.state != PageState::Dirty {
+            return None;
+        }
+        let twin = slot.twin.take().expect("dirty page without twin");
+        let diff = Diff::compute(&twin, data);
+        slot.state = protocol::after_flush(PageState::Dirty);
+        Some(diff)
+    }
+
+    /// Take a full copy of a dirty page's bytes and clean it without
+    /// diffing (whole-page consistency ablation). Returns `None` for
+    /// clean/invalid pages.
+    pub fn flush_page_whole(&mut self, page: u64) -> Option<Vec<u8>> {
+        let ps = self.page_size;
+        let line_id = self.line_of(page);
+        let line = self.lines.get_mut(&line_id)?;
+        let idx = (page - line.first_page) as usize;
+        let (slot, data) = line.page_parts_mut(idx, ps);
+        if slot.state != PageState::Dirty {
+            return None;
+        }
+        slot.twin = None;
+        slot.state = protocol::after_flush(PageState::Dirty);
+        Some(data.to_vec())
+    }
+
+    /// Number of `Invalid` pages in a resident line (0 if the line is
+    /// absent). Drives batched revalidation: when several pages of one line
+    /// were invalidated, one line fetch beats per-page refetches.
+    pub fn invalid_pages_in_line(&self, line: u64) -> usize {
+        match self.lines.get(&line) {
+            Some(l) => l.slots.iter().filter(|s| s.state == PageState::Invalid).count(),
+            None => 0,
+        }
+    }
+
+    /// Refresh a resident line with fresh home data: `Invalid` and `Clean`
+    /// pages take the new bytes (home is at least as recent), `Dirty` pages
+    /// keep local modifications.
+    ///
+    /// # Panics
+    /// Panics if the line is absent or payload sizes mismatch.
+    pub fn refresh_line(&mut self, line: u64, data: &[u8], versions: &[u64]) {
+        assert_eq!(data.len(), self.line_bytes(), "line payload size mismatch");
+        assert_eq!(versions.len(), self.line_pages, "line version count mismatch");
+        let ps = self.page_size;
+        let cl = self.lines.get_mut(&line).expect("refresh of absent line");
+        for idx in 0..versions.len() {
+            let (slot, dst) = cl.page_parts_mut(idx, ps);
+            match slot.state {
+                PageState::Dirty => {} // keep local writes
+                PageState::Invalid | PageState::Clean => {
+                    dst.copy_from_slice(&data[idx * ps..(idx + 1) * ps]);
+                    slot.state = PageState::Clean;
+                    slot.twin = None;
+                    slot.version = versions[idx];
+                }
+            }
+        }
+    }
+
+    /// Apply a fine-grain update carried by another thread's write notice
+    /// to a resident page. Returns `true` when the bytes were applied
+    /// (invalid or absent pages are left for demand fetch).
+    ///
+    /// # Panics
+    /// Panics if the page is dirty: updates are only applied at
+    /// synchronization points, after the local flush.
+    pub fn apply_update(&mut self, page: u64, offset: usize, bytes: &[u8]) -> bool {
+        let ps = self.page_size;
+        let line_id = self.line_of(page);
+        let Some(line) = self.lines.get_mut(&line_id) else {
+            return false;
+        };
+        let idx = (page - line.first_page) as usize;
+        let (slot, data) = line.page_parts_mut(idx, ps);
+        match slot.state {
+            PageState::Invalid => false,
+            PageState::Dirty => panic!("fine update applied to an unflushed dirty page"),
+            PageState::Clean => {
+                data[offset..offset + bytes.len()].copy_from_slice(bytes);
+                true
+            }
+        }
+    }
+
+    /// Apply a write notice: invalidate the page if resident. Returns `true`
+    /// when something was invalidated.
+    ///
+    /// # Panics
+    /// Panics if the page is still dirty (callers must flush before applying
+    /// notices; see [`protocol::on_invalidate`]).
+    pub fn invalidate_page(&mut self, page: u64) -> bool {
+        let line_id = self.line_of(page);
+        let Some(line) = self.lines.get_mut(&line_id) else {
+            return false;
+        };
+        let idx = (page - line.first_page) as usize;
+        let slot = &mut line.slots[idx];
+        if slot.state == PageState::Invalid {
+            return false;
+        }
+        slot.state = protocol::on_invalidate(slot.state);
+        slot.twin = None;
+        true
+    }
+
+    /// Choose and remove an eviction victim per the configured policy.
+    /// Returns `None` when the cache is empty.
+    pub fn pop_victim(&mut self) -> Option<(u64, CacheLine)> {
+        if self.lines.is_empty() {
+            return None;
+        }
+        let victim = match self.policy {
+            EvictionPolicy::Lru => {
+                *self.lines.iter().min_by_key(|(_, l)| l.last_use).map(|(id, _)| id).expect("nonempty")
+            }
+            EvictionPolicy::DirtyFirst => {
+                // Paper's bias: prefer evicting written-to lines (their
+                // updates must be flushed home anyway); LRU among those,
+                // falling back to global LRU.
+                let dirty_lru = self
+                    .lines
+                    .iter()
+                    .filter(|(_, l)| l.has_dirty())
+                    .min_by_key(|(_, l)| l.last_use)
+                    .map(|(id, _)| *id);
+                dirty_lru.unwrap_or_else(|| {
+                    *self
+                        .lines
+                        .iter()
+                        .min_by_key(|(_, l)| l.last_use)
+                        .map(|(id, _)| id)
+                        .expect("nonempty")
+                })
+            }
+        };
+        let line = self.lines.remove(&victim).expect("victim vanished");
+        Some((victim, line))
+    }
+
+    /// Drain every resident line (used at thread exit after the final
+    /// flush, and by tests).
+    pub fn drain_lines(&mut self) -> Vec<(u64, CacheLine)> {
+        let mut all: Vec<_> = self.lines.drain().collect();
+        all.sort_by_key(|&(id, _)| id);
+        all
+    }
+
+    /// Compute the diffs for all dirty pages of an evicted line. Consumes
+    /// the line.
+    pub fn diffs_of_evicted(&self, line: CacheLine) -> Vec<(u64, Diff)> {
+        let mut out = Vec::new();
+        let mut line = line;
+        for idx in 0..self.line_pages {
+            let page = line.first_page + idx as u64;
+            let ps = self.page_size;
+            let (slot, data) = line.page_parts_mut(idx, ps);
+            if slot.state == PageState::Dirty {
+                let twin = slot.twin.take().expect("dirty page without twin");
+                let diff = Diff::compute(&twin, data);
+                if !diff.is_empty() {
+                    out.push((page, diff));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PS: usize = 256;
+
+    fn cache(capacity: usize) -> SoftCache {
+        SoftCache::new(PS, 2, capacity, EvictionPolicy::DirtyFirst)
+    }
+
+    fn install(c: &mut SoftCache, line: u64) {
+        c.install_line(line, vec![0u8; c.line_bytes()], vec![0; c.line_pages()]);
+    }
+
+    #[test]
+    fn install_and_read() {
+        let mut c = cache(4);
+        install(&mut c, 0);
+        assert!(c.contains_line(0));
+        assert_eq!(c.page_state(0), Some(PageState::Clean));
+        assert_eq!(c.page_state(1), Some(PageState::Clean));
+        assert_eq!(c.page_state(2), None);
+        let mut buf = [1u8; 8];
+        c.read_page(0, 0, &mut buf);
+        assert_eq!(buf, [0u8; 8]);
+    }
+
+    #[test]
+    fn ordinary_write_creates_twin_and_diff() {
+        let mut c = cache(4);
+        install(&mut c, 0);
+        let out = c.write_page(1, 16, &[7; 8], RegionKind::Ordinary);
+        assert!(out.twin_created);
+        assert!(!out.log_fine_grain);
+        assert_eq!(c.page_state(1), Some(PageState::Dirty));
+        assert_eq!(c.dirty_pages(), vec![1]);
+        let diff = c.flush_page(1).unwrap();
+        assert_eq!(diff.payload_bytes(), 8);
+        assert_eq!(c.page_state(1), Some(PageState::Clean));
+        assert!(c.flush_page(1).is_none(), "second flush is a no-op");
+    }
+
+    #[test]
+    fn consistency_write_requests_logging_not_twin() {
+        let mut c = cache(4);
+        install(&mut c, 0);
+        let out = c.write_page(0, 0, &[9; 8], RegionKind::Consistency);
+        assert!(out.log_fine_grain);
+        assert!(!out.twin_created);
+        assert_eq!(c.page_state(0), Some(PageState::Clean));
+        assert!(c.dirty_pages().is_empty());
+    }
+
+    #[test]
+    fn mixed_writes_write_through_twin() {
+        let mut c = cache(4);
+        install(&mut c, 0);
+        c.write_page(0, 0, &[1; 8], RegionKind::Ordinary); // twin created
+        let out = c.write_page(0, 64, &[2; 8], RegionKind::Consistency);
+        assert!(out.log_fine_grain);
+        // The consistency bytes went through the twin, so the flush diff
+        // contains only the ordinary write.
+        let diff = c.flush_page(0).unwrap();
+        assert_eq!(diff.payload_bytes(), 8);
+        let mut probe = vec![0u8; PS];
+        diff.apply(&mut probe);
+        assert_eq!(&probe[0..8], &[1; 8]);
+        assert_eq!(&probe[64..72], &[0; 8], "consistency bytes must not be in the diff");
+    }
+
+    #[test]
+    fn invalidate_and_revalidate() {
+        let mut c = cache(4);
+        install(&mut c, 0);
+        assert!(c.invalidate_page(1));
+        assert_eq!(c.page_state(1), Some(PageState::Invalid));
+        assert!(!c.invalidate_page(1), "already invalid");
+        assert!(!c.invalidate_page(100), "absent pages are a no-op");
+        c.install_page(1, &[5u8; PS], 3);
+        assert_eq!(c.page_state(1), Some(PageState::Clean));
+        let mut b = [0u8; 1];
+        c.read_page(1, 10, &mut b);
+        assert_eq!(b[0], 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "loses writes")]
+    fn invalidating_dirty_page_panics() {
+        let mut c = cache(4);
+        install(&mut c, 0);
+        c.write_page(0, 0, &[1], RegionKind::Ordinary);
+        c.invalidate_page(0);
+    }
+
+    #[test]
+    fn dirty_first_eviction_prefers_written_lines() {
+        let mut c = cache(3);
+        install(&mut c, 0);
+        install(&mut c, 1);
+        install(&mut c, 2);
+        // Line 1 is dirty; line 0 is older. DirtyFirst must pick line 1.
+        c.write_page(2, 0, &[1], RegionKind::Ordinary); // page 2 = line 1
+        c.touch_line(0);
+        let (victim, line) = c.pop_victim().unwrap();
+        assert_eq!(victim, 1);
+        let diffs = c.diffs_of_evicted(line);
+        assert_eq!(diffs.len(), 1);
+        assert_eq!(diffs[0].0, 2);
+    }
+
+    #[test]
+    fn lru_eviction_ignores_dirtiness() {
+        let mut c = SoftCache::new(PS, 2, 3, EvictionPolicy::Lru);
+        install(&mut c, 0);
+        install(&mut c, 1);
+        install(&mut c, 2);
+        c.write_page(2, 0, &[1], RegionKind::Ordinary);
+        c.touch_line(1);
+        c.touch_line(2);
+        let (victim, _) = c.pop_victim().unwrap();
+        assert_eq!(victim, 0, "LRU evicts the oldest line regardless of dirtiness");
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut c = cache(2);
+        install(&mut c, 0);
+        install(&mut c, 1);
+        assert!(c.is_full());
+        let (_, line) = c.pop_victim().unwrap();
+        assert!(c.diffs_of_evicted(line).is_empty(), "clean eviction ships nothing");
+        assert!(!c.is_full());
+        install(&mut c, 5);
+        assert_eq!(c.resident_lines(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already resident")]
+    fn double_install_panics() {
+        let mut c = cache(4);
+        install(&mut c, 0);
+        install(&mut c, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "evict first")]
+    fn install_into_full_cache_panics() {
+        let mut c = cache(2);
+        install(&mut c, 0);
+        install(&mut c, 1);
+        install(&mut c, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "read of invalid page")]
+    fn read_of_invalidated_page_panics() {
+        let mut c = cache(4);
+        install(&mut c, 0);
+        c.invalidate_page(0);
+        let mut b = [0u8; 1];
+        c.read_page(0, 0, &mut b);
+    }
+
+    #[test]
+    fn drain_returns_everything_sorted() {
+        let mut c = cache(4);
+        install(&mut c, 3);
+        install(&mut c, 1);
+        let drained = c.drain_lines();
+        assert_eq!(drained.iter().map(|&(id, _)| id).collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(c.resident_lines(), 0);
+        assert!(c.pop_victim().is_none());
+    }
+
+    #[test]
+    fn page_bytes_zero_copy_view() {
+        let mut c = cache(4);
+        install(&mut c, 0);
+        c.write_page(0, 4, &[42], RegionKind::Ordinary);
+        assert_eq!(c.page_bytes(0)[4], 42);
+    }
+
+    #[test]
+    fn refresh_line_preserves_dirty_pages() {
+        let mut c = cache(4);
+        install(&mut c, 0);
+        c.invalidate_page(0);
+        c.write_page(1, 0, &[9; 8], RegionKind::Ordinary); // dirty
+        let fresh = vec![5u8; c.line_bytes()];
+        c.refresh_line(0, &fresh, &[7, 7]);
+        // Invalid page took the new bytes; dirty page kept local writes.
+        assert_eq!(c.page_state(0), Some(PageState::Clean));
+        assert_eq!(c.page_bytes(0)[0], 5);
+        assert_eq!(c.page_state(1), Some(PageState::Dirty));
+        let mut b = [0u8; 8];
+        c.read_page(1, 0, &mut b);
+        assert_eq!(b, [9; 8]);
+    }
+
+    #[test]
+    fn apply_update_only_touches_clean_pages() {
+        let mut c = cache(4);
+        install(&mut c, 0);
+        assert!(c.apply_update(0, 16, &[3; 8]));
+        assert_eq!(c.page_bytes(0)[16], 3);
+        c.invalidate_page(0);
+        assert!(!c.apply_update(0, 16, &[4; 8]), "invalid pages wait for demand fetch");
+        assert!(!c.apply_update(99, 0, &[1]), "absent pages are a no-op");
+    }
+
+    #[test]
+    fn invalid_page_counting() {
+        let mut c = cache(4);
+        install(&mut c, 0);
+        assert_eq!(c.invalid_pages_in_line(0), 0);
+        c.invalidate_page(0);
+        assert_eq!(c.invalid_pages_in_line(0), 1);
+        c.invalidate_page(1);
+        assert_eq!(c.invalid_pages_in_line(0), 2);
+        assert_eq!(c.invalid_pages_in_line(5), 0, "absent line");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const PS: usize = 256;
+    const LINE_PAGES: usize = 2;
+    const PAGES: u64 = 16;
+
+    #[derive(Clone, Debug)]
+    enum Op {
+        Write { page: u64, offset: usize, bytes: Vec<u8> },
+        Flush,
+        Evict,
+        Read { page: u64, offset: usize, len: usize },
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0..PAGES, 0usize..(PS - 16), proptest::collection::vec(any::<u8>(), 1..16))
+                .prop_map(|(page, offset, bytes)| Op::Write { page, offset, bytes }),
+            Just(Op::Flush),
+            Just(Op::Evict),
+            (0..PAGES, 0usize..(PS - 16), 1usize..16)
+                .prop_map(|(page, offset, len)| Op::Read { page, offset, len }),
+        ]
+    }
+
+    proptest! {
+        /// Single-threaded coherence: a random sequence of writes, flushes,
+        /// evictions, and reads through the cache + a simulated "home" must
+        /// always read back exactly what a flat reference array holds.
+        #[test]
+        fn cache_plus_home_equals_flat_memory(
+            ops in proptest::collection::vec(op_strategy(), 1..120)
+        ) {
+            let mut cache = SoftCache::new(PS, LINE_PAGES, 3, EvictionPolicy::DirtyFirst);
+            let mut home = vec![vec![0u8; PS]; PAGES as usize];
+            let mut reference = vec![0u8; PS * PAGES as usize];
+
+            let ensure = |cache: &mut SoftCache, home: &mut Vec<Vec<u8>>, page: u64| {
+                let line = cache.line_of(page);
+                if !cache.contains_line(line) {
+                    while cache.is_full() {
+                        let (_, victim) = cache.pop_victim().expect("full cache");
+                        for (p, diff) in cache.diffs_of_evicted(victim) {
+                            diff.apply(&mut home[p as usize]);
+                        }
+                    }
+                    let mut data = Vec::with_capacity(PS * LINE_PAGES);
+                    let first = line * LINE_PAGES as u64;
+                    for i in 0..LINE_PAGES as u64 {
+                        data.extend_from_slice(&home[(first + i) as usize]);
+                    }
+                    cache.install_line(line, data, vec![0; LINE_PAGES]);
+                }
+                cache.touch_line(line);
+            };
+
+            for op in ops {
+                match op {
+                    Op::Write { page, offset, bytes } => {
+                        ensure(&mut cache, &mut home, page);
+                        cache.write_page(page, offset, &bytes, RegionKind::Ordinary);
+                        let base = page as usize * PS + offset;
+                        reference[base..base + bytes.len()].copy_from_slice(&bytes);
+                    }
+                    Op::Flush => {
+                        for page in cache.dirty_pages() {
+                            if let Some(diff) = cache.flush_page(page) {
+                                diff.apply(&mut home[page as usize]);
+                            }
+                        }
+                    }
+                    Op::Evict => {
+                        if let Some((_, victim)) = cache.pop_victim() {
+                            for (p, diff) in cache.diffs_of_evicted(victim) {
+                                diff.apply(&mut home[p as usize]);
+                            }
+                        }
+                    }
+                    Op::Read { page, offset, len } => {
+                        ensure(&mut cache, &mut home, page);
+                        let mut buf = vec![0u8; len];
+                        cache.read_page(page, offset, &mut buf);
+                        let base = page as usize * PS + offset;
+                        prop_assert_eq!(
+                            &buf[..],
+                            &reference[base..base + len],
+                            "page {} offset {} diverged from reference",
+                            page,
+                            offset
+                        );
+                    }
+                }
+            }
+
+            // Final drain: everything must land at the home exactly.
+            for page in cache.dirty_pages() {
+                if let Some(diff) = cache.flush_page(page) {
+                    diff.apply(&mut home[page as usize]);
+                }
+            }
+            for p in 0..PAGES as usize {
+                prop_assert_eq!(&home[p][..], &reference[p * PS..(p + 1) * PS], "home page {} diverged", p);
+            }
+        }
+    }
+}

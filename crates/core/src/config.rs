@@ -1,0 +1,308 @@
+//! Runtime configuration.
+//!
+//! [`SamhitaConfig`] gathers every tunable the paper discusses: paging and
+//! cache-line geometry, prefetching, the eviction bias, the allocator
+//! thresholds, the number of memory servers, the simulated machine and
+//! fabric, the consistency variant, and the §V manager-bypass optimization.
+//! Defaults reproduce the paper's evaluation platform: a six-node QDR
+//! InfiniBand cluster with one manager node and one memory-server node.
+
+use samhita_mem::ServiceModel;
+use samhita_scl::{profiles, LinkModel, Topology};
+use serde::{Deserialize, Serialize};
+
+/// Which line the eviction policy prefers to push out.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EvictionPolicy {
+    /// The paper's policy: bias eviction towards lines containing pages
+    /// that have been written to (their diffs must travel anyway).
+    DirtyFirst,
+    /// Plain least-recently-used (ablation baseline).
+    Lru,
+}
+
+/// How consistency-region stores propagate at release.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConsistencyVariant {
+    /// The paper's RegC implementation: fine-grain (data-object level)
+    /// updates for consistency regions, page-granularity diffs elsewhere.
+    FineGrain,
+    /// Ablation: treat consistency-region stores like ordinary stores
+    /// (twin + whole-page diff at the next sync operation).
+    WholePage,
+}
+
+/// The simulated machine shape.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TopologyKind {
+    /// Everything on one cache-coherent node (used with
+    /// [`SamhitaConfig::manager_bypass`] for the §V single-node variant).
+    SingleNode,
+    /// `nodes` homogeneous cluster nodes behind one switch — the paper's
+    /// actual evaluation platform.
+    Cluster {
+        /// Total cluster nodes (manager + memory servers + compute).
+        nodes: u32,
+    },
+    /// One host plus coprocessor boards over a PCIe-class bus — the Xeon
+    /// Phi scenario of Figure 1.
+    HeteroNode {
+        /// Number of coprocessor boards.
+        coprocessors: u32,
+        /// Compute cores per coprocessor.
+        cores_per_cop: u32,
+    },
+}
+
+/// Which link profile joins the nodes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FabricProfile {
+    /// Quad-data-rate InfiniBand through one switch (the paper's fabric).
+    IbQdr,
+    /// PCIe crossed via an InfiniBand verbs proxy (stock host↔Phi path).
+    PcieVerbsProxy,
+    /// PCIe driven directly through SCIF (the paper's §V proposal).
+    Scif,
+    /// 10-gigabit Ethernet with a sockets stack (ablations only).
+    Ethernet10g,
+}
+
+impl FabricProfile {
+    /// Resolve to a concrete link model.
+    pub fn link(self) -> LinkModel {
+        match self {
+            FabricProfile::IbQdr => profiles::ib_qdr(),
+            FabricProfile::PcieVerbsProxy => profiles::pcie_verbs_proxy(),
+            FabricProfile::Scif => profiles::scif(),
+            FabricProfile::Ethernet10g => profiles::ethernet_10g(),
+        }
+    }
+}
+
+/// Cost constants for compute-side virtual time.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CostParams {
+    /// Nanoseconds per floating-point operation charged by
+    /// `ThreadCtx::compute` (≈ 2.8 GHz Penryn issuing ~1 flop/cycle on this
+    /// scalar kernel mix).
+    pub flop_ns: f64,
+    /// Nanoseconds per 8-byte load/store through the software cache's hit
+    /// path (address translation + state check + copy).
+    pub mem_op_ns: f64,
+    /// Cost to install one KiB of a fetched line into the local cache.
+    pub cache_fill_per_kib_ns: u64,
+    /// Manager service time per synchronization / allocation request.
+    pub mgr_service_ns: u64,
+    /// Extra cost charged when a barrier releases (manager fan-out).
+    pub barrier_release_ns: u64,
+    /// Cost of a lock/barrier operation under the single-node
+    /// manager-bypass path (§V): a local atomic handoff.
+    pub local_sync_ns: u64,
+    /// Sender-side CPU cost per asynchronous message posted (descriptor
+    /// build + doorbell); synchronous RPCs pay it implicitly by waiting.
+    pub send_ns: u64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams {
+            flop_ns: 0.35,
+            mem_op_ns: 1.0,
+            cache_fill_per_kib_ns: 30,
+            mgr_service_ns: 300,
+            barrier_release_ns: 300,
+            local_sync_ns: 150,
+            send_ns: 60,
+        }
+    }
+}
+
+/// Full runtime configuration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SamhitaConfig {
+    /// Page size in bytes (power of two).
+    pub page_size: usize,
+    /// Pages per cache line ("cache lines of multiple pages").
+    pub line_pages: u32,
+    /// Software-cache capacity, in lines, per compute thread.
+    pub cache_capacity_lines: usize,
+    /// Anticipatory paging: on a miss, also request the adjacent line.
+    pub prefetch: bool,
+    /// Eviction policy.
+    pub eviction: EvictionPolicy,
+    /// Consistency-region update granularity.
+    pub consistency: ConsistencyVariant,
+    /// Number of memory servers (homes are striped across them).
+    pub mem_servers: u32,
+    /// Allocations of at most this many bytes come from the thread-local
+    /// arena (strategy 1: no manager round-trip, no false sharing).
+    pub small_threshold: u64,
+    /// Allocations of at least this many bytes are striped across memory
+    /// servers (strategy 3: hot-spot avoidance). Sizes in between come from
+    /// the manager's shared zone (strategy 2).
+    pub large_threshold: u64,
+    /// Arena bytes reserved per thread in the address-space layout.
+    pub arena_bytes_per_thread: u64,
+    /// Shared-zone bytes reserved in the address-space layout.
+    pub shared_zone_bytes: u64,
+    /// Maximum compute threads the layout provisions arenas for.
+    pub max_threads: u32,
+    /// The simulated machine.
+    pub topology: TopologyKind,
+    /// The interconnect between its nodes.
+    pub fabric: FabricProfile,
+    /// §V optimization: on a single node, synchronize through a local
+    /// handoff instead of manager RPCs (consistency flushes still happen).
+    pub manager_bypass: bool,
+    /// Compute-side cost constants.
+    pub costs: CostParams,
+    /// Memory-server service model.
+    pub service: ServiceModel,
+}
+
+impl Default for SamhitaConfig {
+    /// The paper's evaluation platform: six cluster nodes on QDR InfiniBand,
+    /// one manager node, one memory-server node, compute on the rest.
+    fn default() -> Self {
+        SamhitaConfig {
+            page_size: 4096,
+            line_pages: 4,
+            cache_capacity_lines: 4096, // 64 MiB per thread at the defaults
+            prefetch: true,
+            eviction: EvictionPolicy::DirtyFirst,
+            consistency: ConsistencyVariant::FineGrain,
+            mem_servers: 1,
+            small_threshold: 64 * 1024,
+            large_threshold: 1 << 20,
+            arena_bytes_per_thread: 16 << 20,
+            shared_zone_bytes: 1 << 30,
+            max_threads: 64,
+            topology: TopologyKind::Cluster { nodes: 6 },
+            fabric: FabricProfile::IbQdr,
+            manager_bypass: false,
+            costs: CostParams::default(),
+            service: ServiceModel::default(),
+        }
+    }
+}
+
+impl SamhitaConfig {
+    /// Bytes per cache line.
+    pub fn line_bytes(&self) -> usize {
+        self.page_size * self.line_pages as usize
+    }
+
+    /// A small single-node configuration convenient for unit tests:
+    /// tiny pages and caches so paths like eviction are easy to exercise.
+    pub fn small_for_tests() -> Self {
+        SamhitaConfig {
+            page_size: 256,
+            line_pages: 2,
+            cache_capacity_lines: 64,
+            arena_bytes_per_thread: 1 << 20,
+            shared_zone_bytes: 8 << 20,
+            max_threads: 16,
+            topology: TopologyKind::SingleNode,
+            ..SamhitaConfig::default()
+        }
+    }
+
+    /// Build the [`Topology`] this configuration describes.
+    pub fn build_topology(&self) -> Topology {
+        let link = self.fabric.link();
+        match self.topology {
+            TopologyKind::SingleNode => Topology::single_node(64),
+            TopologyKind::Cluster { nodes } => Topology::cluster(nodes, link),
+            TopologyKind::HeteroNode { coprocessors, cores_per_cop } => {
+                Topology::hetero_node(coprocessors, cores_per_cop, link)
+            }
+        }
+    }
+
+    /// Validate internal consistency; called by the system constructor.
+    ///
+    /// # Panics
+    /// Panics with a descriptive message on an inconsistent configuration.
+    pub fn validate(&self) {
+        assert!(self.page_size.is_power_of_two() && self.page_size >= 64, "bad page size");
+        assert!(self.line_pages >= 1, "lines need at least one page");
+        assert!(self.cache_capacity_lines >= 2, "cache must hold at least two lines");
+        assert!(self.mem_servers >= 1, "need at least one memory server");
+        assert!(self.small_threshold <= self.large_threshold, "allocator thresholds inverted");
+        assert!(
+            self.arena_bytes_per_thread >= self.small_threshold,
+            "arena smaller than the largest arena-eligible allocation"
+        );
+        assert!(self.max_threads >= 1, "max_threads must be positive");
+        if self.manager_bypass {
+            assert!(
+                matches!(self.topology, TopologyKind::SingleNode),
+                "manager bypass is the single-node optimization (§V)"
+            );
+        }
+        match self.topology {
+            TopologyKind::Cluster { nodes } => {
+                assert!(nodes >= 2 + self.mem_servers, "cluster too small for manager + memory servers + compute")
+            }
+            TopologyKind::HeteroNode { coprocessors, cores_per_cop } => {
+                assert!(coprocessors >= 1 && cores_per_cop >= 1, "empty coprocessor config")
+            }
+            TopologyKind::SingleNode => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid_and_paper_shaped() {
+        let c = SamhitaConfig::default();
+        c.validate();
+        assert_eq!(c.topology, TopologyKind::Cluster { nodes: 6 });
+        assert_eq!(c.mem_servers, 1);
+        assert_eq!(c.line_bytes(), 16384);
+    }
+
+    #[test]
+    fn test_config_is_valid() {
+        SamhitaConfig::small_for_tests().validate();
+    }
+
+    #[test]
+    fn topology_building_matches_kind() {
+        let mut c = SamhitaConfig::default();
+        assert_eq!(c.build_topology().len(), 6);
+        c.topology = TopologyKind::HeteroNode { coprocessors: 2, cores_per_cop: 57 };
+        assert_eq!(c.build_topology().len(), 3);
+        c.topology = TopologyKind::SingleNode;
+        assert_eq!(c.build_topology().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "single-node optimization")]
+    fn bypass_requires_single_node() {
+        let c = SamhitaConfig { manager_bypass: true, ..SamhitaConfig::default() };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "thresholds inverted")]
+    fn inverted_thresholds_rejected() {
+        let c = SamhitaConfig {
+            small_threshold: 2 << 20,
+            large_threshold: 1 << 20,
+            ..SamhitaConfig::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    fn fabric_profiles_resolve() {
+        assert_eq!(FabricProfile::IbQdr.link(), profiles::ib_qdr());
+        assert_eq!(FabricProfile::Scif.link(), profiles::scif());
+        assert_eq!(FabricProfile::PcieVerbsProxy.link(), profiles::pcie_verbs_proxy());
+        assert_eq!(FabricProfile::Ethernet10g.link(), profiles::ethernet_10g());
+    }
+}

@@ -1,0 +1,238 @@
+//! First-fit free-list allocator with coalescing.
+//!
+//! One engine serves all three of the paper's allocation strategies: each
+//! thread arena embeds one (strategy 1), the manager runs one over the
+//! shared zone (strategy 2) and one over the striped region with line-sized
+//! alignment (strategy 3). Address-ordered free ranges coalesce on free, so
+//! long alloc/free workloads do not fragment unboundedly.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// A first-fit allocator over `[base, limit)`.
+#[derive(Clone, Debug)]
+pub struct FreeListAlloc {
+    base: u64,
+    limit: u64,
+    /// Free ranges: start -> length. Invariant: disjoint, non-adjacent.
+    free: BTreeMap<u64, u64>,
+    /// Live allocations: start -> length.
+    live: HashMap<u64, u64>,
+}
+
+impl FreeListAlloc {
+    /// An allocator owning `[base, limit)`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    pub fn new(base: u64, limit: u64) -> Self {
+        assert!(limit > base, "empty allocator range");
+        let mut free = BTreeMap::new();
+        free.insert(base, limit - base);
+        FreeListAlloc { base, limit, free, live: HashMap::new() }
+    }
+
+    /// Allocate `size` bytes aligned to `align` (a power of two). Returns
+    /// `None` when no free range fits.
+    ///
+    /// # Panics
+    /// Panics on a zero size or a non-power-of-two alignment.
+    pub fn alloc(&mut self, size: u64, align: u64) -> Option<u64> {
+        assert!(size > 0, "zero-size allocation");
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        // First fit in address order.
+        let mut found: Option<(u64, u64, u64)> = None; // (range_start, range_len, addr)
+        for (&start, &len) in &self.free {
+            let addr = (start + align - 1) & !(align - 1);
+            if addr + size <= start + len {
+                found = Some((start, len, addr));
+                break;
+            }
+        }
+        let (start, len, addr) = found?;
+        self.free.remove(&start);
+        if addr > start {
+            self.free.insert(start, addr - start);
+        }
+        let tail = (start + len) - (addr + size);
+        if tail > 0 {
+            self.free.insert(addr + size, tail);
+        }
+        self.live.insert(addr, size);
+        Some(addr)
+    }
+
+    /// Free an allocation by its base address, coalescing neighbors.
+    /// Returns the freed size.
+    ///
+    /// # Panics
+    /// Panics on a double free or an address that was never allocated.
+    pub fn free(&mut self, addr: u64) -> u64 {
+        let size = self.live.remove(&addr).expect("free of unallocated address");
+        let mut start = addr;
+        let mut len = size;
+        // Coalesce with predecessor.
+        if let Some((&pstart, &plen)) = self.free.range(..addr).next_back() {
+            if pstart + plen == addr {
+                self.free.remove(&pstart);
+                start = pstart;
+                len += plen;
+            }
+        }
+        // Coalesce with successor.
+        if let Some((&nstart, &nlen)) = self.free.range(addr + size..).next() {
+            if start + len == nstart {
+                self.free.remove(&nstart);
+                len += nlen;
+            }
+        }
+        self.free.insert(start, len);
+        size
+    }
+
+    /// Whether `addr` is a live allocation base.
+    pub fn is_live(&self, addr: u64) -> bool {
+        self.live.contains_key(&addr)
+    }
+
+    /// Size of the live allocation at `addr`.
+    pub fn size_of(&self, addr: u64) -> Option<u64> {
+        self.live.get(&addr).copied()
+    }
+
+    /// Total bytes currently allocated.
+    pub fn live_bytes(&self) -> u64 {
+        self.live.values().sum()
+    }
+
+    /// Total bytes currently free.
+    pub fn free_bytes(&self) -> u64 {
+        self.free.values().sum()
+    }
+
+    /// The managed range.
+    pub fn range(&self) -> (u64, u64) {
+        (self.base, self.limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_like_first_fits() {
+        let mut a = FreeListAlloc::new(4096, 4096 + 1024);
+        let p1 = a.alloc(100, 8).unwrap();
+        let p2 = a.alloc(100, 8).unwrap();
+        assert_eq!(p1, 4096);
+        assert!(p2 >= p1 + 100);
+        assert_eq!(a.live_bytes(), 200);
+    }
+
+    #[test]
+    fn alignment_respected() {
+        let mut a = FreeListAlloc::new(10, 10_000);
+        let p = a.alloc(64, 256).unwrap();
+        assert_eq!(p % 256, 0);
+        let q = a.alloc(1, 1024).unwrap();
+        assert_eq!(q % 1024, 0);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut a = FreeListAlloc::new(0, 256);
+        assert!(a.alloc(200, 8).is_some());
+        assert!(a.alloc(100, 8).is_none());
+        assert!(a.alloc(56, 8).is_some());
+    }
+
+    #[test]
+    fn free_and_reuse() {
+        let mut a = FreeListAlloc::new(0, 1024);
+        let p = a.alloc(512, 8).unwrap();
+        assert!(a.alloc(1024, 8).is_none());
+        assert_eq!(a.free(p), 512);
+        // After coalescing the whole range is available again.
+        assert_eq!(a.free_bytes(), 1024);
+        assert!(a.alloc(1024, 8).is_some());
+    }
+
+    #[test]
+    fn coalescing_merges_all_neighbors() {
+        let mut a = FreeListAlloc::new(0, 3000);
+        let p1 = a.alloc(1000, 8).unwrap();
+        let p2 = a.alloc(1000, 8).unwrap();
+        let p3 = a.alloc(1000, 8).unwrap();
+        a.free(p1);
+        a.free(p3);
+        a.free(p2); // bridges both neighbors
+        assert_eq!(a.free_bytes(), 3000);
+        assert_eq!(a.alloc(3000, 8), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated address")]
+    fn double_free_panics() {
+        let mut a = FreeListAlloc::new(0, 1024);
+        let p = a.alloc(8, 8).unwrap();
+        a.free(p);
+        a.free(p);
+    }
+
+    #[test]
+    fn size_queries() {
+        let mut a = FreeListAlloc::new(0, 1024);
+        let p = a.alloc(40, 8).unwrap();
+        assert!(a.is_live(p));
+        assert_eq!(a.size_of(p), Some(40));
+        assert_eq!(a.size_of(p + 8), None);
+        assert_eq!(a.range(), (0, 1024));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Random alloc/free interleavings: live allocations never overlap,
+        /// all stay in range, and byte accounting balances.
+        #[test]
+        fn allocations_never_overlap(
+            ops in proptest::collection::vec((1u64..512, 0usize..4), 1..200)
+        ) {
+            let (base, limit) = (4096u64, 4096 + 64 * 1024);
+            let mut a = FreeListAlloc::new(base, limit);
+            let mut held: Vec<(u64, u64)> = Vec::new();
+            for (size, action) in ops {
+                if action == 0 && !held.is_empty() {
+                    // Free a pseudo-random held allocation.
+                    let idx = (size as usize) % held.len();
+                    let (addr, sz) = held.swap_remove(idx);
+                    prop_assert_eq!(a.free(addr), sz);
+                } else {
+                    let align = 1u64 << (action as u32 * 2); // 1,4,16,64
+                    if let Some(addr) = a.alloc(size, align) {
+                        prop_assert!(addr >= base && addr + size <= limit);
+                        prop_assert_eq!(addr % align, 0);
+                        for &(other, osz) in &held {
+                            let disjoint = addr + size <= other || other + osz <= addr;
+                            prop_assert!(disjoint, "overlap: [{},{}) vs [{},{})",
+                                addr, addr + size, other, other + osz);
+                        }
+                        held.push((addr, size));
+                    }
+                }
+                let live: u64 = held.iter().map(|&(_, s)| s).sum();
+                prop_assert_eq!(a.live_bytes(), live);
+            }
+            // Free everything: the arena must coalesce back to one range.
+            for (addr, _) in held {
+                a.free(addr);
+            }
+            prop_assert_eq!(a.free_bytes(), limit - base);
+            prop_assert!(a.alloc(limit - base, 1).is_some());
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Single-node manager bypass (§V of the paper).
+//!
+//! "Samhita on a single node system can avoid contacting the manager for
+//! synchronization and reduce the overhead associated with contacting the
+//! manager during synchronization." When every compute thread shares one
+//! cache-coherent node, lock and barrier handoffs can be a local atomic
+//! operation instead of two fabric crossings plus manager service time.
+//!
+//! This module implements that optimization: a process-local synchronization
+//! core shared by all compute threads of one system. The *consistency* side
+//! of RegC is unchanged — flushes still travel to the memory servers, write
+//! notices are still published and delivered — only the synchronization
+//! *transport* is replaced, with [`crate::config::CostParams::local_sync_ns`]
+//! charged per operation. Condition variables keep using the manager (they
+//! are not on any benchmark's critical path).
+//!
+//! Virtual clocks combine exactly as the manager would combine them: a lock
+//! grant never precedes the previous holder's release, and a barrier
+//! releases at the maximum arrival clock.
+
+use parking_lot::{Condvar, Mutex};
+use samhita_regc::{FineUpdate, IntervalLog, WriteNotice};
+use samhita_scl::SimTime;
+
+struct LocalLock {
+    held: bool,
+    free_at: SimTime,
+}
+
+struct LocalBarrier {
+    parties: u32,
+    arrived: u32,
+    epoch: u64,
+    max_clock: SimTime,
+    release_at: SimTime,
+}
+
+struct Inner {
+    intervals: IntervalLog,
+    locks: Vec<LocalLock>,
+    barriers: Vec<LocalBarrier>,
+}
+
+/// Process-local synchronization core (one per system when
+/// `manager_bypass` is enabled).
+pub struct LocalSync {
+    cost: SimTime,
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+impl LocalSync {
+    /// A core charging `cost_ns` per synchronization operation.
+    pub fn new(cost_ns: u64) -> Self {
+        LocalSync {
+            cost: SimTime::from_ns(cost_ns),
+            inner: Mutex::new(Inner {
+                intervals: IntervalLog::new(),
+                locks: Vec::new(),
+                barriers: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Create a lock, returning its id. Ids are shared with the manager's
+    /// id space by construction: the system creates every sync object in
+    /// both places so handles stay interchangeable.
+    pub fn create_lock(&self) -> u32 {
+        let mut g = self.inner.lock();
+        g.locks.push(LocalLock { held: false, free_at: SimTime::ZERO });
+        (g.locks.len() - 1) as u32
+    }
+
+    /// Create a barrier over `parties` threads, returning its id.
+    pub fn create_barrier(&self, parties: u32) -> u32 {
+        assert!(parties >= 1, "barrier over zero parties");
+        let mut g = self.inner.lock();
+        g.barriers.push(LocalBarrier {
+            parties,
+            arrived: 0,
+            epoch: 0,
+            max_clock: SimTime::ZERO,
+            release_at: SimTime::ZERO,
+        });
+        (g.barriers.len() - 1) as u32
+    }
+
+    /// Acquire `lock`, publishing `pages` as this thread's flush interval.
+    /// Blocks (physically) until the lock is free. Returns the virtual grant
+    /// time plus unseen write notices.
+    pub fn acquire(
+        &self,
+        lock: u32,
+        tid: u32,
+        now: SimTime,
+        pages: Vec<u64>,
+        updates: Vec<FineUpdate>,
+        last_seen: u64,
+    ) -> (SimTime, Vec<WriteNotice>, u64) {
+        let mut g = self.inner.lock();
+        g.intervals.publish(tid, pages, updates);
+        while g.locks[lock as usize].held {
+            self.cv.wait(&mut g);
+        }
+        let l = &mut g.locks[lock as usize];
+        l.held = true;
+        let at = now.max(l.free_at) + self.cost;
+        let notices = g.intervals.since(last_seen);
+        let watermark = g.intervals.watermark();
+        (at, notices, watermark)
+    }
+
+    /// Release `lock` at virtual time `now`, publishing `pages`.
+    pub fn release(
+        &self,
+        lock: u32,
+        tid: u32,
+        now: SimTime,
+        pages: Vec<u64>,
+        updates: Vec<FineUpdate>,
+    ) {
+        let mut g = self.inner.lock();
+        g.intervals.publish(tid, pages, updates);
+        let l = &mut g.locks[lock as usize];
+        assert!(l.held, "release of an unheld lock");
+        l.held = false;
+        l.free_at = now + self.cost;
+        drop(g);
+        self.cv.notify_all();
+    }
+
+    /// Publish a final flush interval without any synchronization (thread
+    /// departure).
+    pub fn publish_final(&self, tid: u32, pages: Vec<u64>, updates: Vec<FineUpdate>) {
+        self.inner.lock().intervals.publish(tid, pages, updates);
+    }
+
+    /// Enter `barrier` at virtual time `now`, publishing `pages`. Blocks
+    /// until all parties arrive. Returns the virtual release time plus
+    /// unseen write notices.
+    pub fn barrier_wait(
+        &self,
+        barrier: u32,
+        tid: u32,
+        now: SimTime,
+        pages: Vec<u64>,
+        updates: Vec<FineUpdate>,
+        last_seen: u64,
+    ) -> (SimTime, Vec<WriteNotice>, u64) {
+        let mut g = self.inner.lock();
+        g.intervals.publish(tid, pages, updates);
+        let idx = barrier as usize;
+        let my_epoch = g.barriers[idx].epoch;
+        {
+            let b = &mut g.barriers[idx];
+            b.max_clock = b.max_clock.max(now);
+            b.arrived += 1;
+            if b.arrived == b.parties {
+                b.release_at = b.max_clock + self.cost;
+                b.epoch += 1;
+                b.arrived = 0;
+                b.max_clock = SimTime::ZERO;
+            }
+        }
+        if g.barriers[idx].epoch == my_epoch {
+            // Not released yet: wait for the epoch to advance.
+            while g.barriers[idx].epoch == my_epoch {
+                self.cv.wait(&mut g);
+            }
+        } else {
+            drop(g);
+            self.cv.notify_all();
+            g = self.inner.lock();
+        }
+        let at = g.barriers[idx].release_at;
+        let notices = g.intervals.since(last_seen);
+        let watermark = g.intervals.watermark();
+        (at, notices, watermark)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_grant_never_precedes_previous_release() {
+        let s = LocalSync::new(100);
+        let l = s.create_lock();
+        let (at1, _, _) = s.acquire(l, 0, SimTime::from_ns(1000), vec![], vec![], 0);
+        assert_eq!(at1, SimTime::from_ns(1100));
+        s.release(l, 0, SimTime::from_ns(5000), vec![1], vec![]);
+        // A thread whose clock is behind the release still sees a grant
+        // after the release.
+        let (at2, notices, wm) = s.acquire(l, 1, SimTime::from_ns(2000), vec![], vec![], 0);
+        assert_eq!(at2, SimTime::from_ns(5100 + 100));
+        assert_eq!(notices.len(), 1);
+        assert_eq!(notices[0].pages, vec![1]);
+        assert_eq!(wm, 1);
+    }
+
+    #[test]
+    fn barrier_releases_at_max_clock_across_threads() {
+        let s = Arc::new(LocalSync::new(50));
+        let b = s.create_barrier(4);
+        let handles: Vec<_> = (0..4u32)
+            .map(|tid| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    let now = SimTime::from_ns(1000 * (tid as u64 + 1));
+                    let (at, _, _) = s.barrier_wait(b, tid, now, vec![tid as u64], vec![], 0);
+                    at
+                })
+            })
+            .collect();
+        let times: Vec<SimTime> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(times.iter().all(|&t| t == SimTime::from_ns(4050)), "{times:?}");
+    }
+
+    #[test]
+    fn barrier_delivers_all_notices_once_per_episode() {
+        let s = Arc::new(LocalSync::new(50));
+        let b = s.create_barrier(2);
+        let s2 = Arc::clone(&s);
+        let h = std::thread::spawn(move || s2.barrier_wait(b, 1, SimTime::ZERO, vec![10, 11], vec![], 0));
+        let (_, notices, wm) = s.barrier_wait(b, 0, SimTime::ZERO, vec![20], vec![], 0);
+        let (_, notices2, wm2) = h.join().unwrap();
+        assert_eq!(notices.len(), 2);
+        assert_eq!(notices2.len(), 2);
+        assert_eq!(wm, 2);
+        assert_eq!(wm2, 2);
+        // Second episode: carrying the watermark forward yields only new
+        // notices.
+        let s2 = Arc::clone(&s);
+        let h = std::thread::spawn(move || s2.barrier_wait(b, 1, SimTime::ZERO, vec![], vec![], wm));
+        let (_, notices, _) = s.barrier_wait(b, 0, SimTime::ZERO, vec![30], vec![], wm);
+        let (_, notices2, _) = h.join().unwrap();
+        assert_eq!(notices.len(), 1);
+        assert_eq!(notices2.len(), 1);
+        assert_eq!(notices[0].pages, vec![30]);
+    }
+
+    #[test]
+    fn mutual_exclusion_holds_physically() {
+        let s = Arc::new(LocalSync::new(10));
+        let l = s.create_lock();
+        let counter = Arc::new(parking_lot::Mutex::new((0u64, false)));
+        let handles: Vec<_> = (0..8u32)
+            .map(|tid| {
+                let s = Arc::clone(&s);
+                let counter = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    for i in 0..100u64 {
+                        let (at, _, _) = s.acquire(l, tid, SimTime::from_ns(i), vec![], vec![], 0);
+                        {
+                            let mut g = counter.lock();
+                            assert!(!g.1, "two threads inside the critical section");
+                            g.1 = true;
+                            g.0 += 1;
+                            g.1 = false;
+                        }
+                        s.release(l, tid, at + SimTime::from_ns(5), vec![], vec![]);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.lock().0, 800);
+    }
+
+    #[test]
+    #[should_panic(expected = "unheld lock")]
+    fn release_unheld_panics() {
+        let s = LocalSync::new(10);
+        let l = s.create_lock();
+        s.release(l, 0, SimTime::ZERO, vec![], vec![]);
+    }
+}

@@ -1,0 +1,805 @@
+//! The manager: allocation, synchronization, and membership services.
+//!
+//! The paper routes *all* synchronization through a single manager process —
+//! and §V names the resulting overhead as a cost to optimize. The engine
+//! here is pure ((request, arrival time) → outgoing messages), with its own
+//! [`VirtualResource`] so request bursts queue; the SCL event loop lives in
+//! [`crate::system`].
+//!
+//! The manager is also the publication point for RegC write notices: every
+//! flush-carrying request (`Acquire`, `Release`, `BarrierWait`, `CondWait`,
+//! `Exit`) publishes an interval, and every blocking grant (`Granted`,
+//! `BarrierReleased`) returns the notices the recipient has not yet seen.
+
+use std::collections::{HashMap, VecDeque};
+
+use samhita_regc::{FineUpdate, IntervalLog};
+use samhita_scl::{EndpointId, SimTime, VirtualResource};
+use serde::{Deserialize, Serialize};
+
+use crate::config::SamhitaConfig;
+use crate::freelist::FreeListAlloc;
+use crate::layout::{AddressLayout, Region};
+use crate::msg::{MgrRequest, MgrResponse};
+
+/// Size cap of the striped region (virtual space, not memory).
+const STRIPED_REGION_BYTES: u64 = 1 << 40;
+
+#[derive(Clone, Debug)]
+struct Waiter {
+    tid: u32,
+    token: u64,
+    /// Virtual time at which this waiter's request finished manager service.
+    ready: SimTime,
+    last_seen: u64,
+}
+
+#[derive(Clone, Debug, Default)]
+struct LockState {
+    holder: Option<u32>,
+    queue: VecDeque<Waiter>,
+    /// Virtual time of the last release (a grant can never precede it).
+    free_at: SimTime,
+}
+
+#[derive(Clone, Debug)]
+struct BarrierState {
+    parties: u32,
+    waiting: Vec<Waiter>,
+}
+
+#[derive(Clone, Debug, Default)]
+struct CondState {
+    waiters: VecDeque<(Waiter, u32 /* lock to re-acquire */)>,
+}
+
+#[derive(Clone, Debug)]
+struct ThreadInfo {
+    ep: EndpointId,
+    /// Floor of notices this thread may still request (`since(last_seen)`).
+    /// Updated at every grant/release delivery; drives log truncation.
+    last_seen: u64,
+    /// Observers (the host control client) never receive notices and are
+    /// excluded from retention accounting.
+    observer: bool,
+}
+
+/// A message the event loop must send on the engine's behalf.
+#[derive(Clone, Debug)]
+pub struct Outgoing {
+    /// Destination endpoint.
+    pub dst: EndpointId,
+    /// Request token being answered.
+    pub token: u64,
+    /// Virtual send time.
+    pub at: SimTime,
+    /// The response payload.
+    pub resp: MgrResponse,
+}
+
+/// Manager activity counters.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ManagerStats {
+    /// Total requests handled.
+    pub requests: u64,
+    /// Lock acquisitions requested.
+    pub acquires: u64,
+    /// Lock releases processed.
+    pub releases: u64,
+    /// Barrier arrivals processed.
+    pub barrier_waits: u64,
+    /// Barrier episodes released.
+    pub barrier_releases: u64,
+    /// Condition-variable waits queued.
+    pub cond_waits: u64,
+    /// Condition-variable signals/broadcasts processed.
+    pub cond_signals: u64,
+    /// Allocation requests served.
+    pub allocs: u64,
+    /// Frees served.
+    pub frees: u64,
+    /// Write-notice intervals published.
+    pub notices_published: u64,
+    /// Virtual busy time of the manager's service resource.
+    pub busy_ns: u64,
+}
+
+/// The manager's request-processing engine.
+pub struct ManagerEngine {
+    layout: AddressLayout,
+    mgr_service: SimTime,
+    barrier_release: SimTime,
+    shared: FreeListAlloc,
+    striped: FreeListAlloc,
+    locks: Vec<LockState>,
+    barriers: Vec<BarrierState>,
+    conds: Vec<CondState>,
+    intervals: IntervalLog,
+    threads: HashMap<u32, ThreadInfo>,
+    resource: VirtualResource,
+    stats: ManagerStats,
+}
+
+impl ManagerEngine {
+    /// Build the engine for a configuration.
+    pub fn new(cfg: &SamhitaConfig) -> Self {
+        let layout = AddressLayout::new(cfg);
+        ManagerEngine {
+            mgr_service: SimTime::from_ns(cfg.costs.mgr_service_ns),
+            barrier_release: SimTime::from_ns(cfg.costs.barrier_release_ns),
+            shared: FreeListAlloc::new(layout.shared_base, layout.shared_end),
+            striped: FreeListAlloc::new(
+                layout.striped_base,
+                layout.striped_base + STRIPED_REGION_BYTES,
+            ),
+            layout,
+            locks: Vec::new(),
+            barriers: Vec::new(),
+            conds: Vec::new(),
+            intervals: IntervalLog::new(),
+            threads: HashMap::new(),
+            resource: VirtualResource::new(),
+            stats: ManagerStats::default(),
+        }
+    }
+
+    /// Process one request. `src` is the requester's endpoint, `arrival` the
+    /// virtual delivery time of the request at the manager.
+    pub fn handle(
+        &mut self,
+        src: EndpointId,
+        tid: u32,
+        token: u64,
+        req: MgrRequest,
+        arrival: SimTime,
+    ) -> Vec<Outgoing> {
+        self.stats.requests += 1;
+        let (_, done) = self.resource.reserve(arrival, self.mgr_service);
+        match req {
+            MgrRequest::Register { observer } => {
+                let watermark = self.intervals.watermark();
+                self.threads.insert(tid, ThreadInfo { ep: src, last_seen: watermark, observer });
+                vec![Outgoing {
+                    dst: src,
+                    token,
+                    at: done,
+                    resp: MgrResponse::Registered { watermark },
+                }]
+            }
+            MgrRequest::AllocShared { size, align } => {
+                self.stats.allocs += 1;
+                let resp = match self.shared.alloc(size, align.max(8)) {
+                    Some(addr) => MgrResponse::Addr(addr),
+                    None => MgrResponse::Err(format!("shared zone exhausted ({size} bytes)")),
+                };
+                vec![Outgoing { dst: src, token, at: done, resp }]
+            }
+            MgrRequest::AllocStriped { size } => {
+                self.stats.allocs += 1;
+                // Line-aligned so consecutive lines of the allocation rotate
+                // across memory servers from its first byte.
+                let resp = match self.striped.alloc(size, self.layout.line_bytes) {
+                    Some(addr) => MgrResponse::Addr(addr),
+                    None => MgrResponse::Err(format!("striped region exhausted ({size} bytes)")),
+                };
+                vec![Outgoing { dst: src, token, at: done, resp }]
+            }
+            MgrRequest::Free { addr } => {
+                self.stats.frees += 1;
+                let resp = match self.layout.region_of(addr) {
+                    Region::Shared if self.shared.is_live(addr) => {
+                        self.shared.free(addr);
+                        MgrResponse::Ok
+                    }
+                    Region::Striped if self.striped.is_live(addr) => {
+                        self.striped.free(addr);
+                        MgrResponse::Ok
+                    }
+                    region => MgrResponse::Err(format!(
+                        "free of {addr:#x} in {region:?}: not a live manager allocation"
+                    )),
+                };
+                vec![Outgoing { dst: src, token, at: done, resp }]
+            }
+            MgrRequest::CreateLock => {
+                self.locks.push(LockState::default());
+                let id = (self.locks.len() - 1) as u32;
+                vec![Outgoing { dst: src, token, at: done, resp: MgrResponse::SyncId(id) }]
+            }
+            MgrRequest::CreateBarrier { parties } => {
+                assert!(parties >= 1, "barrier over zero parties");
+                self.barriers.push(BarrierState { parties, waiting: Vec::new() });
+                let id = (self.barriers.len() - 1) as u32;
+                vec![Outgoing { dst: src, token, at: done, resp: MgrResponse::SyncId(id) }]
+            }
+            MgrRequest::CreateCond => {
+                self.conds.push(CondState::default());
+                let id = (self.conds.len() - 1) as u32;
+                vec![Outgoing { dst: src, token, at: done, resp: MgrResponse::SyncId(id) }]
+            }
+            MgrRequest::Acquire { lock, pages, updates, last_seen } => {
+                self.stats.acquires += 1;
+                self.publish(tid, pages, updates);
+                let waiter = Waiter { tid, token, ready: done, last_seen };
+                let state = self.locks.get_mut(lock as usize).expect("unknown lock id");
+                if state.holder.is_none() {
+                    state.holder = Some(tid);
+                    let at = done.max(state.free_at);
+                    vec![self.grant(waiter, at)]
+                } else {
+                    state.queue.push_back(waiter);
+                    Vec::new()
+                }
+            }
+            MgrRequest::Release { lock, pages, updates, last_seen: _ } => {
+                self.stats.releases += 1;
+                self.publish(tid, pages, updates);
+                self.release_lock(lock, tid, done)
+            }
+            MgrRequest::BarrierWait { barrier, pages, updates, last_seen } => {
+                self.stats.barrier_waits += 1;
+                self.publish(tid, pages, updates);
+                let state = self.barriers.get_mut(barrier as usize).expect("unknown barrier id");
+                state.waiting.push(Waiter { tid, token, ready: done, last_seen });
+                if state.waiting.len() as u32 == state.parties {
+                    self.stats.barrier_releases += 1;
+                    let state = &mut self.barriers[barrier as usize];
+                    let release_at = state
+                        .waiting
+                        .iter()
+                        .map(|w| w.ready)
+                        .fold(SimTime::ZERO, SimTime::max)
+                        + self.barrier_release;
+                    let waiters = std::mem::take(&mut state.waiting);
+                    let mut out = Vec::with_capacity(waiters.len());
+                    for w in waiters {
+                        let notices = self.intervals.since(w.last_seen);
+                        let watermark = self.intervals.watermark();
+                        out.push(Outgoing {
+                            dst: self.ep_of(w.tid),
+                            token: w.token,
+                            at: release_at,
+                            resp: MgrResponse::BarrierReleased { notices, watermark },
+                        });
+                        self.note_delivered(w.tid, watermark);
+                    }
+                    out
+                } else {
+                    Vec::new()
+                }
+            }
+            MgrRequest::CondWait { cond, lock, pages, updates, last_seen } => {
+                self.stats.cond_waits += 1;
+                self.publish(tid, pages, updates);
+                let waiter = Waiter { tid, token, ready: done, last_seen };
+                self.conds.get_mut(cond as usize).expect("unknown cond id").waiters
+                    .push_back((waiter, lock));
+                // Atomically release the lock the caller held.
+                self.release_lock(lock, tid, done)
+            }
+            MgrRequest::CondSignal { cond } => {
+                self.stats.cond_signals += 1;
+                let mut out = self.wake_waiters(cond, done, 1);
+                out.push(Outgoing { dst: src, token, at: done, resp: MgrResponse::Ok });
+                out
+            }
+            MgrRequest::CondBroadcast { cond } => {
+                self.stats.cond_signals += 1;
+                let mut out = self.wake_waiters(cond, done, usize::MAX);
+                out.push(Outgoing { dst: src, token, at: done, resp: MgrResponse::Ok });
+                out
+            }
+            MgrRequest::Exit { pages, updates } => {
+                self.publish(tid, pages, updates);
+                self.threads.remove(&tid);
+                vec![Outgoing { dst: src, token, at: done, resp: MgrResponse::Ok }]
+            }
+        }
+    }
+
+    fn publish(&mut self, tid: u32, pages: Vec<u64>, updates: Vec<FineUpdate>) {
+        if !pages.is_empty() || !updates.is_empty() {
+            self.stats.notices_published += 1;
+            self.intervals.publish(tid, pages, updates);
+        }
+    }
+
+    fn ep_of(&self, tid: u32) -> EndpointId {
+        self.threads.get(&tid).unwrap_or_else(|| panic!("unregistered thread {tid}")).ep
+    }
+
+    fn grant(&mut self, waiter: Waiter, at: SimTime) -> Outgoing {
+        let notices = self.intervals.since(waiter.last_seen);
+        let watermark = self.intervals.watermark();
+        self.note_delivered(waiter.tid, watermark);
+        Outgoing {
+            dst: self.ep_of(waiter.tid),
+            token: waiter.token,
+            at,
+            resp: MgrResponse::Granted { notices, watermark },
+        }
+    }
+
+    /// Record that `tid` has now seen everything up to `watermark`, and
+    /// garbage-collect notice records every participant has seen.
+    fn note_delivered(&mut self, tid: u32, watermark: u64) {
+        if let Some(info) = self.threads.get_mut(&tid) {
+            info.last_seen = info.last_seen.max(watermark);
+        }
+        let floor = self
+            .threads
+            .values()
+            .filter(|t| !t.observer)
+            .map(|t| t.last_seen)
+            .min()
+            .unwrap_or(watermark);
+        self.intervals.truncate_seen(floor);
+    }
+
+    /// Number of retained write-notice records (diagnostics / tests).
+    pub fn retained_notices(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Release `lock` held by `tid` at time `done`, granting to the next
+    /// queued waiter if any.
+    fn release_lock(&mut self, lock: u32, tid: u32, done: SimTime) -> Vec<Outgoing> {
+        let state = self.locks.get_mut(lock as usize).expect("unknown lock id");
+        assert_eq!(state.holder, Some(tid), "release of a lock not held by thread {tid}");
+        state.holder = None;
+        state.free_at = done;
+        if let Some(next) = state.queue.pop_front() {
+            state.holder = Some(next.tid);
+            let at = done.max(next.ready);
+            vec![self.grant(next, at)]
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Move up to `n` condvar waiters onto their lock queues (or grant
+    /// directly when the lock is free).
+    fn wake_waiters(&mut self, cond: u32, now: SimTime, n: usize) -> Vec<Outgoing> {
+        let mut out = Vec::new();
+        for _ in 0..n {
+            let Some((mut waiter, lock)) =
+                self.conds.get_mut(cond as usize).expect("unknown cond id").waiters.pop_front()
+            else {
+                break;
+            };
+            waiter.ready = waiter.ready.max(now);
+            let state = self.locks.get_mut(lock as usize).expect("unknown lock id");
+            if state.holder.is_none() {
+                state.holder = Some(waiter.tid);
+                let at = waiter.ready.max(state.free_at);
+                out.push(self.grant(waiter, at));
+            } else {
+                state.queue.push_back(waiter);
+            }
+        }
+        out
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> ManagerStats {
+        let mut s = self.stats;
+        s.busy_ns = self.resource.stats().busy_ns;
+        s
+    }
+
+    /// Notice-log watermark (tests / diagnostics).
+    pub fn notice_watermark(&self) -> u64 {
+        self.intervals.watermark()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: u32 = 0;
+    const T1: u32 = 1;
+    const EP0: EndpointId = EndpointId(10);
+    const EP1: EndpointId = EndpointId(11);
+
+    fn engine() -> ManagerEngine {
+        let cfg = SamhitaConfig::small_for_tests();
+        let mut e = ManagerEngine::new(&cfg);
+        e.handle(EP0, T0, 1, MgrRequest::Register { observer: false }, SimTime::ZERO);
+        e.handle(EP1, T1, 1, MgrRequest::Register { observer: false }, SimTime::ZERO);
+        e
+    }
+
+    fn lock_id(e: &mut ManagerEngine) -> u32 {
+        match &e.handle(EP0, T0, 2, MgrRequest::CreateLock, SimTime::ZERO)[0].resp {
+            MgrResponse::SyncId(id) => *id,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn register_and_create_objects() {
+        let mut e = engine();
+        let out = e.handle(EP0, T0, 5, MgrRequest::CreateBarrier { parties: 2 }, SimTime::ZERO);
+        assert!(matches!(out[0].resp, MgrResponse::SyncId(0)));
+        let out = e.handle(EP0, T0, 6, MgrRequest::CreateCond, SimTime::ZERO);
+        assert!(matches!(out[0].resp, MgrResponse::SyncId(0)));
+    }
+
+    #[test]
+    fn uncontended_acquire_grants_immediately() {
+        let mut e = engine();
+        let l = lock_id(&mut e);
+        let out = e.handle(
+            EP0,
+            T0,
+            3,
+            MgrRequest::Acquire { lock: l, pages: vec![], updates: vec![], last_seen: 0 },
+            SimTime::from_us(1),
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].dst, EP0);
+        assert!(matches!(out[0].resp, MgrResponse::Granted { .. }));
+        assert!(out[0].at >= SimTime::from_us(1));
+    }
+
+    #[test]
+    fn contended_acquire_queues_until_release() {
+        let mut e = engine();
+        let l = lock_id(&mut e);
+        e.handle(EP0, T0, 3, MgrRequest::Acquire { lock: l, pages: vec![], updates: vec![], last_seen: 0 }, SimTime::ZERO);
+        // Second acquire: queued, nothing sent.
+        let out = e.handle(
+            EP1,
+            T1,
+            4,
+            MgrRequest::Acquire { lock: l, pages: vec![], updates: vec![], last_seen: 0 },
+            SimTime::from_ns(10),
+        );
+        assert!(out.is_empty());
+        // Release by T0 grants T1, no earlier than the release.
+        let out = e.handle(
+            EP0,
+            T0,
+            5,
+            MgrRequest::Release { lock: l, pages: vec![7], updates: vec![], last_seen: 0 },
+            SimTime::from_us(5),
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].dst, EP1);
+        assert!(out[0].at >= SimTime::from_us(5));
+        // The grant carries the releaser's write notice for page 7.
+        match &out[0].resp {
+            MgrResponse::Granted { notices, watermark } => {
+                assert_eq!(notices.len(), 1);
+                assert_eq!(notices[0].writer, T0);
+                assert_eq!(notices[0].pages, vec![7]);
+                assert_eq!(*watermark, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not held by thread")]
+    fn foreign_release_panics() {
+        let mut e = engine();
+        let l = lock_id(&mut e);
+        e.handle(EP0, T0, 3, MgrRequest::Acquire { lock: l, pages: vec![], updates: vec![], last_seen: 0 }, SimTime::ZERO);
+        e.handle(EP1, T1, 4, MgrRequest::Release { lock: l, pages: vec![], updates: vec![], last_seen: 0 }, SimTime::ZERO);
+    }
+
+    #[test]
+    fn barrier_releases_all_at_max_arrival() {
+        let mut e = engine();
+        e.handle(EP0, T0, 2, MgrRequest::CreateBarrier { parties: 2 }, SimTime::ZERO);
+        let out = e.handle(
+            EP0,
+            T0,
+            3,
+            MgrRequest::BarrierWait { barrier: 0, pages: vec![1], updates: vec![], last_seen: 0 },
+            SimTime::from_us(1),
+        );
+        assert!(out.is_empty(), "first arrival waits");
+        let out = e.handle(
+            EP1,
+            T1,
+            4,
+            MgrRequest::BarrierWait { barrier: 0, pages: vec![2], updates: vec![], last_seen: 0 },
+            SimTime::from_us(9),
+        );
+        assert_eq!(out.len(), 2, "last arrival releases everyone");
+        let release_at = out[0].at;
+        assert!(out.iter().all(|o| o.at == release_at));
+        assert!(release_at > SimTime::from_us(9), "release after the straggler");
+        // Each participant sees both write notices.
+        for o in &out {
+            match &o.resp {
+                MgrResponse::BarrierReleased { notices, watermark } => {
+                    assert_eq!(notices.len(), 2);
+                    assert_eq!(*watermark, 2);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // The barrier is reusable.
+        let out = e.handle(
+            EP0,
+            T0,
+            5,
+            MgrRequest::BarrierWait { barrier: 0, pages: vec![], updates: vec![], last_seen: 2 },
+            SimTime::from_us(20),
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn condvar_wait_signal_handoff() {
+        let mut e = engine();
+        let l = lock_id(&mut e);
+        e.handle(EP0, T0, 9, MgrRequest::CreateCond, SimTime::ZERO);
+        // T0 holds the lock and waits on the cond (releasing the lock).
+        e.handle(EP0, T0, 10, MgrRequest::Acquire { lock: l, pages: vec![], updates: vec![], last_seen: 0 }, SimTime::ZERO);
+        let out = e.handle(
+            EP0,
+            T0,
+            11,
+            MgrRequest::CondWait { cond: 0, lock: l, pages: vec![3], updates: vec![], last_seen: 0 },
+            SimTime::from_us(1),
+        );
+        assert!(out.is_empty(), "no one queued on the lock");
+        // T1 can now take the lock, then signals.
+        let out = e.handle(EP1, T1, 12, MgrRequest::Acquire { lock: l, pages: vec![], updates: vec![], last_seen: 0 }, SimTime::from_us(2));
+        assert_eq!(out.len(), 1);
+        let out = e.handle(EP1, T1, 13, MgrRequest::CondSignal { cond: 0 }, SimTime::from_us(3));
+        // Signal moved T0 onto the lock queue; signaler gets an Ok.
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0].resp, MgrResponse::Ok));
+        // T1 releases: T0 is re-granted the lock (token 11 — the CondWait).
+        let out = e.handle(EP1, T1, 14, MgrRequest::Release { lock: l, pages: vec![], updates: vec![], last_seen: 0 }, SimTime::from_us(4));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].dst, EP0);
+        assert_eq!(out[0].token, 11);
+        assert!(matches!(out[0].resp, MgrResponse::Granted { .. }));
+    }
+
+    #[test]
+    fn signal_with_no_waiters_is_ok() {
+        let mut e = engine();
+        e.handle(EP0, T0, 2, MgrRequest::CreateCond, SimTime::ZERO);
+        let out = e.handle(EP0, T0, 3, MgrRequest::CondSignal { cond: 0 }, SimTime::ZERO);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0].resp, MgrResponse::Ok));
+    }
+
+    #[test]
+    fn alloc_free_roundtrip_by_region() {
+        let mut e = engine();
+        let shared = match &e.handle(EP0, T0, 2, MgrRequest::AllocShared { size: 4096, align: 8 }, SimTime::ZERO)[0].resp {
+            MgrResponse::Addr(a) => *a,
+            other => panic!("unexpected {other:?}"),
+        };
+        let striped = match &e.handle(EP0, T0, 3, MgrRequest::AllocStriped { size: 1 << 20 }, SimTime::ZERO)[0].resp {
+            MgrResponse::Addr(a) => *a,
+            other => panic!("unexpected {other:?}"),
+        };
+        let layout = AddressLayout::new(&SamhitaConfig::small_for_tests());
+        assert_eq!(layout.region_of(shared), Region::Shared);
+        assert_eq!(layout.region_of(striped), Region::Striped);
+        assert_eq!(striped % layout.line_bytes, 0, "striped allocations are line-aligned");
+        for addr in [shared, striped] {
+            let out = e.handle(EP0, T0, 4, MgrRequest::Free { addr }, SimTime::ZERO);
+            assert!(matches!(out[0].resp, MgrResponse::Ok));
+        }
+        // Double free reports an error instead of panicking the manager.
+        let out = e.handle(EP0, T0, 5, MgrRequest::Free { addr: shared }, SimTime::ZERO);
+        assert!(matches!(out[0].resp, MgrResponse::Err(_)));
+    }
+
+    #[test]
+    fn manager_requests_queue_on_its_resource() {
+        let mut e = engine();
+        let a = e.handle(EP0, T0, 2, MgrRequest::CreateLock, SimTime::ZERO)[0].at;
+        let b = e.handle(EP0, T0, 3, MgrRequest::CreateLock, SimTime::ZERO)[0].at;
+        assert!(b > a, "same-arrival requests serialize at the manager");
+    }
+
+    #[test]
+    fn notice_log_is_garbage_collected_once_everyone_has_seen() {
+        let mut e = engine();
+        e.handle(EP0, T0, 2, MgrRequest::CreateBarrier { parties: 2 }, SimTime::ZERO);
+        let mut seen = [0u64; 2];
+        for round in 0..50u64 {
+            for (tid, ep) in [(T0, EP0), (T1, EP1)] {
+                let out = e.handle(
+                    ep,
+                    tid,
+                    10 + round,
+                    MgrRequest::BarrierWait {
+                        barrier: 0,
+                        pages: vec![round],
+                        updates: vec![],
+                        last_seen: seen[tid as usize],
+                    },
+                    SimTime::from_us(round),
+                );
+                for o in out {
+                    if let MgrResponse::BarrierReleased { watermark, .. } = o.resp {
+                        // Track each participant's watermark like the real
+                        // thread context would.
+                        seen = [watermark; 2];
+                    }
+                }
+            }
+            // Retention must stay bounded by one round's publications, not
+            // grow with history.
+            assert!(
+                e.retained_notices() <= 4,
+                "round {round}: {} notices retained",
+                e.retained_notices()
+            );
+        }
+        assert!(e.notice_watermark() >= 100);
+    }
+
+    #[test]
+    fn observers_do_not_block_truncation() {
+        let mut e = engine();
+        // A host-like observer registered from the start with last_seen 0.
+        e.handle(EndpointId(99), 999, 1, MgrRequest::Register { observer: true }, SimTime::ZERO);
+        e.handle(EP0, T0, 2, MgrRequest::CreateBarrier { parties: 2 }, SimTime::ZERO);
+        let mut seen = [0u64; 2];
+        for round in 0..10u64 {
+            for (tid, ep) in [(T0, EP0), (T1, EP1)] {
+                let out = e.handle(
+                    ep,
+                    tid,
+                    10,
+                    MgrRequest::BarrierWait {
+                        barrier: 0,
+                        pages: vec![round],
+                        updates: vec![],
+                        last_seen: seen[tid as usize],
+                    },
+                    SimTime::ZERO,
+                );
+                for o in out {
+                    if let MgrResponse::BarrierReleased { watermark, .. } = o.resp {
+                        seen = [watermark; 2];
+                    }
+                }
+            }
+        }
+        assert!(e.retained_notices() <= 4, "observer pinned the log: {}", e.retained_notices());
+    }
+
+    #[test]
+    fn late_registrants_start_at_the_current_watermark() {
+        let mut e = engine();
+        let l = lock_id(&mut e);
+        e.handle(EP0, T0, 3, MgrRequest::Acquire { lock: l, pages: vec![1], updates: vec![], last_seen: 0 }, SimTime::ZERO);
+        e.handle(EP0, T0, 4, MgrRequest::Release { lock: l, pages: vec![2], updates: vec![], last_seen: 0 }, SimTime::ZERO);
+        let out = e.handle(EndpointId(50), 7, 5, MgrRequest::Register { observer: false }, SimTime::ZERO);
+        match &out[0].resp {
+            MgrResponse::Registered { watermark } => assert_eq!(*watermark, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_track_activity() {
+        let mut e = engine();
+        let l = lock_id(&mut e);
+        e.handle(EP0, T0, 3, MgrRequest::Acquire { lock: l, pages: vec![1], updates: vec![], last_seen: 0 }, SimTime::ZERO);
+        e.handle(EP0, T0, 4, MgrRequest::Release { lock: l, pages: vec![], updates: vec![], last_seen: 0 }, SimTime::ZERO);
+        let s = e.stats();
+        assert_eq!(s.acquires, 1);
+        assert_eq!(s.releases, 1);
+        assert_eq!(s.notices_published, 1);
+        assert!(s.busy_ns > 0);
+        assert_eq!(e.notice_watermark(), 1);
+    }
+}
+
+#[cfg(test)]
+mod stress {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Randomized lock traffic from many clients: exactly one holder at any
+    /// time, every acquire eventually granted, grants never precede the
+    /// releases that enabled them.
+    #[test]
+    fn lock_service_invariants_under_random_traffic() {
+        let cfg = SamhitaConfig::small_for_tests();
+        let mut e = ManagerEngine::new(&cfg);
+        const CLIENTS: u32 = 6;
+        for tid in 0..CLIENTS {
+            e.handle(EndpointId(100 + tid), tid, 1, MgrRequest::Register { observer: false }, SimTime::ZERO);
+        }
+        e.handle(EndpointId(100), 0, 2, MgrRequest::CreateLock, SimTime::ZERO);
+
+        let mut rng = StdRng::seed_from_u64(2024);
+        let mut holder: Option<u32> = None;
+        let mut waiting: Vec<u32> = Vec::new();
+        let mut idle: Vec<u32> = (0..CLIENTS).collect();
+        let mut granted_count = 0u32;
+        let mut acquires = 0u32;
+        let mut now = SimTime::ZERO;
+        let mut last_release = SimTime::ZERO;
+
+        let absorb = |outs: Vec<Outgoing>,
+                          holder: &mut Option<u32>,
+                          waiting: &mut Vec<u32>,
+                          granted: &mut u32,
+                          last_release: SimTime| {
+            for out in outs {
+                assert!(matches!(out.resp, MgrResponse::Granted { .. }));
+                assert!(out.at >= last_release, "grant precedes enabling release");
+                let tid = out.dst.0 - 100;
+                assert!(holder.is_none(), "two holders at once");
+                *holder = Some(tid);
+                waiting.retain(|&w| w != tid);
+                *granted += 1;
+            }
+        };
+
+        for step in 0..400 {
+            now += SimTime::from_ns(50);
+            let tok = 10 + step;
+            if rng.gen_bool(0.5) && !idle.is_empty() {
+                // A random idle client asks for the lock.
+                let tid = idle.swap_remove(rng.gen_range(0..idle.len()));
+                acquires += 1;
+                let outs = e.handle(
+                    EndpointId(100 + tid),
+                    tid,
+                    tok,
+                    MgrRequest::Acquire { lock: 0, pages: vec![], updates: vec![], last_seen: 0 },
+                    now,
+                );
+                if outs.is_empty() {
+                    waiting.push(tid);
+                } else {
+                    assert!(holder.is_none());
+                    absorb(outs, &mut holder, &mut waiting, &mut granted_count, last_release);
+                    assert_eq!(holder, Some(tid));
+                }
+            } else if let Some(h) = holder.take() {
+                // The holder releases.
+                last_release = now;
+                let outs = e.handle(
+                    EndpointId(100 + h),
+                    h,
+                    tok,
+                    MgrRequest::Release { lock: 0, pages: vec![], updates: vec![], last_seen: 0 },
+                    now,
+                );
+                idle.push(h);
+                absorb(outs, &mut holder, &mut waiting, &mut granted_count, last_release);
+                if let Some(new_holder) = holder {
+                    assert!(!waiting.contains(&new_holder));
+                }
+            }
+        }
+        // Drain: release until the queue is empty.
+        while let Some(h) = holder.take() {
+            now += SimTime::from_ns(50);
+            let outs = e.handle(
+                EndpointId(100 + h),
+                h,
+                9999,
+                MgrRequest::Release { lock: 0, pages: vec![], updates: vec![], last_seen: 0 },
+                now,
+            );
+            idle.push(h);
+            absorb(outs, &mut holder, &mut waiting, &mut granted_count, now);
+        }
+        assert!(waiting.is_empty(), "acquires left ungranted: {waiting:?}");
+        assert_eq!(granted_count, acquires, "every acquire granted exactly once");
+        let s = e.stats();
+        assert_eq!(s.acquires, acquires as u64);
+        assert_eq!(s.releases, granted_count as u64);
+    }
+}

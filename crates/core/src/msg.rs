@@ -1,0 +1,172 @@
+//! The wire protocol between compute threads, the manager, and the memory
+//! servers.
+//!
+//! All messages share one enum so a single SCL fabric carries them. Tokens
+//! correlate requests with responses: each compute thread issues tokens from
+//! a private counter, so responses can arrive out of order (prefetches,
+//! eviction acks) and still be matched.
+
+use samhita_mem::{MemRequest, MemResponse};
+use samhita_regc::{FineUpdate, WriteNotice};
+
+/// Everything that travels on the fabric.
+#[derive(Clone, Debug)]
+#[allow(missing_docs)] // payloads are described on each variant
+pub enum Msg {
+    /// Compute thread → memory server.
+    MemReq { token: u64, req: MemRequest },
+    /// Memory server → compute thread.
+    MemResp { token: u64, resp: MemResponse },
+    /// Compute thread (or host control client) → manager.
+    MgrReq { token: u64, tid: u32, req: MgrRequest },
+    /// Manager → compute thread (or host control client).
+    MgrResp { token: u64, resp: MgrResponse },
+    /// System teardown.
+    Shutdown,
+}
+
+/// Requests the manager services: allocation, synchronization, membership.
+#[derive(Clone, Debug)]
+#[allow(missing_docs)] // payloads are described on each variant
+pub enum MgrRequest {
+    /// Announce a thread to the manager. `observer` marks clients that
+    /// never participate in synchronization (the host control client):
+    /// they are excluded from write-notice retention accounting.
+    Register { observer: bool },
+    /// Strategy-2 allocation from the shared zone.
+    AllocShared { size: u64, align: u64 },
+    /// Strategy-3 allocation, striped across memory servers.
+    AllocStriped { size: u64 },
+    /// Free a manager-mediated allocation.
+    Free { addr: u64 },
+    /// Create a mutual-exclusion variable.
+    CreateLock,
+    /// Create a barrier over `parties` threads.
+    CreateBarrier { parties: u32 },
+    /// Create a condition variable.
+    CreateCond,
+    /// Acquire a lock. `pages` are the write notices to publish for the
+    /// flush performed before this acquire; `last_seen` is the caller's
+    /// notice watermark.
+    Acquire { lock: u32, pages: Vec<u64>, updates: Vec<FineUpdate>, last_seen: u64 },
+    /// Release a lock after flushing; publishes `pages` and the fine-grain
+    /// `updates` of the consistency region just exited.
+    Release { lock: u32, pages: Vec<u64>, updates: Vec<FineUpdate>, last_seen: u64 },
+    /// Enter a barrier after flushing; publishes `pages` and `updates`.
+    BarrierWait { barrier: u32, pages: Vec<u64>, updates: Vec<FineUpdate>, last_seen: u64 },
+    /// Atomically release `lock` and wait on `cond`; publishes `pages` and
+    /// `updates`. The response (a lock re-grant) arrives after a signal.
+    CondWait { cond: u32, lock: u32, pages: Vec<u64>, updates: Vec<FineUpdate>, last_seen: u64 },
+    /// Wake one waiter of `cond`.
+    CondSignal { cond: u32 },
+    /// Wake all waiters of `cond`.
+    CondBroadcast { cond: u32 },
+    /// Thread departure; publishes the final flush.
+    Exit { pages: Vec<u64>, updates: Vec<FineUpdate> },
+}
+
+/// Manager responses.
+#[derive(Clone, Debug)]
+#[allow(missing_docs)] // payloads are described on each variant
+pub enum MgrResponse {
+    /// Registration accepted; carries the current notice watermark, which
+    /// becomes the registrant's `last_seen` floor (notices older than this
+    /// may be garbage-collected at any time).
+    Registered { watermark: u64 },
+    /// Allocation result.
+    Addr(u64),
+    /// Generic acknowledgement (free, signal, exit, release).
+    Ok,
+    /// New synchronization object id.
+    SyncId(u32),
+    /// Lock granted (also used for condvar wake-ups, which re-grant the
+    /// lock): unseen write notices plus the new watermark.
+    Granted { notices: Vec<WriteNotice>, watermark: u64 },
+    /// Barrier released: unseen write notices plus the new watermark.
+    BarrierReleased { notices: Vec<WriteNotice>, watermark: u64 },
+    /// Request failed (diagnostic string).
+    Err(String),
+}
+
+impl MgrRequest {
+    /// Approximate wire payload for the cost model.
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            MgrRequest::Register { .. }
+            | MgrRequest::CreateLock
+            | MgrRequest::CreateBarrier { .. }
+            | MgrRequest::CreateCond
+            | MgrRequest::CondSignal { .. }
+            | MgrRequest::CondBroadcast { .. }
+            | MgrRequest::Free { .. } => 16,
+            MgrRequest::AllocShared { .. } | MgrRequest::AllocStriped { .. } => 24,
+            MgrRequest::Acquire { pages, updates, .. }
+            | MgrRequest::Release { pages, updates, .. }
+            | MgrRequest::BarrierWait { pages, updates, .. }
+            | MgrRequest::Exit { pages, updates } => {
+                24 + pages.len() * 8 + updates.iter().map(FineUpdate::wire_bytes).sum::<usize>()
+            }
+            MgrRequest::CondWait { pages, updates, .. } => {
+                32 + pages.len() * 8 + updates.iter().map(FineUpdate::wire_bytes).sum::<usize>()
+            }
+        }
+    }
+}
+
+impl MgrResponse {
+    /// Approximate wire payload for the cost model.
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            MgrResponse::Registered { .. } | MgrResponse::Ok | MgrResponse::SyncId(_) => 16,
+            MgrResponse::Addr(_) => 16,
+            MgrResponse::Granted { notices, watermark: _ }
+            | MgrResponse::BarrierReleased { notices, watermark: _ } => {
+                16 + notices.iter().map(WriteNotice::wire_bytes).sum::<usize>()
+            }
+            MgrResponse::Err(s) => 16 + s.len(),
+        }
+    }
+}
+
+impl Msg {
+    /// Approximate wire payload for the cost model.
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            Msg::MemReq { req, .. } => req.wire_bytes(),
+            Msg::MemResp { resp, .. } => resp.wire_bytes(),
+            Msg::MgrReq { req, .. } => req.wire_bytes(),
+            Msg::MgrResp { resp, .. } => resp.wire_bytes(),
+            Msg::Shutdown => 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sync_requests_charge_for_page_lists() {
+        let small = MgrRequest::Acquire { lock: 0, pages: vec![], updates: vec![], last_seen: 0 };
+        let big = MgrRequest::Acquire { lock: 0, pages: vec![0; 100], updates: vec![], last_seen: 0 };
+        assert_eq!(big.wire_bytes() - small.wire_bytes(), 800);
+    }
+
+    #[test]
+    fn responses_charge_for_notices() {
+        let empty = MgrResponse::Granted { notices: vec![], watermark: 0 };
+        let loaded = MgrResponse::Granted {
+            notices: vec![WriteNotice { seq: 1, writer: 0, pages: vec![1, 2, 3], updates: vec![] }],
+            watermark: 1,
+        };
+        assert_eq!(loaded.wire_bytes() - empty.wire_bytes(), 16 + 24);
+    }
+
+    #[test]
+    fn msg_delegates_to_payload() {
+        let req = MgrRequest::Register { observer: false };
+        let wire = req.wire_bytes();
+        assert_eq!(Msg::MgrReq { token: 1, tid: 2, req }.wire_bytes(), wire);
+        assert_eq!(Msg::Shutdown.wire_bytes(), 8);
+    }
+}

@@ -1,0 +1,142 @@
+//! Per-thread and per-run measurement.
+//!
+//! The paper's evaluation splits application runtime into **compute time**
+//! and **synchronization time** (Figures 3–11). We reproduce that split
+//! exactly: every virtual nanosecond of a thread's clock belongs to one of
+//! the two buckets — synchronization operations (lock/unlock, barriers,
+//! condition waits, including the consistency flushes they perform) charge
+//! the sync bucket, everything else (including demand-fetch misses and
+//! invalidation refetches during computation, which is where false sharing
+//! hurts) is compute time.
+
+use samhita_scl::{FabricStatsSnapshot, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Counters and clocks of one compute thread over one run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ThreadStats {
+    /// Thread id within the run.
+    pub tid: u32,
+    /// Final virtual clock (total time).
+    pub total: SimTime,
+    /// Time inside synchronization operations.
+    pub sync: SimTime,
+    /// `total - sync`.
+    pub compute: SimTime,
+    /// Demand line fetches (cold or capacity misses).
+    pub line_misses: u64,
+    /// Single-page refetches after invalidation (false-sharing traffic).
+    pub page_refetches: u64,
+    /// Misses satisfied by a completed prefetch.
+    pub prefetch_hits: u64,
+    /// Misses that had to wait for an in-flight prefetch.
+    pub prefetch_late: u64,
+    /// Lines evicted.
+    pub evictions: u64,
+    /// Pages invalidated by write notices from other threads.
+    pub invalidations: u64,
+    /// Twins created (first ordinary write to a clean page).
+    pub twins_created: u64,
+    /// Ordinary-region diff payload flushed, in bytes.
+    pub diff_bytes_flushed: u64,
+    /// Fine-grain (consistency-region) payload flushed, in bytes.
+    pub fine_bytes_flushed: u64,
+    /// Lock acquisitions.
+    pub locks_acquired: u64,
+    /// Barrier episodes.
+    pub barriers: u64,
+}
+
+/// The result of one `Samhita::run` (or one native-baseline run).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Per-thread statistics, in tid order.
+    pub threads: Vec<ThreadStats>,
+    /// Fabric traffic attributable to this run.
+    pub fabric: FabricStatsSnapshot,
+    /// Longest thread clock: the run's virtual wall time.
+    pub makespan: SimTime,
+}
+
+impl RunReport {
+    /// Assemble a report, computing the makespan.
+    pub fn new(threads: Vec<ThreadStats>, fabric: FabricStatsSnapshot) -> Self {
+        let makespan = threads.iter().map(|t| t.total).fold(SimTime::ZERO, SimTime::max);
+        RunReport { threads, fabric, makespan }
+    }
+
+    /// Mean compute time across threads.
+    pub fn mean_compute(&self) -> SimTime {
+        self.mean(|t| t.compute)
+    }
+
+    /// Mean synchronization time across threads.
+    pub fn mean_sync(&self) -> SimTime {
+        self.mean(|t| t.sync)
+    }
+
+    /// Maximum compute time across threads.
+    pub fn max_compute(&self) -> SimTime {
+        self.threads.iter().map(|t| t.compute).fold(SimTime::ZERO, SimTime::max)
+    }
+
+    /// Maximum synchronization time across threads.
+    pub fn max_sync(&self) -> SimTime {
+        self.threads.iter().map(|t| t.sync).fold(SimTime::ZERO, SimTime::max)
+    }
+
+    fn mean(&self, f: impl Fn(&ThreadStats) -> SimTime) -> SimTime {
+        if self.threads.is_empty() {
+            return SimTime::ZERO;
+        }
+        let sum: u64 = self.threads.iter().map(|t| f(t).as_ns()).sum();
+        SimTime::from_ns(sum / self.threads.len() as u64)
+    }
+
+    /// Sum a counter over all threads.
+    pub fn total_of(&self, f: impl Fn(&ThreadStats) -> u64) -> u64 {
+        self.threads.iter().map(f).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(tid: u32, total_ns: u64, sync_ns: u64) -> ThreadStats {
+        ThreadStats {
+            tid,
+            total: SimTime::from_ns(total_ns),
+            sync: SimTime::from_ns(sync_ns),
+            compute: SimTime::from_ns(total_ns - sync_ns),
+            ..ThreadStats::default()
+        }
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let r = RunReport::new(vec![t(0, 100, 20), t(1, 200, 60)], FabricStatsSnapshot::default());
+        assert_eq!(r.makespan, SimTime::from_ns(200));
+        assert_eq!(r.mean_compute(), SimTime::from_ns((80 + 140) / 2));
+        assert_eq!(r.mean_sync(), SimTime::from_ns(40));
+        assert_eq!(r.max_compute(), SimTime::from_ns(140));
+        assert_eq!(r.max_sync(), SimTime::from_ns(60));
+    }
+
+    #[test]
+    fn empty_report_is_zero() {
+        let r = RunReport::new(vec![], FabricStatsSnapshot::default());
+        assert_eq!(r.makespan, SimTime::ZERO);
+        assert_eq!(r.mean_compute(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn counter_totals() {
+        let mut a = t(0, 10, 0);
+        a.line_misses = 3;
+        let mut b = t(1, 10, 0);
+        b.line_misses = 4;
+        let r = RunReport::new(vec![a, b], FabricStatsSnapshot::default());
+        assert_eq!(r.total_of(|t| t.line_misses), 7);
+    }
+}

@@ -1,0 +1,530 @@
+//! System bring-up, the service event loops, and the host control client.
+//!
+//! A [`Samhita`] instance spawns one OS thread per memory server and one for
+//! the manager, all joined by an SCL fabric built from the configured
+//! topology. The host (the code that owns the `Samhita` value) interacts
+//! through a control client: it can allocate global memory, create
+//! synchronization objects, and initialize / inspect global memory outside
+//! of timed runs. [`Samhita::run`] then spawns compute threads, hands each a
+//! [`ThreadCtx`], and collects a [`RunReport`].
+//!
+//! For timing experiments, create a fresh instance per measured run: virtual
+//! service clocks (manager, memory servers) advance monotonically across
+//! runs of one instance, which is harmless for correctness but perturbs
+//! timings of later runs.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+use samhita_mem::{HomeMap, MemRequest, MemResponse, MemoryServer, PageId, ServerStats};
+use samhita_scl::{Endpoint, EndpointId, Fabric, MsgClass, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::config::SamhitaConfig;
+use crate::layout::{AddressLayout, Placement};
+use crate::localsync::LocalSync;
+use crate::manager::{ManagerEngine, ManagerStats};
+use crate::msg::{MgrRequest, MgrResponse, Msg};
+use crate::stats::RunReport;
+use crate::thread::ThreadCtx;
+
+/// The manager tid reserved for the host control client.
+const HOST_TID: u32 = u32::MAX;
+
+/// Post-shutdown server-side statistics.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SystemStats {
+    /// Manager activity counters.
+    pub manager: ManagerStats,
+    /// Per-memory-server counters, in server-index order.
+    pub servers: Vec<ServerStats>,
+}
+
+struct CtlClient {
+    ep: Endpoint<Msg>,
+    clock: SimTime,
+    next_token: u64,
+}
+
+/// A running Samhita system.
+pub struct Samhita {
+    cfg: Arc<SamhitaConfig>,
+    layout: AddressLayout,
+    home_map: HomeMap,
+    fabric: Arc<Fabric<Msg>>,
+    placement: Placement,
+    mgr_ep: EndpointId,
+    mem_eps: Vec<EndpointId>,
+    local_sync: Option<Arc<LocalSync>>,
+    ctl: Mutex<CtlClient>,
+    mgr_handle: Option<JoinHandle<ManagerStats>>,
+    mem_handles: Vec<JoinHandle<ServerStats>>,
+}
+
+impl Samhita {
+    /// Bring up a system: memory servers, manager, control client.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration (see [`SamhitaConfig::validate`]).
+    pub fn new(cfg: SamhitaConfig) -> Self {
+        cfg.validate();
+        let cfg = Arc::new(cfg);
+        let layout = AddressLayout::new(&cfg);
+        let topo = cfg.build_topology();
+        let placement = Placement::new(&cfg, &topo);
+        let fabric = Fabric::<Msg>::new(topo);
+        let home_map = HomeMap::new(cfg.mem_servers, cfg.line_pages);
+
+        // Memory servers.
+        let mut mem_eps = Vec::new();
+        let mut mem_handles = Vec::new();
+        for i in 0..cfg.mem_servers {
+            let ep = fabric.add_endpoint(placement.mem_servers[i as usize]);
+            mem_eps.push(ep.id());
+            let server = MemoryServer::new(cfg.page_size, cfg.service);
+            mem_handles.push(std::thread::spawn(move || mem_server_loop(ep, server)));
+        }
+
+        // Manager.
+        let mgr_endpoint = fabric.add_endpoint(placement.manager);
+        let mgr_ep = mgr_endpoint.id();
+        let engine = ManagerEngine::new(&cfg);
+        let mgr_handle = Some(std::thread::spawn(move || manager_loop(mgr_endpoint, engine)));
+
+        // Host control client (registers like a thread, but never syncs).
+        let ctl_ep = fabric.add_endpoint(placement.manager);
+        let mut ctl = CtlClient { ep: ctl_ep, clock: SimTime::ZERO, next_token: 1 };
+        let resp =
+            ctl.rpc(mgr_ep, HOST_TID, MgrRequest::Register { observer: true }, MsgClass::Control);
+        assert!(matches!(resp, MgrResponse::Registered { .. }), "host registration failed");
+
+        let local_sync = cfg
+            .manager_bypass
+            .then(|| Arc::new(LocalSync::new(cfg.costs.local_sync_ns)));
+
+        Samhita {
+            cfg,
+            layout,
+            home_map,
+            fabric,
+            placement,
+            mgr_ep,
+            mem_eps,
+            local_sync,
+            ctl: Mutex::new(ctl),
+            mgr_handle,
+            mem_handles,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SamhitaConfig {
+        &self.cfg
+    }
+
+    /// The address-space layout.
+    pub fn layout(&self) -> &AddressLayout {
+        &self.layout
+    }
+
+    /// Cumulative fabric traffic since bring-up, by message class
+    /// (per-run deltas are already included in each [`RunReport`]).
+    pub fn fabric_stats(&self) -> samhita_scl::FabricStatsSnapshot {
+        self.fabric.stats()
+    }
+
+    /// Create a mutual-exclusion variable usable from any thread.
+    pub fn create_mutex(&self) -> u32 {
+        let id = self.ctl_sync_id(MgrRequest::CreateLock);
+        if let Some(ls) = &self.local_sync {
+            let lid = ls.create_lock();
+            assert_eq!(lid, id, "manager and local-sync lock id spaces diverged");
+        }
+        id
+    }
+
+    /// Create a barrier over `parties` threads.
+    pub fn create_barrier(&self, parties: u32) -> u32 {
+        let id = self.ctl_sync_id(MgrRequest::CreateBarrier { parties });
+        if let Some(ls) = &self.local_sync {
+            let bid = ls.create_barrier(parties);
+            assert_eq!(bid, id, "manager and local-sync barrier id spaces diverged");
+        }
+        id
+    }
+
+    /// Create a condition variable.
+    pub fn create_cond(&self) -> u32 {
+        self.ctl_sync_id(MgrRequest::CreateCond)
+    }
+
+    fn ctl_sync_id(&self, req: MgrRequest) -> u32 {
+        let mut ctl = self.ctl.lock();
+        match ctl.rpc(self.mgr_ep, HOST_TID, req, MsgClass::Control) {
+            MgrResponse::SyncId(id) => id,
+            other => panic!("unexpected create response: {other:?}"),
+        }
+    }
+
+    /// Allocate `size` bytes of global memory from the host (shared zone or
+    /// striped region by the configured threshold; the host has no arena).
+    pub fn alloc_global(&self, size: u64) -> u64 {
+        let req = if size >= self.cfg.large_threshold {
+            MgrRequest::AllocStriped { size }
+        } else {
+            MgrRequest::AllocShared { size, align: 8 }
+        };
+        let mut ctl = self.ctl.lock();
+        match ctl.rpc(self.mgr_ep, HOST_TID, req, MsgClass::Control) {
+            MgrResponse::Addr(a) => a,
+            MgrResponse::Err(e) => panic!("host allocation failed: {e}"),
+            other => panic!("unexpected allocation response: {other:?}"),
+        }
+    }
+
+    /// Free a host allocation.
+    pub fn free_global(&self, addr: u64) {
+        let mut ctl = self.ctl.lock();
+        match ctl.rpc(self.mgr_ep, HOST_TID, MgrRequest::Free { addr }, MsgClass::Control) {
+            MgrResponse::Ok => {}
+            MgrResponse::Err(e) => panic!("host free failed: {e}"),
+            other => panic!("unexpected free response: {other:?}"),
+        }
+    }
+
+    /// Initialize global memory from the host (outside timed runs).
+    pub fn write_global(&self, addr: u64, data: &[u8]) {
+        let ps = self.cfg.page_size as u64;
+        let mut ctl = self.ctl.lock();
+        let mut cursor = 0usize;
+        while cursor < data.len() {
+            let at = addr + cursor as u64;
+            let page = at / ps;
+            let offset = (at % ps) as u32;
+            let take = ((ps - at % ps) as usize).min(data.len() - cursor);
+            let server = self.home_map.home_of_page(PageId(page));
+            let resp = ctl.rpc_mem(
+                self.mem_eps[server as usize],
+                MemRequest::ApplyFine {
+                    page: PageId(page),
+                    offset,
+                    bytes: data[cursor..cursor + take].to_vec(),
+                },
+            );
+            assert!(matches!(resp, MemResponse::Ack { .. }));
+            cursor += take;
+        }
+    }
+
+    /// Read global memory from the host (outside timed runs).
+    pub fn read_global(&self, addr: u64, out: &mut [u8]) {
+        let ps = self.cfg.page_size as u64;
+        let mut ctl = self.ctl.lock();
+        let mut cursor = 0usize;
+        while cursor < out.len() {
+            let at = addr + cursor as u64;
+            let page = at / ps;
+            let offset = (at % ps) as usize;
+            let take = ((ps - at % ps) as usize).min(out.len() - cursor);
+            let server = self.home_map.home_of_page(PageId(page));
+            let resp = ctl
+                .rpc_mem(self.mem_eps[server as usize], MemRequest::FetchPage { page: PageId(page) });
+            match resp {
+                MemResponse::Page { data, .. } => {
+                    out[cursor..cursor + take].copy_from_slice(&data[offset..offset + take]);
+                }
+                other => panic!("unexpected page response: {other:?}"),
+            }
+            cursor += take;
+        }
+    }
+
+    /// Convenience: write a slice of `f64`s.
+    pub fn write_f64s(&self, addr: u64, values: &[f64]) {
+        let mut bytes = Vec::with_capacity(values.len() * 8);
+        for v in values {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.write_global(addr, &bytes);
+    }
+
+    /// Convenience: read a slice of `f64`s.
+    pub fn read_f64s(&self, addr: u64, n: usize) -> Vec<f64> {
+        let mut bytes = vec![0u8; n * 8];
+        self.read_global(addr, &mut bytes);
+        bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect()
+    }
+
+    /// Spawn `nthreads` compute threads running `body` and collect their
+    /// statistics. Thread ids are `0..nthreads`; placement follows the
+    /// configured topology (fill compute nodes core by core).
+    pub fn run<F>(&self, nthreads: u32, body: F) -> RunReport
+    where
+        F: Fn(&mut ThreadCtx) + Send + Sync,
+    {
+        assert!(nthreads >= 1, "need at least one compute thread");
+        assert!(
+            nthreads <= self.cfg.max_threads,
+            "nthreads {nthreads} exceeds provisioned max_threads {}",
+            self.cfg.max_threads
+        );
+        let fabric_before = self.fabric.stats();
+        let endpoints: Vec<Endpoint<Msg>> = (0..nthreads)
+            .map(|t| self.fabric.add_endpoint(self.placement.compute_node(t)))
+            .collect();
+        let body = &body;
+        let stats = std::thread::scope(|s| {
+            let handles: Vec<_> = endpoints
+                .into_iter()
+                .enumerate()
+                .map(|(t, ep)| {
+                    let cfg = Arc::clone(&self.cfg);
+                    let mem_eps = self.mem_eps.clone();
+                    let local_sync = self.local_sync.clone();
+                    let mgr_ep = self.mgr_ep;
+                    s.spawn(move || {
+                        let mut ctx = ThreadCtx::new(
+                            t as u32, nthreads, cfg, ep, mgr_ep, mem_eps, local_sync,
+                        );
+                        body(&mut ctx);
+                        ctx.finish()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(stats) => stats,
+                    // Re-raise with the original payload so the caller sees
+                    // the real panic message, not a generic join error.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect::<Vec<_>>()
+        });
+        RunReport::new(stats, self.fabric.stats().delta(&fabric_before))
+    }
+
+    /// Tear the system down and return server-side statistics.
+    pub fn shutdown(mut self) -> SystemStats {
+        self.shutdown_inner()
+    }
+
+    fn shutdown_inner(&mut self) -> SystemStats {
+        let mut stats = SystemStats::default();
+        {
+            let ctl = self.ctl.lock();
+            for &ep in &self.mem_eps {
+                let _ = ctl.ep.send(ep, ctl.clock, 8, MsgClass::Control, Msg::Shutdown);
+            }
+            let _ = ctl.ep.send(self.mgr_ep, ctl.clock, 8, MsgClass::Control, Msg::Shutdown);
+        }
+        for h in self.mem_handles.drain(..) {
+            stats.servers.push(h.join().expect("memory server panicked"));
+        }
+        if let Some(h) = self.mgr_handle.take() {
+            stats.manager = h.join().expect("manager panicked");
+        }
+        stats
+    }
+}
+
+impl Drop for Samhita {
+    fn drop(&mut self) {
+        if self.mgr_handle.is_some() {
+            let _ = self.shutdown_inner();
+        }
+    }
+}
+
+impl CtlClient {
+    fn fresh_token(&mut self) -> u64 {
+        let t = self.next_token;
+        self.next_token += 1;
+        t
+    }
+
+    fn rpc(
+        &mut self,
+        mgr: EndpointId,
+        tid: u32,
+        req: MgrRequest,
+        class: MsgClass,
+    ) -> MgrResponse {
+        let wire = req.wire_bytes();
+        let token = self.fresh_token();
+        self.ep
+            .send(mgr, self.clock, wire, class, Msg::MgrReq { token, tid, req })
+            .expect("manager endpoint closed");
+        let env = self.wait_for(token);
+        self.clock = self.clock.max(env.deliver_at);
+        match env.msg {
+            Msg::MgrResp { resp, .. } => resp,
+            other => panic!("unexpected manager response: {other:?}"),
+        }
+    }
+
+    fn rpc_mem(&mut self, server: EndpointId, req: MemRequest) -> MemResponse {
+        let wire = req.wire_bytes();
+        let token = self.fresh_token();
+        self.ep
+            .send(server, self.clock, wire, MsgClass::Control, Msg::MemReq { token, req })
+            .expect("memory server endpoint closed");
+        let env = self.wait_for(token);
+        self.clock = self.clock.max(env.deliver_at);
+        match env.msg {
+            Msg::MemResp { resp, .. } => resp,
+            other => panic!("unexpected memory response: {other:?}"),
+        }
+    }
+
+    fn wait_for(&mut self, token: u64) -> samhita_scl::Envelope<Msg> {
+        // The control client is strictly request/response: the next message
+        // must be the matching reply.
+        let env = self.ep.recv().expect("fabric closed");
+        match &env.msg {
+            Msg::MemResp { token: t, .. } | Msg::MgrResp { token: t, .. } if *t == token => env,
+            other => panic!("control client got unexpected message: {other:?}"),
+        }
+    }
+}
+
+fn mem_server_loop(ep: Endpoint<Msg>, mut server: MemoryServer) -> ServerStats {
+    while let Ok(env) = ep.recv() {
+        match env.msg {
+            Msg::MemReq { token, req } => {
+                let (resp, done) = server.handle(req, env.deliver_at);
+                let wire = resp.wire_bytes();
+                let class = match &resp {
+                    MemResponse::Line { .. } | MemResponse::Page { .. } => MsgClass::Data,
+                    MemResponse::Ack { .. } => MsgClass::Update,
+                };
+                // A send failure means the requester is gone; nothing to do.
+                let _ = ep.send(env.src, done, wire, class, Msg::MemResp { token, resp });
+            }
+            Msg::Shutdown => break,
+            other => panic!("memory server received unexpected message: {other:?}"),
+        }
+    }
+    server.stats()
+}
+
+fn manager_loop(ep: Endpoint<Msg>, mut engine: ManagerEngine) -> ManagerStats {
+    while let Ok(env) = ep.recv() {
+        match env.msg {
+            Msg::MgrReq { token, tid, req } => {
+                for out in engine.handle(env.src, tid, token, req, env.deliver_at) {
+                    let wire = out.resp.wire_bytes();
+                    let _ = ep.send(
+                        out.dst,
+                        out.at,
+                        wire,
+                        MsgClass::Sync,
+                        Msg::MgrResp { token: out.token, resp: out.resp },
+                    );
+                }
+            }
+            Msg::Shutdown => break,
+            other => panic!("manager received unexpected message: {other:?}"),
+        }
+    }
+    engine.stats()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn system() -> Samhita {
+        Samhita::new(SamhitaConfig::small_for_tests())
+    }
+
+    #[test]
+    fn bring_up_and_shutdown() {
+        let s = system();
+        let stats = s.shutdown();
+        assert_eq!(stats.servers.len(), 1);
+    }
+
+    #[test]
+    fn host_memory_roundtrip() {
+        let s = system();
+        let addr = s.alloc_global(1024);
+        let values: Vec<f64> = (0..128).map(|i| i as f64 * 0.5).collect();
+        s.write_f64s(addr, &values);
+        assert_eq!(s.read_f64s(addr, 128), values);
+        s.free_global(addr);
+    }
+
+    #[test]
+    fn host_write_spanning_pages() {
+        let s = system(); // 256-byte pages
+        let addr = s.alloc_global(4096);
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        s.write_global(addr + 100, &data);
+        let mut back = vec![0u8; 1000];
+        s.read_global(addr + 100, &mut back);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn single_thread_run_reads_its_own_writes() {
+        let s = system();
+        let addr = s.alloc_global(2048);
+        let report = s.run(1, |ctx| {
+            for i in 0..256 {
+                ctx.write_f64(addr + i * 8, i as f64);
+            }
+            for i in 0..256 {
+                assert_eq!(ctx.read_f64(addr + i * 8), i as f64);
+            }
+        });
+        assert_eq!(report.threads.len(), 1);
+        assert!(report.makespan > SimTime::ZERO);
+        // The final flush must have landed at the home.
+        let back = s.read_f64s(addr, 256);
+        assert_eq!(back[255], 255.0);
+    }
+
+    #[test]
+    fn fabric_stats_classify_traffic() {
+        use samhita_scl::MsgClass;
+        let s = system();
+        let addr = s.alloc_global(2048);
+        let lock = s.create_mutex();
+        s.run(2, |ctx| {
+            ctx.write_u64(addr + ctx.tid() as u64 * 8, 1);
+            ctx.lock(lock);
+            ctx.unlock(lock);
+        });
+        let snap = s.fabric_stats();
+        assert!(snap.msgs(MsgClass::Data) > 0, "line fetches are data traffic");
+        assert!(snap.msgs(MsgClass::Sync) > 0, "lock RPCs are sync traffic");
+        assert!(snap.msgs(MsgClass::Update) > 0, "flushes are update traffic");
+        assert!(snap.msgs(MsgClass::Control) > 0, "registration/alloc are control traffic");
+        assert!(snap.total_bytes() > snap.bytes(MsgClass::Sync));
+    }
+
+    #[test]
+    fn two_runs_on_one_system() {
+        let s = system();
+        let addr = s.alloc_global(64);
+        s.run(1, |ctx| ctx.write_u64(addr, 41));
+        s.run(2, |ctx| {
+            if ctx.tid() == 0 {
+                let v = ctx.read_u64(addr);
+                assert_eq!(v, 41);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds provisioned max_threads")]
+    fn run_rejects_too_many_threads() {
+        let s = system();
+        s.run(1000, |_| {});
+    }
+}

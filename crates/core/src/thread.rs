@@ -1,0 +1,896 @@
+//! The compute-thread context: the whole client side of the DSM.
+//!
+//! A [`ThreadCtx`] is handed to each compute thread by
+//! [`crate::system::Samhita::run`]. It owns the thread's software cache,
+//! region state, fine-grain write set, virtual clock, and fabric endpoint,
+//! and exposes the programming interface the paper describes as
+//! "very similar to that presented by Pthreads": allocation, typed loads
+//! and stores into the shared global address space, mutual-exclusion locks,
+//! condition variables and barriers.
+//!
+//! ## Time accounting
+//!
+//! Every access is charged against the virtual clock. Synchronization
+//! operations record their elapsed time in the `sync` bucket; everything
+//! else — including demand-fetch misses and the invalidation refetches
+//! caused by false sharing — is compute time, exactly the split the paper's
+//! figures use.
+//!
+//! ## Consistency operations
+//!
+//! Per RegC, every synchronization operation doubles as a consistency
+//! operation: dirty ordinary pages are diffed and flushed to their homes,
+//! the fine-grain write set is flushed as object-level updates, a write
+//! notice is published through the manager, and incoming notices invalidate
+//! stale cached pages.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
+
+use samhita_mem::{HomeMap, MemRequest, MemResponse, PageId};
+use samhita_regc::{FineUpdate, PageState, RegionKind, RegionState, WriteNotice, WriteSet};
+use samhita_scl::{Endpoint, EndpointId, Envelope, MsgClass, SimTime};
+
+use crate::cache::SoftCache;
+use crate::config::{ConsistencyVariant, SamhitaConfig};
+use crate::freelist::FreeListAlloc;
+use crate::layout::{AddressLayout, Region};
+use crate::localsync::LocalSync;
+use crate::msg::{MgrRequest, MgrResponse, Msg};
+use crate::stats::ThreadStats;
+
+/// The per-thread handle to the shared global address space.
+pub struct ThreadCtx {
+    tid: u32,
+    nthreads: u32,
+    cfg: Arc<SamhitaConfig>,
+    layout: AddressLayout,
+    home_map: HomeMap,
+
+    ep: Endpoint<Msg>,
+    mgr_ep: EndpointId,
+    mem_eps: Vec<EndpointId>,
+    local_sync: Option<Arc<LocalSync>>,
+
+    clock: SimTime,
+    /// Sub-nanosecond cost accumulator (keeps tiny per-op charges exact).
+    frac_ns: f64,
+    sync_time: SimTime,
+    /// Timing epoch (see [`ThreadCtx::start_timing`]).
+    epoch_clock: SimTime,
+    epoch_sync: SimTime,
+
+    cache: SoftCache,
+    region: RegionState,
+    writeset: WriteSet,
+    /// Pages flushed (sync flushes and evictions) not yet published.
+    pending_pages: BTreeSet<u64>,
+    last_seen: u64,
+
+    arena: FreeListAlloc,
+
+    next_token: u64,
+    stash: HashMap<u64, Envelope<Msg>>,
+    outstanding_acks: HashSet<u64>,
+    ack_horizon: SimTime,
+    prefetch_tokens: HashMap<u64, u64>, // token -> line
+    prefetch_inflight: HashMap<u64, u64>, // line -> token
+    prefetch_ready: HashMap<u64, (SimTime, Vec<u8>, Vec<u64>)>,
+    /// Prefetch tokens whose line was invalidated while the fetch was in
+    /// flight: the response must be discarded, not installed.
+    poisoned_prefetches: HashSet<u64>,
+
+    stats: ThreadStats,
+}
+
+impl ThreadCtx {
+    /// Build and register a thread context. Called by the system; not part
+    /// of the public API.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        tid: u32,
+        nthreads: u32,
+        cfg: Arc<SamhitaConfig>,
+        ep: Endpoint<Msg>,
+        mgr_ep: EndpointId,
+        mem_eps: Vec<EndpointId>,
+        local_sync: Option<Arc<LocalSync>>,
+    ) -> Self {
+        let layout = AddressLayout::new(&cfg);
+        let (arena_lo, arena_hi) = layout.arena_range(tid);
+        let cache = SoftCache::new(
+            cfg.page_size,
+            cfg.line_pages as usize,
+            cfg.cache_capacity_lines,
+            cfg.eviction,
+        );
+        let home_map = HomeMap::new(cfg.mem_servers, cfg.line_pages);
+        let mut ctx = ThreadCtx {
+            tid,
+            nthreads,
+            cfg,
+            layout,
+            home_map,
+            ep,
+            mgr_ep,
+            mem_eps,
+            local_sync,
+            clock: SimTime::ZERO,
+            frac_ns: 0.0,
+            sync_time: SimTime::ZERO,
+            epoch_clock: SimTime::ZERO,
+            epoch_sync: SimTime::ZERO,
+            cache,
+            region: RegionState::new(),
+            writeset: WriteSet::new(),
+            pending_pages: BTreeSet::new(),
+            last_seen: 0,
+            arena: FreeListAlloc::new(arena_lo, arena_hi),
+            next_token: 1,
+            stash: HashMap::new(),
+            outstanding_acks: HashSet::new(),
+            ack_horizon: SimTime::ZERO,
+            prefetch_tokens: HashMap::new(),
+            prefetch_inflight: HashMap::new(),
+            prefetch_ready: HashMap::new(),
+            poisoned_prefetches: HashSet::new(),
+            stats: ThreadStats { tid, ..ThreadStats::default() },
+        };
+        match ctx.rpc_mgr(MgrRequest::Register { observer: false }, MsgClass::Control) {
+            MgrResponse::Registered { watermark } => ctx.last_seen = watermark,
+            other => panic!("registration failed: {other:?}"),
+        }
+        // Registration is setup, not application time.
+        ctx.clock = SimTime::ZERO;
+        ctx
+    }
+
+    // ------------------------------------------------------------------
+    // Identity and time
+    // ------------------------------------------------------------------
+
+    /// This thread's id within the run (0-based).
+    pub fn tid(&self) -> u32 {
+        self.tid
+    }
+
+    /// Number of compute threads in the run.
+    pub fn nthreads(&self) -> u32 {
+        self.nthreads
+    }
+
+    /// The thread's virtual clock.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Time spent in synchronization operations so far.
+    pub fn sync_time(&self) -> SimTime {
+        self.sync_time
+    }
+
+    /// Restart the measurement epoch: the reported [`crate::ThreadStats`]
+    /// cover only work after the last call. Benchmarks call this after their
+    /// initialization/warm-up phase, exactly where a wall-clock benchmark
+    /// would start its timer.
+    pub fn start_timing(&mut self) {
+        self.epoch_clock = self.clock;
+        self.epoch_sync = self.sync_time;
+    }
+
+    /// Charge `flops` floating-point operations of pure computation.
+    pub fn compute(&mut self, flops: u64) {
+        self.charge(flops as f64 * self.cfg.costs.flop_ns);
+    }
+
+    fn charge(&mut self, ns: f64) {
+        self.frac_ns += ns;
+        if self.frac_ns >= 1.0 {
+            let whole = self.frac_ns.floor();
+            self.clock += SimTime::from_ns(whole as u64);
+            self.frac_ns -= whole;
+        }
+    }
+
+    fn charge_mem_ops(&mut self, bytes: usize) {
+        let ops = bytes.div_ceil(8) as f64;
+        self.charge(ops * self.cfg.costs.mem_op_ns);
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation (the three strategies)
+    // ------------------------------------------------------------------
+
+    /// Allocate `size` bytes in the shared global address space.
+    ///
+    /// Strategy follows the paper: sizes up to the small threshold come from
+    /// this thread's arena (local, no manager round-trip, no false sharing
+    /// with other threads by construction); medium sizes from the manager's
+    /// shared zone; large sizes striped across memory servers.
+    ///
+    /// # Panics
+    /// Panics when the address space region is exhausted.
+    pub fn alloc(&mut self, size: u64, align: u64) -> u64 {
+        assert!(size > 0, "zero-size allocation");
+        let align = align.max(8);
+        if size <= self.cfg.small_threshold {
+            self.charge_mem_ops(16); // local free-list walk
+            if let Some(addr) = self.arena.alloc(size, align) {
+                return addr;
+            }
+            // Arena exhausted: overflow to the shared zone like the
+            // original allocator would.
+        }
+        let req = if size >= self.cfg.large_threshold {
+            MgrRequest::AllocStriped { size }
+        } else {
+            MgrRequest::AllocShared { size, align }
+        };
+        match self.rpc_mgr(req, MsgClass::Control) {
+            MgrResponse::Addr(addr) => addr,
+            MgrResponse::Err(e) => panic!("allocation failed: {e}"),
+            other => panic!("unexpected allocation response: {other:?}"),
+        }
+    }
+
+    /// Free an allocation made by [`ThreadCtx::alloc`] (any thread may free
+    /// manager-mediated allocations; arena allocations must be freed by
+    /// their owner).
+    pub fn free(&mut self, addr: u64) {
+        match self.layout.region_of(addr) {
+            Region::Arena(owner) if owner == self.tid => {
+                self.charge_mem_ops(16);
+                self.arena.free(addr);
+            }
+            Region::Arena(owner) => {
+                panic!("thread {} freeing thread {owner}'s arena allocation", self.tid)
+            }
+            Region::Shared | Region::Striped => {
+                match self.rpc_mgr(MgrRequest::Free { addr }, MsgClass::Control) {
+                    MgrResponse::Ok => {}
+                    MgrResponse::Err(e) => panic!("free failed: {e}"),
+                    other => panic!("unexpected free response: {other:?}"),
+                }
+            }
+            Region::Reserved => panic!("free of reserved address {addr:#x}"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Loads and stores
+    // ------------------------------------------------------------------
+
+    /// Read `out.len()` bytes from global address `addr`.
+    pub fn read_bytes(&mut self, addr: u64, out: &mut [u8]) {
+        let ps = self.cfg.page_size as u64;
+        let mut cursor = 0usize;
+        while cursor < out.len() {
+            let at = addr + cursor as u64;
+            let page = at / ps;
+            let off = (at % ps) as usize;
+            let take = ((ps as usize) - off).min(out.len() - cursor);
+            self.ensure_resident(page);
+            self.cache.read_page(page, off, &mut out[cursor..cursor + take]);
+            cursor += take;
+        }
+        self.charge_mem_ops(out.len());
+    }
+
+    /// Write `data` to global address `addr`, applying the RegC protocol.
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) {
+        let ps = self.cfg.page_size as u64;
+        let region = self.effective_region();
+        let mut cursor = 0usize;
+        while cursor < data.len() {
+            let at = addr + cursor as u64;
+            let page = at / ps;
+            let off = (at % ps) as usize;
+            let take = ((ps as usize) - off).min(data.len() - cursor);
+            self.ensure_resident(page);
+            let chunk = &data[cursor..cursor + take];
+            let outcome = self.cache.write_page(page, off, chunk, region);
+            if outcome.twin_created {
+                self.stats.twins_created += 1;
+            }
+            if outcome.log_fine_grain {
+                self.writeset.record(at, chunk);
+            }
+            cursor += take;
+        }
+        self.charge_mem_ops(data.len());
+    }
+
+    /// Read one `f64`.
+    pub fn read_f64(&mut self, addr: u64) -> f64 {
+        let mut b = [0u8; 8];
+        self.read_bytes(addr, &mut b);
+        f64::from_le_bytes(b)
+    }
+
+    /// Write one `f64`.
+    pub fn write_f64(&mut self, addr: u64, v: f64) {
+        self.write_bytes(addr, &v.to_le_bytes());
+    }
+
+    /// Read one `u64`.
+    pub fn read_u64(&mut self, addr: u64) -> u64 {
+        let mut b = [0u8; 8];
+        self.read_bytes(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Write one `u64`.
+    pub fn write_u64(&mut self, addr: u64, v: u64) {
+        self.write_bytes(addr, &v.to_le_bytes());
+    }
+
+    /// Read `out.len()` consecutive `f64`s starting at `addr`.
+    pub fn read_f64_slice(&mut self, addr: u64, out: &mut [f64]) {
+        let mut bytes = vec![0u8; out.len() * 8];
+        self.read_bytes(addr, &mut bytes);
+        for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+            out[i] = f64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+    }
+
+    /// Write `src` as consecutive `f64`s starting at `addr`.
+    pub fn write_f64_slice(&mut self, addr: u64, src: &[f64]) {
+        let mut bytes = Vec::with_capacity(src.len() * 8);
+        for v in src {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.write_bytes(addr, &bytes);
+    }
+
+    /// Read-modify-write `n` consecutive `f64`s starting at `addr`:
+    /// `x[i] = f(i, x[i])`. One protocol application per touched page, two
+    /// memory operations charged per element — the bulk path the kernels
+    /// use for their inner loops.
+    pub fn update_f64s(&mut self, addr: u64, n: usize, mut f: impl FnMut(usize, f64) -> f64) {
+        let ps = self.cfg.page_size as u64;
+        let region = self.effective_region();
+        let mut idx = 0usize;
+        let mut cursor = 0u64;
+        let total = n as u64 * 8;
+        let mut scratch = Vec::new();
+        while cursor < total {
+            let at = addr + cursor;
+            let page = at / ps;
+            let off = (at % ps) as usize;
+            let take = (ps - at % ps).min(total - cursor) as usize;
+            debug_assert_eq!(take % 8, 0, "f64 elements straddling pages need 8-aligned addr");
+            self.ensure_resident(page);
+            scratch.resize(take, 0);
+            self.cache.read_page(page, off, &mut scratch);
+            for chunk in scratch.chunks_exact_mut(8) {
+                let v = f64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+                let nv = f(idx, v);
+                chunk.copy_from_slice(&nv.to_le_bytes());
+                idx += 1;
+            }
+            let outcome = self.cache.write_page(page, off, &scratch, region);
+            if outcome.twin_created {
+                self.stats.twins_created += 1;
+            }
+            if outcome.log_fine_grain {
+                self.writeset.record(at, &scratch);
+            }
+            cursor += take as u64;
+        }
+        self.charge_mem_ops(n * 16); // one load + one store per element
+    }
+
+    fn effective_region(&self) -> RegionKind {
+        match self.cfg.consistency {
+            // Whole-page ablation: every store follows the ordinary-region
+            // (twin + page diff) path, even inside critical sections.
+            ConsistencyVariant::WholePage => RegionKind::Ordinary,
+            ConsistencyVariant::FineGrain => self.region.kind(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Synchronization (each op is also a consistency operation)
+    // ------------------------------------------------------------------
+
+    /// Acquire a mutual-exclusion lock, entering a consistency region.
+    pub fn lock(&mut self, lock: u32) {
+        let t0 = self.clock;
+        let (pages, updates) = self.flush_all();
+        if let Some(ls) = self.local_sync.clone() {
+            let (at, notices, wm) =
+                ls.acquire(lock, self.tid, self.clock, pages, updates, self.last_seen);
+            self.clock = self.clock.max(at);
+            self.apply_notices(&notices);
+            self.last_seen = wm;
+        } else {
+            match self.rpc_mgr(
+                MgrRequest::Acquire { lock, pages, updates, last_seen: self.last_seen },
+                MsgClass::Sync,
+            ) {
+                MgrResponse::Granted { notices, watermark } => {
+                    self.apply_notices(&notices);
+                    self.last_seen = watermark;
+                }
+                other => panic!("unexpected acquire response: {other:?}"),
+            }
+        }
+        self.region.enter();
+        self.stats.locks_acquired += 1;
+        self.sync_time += self.clock - t0;
+    }
+
+    /// Release a lock, flushing consistency-region updates at fine grain.
+    pub fn unlock(&mut self, lock: u32) {
+        let t0 = self.clock;
+        self.region.exit();
+        let (pages, updates) = self.flush_all();
+        if let Some(ls) = self.local_sync.clone() {
+            ls.release(lock, self.tid, self.clock, pages, updates);
+            self.charge(self.cfg.costs.local_sync_ns as f64);
+        } else {
+            // Fire-and-forget: the manager orders the release before any
+            // subsequent grant; the releaser only pays the send cost.
+            let req = MgrRequest::Release { lock, pages, updates, last_seen: self.last_seen };
+            let wire = req.wire_bytes();
+            let token = self.fresh_token();
+            self.ep
+                .send(self.mgr_ep, self.clock, wire, MsgClass::Sync, Msg::MgrReq {
+                    token,
+                    tid: self.tid,
+                    req,
+                })
+                .expect("manager endpoint closed");
+            self.charge(self.cfg.costs.send_ns as f64);
+        }
+        self.sync_time += self.clock - t0;
+    }
+
+    /// Wait at a barrier.
+    pub fn barrier(&mut self, barrier: u32) {
+        let t0 = self.clock;
+        let (pages, updates) = self.flush_all();
+        if let Some(ls) = self.local_sync.clone() {
+            let (at, notices, wm) =
+                ls.barrier_wait(barrier, self.tid, self.clock, pages, updates, self.last_seen);
+            self.clock = self.clock.max(at);
+            self.apply_notices(&notices);
+            self.last_seen = wm;
+        } else {
+            match self.rpc_mgr(
+                MgrRequest::BarrierWait { barrier, pages, updates, last_seen: self.last_seen },
+                MsgClass::Sync,
+            ) {
+                MgrResponse::BarrierReleased { notices, watermark } => {
+                    self.apply_notices(&notices);
+                    self.last_seen = watermark;
+                }
+                other => panic!("unexpected barrier response: {other:?}"),
+            }
+        }
+        self.stats.barriers += 1;
+        self.sync_time += self.clock - t0;
+    }
+
+    /// Atomically release `lock` and wait on condition variable `cond`;
+    /// re-acquires the lock before returning. Must be called while holding
+    /// `lock` (as with Pthreads, that is a caller obligation).
+    pub fn cond_wait(&mut self, cond: u32, lock: u32) {
+        let t0 = self.clock;
+        let (pages, updates) = self.flush_all();
+        match self.rpc_mgr(
+            MgrRequest::CondWait { cond, lock, pages, updates, last_seen: self.last_seen },
+            MsgClass::Sync,
+        ) {
+            MgrResponse::Granted { notices, watermark } => {
+                self.apply_notices(&notices);
+                self.last_seen = watermark;
+            }
+            other => panic!("unexpected cond-wait response: {other:?}"),
+        }
+        self.sync_time += self.clock - t0;
+    }
+
+    /// Wake one waiter of `cond`.
+    pub fn cond_signal(&mut self, cond: u32) {
+        let t0 = self.clock;
+        match self.rpc_mgr(MgrRequest::CondSignal { cond }, MsgClass::Sync) {
+            MgrResponse::Ok => {}
+            other => panic!("unexpected signal response: {other:?}"),
+        }
+        self.sync_time += self.clock - t0;
+    }
+
+    /// Wake all waiters of `cond`.
+    pub fn cond_broadcast(&mut self, cond: u32) {
+        let t0 = self.clock;
+        match self.rpc_mgr(MgrRequest::CondBroadcast { cond }, MsgClass::Sync) {
+            MgrResponse::Ok => {}
+            other => panic!("unexpected broadcast response: {other:?}"),
+        }
+        self.sync_time += self.clock - t0;
+    }
+
+    /// Create a lock from a running thread (locks are more typically created
+    /// by the host before `run`).
+    pub fn create_lock(&mut self) -> u32 {
+        match self.rpc_mgr(MgrRequest::CreateLock, MsgClass::Control) {
+            MgrResponse::SyncId(id) => id,
+            other => panic!("unexpected create-lock response: {other:?}"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Internals: fault handling, flushing, RPC
+    // ------------------------------------------------------------------
+
+    /// Make `page` resident and valid, faulting (and prefetching) as needed.
+    fn ensure_resident(&mut self, page: u64) {
+        let line = self.cache.line_of(page);
+        if self.cache.contains_line(line) {
+            if self.cache.page_state(page) == Some(PageState::Invalid) {
+                // Revalidation after invalidation notices: false-sharing
+                // refetch traffic. When several pages of the line were
+                // invalidated, one line fetch amortizes the round-trip.
+                if self.cache.invalid_pages_in_line(line) > 1 {
+                    let first = PageId(line * self.cache.line_pages() as u64);
+                    let server = self.home_map.home_of_line(line);
+                    let (resp, _) = self.rpc_mem(
+                        server,
+                        MemRequest::FetchLine {
+                            first,
+                            pages: self.cache.line_pages() as u32,
+                        },
+                        MsgClass::Data,
+                    );
+                    match resp {
+                        MemResponse::Line { data, versions, .. } => {
+                            self.charge(
+                                (data.len() as u64 / 1024
+                                    * self.cfg.costs.cache_fill_per_kib_ns)
+                                    as f64,
+                            );
+                            self.cache.refresh_line(line, &data, &versions);
+                        }
+                        other => panic!("unexpected line fetch response: {other:?}"),
+                    }
+                } else {
+                    let server = self.home_map.home_of_page(PageId(page));
+                    let (resp, _) = self.rpc_mem(
+                        server,
+                        MemRequest::FetchPage { page: PageId(page) },
+                        MsgClass::Data,
+                    );
+                    match resp {
+                        MemResponse::Page { data, version, .. } => {
+                            self.cache.install_page(page, &data, version);
+                            self.charge(
+                                (data.len() as u64 / 1024
+                                    * self.cfg.costs.cache_fill_per_kib_ns)
+                                    as f64,
+                            );
+                        }
+                        other => panic!("unexpected page fetch response: {other:?}"),
+                    }
+                }
+                self.stats.page_refetches += 1;
+            }
+            self.cache.touch_line(line);
+            return;
+        }
+
+        if let Some((deliver, data, versions)) = self.prefetch_ready.remove(&line) {
+            // A completed prefetch: free unless we outran it.
+            self.clock = self.clock.max(deliver);
+            self.stats.prefetch_hits += 1;
+            self.install_line(line, data, versions);
+        } else if let Some(token) = self.prefetch_inflight.remove(&line) {
+            // Prefetch still in flight: wait for it.
+            self.prefetch_tokens.remove(&token);
+            let env = self.wait_for(token);
+            self.clock = self.clock.max(env.deliver_at);
+            match env.msg {
+                Msg::MemResp { resp: MemResponse::Line { data, versions, .. }, .. } => {
+                    self.stats.prefetch_late += 1;
+                    self.install_line(line, data, versions);
+                }
+                other => panic!("unexpected prefetch response: {other:?}"),
+            }
+        } else {
+            // Demand miss.
+            self.stats.line_misses += 1;
+            let first = PageId(line * self.cache.line_pages() as u64);
+            let server = self.home_map.home_of_line(line);
+            let (resp, _) = self.rpc_mem(
+                server,
+                MemRequest::FetchLine { first, pages: self.cache.line_pages() as u32 },
+                MsgClass::Data,
+            );
+            match resp {
+                MemResponse::Line { data, versions, .. } => {
+                    self.install_line(line, data, versions)
+                }
+                other => panic!("unexpected line fetch response: {other:?}"),
+            }
+        }
+        self.cache.touch_line(line);
+
+        // Anticipatory paging: ask for the adjacent line asynchronously.
+        if self.cfg.prefetch {
+            self.maybe_prefetch(line + 1);
+        }
+    }
+
+    fn install_line(&mut self, line: u64, data: Vec<u8>, versions: Vec<u64>) {
+        self.make_room();
+        self.charge(
+            (data.len() as u64 / 1024 * self.cfg.costs.cache_fill_per_kib_ns) as f64,
+        );
+        self.cache.install_line(line, data, versions);
+    }
+
+    /// Evict until a new line fits, flushing dirty victims home.
+    fn make_room(&mut self) {
+        while self.cache.is_full() {
+            let (_line, victim) = self.cache.pop_victim().expect("full cache has lines");
+            self.stats.evictions += 1;
+            for (page, diff) in self.cache.diffs_of_evicted(victim) {
+                self.send_diff(page, diff);
+            }
+        }
+    }
+
+    fn maybe_prefetch(&mut self, line: u64) {
+        if self.cache.contains_line(line)
+            || self.prefetch_inflight.contains_key(&line)
+            || self.prefetch_ready.contains_key(&line)
+        {
+            return;
+        }
+        let first = PageId(line * self.cache.line_pages() as u64);
+        let server = self.home_map.home_of_line(line);
+        let req = MemRequest::FetchLine { first, pages: self.cache.line_pages() as u32 };
+        let wire = req.wire_bytes();
+        let token = self.fresh_token();
+        self.ep
+            .send(
+                self.mem_eps[server as usize],
+                self.clock,
+                wire,
+                MsgClass::Data,
+                Msg::MemReq { token, req },
+            )
+            .expect("memory server endpoint closed");
+        self.charge(self.cfg.costs.send_ns as f64);
+        self.prefetch_tokens.insert(token, line);
+        self.prefetch_inflight.insert(line, token);
+    }
+
+    /// Ship one page diff home asynchronously (ack awaited at the next
+    /// flush fence).
+    fn send_diff(&mut self, page: u64, diff: samhita_regc::Diff) {
+        self.stats.diff_bytes_flushed += diff.payload_bytes() as u64;
+        self.pending_pages.insert(page);
+        let server = self.home_map.home_of_page(PageId(page));
+        let req = MemRequest::ApplyDiff { page: PageId(page), diff };
+        let wire = req.wire_bytes();
+        let token = self.fresh_token();
+        self.ep
+            .send(
+                self.mem_eps[server as usize],
+                self.clock,
+                wire,
+                MsgClass::Update,
+                Msg::MemReq { token, req },
+            )
+            .expect("memory server endpoint closed");
+        self.charge(self.cfg.costs.send_ns as f64);
+        self.outstanding_acks.insert(token);
+    }
+
+    /// Flush all local modifications home. Returns the interval to publish:
+    /// page-granularity write notices (receivers invalidate) and fine-grain
+    /// updates (receivers apply in place) — the consistency half of every
+    /// synchronization operation.
+    fn flush_all(&mut self) -> (Vec<u64>, Vec<FineUpdate>) {
+        // Ordinary-region pages: twin diffs (multiple-writer protocol).
+        for page in self.cache.dirty_pages() {
+            if let Some(diff) = self.cache.flush_page(page) {
+                if !diff.is_empty() {
+                    self.send_diff(page, diff);
+                }
+            }
+        }
+        // Consistency-region stores: fine-grain object updates, shipped to
+        // the home *and* carried in the published notice so other caches
+        // can apply them without refetching.
+        let parts = self.writeset.drain_per_page(self.cfg.page_size as u64);
+        let mut updates = Vec::with_capacity(parts.len());
+        for (page, offset, bytes) in parts {
+            self.stats.fine_bytes_flushed += bytes.len() as u64;
+            let server = self.home_map.home_of_page(PageId(page));
+            let req =
+                MemRequest::ApplyFine { page: PageId(page), offset, bytes: bytes.clone() };
+            let wire = req.wire_bytes();
+            let token = self.fresh_token();
+            self.ep
+                .send(
+                    self.mem_eps[server as usize],
+                    self.clock,
+                    wire,
+                    MsgClass::Update,
+                    Msg::MemReq { token, req },
+                )
+                .expect("memory server endpoint closed");
+            self.charge(self.cfg.costs.send_ns as f64);
+            self.outstanding_acks.insert(token);
+            updates.push(FineUpdate { page, offset, bytes });
+        }
+        // Fence: all updates must be applied at their homes before the sync
+        // operation publishes them.
+        self.drain_acks();
+        let pages: Vec<u64> = std::mem::take(&mut self.pending_pages).into_iter().collect();
+        (pages, updates)
+    }
+
+    fn drain_acks(&mut self) {
+        while !self.outstanding_acks.is_empty() {
+            let env = self.ep.recv().expect("fabric closed while draining acks");
+            let token = Self::token_of(&env);
+            self.absorb(token, env);
+        }
+        self.clock = self.clock.max(self.ack_horizon);
+    }
+
+    /// Invalidate cached pages named by other threads' write notices.
+    ///
+    /// Prefetched data covering a noticed page is as stale as a cached copy:
+    /// completed prefetches are dropped and in-flight ones poisoned so their
+    /// responses are discarded on arrival (a demand miss will refetch).
+    fn apply_notices(&mut self, notices: &[WriteNotice]) {
+        for n in notices {
+            if n.writer == self.tid {
+                continue;
+            }
+            for &page in &n.pages {
+                if self.cache.invalidate_page(page) {
+                    self.stats.invalidations += 1;
+                }
+                self.poison_prefetch(page);
+            }
+            for u in &n.updates {
+                // A page named in the same notice's invalidation list is
+                // already stale as a whole; skip its carried bytes.
+                if n.pages.contains(&u.page) {
+                    continue;
+                }
+                if self.cache.apply_update(u.page, u.offset as usize, &u.bytes) {
+                    self.charge_mem_ops(u.bytes.len());
+                }
+                // Prefetched copies may predate the home's version of this
+                // update (the fetch raced the flush): drop/poison them.
+                self.poison_prefetch(u.page);
+            }
+        }
+    }
+
+    /// Drop completed and poison in-flight prefetches covering `page`.
+    fn poison_prefetch(&mut self, page: u64) {
+        let line = self.cache.line_of(page);
+        self.prefetch_ready.remove(&line);
+        if let Some(token) = self.prefetch_inflight.remove(&line) {
+            self.prefetch_tokens.remove(&token);
+            self.poisoned_prefetches.insert(token);
+        }
+    }
+
+    fn fresh_token(&mut self) -> u64 {
+        let t = self.next_token;
+        self.next_token += 1;
+        t
+    }
+
+    fn token_of(env: &Envelope<Msg>) -> u64 {
+        match &env.msg {
+            Msg::MemResp { token, .. } | Msg::MgrResp { token, .. } => *token,
+            other => panic!("compute thread received non-response message: {other:?}"),
+        }
+    }
+
+    /// File an out-of-band response: prefetch data, flush ack, or a stashed
+    /// response for a different in-flight token.
+    fn absorb(&mut self, token: u64, env: Envelope<Msg>) {
+        if self.poisoned_prefetches.remove(&token) {
+            // Stale prefetch overtaken by an invalidation: drop it.
+        } else if let Some(line) = self.prefetch_tokens.remove(&token) {
+            self.prefetch_inflight.remove(&line);
+            match env.msg {
+                Msg::MemResp { resp: MemResponse::Line { data, versions, .. }, .. } => {
+                    self.prefetch_ready.insert(line, (env.deliver_at, data, versions));
+                }
+                other => panic!("unexpected prefetch response: {other:?}"),
+            }
+        } else if self.outstanding_acks.remove(&token) {
+            self.ack_horizon = self.ack_horizon.max(env.deliver_at);
+        } else {
+            self.stash.insert(token, env);
+        }
+    }
+
+    fn wait_for(&mut self, token: u64) -> Envelope<Msg> {
+        if let Some(env) = self.stash.remove(&token) {
+            return env;
+        }
+        loop {
+            let env = self.ep.recv().expect("fabric closed while awaiting response");
+            let t = Self::token_of(&env);
+            if t == token {
+                return env;
+            }
+            self.absorb(t, env);
+        }
+    }
+
+    fn rpc_mem(&mut self, server: u32, req: MemRequest, class: MsgClass) -> (MemResponse, SimTime) {
+        let wire = req.wire_bytes();
+        let token = self.fresh_token();
+        self.ep
+            .send(self.mem_eps[server as usize], self.clock, wire, class, Msg::MemReq {
+                token,
+                req,
+            })
+            .expect("memory server endpoint closed");
+        let env = self.wait_for(token);
+        self.clock = self.clock.max(env.deliver_at);
+        match env.msg {
+            Msg::MemResp { resp, .. } => (resp, env.deliver_at),
+            other => panic!("unexpected memory response: {other:?}"),
+        }
+    }
+
+    fn rpc_mgr(&mut self, req: MgrRequest, class: MsgClass) -> MgrResponse {
+        let wire = req.wire_bytes();
+        let token = self.fresh_token();
+        self.ep
+            .send(self.mgr_ep, self.clock, wire, class, Msg::MgrReq {
+                token,
+                tid: self.tid,
+                req,
+            })
+            .expect("manager endpoint closed");
+        let env = self.wait_for(token);
+        self.clock = self.clock.max(env.deliver_at);
+        match env.msg {
+            Msg::MgrResp { resp, .. } => resp,
+            other => panic!("unexpected manager response: {other:?}"),
+        }
+    }
+
+    /// Final flush + departure. Returns the thread's statistics.
+    pub(crate) fn finish(mut self) -> ThreadStats {
+        // The measurement stops here: the final flush and departure RPC are
+        // teardown, not application time (a wall-clock benchmark's timer
+        // stops before join/teardown too).
+        let end_clock = self.clock;
+        let end_sync = self.sync_time;
+        let (pages, updates) = self.flush_all();
+        if let Some(ls) = self.local_sync.clone() {
+            ls.publish_final(self.tid, pages, updates);
+            let req = MgrRequest::Exit { pages: Vec::new(), updates: Vec::new() };
+            match self.rpc_mgr(req, MsgClass::Control) {
+                MgrResponse::Ok => {}
+                other => panic!("unexpected exit response: {other:?}"),
+            }
+        } else {
+            match self.rpc_mgr(MgrRequest::Exit { pages, updates }, MsgClass::Control) {
+                MgrResponse::Ok => {}
+                other => panic!("unexpected exit response: {other:?}"),
+            }
+        }
+        let mut stats = self.stats;
+        stats.total = end_clock.saturating_sub(self.epoch_clock);
+        stats.sync = end_sync.saturating_sub(self.epoch_sync);
+        stats.compute = stats.total.saturating_sub(stats.sync);
+        stats
+    }
+}

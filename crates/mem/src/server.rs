@@ -1,0 +1,456 @@
+//! The memory-server request engine.
+//!
+//! [`MemoryServer::handle`] is a pure function of (request, virtual arrival
+//! time) → (response, virtual completion time). Service time follows a
+//! simple DRAM-path model: a fixed per-request cost plus a per-byte cost,
+//! reserved on a [`VirtualResource`] so concurrent requesters queue — this
+//! is where single-server hot-spots come from. The SCL event loop that feeds
+//! this engine lives in `samhita-core`.
+
+use samhita_regc::Diff;
+use samhita_scl::{SimTime, VirtualResource};
+use serde::{Deserialize, Serialize};
+
+use crate::page::PageId;
+use crate::store::PageStore;
+
+/// Requests a memory server understands.
+#[derive(Clone, Debug)]
+#[allow(missing_docs)] // payloads are described on each variant
+pub enum MemRequest {
+    /// Fetch `pages` consecutive pages starting at `first` (a cache line).
+    FetchLine { first: PageId, pages: u32 },
+    /// Fetch a single page (revalidation after an invalidation notice).
+    FetchPage { page: PageId },
+    /// Apply an ordinary-region diff (sync-time flush or eviction).
+    ApplyDiff { page: PageId, diff: Diff },
+    /// Apply a fine-grain consistency-region update.
+    ApplyFine { page: PageId, offset: u32, bytes: Vec<u8> },
+    /// Overwrite a whole page (whole-page consistency ablation).
+    WritePage { page: PageId, bytes: Vec<u8> },
+}
+
+impl MemRequest {
+    /// Payload bytes this request carries on the wire (request direction).
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            MemRequest::FetchLine { .. } | MemRequest::FetchPage { .. } => 16,
+            MemRequest::ApplyDiff { diff, .. } => 16 + diff.wire_bytes(),
+            MemRequest::ApplyFine { bytes, .. } => 24 + bytes.len(),
+            MemRequest::WritePage { bytes, .. } => 16 + bytes.len(),
+        }
+    }
+}
+
+/// Responses a memory server produces.
+#[derive(Clone, Debug)]
+#[allow(missing_docs)] // payloads are described on each variant
+pub enum MemResponse {
+    /// Line payload: concatenated page bytes plus per-page versions.
+    Line { first: PageId, data: Vec<u8>, versions: Vec<u64> },
+    /// Single-page payload.
+    Page { page: PageId, data: Vec<u8>, version: u64 },
+    /// Mutation acknowledged; carries the new page version.
+    Ack { page: PageId, version: u64 },
+}
+
+impl MemResponse {
+    /// Payload bytes this response carries on the wire.
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            MemResponse::Line { data, versions, .. } => 16 + data.len() + versions.len() * 8,
+            MemResponse::Page { data, .. } => 24 + data.len(),
+            MemResponse::Ack { .. } => 16,
+        }
+    }
+}
+
+/// Service-time model for the server's local memory/CPU path.
+///
+/// Fetches walk the server's page table and stream data out (CPU on the
+/// path); updates arrive through SCL's DMA model — the paper's RDMA design
+/// keeps the server CPU off the apply path, so their fixed cost is lower.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ServiceModel {
+    /// Fixed cost per fetch request (request parsing, page-table walk), ns.
+    pub base_ns: u64,
+    /// Fixed cost per update (diff / fine-grain apply): NIC DMA scatter
+    /// setup, ns.
+    pub apply_base_ns: u64,
+    /// Cost per KiB moved through the server's memory system, ns.
+    /// 100 ns/KiB ≈ 10 GB/s, a 2013-era single-socket stream figure.
+    pub per_kib_ns: u64,
+}
+
+impl Default for ServiceModel {
+    fn default() -> Self {
+        ServiceModel { base_ns: 400, apply_base_ns: 150, per_kib_ns: 100 }
+    }
+}
+
+impl ServiceModel {
+    /// Virtual service time for a fetch moving `bytes` of page data.
+    pub fn service_ns(&self, bytes: usize) -> SimTime {
+        SimTime::from_ns(self.base_ns + (bytes as u64 * self.per_kib_ns) / 1024)
+    }
+
+    /// Virtual service time for an update (RDMA apply path).
+    pub fn apply_ns(&self, bytes: usize) -> SimTime {
+        SimTime::from_ns(self.apply_base_ns + (bytes as u64 * self.per_kib_ns) / 1024)
+    }
+}
+
+/// Counters kept by one server.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Cache-line fetches served.
+    pub line_fetches: u64,
+    /// Single-page (revalidation) fetches served.
+    pub page_fetches: u64,
+    /// Ordinary-region diffs applied.
+    pub diffs_applied: u64,
+    /// Total diff payload applied, bytes.
+    pub diff_payload_bytes: u64,
+    /// Fine-grain (consistency-region) updates applied.
+    pub fine_updates: u64,
+    /// Total fine-grain payload applied, bytes.
+    pub fine_payload_bytes: u64,
+    /// Whole-page overwrites (ablation path).
+    pub whole_page_writes: u64,
+    /// Virtual busy time of the service resource.
+    pub busy_ns: u64,
+}
+
+/// One memory server: page store + queueing resource + counters.
+pub struct MemoryServer {
+    store: PageStore,
+    resource: VirtualResource,
+    model: ServiceModel,
+    stats: ServerStats,
+}
+
+impl MemoryServer {
+    /// A server for `page_size`-byte pages under the given service model.
+    pub fn new(page_size: usize, model: ServiceModel) -> Self {
+        MemoryServer {
+            store: PageStore::new(page_size),
+            resource: VirtualResource::new(),
+            model,
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// Process one request arriving at virtual time `arrival`. Returns the
+    /// response and the virtual completion time (when the response can leave
+    /// the server).
+    pub fn handle(&mut self, req: MemRequest, arrival: SimTime) -> (MemResponse, SimTime) {
+        let (resp, moved) = match req {
+            MemRequest::FetchLine { first, pages } => {
+                self.stats.line_fetches += 1;
+                let (data, versions) = self.store.read_line(first, pages as usize);
+                let moved = data.len();
+                (MemResponse::Line { first, data, versions }, moved)
+            }
+            MemRequest::FetchPage { page } => {
+                self.stats.page_fetches += 1;
+                let frame = self.store.read(page);
+                let data = frame.bytes().to_vec();
+                let version = frame.version();
+                let moved = data.len();
+                (MemResponse::Page { page, data, version }, moved)
+            }
+            MemRequest::ApplyDiff { page, diff } => {
+                self.stats.diffs_applied += 1;
+                self.stats.diff_payload_bytes += diff.payload_bytes() as u64;
+                let moved = diff.payload_bytes();
+                let version = self.store.apply_diff(page, &diff);
+                (MemResponse::Ack { page, version }, moved)
+            }
+            MemRequest::ApplyFine { page, offset, bytes } => {
+                self.stats.fine_updates += 1;
+                self.stats.fine_payload_bytes += bytes.len() as u64;
+                let moved = bytes.len();
+                let version = self.store.apply_fine(page, offset, &bytes);
+                (MemResponse::Ack { page, version }, moved)
+            }
+            MemRequest::WritePage { page, bytes } => {
+                self.stats.whole_page_writes += 1;
+                let moved = bytes.len();
+                let version = self.store.write_page(page, &bytes);
+                (MemResponse::Ack { page, version }, moved)
+            }
+        };
+        let service = if matches!(
+            resp,
+            MemResponse::Ack { .. }
+        ) {
+            self.model.apply_ns(moved)
+        } else {
+            self.model.service_ns(moved)
+        };
+        let (_start, done) = self.resource.reserve(arrival, service);
+        (resp, done)
+    }
+
+    /// Usage counters (busy time read from the live resource).
+    pub fn stats(&self) -> ServerStats {
+        let mut s = self.stats;
+        s.busy_ns = self.resource.stats().busy_ns;
+        s
+    }
+
+    /// Direct access to the page store (tests, verification).
+    pub fn store_mut(&mut self) -> &mut PageStore {
+        &mut self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server() -> MemoryServer {
+        MemoryServer::new(256, ServiceModel::default())
+    }
+
+    #[test]
+    fn fetch_line_returns_zeroed_pages_and_completion_time() {
+        let mut s = server();
+        let (resp, done) = s.handle(
+            MemRequest::FetchLine { first: PageId(0), pages: 4 },
+            SimTime::from_ns(100),
+        );
+        match resp {
+            MemResponse::Line { data, versions, .. } => {
+                assert_eq!(data.len(), 1024);
+                assert!(data.iter().all(|&b| b == 0));
+                assert_eq!(versions, vec![0; 4]);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        let expected = SimTime::from_ns(100) + ServiceModel::default().service_ns(1024);
+        assert_eq!(done, expected);
+    }
+
+    #[test]
+    fn mutations_visible_to_later_fetches() {
+        let mut s = server();
+        s.handle(
+            MemRequest::ApplyFine { page: PageId(1), offset: 8, bytes: vec![7; 8] },
+            SimTime::ZERO,
+        );
+        let (resp, _) = s.handle(MemRequest::FetchPage { page: PageId(1) }, SimTime::ZERO);
+        match resp {
+            MemResponse::Page { data, version, .. } => {
+                assert_eq!(&data[8..16], &[7; 8]);
+                assert_eq!(version, 1);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn burst_of_requests_queues_in_virtual_time() {
+        let mut s = server();
+        // Three fetches all "arrive" at t=0: completions must serialize.
+        let mut dones = Vec::new();
+        for _ in 0..3 {
+            let (_, done) =
+                s.handle(MemRequest::FetchLine { first: PageId(0), pages: 1 }, SimTime::ZERO);
+            dones.push(done);
+        }
+        let service = ServiceModel::default().service_ns(256);
+        assert_eq!(dones[0], service);
+        assert_eq!(dones[1], service + service);
+        assert_eq!(dones[2], service + service + service);
+    }
+
+    #[test]
+    fn multiple_writer_merge_through_server() {
+        let mut s = server();
+        let base = vec![0u8; 256];
+        let mut a = base.clone();
+        a[0] = 1;
+        let mut b = base.clone();
+        b[200] = 2;
+        s.handle(
+            MemRequest::ApplyDiff { page: PageId(0), diff: Diff::compute(&base, &a) },
+            SimTime::ZERO,
+        );
+        s.handle(
+            MemRequest::ApplyDiff { page: PageId(0), diff: Diff::compute(&base, &b) },
+            SimTime::ZERO,
+        );
+        let (resp, _) = s.handle(MemRequest::FetchPage { page: PageId(0) }, SimTime::ZERO);
+        match resp {
+            MemResponse::Page { data, .. } => {
+                assert_eq!(data[0], 1);
+                assert_eq!(data[200], 2);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let mut s = server();
+        s.handle(MemRequest::FetchLine { first: PageId(0), pages: 2 }, SimTime::ZERO);
+        s.handle(MemRequest::FetchPage { page: PageId(9) }, SimTime::ZERO);
+        s.handle(
+            MemRequest::ApplyFine { page: PageId(0), offset: 0, bytes: vec![1; 16] },
+            SimTime::ZERO,
+        );
+        let st = s.stats();
+        assert_eq!(st.line_fetches, 1);
+        assert_eq!(st.page_fetches, 1);
+        assert_eq!(st.fine_updates, 1);
+        assert_eq!(st.fine_payload_bytes, 16);
+        assert!(st.busy_ns > 0);
+    }
+
+    #[test]
+    fn wire_byte_accounting() {
+        let req = MemRequest::ApplyFine { page: PageId(0), offset: 0, bytes: vec![0; 100] };
+        assert_eq!(req.wire_bytes(), 124);
+        let resp = MemResponse::Ack { page: PageId(0), version: 1 };
+        assert_eq!(resp.wire_bytes(), 16);
+        let line = MemResponse::Line { first: PageId(0), data: vec![0; 512], versions: vec![0, 0] };
+        assert_eq!(line.wire_bytes(), 16 + 512 + 16);
+    }
+
+    #[test]
+    fn service_time_grows_with_bytes() {
+        let m = ServiceModel::default();
+        assert!(m.service_ns(16384) > m.service_ns(4096));
+        assert_eq!(m.service_ns(0), SimTime::from_ns(m.base_ns));
+        assert_eq!(m.service_ns(1024), SimTime::from_ns(m.base_ns + m.per_kib_ns));
+    }
+
+    #[test]
+    fn applies_ride_the_cheaper_rdma_path() {
+        let m = ServiceModel::default();
+        assert!(m.apply_ns(4096) < m.service_ns(4096));
+        let mut s = MemoryServer::new(256, m);
+        let (_, fetch_done) =
+            s.handle(MemRequest::FetchPage { page: PageId(0) }, SimTime::ZERO);
+        let mut s2 = MemoryServer::new(256, m);
+        let (_, apply_done) = s2.handle(
+            MemRequest::WritePage { page: PageId(0), bytes: vec![0; 256] },
+            SimTime::ZERO,
+        );
+        assert!(apply_done < fetch_done);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const PS: usize = 256;
+    const PAGES: u64 = 8;
+
+    #[derive(Clone, Debug)]
+    enum ReqKind {
+        FetchLine { line: u64 },
+        FetchPage { page: u64 },
+        Fine { page: u64, offset: u16, len: u8 },
+        Whole { page: u64, fill: u8 },
+        DiffWord { page: u64, word: u8, value: u64 },
+    }
+
+    fn req_strategy() -> impl Strategy<Value = ReqKind> {
+        prop_oneof![
+            (0..PAGES / 2).prop_map(|line| ReqKind::FetchLine { line }),
+            (0..PAGES).prop_map(|page| ReqKind::FetchPage { page }),
+            (0..PAGES, 0u16..200, 1u8..32)
+                .prop_map(|(page, offset, len)| ReqKind::Fine { page, offset, len }),
+            (0..PAGES, any::<u8>()).prop_map(|(page, fill)| ReqKind::Whole { page, fill }),
+            (0..PAGES, 0u8..32, any::<u64>())
+                .prop_map(|(page, word, value)| ReqKind::DiffWord { page, word, value }),
+        ]
+    }
+
+    proptest! {
+        /// A random request stream leaves the server's pages exactly equal
+        /// to a flat reference memory, every fetch returns reference
+        /// content, and completion times are strictly increasing (single
+        /// queue, nonzero service).
+        #[test]
+        fn server_matches_reference_memory(
+            reqs in proptest::collection::vec(req_strategy(), 1..80)
+        ) {
+            let mut server = MemoryServer::new(PS, ServiceModel::default());
+            let mut reference = vec![0u8; PS * PAGES as usize];
+            let mut last_done = SimTime::ZERO;
+            for (i, kind) in reqs.into_iter().enumerate() {
+                let arrival = SimTime::from_ns(i as u64 * 10);
+                let req = match &kind {
+                    ReqKind::FetchLine { line } =>
+                        MemRequest::FetchLine { first: PageId(line * 2), pages: 2 },
+                    ReqKind::FetchPage { page } => MemRequest::FetchPage { page: PageId(*page) },
+                    ReqKind::Fine { page, offset, len } => MemRequest::ApplyFine {
+                        page: PageId(*page),
+                        offset: *offset as u32,
+                        bytes: vec![0xA5; *len as usize],
+                    },
+                    ReqKind::Whole { page, fill } => MemRequest::WritePage {
+                        page: PageId(*page),
+                        bytes: vec![*fill; PS],
+                    },
+                    ReqKind::DiffWord { page, word, value } => {
+                        let base = &reference
+                            [*page as usize * PS..(*page as usize + 1) * PS].to_vec();
+                        let mut cur = base.clone();
+                        cur[*word as usize * 8..*word as usize * 8 + 8]
+                            .copy_from_slice(&value.to_le_bytes());
+                        MemRequest::ApplyDiff {
+                            page: PageId(*page),
+                            diff: samhita_regc::Diff::compute(base, &cur),
+                        }
+                    }
+                };
+                // Mirror the mutation into the reference.
+                match &kind {
+                    ReqKind::Fine { page, offset, len } => {
+                        let base = *page as usize * PS + *offset as usize;
+                        reference[base..base + *len as usize].fill(0xA5);
+                    }
+                    ReqKind::Whole { page, fill } => {
+                        reference[*page as usize * PS..(*page as usize + 1) * PS].fill(*fill);
+                    }
+                    ReqKind::DiffWord { page, word, value } => {
+                        let base = *page as usize * PS + *word as usize * 8;
+                        reference[base..base + 8].copy_from_slice(&value.to_le_bytes());
+                    }
+                    _ => {}
+                }
+                let (resp, done) = server.handle(req, arrival);
+                prop_assert!(done > last_done, "service windows must advance");
+                last_done = done;
+                match resp {
+                    MemResponse::Line { first, data, .. } => {
+                        let base = first.0 as usize * PS;
+                        prop_assert_eq!(&data[..], &reference[base..base + data.len()]);
+                    }
+                    MemResponse::Page { page, data, .. } => {
+                        let base = page.0 as usize * PS;
+                        prop_assert_eq!(&data[..], &reference[base..base + PS]);
+                    }
+                    MemResponse::Ack { .. } => {}
+                }
+            }
+            // Final sweep: every page equals the reference.
+            for p in 0..PAGES {
+                let (resp, _) = server.handle(MemRequest::FetchPage { page: PageId(p) }, last_done);
+                match resp {
+                    MemResponse::Page { data, .. } => {
+                        let base = p as usize * PS;
+                        prop_assert_eq!(&data[..], &reference[base..base + PS], "page {}", p);
+                    }
+                    other => prop_assert!(false, "unexpected {:?}", other),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Page → home-server mapping.
+//!
+//! Homes are assigned by striping at *cache line* granularity (a line being
+//! `line_pages` consecutive pages): all pages of one line share a home, so a
+//! line fetch is a single request, while consecutive lines rotate across
+//! servers so that large striped allocations spread load — the hot-spot
+//! avoidance that motivates the paper's third allocation strategy.
+
+use serde::{Deserialize, Serialize};
+
+use crate::page::PageId;
+
+/// Maps pages to their home memory server.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HomeMap {
+    servers: u32,
+    line_pages: u32,
+}
+
+impl HomeMap {
+    /// A mapping over `servers` memory servers with `line_pages`-page lines.
+    ///
+    /// # Panics
+    /// Panics unless both arguments are at least 1.
+    pub fn new(servers: u32, line_pages: u32) -> Self {
+        assert!(servers >= 1, "need at least one memory server");
+        assert!(line_pages >= 1, "lines must hold at least one page");
+        HomeMap { servers, line_pages }
+    }
+
+    /// Number of memory servers.
+    pub fn servers(&self) -> u32 {
+        self.servers
+    }
+
+    /// Pages per cache line.
+    pub fn line_pages(&self) -> u32 {
+        self.line_pages
+    }
+
+    /// The cache line a page belongs to.
+    #[inline]
+    pub fn line_of(&self, page: PageId) -> u64 {
+        page.0 / self.line_pages as u64
+    }
+
+    /// First page of a line.
+    #[inline]
+    pub fn first_page_of_line(&self, line: u64) -> PageId {
+        PageId(line * self.line_pages as u64)
+    }
+
+    /// Home server index for a page.
+    #[inline]
+    pub fn home_of_page(&self, page: PageId) -> u32 {
+        (self.line_of(page) % self.servers as u64) as u32
+    }
+
+    /// Home server index for a line.
+    #[inline]
+    pub fn home_of_line(&self, line: u64) -> u32 {
+        (line % self.servers as u64) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pages_of_one_line_share_a_home() {
+        let m = HomeMap::new(3, 4);
+        for line in 0..10u64 {
+            let home = m.home_of_line(line);
+            for p in 0..4u64 {
+                let page = PageId(line * 4 + p);
+                assert_eq!(m.line_of(page), line);
+                assert_eq!(m.home_of_page(page), home);
+            }
+        }
+    }
+
+    #[test]
+    fn consecutive_lines_rotate_servers() {
+        let m = HomeMap::new(4, 2);
+        let homes: Vec<u32> = (0..8).map(|l| m.home_of_line(l)).collect();
+        assert_eq!(homes, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn single_server_homes_everything() {
+        let m = HomeMap::new(1, 4);
+        assert!((0..100).all(|l| m.home_of_line(l) == 0));
+    }
+
+    #[test]
+    fn line_page_roundtrip() {
+        let m = HomeMap::new(2, 4);
+        assert_eq!(m.first_page_of_line(3), PageId(12));
+        assert_eq!(m.line_of(PageId(12)), 3);
+        assert_eq!(m.line_of(PageId(15)), 3);
+        assert_eq!(m.line_of(PageId(16)), 4);
+    }
+
+    #[test]
+    fn striping_balances_load() {
+        let m = HomeMap::new(4, 4);
+        let mut counts = [0u32; 4];
+        for line in 0..1000 {
+            counts[m.home_of_line(line) as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 250));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one memory server")]
+    fn zero_servers_rejected() {
+        HomeMap::new(0, 1);
+    }
+}

@@ -1,0 +1,316 @@
+//! Word-granularity page diffs (the multiple-writer protocol's currency).
+//!
+//! A [`Diff`] records the byte runs of a page that changed relative to its
+//! twin, coalescing adjacent changed words into runs. Diffs from different
+//! writers of the same page commute as long as their modified words are
+//! disjoint — which RegC guarantees for correctly synchronized programs
+//! (conflicting unsynchronized stores to the *same word* are a data race in
+//! the source program; like the original system, last-writer-wins applies).
+
+use serde::{Deserialize, Serialize};
+
+/// Comparison granularity in bytes. Diffing whole 8-byte words matches the
+/// `f64`/`u64`-dominated workloads of the paper and keeps run tables small.
+pub const WORD: usize = 8;
+
+/// One contiguous run of modified bytes within a page.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiffRun {
+    /// Byte offset of the run within the page.
+    pub offset: u32,
+    /// The new bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// The set of modified runs of one page, relative to its twin.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diff {
+    runs: Vec<DiffRun>,
+}
+
+impl Diff {
+    /// Compare `current` against the pristine `twin` and collect changed
+    /// words into coalesced runs.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length.
+    pub fn compute(twin: &[u8], current: &[u8]) -> Diff {
+        assert_eq!(twin.len(), current.len(), "twin/page size mismatch");
+        let mut runs: Vec<DiffRun> = Vec::new();
+        let mut open: Option<DiffRun> = None;
+
+        let push_word = |runs: &mut Vec<DiffRun>, open: &mut Option<DiffRun>, at: usize, bytes: &[u8]| {
+            match open {
+                Some(run) if run.offset as usize + run.bytes.len() == at => {
+                    run.bytes.extend_from_slice(bytes);
+                }
+                _ => {
+                    if let Some(run) = open.take() {
+                        runs.push(run);
+                    }
+                    *open = Some(DiffRun { offset: at as u32, bytes: bytes.to_vec() });
+                }
+            }
+        };
+
+        let mut at = 0;
+        while at + WORD <= twin.len() {
+            if twin[at..at + WORD] != current[at..at + WORD] {
+                push_word(&mut runs, &mut open, at, &current[at..at + WORD]);
+            }
+            at += WORD;
+        }
+        // Tail shorter than a word (only for odd page sizes).
+        if at < twin.len() && twin[at..] != current[at..] {
+            push_word(&mut runs, &mut open, at, &current[at..]);
+        }
+        if let Some(run) = open {
+            runs.push(run);
+        }
+        Diff { runs }
+    }
+
+    /// A diff consisting of a single explicit run (used for fine-grain
+    /// updates that are already known byte ranges).
+    pub fn from_run(offset: u32, bytes: Vec<u8>) -> Diff {
+        if bytes.is_empty() {
+            return Diff::default();
+        }
+        Diff { runs: vec![DiffRun { offset, bytes }] }
+    }
+
+    /// Apply the runs to `target` (the home's copy of the page).
+    ///
+    /// # Panics
+    /// Panics if a run falls outside `target`.
+    pub fn apply(&self, target: &mut [u8]) {
+        for run in &self.runs {
+            let start = run.offset as usize;
+            let end = start + run.bytes.len();
+            assert!(end <= target.len(), "diff run out of page bounds");
+            target[start..end].copy_from_slice(&run.bytes);
+        }
+    }
+
+    /// True when no words changed.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Number of runs.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Payload bytes (what travels on the wire, excluding headers).
+    pub fn payload_bytes(&self) -> usize {
+        self.runs.iter().map(|r| r.bytes.len()).sum()
+    }
+
+    /// Wire size estimate: payload plus one (offset,len) header per run.
+    pub fn wire_bytes(&self) -> usize {
+        self.payload_bytes() + self.runs.len() * 8
+    }
+
+    /// Iterate over the runs.
+    pub fn runs(&self) -> impl Iterator<Item = &DiffRun> {
+        self.runs.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(n: usize) -> Vec<u8> {
+        vec![0u8; n]
+    }
+
+    #[test]
+    fn identical_pages_have_empty_diff() {
+        let twin = page(4096);
+        let cur = twin.clone();
+        let d = Diff::compute(&twin, &cur);
+        assert!(d.is_empty());
+        assert_eq!(d.payload_bytes(), 0);
+    }
+
+    #[test]
+    fn single_word_change() {
+        let twin = page(4096);
+        let mut cur = twin.clone();
+        cur[16] = 0xAB;
+        let d = Diff::compute(&twin, &cur);
+        assert_eq!(d.run_count(), 1);
+        assert_eq!(d.payload_bytes(), WORD);
+        let mut target = twin.clone();
+        d.apply(&mut target);
+        assert_eq!(target, cur);
+    }
+
+    #[test]
+    fn adjacent_words_coalesce_into_one_run() {
+        let twin = page(256);
+        let mut cur = twin.clone();
+        for b in cur[32..64].iter_mut() {
+            *b = 0xFF;
+        }
+        let d = Diff::compute(&twin, &cur);
+        assert_eq!(d.run_count(), 1);
+        assert_eq!(d.payload_bytes(), 32);
+    }
+
+    #[test]
+    fn disjoint_changes_make_separate_runs() {
+        let twin = page(256);
+        let mut cur = twin.clone();
+        cur[0] = 1;
+        cur[128] = 2;
+        let d = Diff::compute(&twin, &cur);
+        assert_eq!(d.run_count(), 2);
+    }
+
+    #[test]
+    fn multiple_writer_merge_is_union() {
+        // Two writers modify disjoint halves of the same page; applying both
+        // diffs to the home yields both modifications — the multiple-writer
+        // protocol in miniature.
+        let home0 = page(4096);
+        let mut w1 = home0.clone();
+        let mut w2 = home0.clone();
+        for b in w1[0..2048].iter_mut() {
+            *b = 0x11;
+        }
+        for b in w2[2048..4096].iter_mut() {
+            *b = 0x22;
+        }
+        let d1 = Diff::compute(&home0, &w1);
+        let d2 = Diff::compute(&home0, &w2);
+        let mut home = home0.clone();
+        d1.apply(&mut home);
+        d2.apply(&mut home);
+        assert!(home[0..2048].iter().all(|&b| b == 0x11));
+        assert!(home[2048..4096].iter().all(|&b| b == 0x22));
+        // And merge order does not matter for disjoint diffs.
+        let mut home_rev = home0.clone();
+        d2.apply(&mut home_rev);
+        d1.apply(&mut home_rev);
+        assert_eq!(home, home_rev);
+    }
+
+    #[test]
+    fn odd_sized_tail_is_diffed() {
+        let twin = page(20); // 2 words + 4-byte tail
+        let mut cur = twin.clone();
+        cur[18] = 9;
+        let d = Diff::compute(&twin, &cur);
+        let mut t = twin.clone();
+        d.apply(&mut t);
+        assert_eq!(t, cur);
+    }
+
+    #[test]
+    fn from_run_roundtrip() {
+        let d = Diff::from_run(100, vec![1, 2, 3, 4]);
+        assert_eq!(d.payload_bytes(), 4);
+        let mut t = page(256);
+        d.apply(&mut t);
+        assert_eq!(&t[100..104], &[1, 2, 3, 4]);
+        assert!(Diff::from_run(0, vec![]).is_empty());
+    }
+
+    #[test]
+    fn wire_bytes_counts_headers() {
+        let twin = page(256);
+        let mut cur = twin.clone();
+        cur[0] = 1;
+        cur[100] = 1;
+        let d = Diff::compute(&twin, &cur);
+        assert_eq!(d.wire_bytes(), d.payload_bytes() + 2 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn mismatched_sizes_panic() {
+        let _ = Diff::compute(&page(8), &page(16));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of page bounds")]
+    fn out_of_bounds_apply_panics() {
+        let d = Diff::from_run(250, vec![0; 16]);
+        let mut t = page(256);
+        d.apply(&mut t);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn page_pair() -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
+        // A twin plus a mutation of it at random word positions.
+        (proptest::collection::vec(any::<u8>(), 256..=256), proptest::collection::vec((0usize..32, any::<u64>()), 0..16))
+            .prop_map(|(twin, writes)| {
+                let mut cur = twin.clone();
+                for (word, value) in writes {
+                    cur[word * 8..word * 8 + 8].copy_from_slice(&value.to_le_bytes());
+                }
+                (twin, cur)
+            })
+    }
+
+    proptest! {
+        /// apply(compute(twin, cur)) over twin reproduces cur exactly.
+        #[test]
+        fn diff_roundtrip((twin, cur) in page_pair()) {
+            let d = Diff::compute(&twin, &cur);
+            let mut out = twin.clone();
+            d.apply(&mut out);
+            prop_assert_eq!(out, cur);
+        }
+
+        /// The diff never carries more than the page and is empty iff the
+        /// buffers are equal; runs are sorted and non-overlapping.
+        #[test]
+        fn diff_is_minimal_and_well_formed((twin, cur) in page_pair()) {
+            let d = Diff::compute(&twin, &cur);
+            prop_assert!(d.payload_bytes() <= twin.len());
+            prop_assert_eq!(d.is_empty(), twin == cur);
+            let mut prev_end = 0usize;
+            for run in d.runs() {
+                prop_assert!(run.offset as usize >= prev_end, "runs overlap or unsorted");
+                prop_assert!(!run.bytes.is_empty());
+                prev_end = run.offset as usize + run.bytes.len();
+            }
+            prop_assert!(prev_end <= twin.len());
+        }
+
+        /// Diffs from writers that touched disjoint words commute.
+        #[test]
+        fn disjoint_diffs_commute(
+            base in proptest::collection::vec(any::<u8>(), 256..=256),
+            writes_a in proptest::collection::vec((0usize..16, any::<u64>()), 0..8),
+            writes_b in proptest::collection::vec((16usize..32, any::<u64>()), 0..8),
+        ) {
+            let mut a = base.clone();
+            for (w, v) in &writes_a {
+                a[w * 8..w * 8 + 8].copy_from_slice(&v.to_le_bytes());
+            }
+            let mut b = base.clone();
+            for (w, v) in &writes_b {
+                b[w * 8..w * 8 + 8].copy_from_slice(&v.to_le_bytes());
+            }
+            let da = Diff::compute(&base, &a);
+            let db = Diff::compute(&base, &b);
+            let mut ab = base.clone();
+            da.apply(&mut ab);
+            db.apply(&mut ab);
+            let mut ba = base.clone();
+            db.apply(&mut ba);
+            da.apply(&mut ba);
+            prop_assert_eq!(ab, ba);
+        }
+    }
+}

@@ -1,0 +1,349 @@
+//! Fine-grain store logs for consistency regions.
+//!
+//! Every store executed inside a consistency region is recorded here as
+//! `(global address, bytes)`. Overlapping and adjacent records coalesce, so
+//! a loop updating one `f64` a thousand times still flushes eight bytes.
+//! At lock release the set is drained per page and shipped to the homes as
+//! object-level updates — the "fine grain (data object level) updates" of
+//! the paper.
+
+use std::collections::BTreeMap;
+
+/// A coalescing log of fine-grain stores, keyed by global byte address.
+#[derive(Clone, Debug, Default)]
+pub struct WriteSet {
+    /// start address -> bytes (ranges are disjoint and non-adjacent).
+    ranges: BTreeMap<u64, Vec<u8>>,
+}
+
+impl WriteSet {
+    /// An empty write set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a store of `data` at global byte address `addr`, merging with
+    /// any overlapping or adjacent existing ranges. Later stores win on
+    /// overlap (program order within one thread).
+    pub fn record(&mut self, addr: u64, data: &[u8]) {
+        if data.is_empty() {
+            return;
+        }
+        let mut start = addr;
+        let mut buf = data.to_vec();
+
+        // Absorb a predecessor that overlaps or touches [addr, addr+len).
+        if let Some((&pstart, pbytes)) = self.ranges.range(..=addr).next_back() {
+            let pend = pstart + pbytes.len() as u64;
+            if pend >= addr {
+                let pbytes = self.ranges.remove(&pstart).expect("range vanished");
+                let mut merged = pbytes;
+                let overlap_at = (addr - pstart) as usize;
+                if overlap_at + buf.len() >= merged.len() {
+                    merged.truncate(overlap_at);
+                    merged.extend_from_slice(&buf);
+                } else {
+                    merged[overlap_at..overlap_at + buf.len()].copy_from_slice(&buf);
+                }
+                start = pstart;
+                buf = merged;
+            }
+        }
+
+        // Absorb successors that start within or adjacent to the new range.
+        let mut end = start + buf.len() as u64;
+        while let Some((&next, _)) = self.ranges.range(start..=end).next() {
+            let nbytes = self.ranges.remove(&next).expect("range vanished");
+            let nend = next + nbytes.len() as u64;
+            if nend > end {
+                let keep_from = (end - next) as usize;
+                buf.extend_from_slice(&nbytes[keep_from..]);
+                end = nend;
+            }
+            // Else the successor is fully covered by the new data: dropped.
+        }
+
+        self.ranges.insert(start, buf);
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Number of disjoint ranges.
+    pub fn range_count(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Total payload bytes recorded.
+    pub fn payload_bytes(&self) -> usize {
+        self.ranges.values().map(Vec::len).sum()
+    }
+
+    /// Iterate over `(addr, bytes)` ranges in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &[u8])> {
+        self.ranges.iter().map(|(&a, b)| (a, b.as_slice()))
+    }
+
+    /// The set of pages (given `page_size`) touched by the recorded stores.
+    pub fn touched_pages(&self, page_size: u64) -> Vec<u64> {
+        let mut pages: Vec<u64> = Vec::new();
+        for (addr, bytes) in self.iter() {
+            let first = addr / page_size;
+            let last = (addr + bytes.len() as u64 - 1) / page_size;
+            for p in first..=last {
+                if pages.last() != Some(&p) {
+                    pages.push(p);
+                }
+            }
+        }
+        pages.dedup();
+        pages
+    }
+
+    /// Drain the set into per-page `(page, page_offset, bytes)` updates,
+    /// splitting ranges that cross page boundaries.
+    pub fn drain_per_page(&mut self, page_size: u64) -> Vec<(u64, u32, Vec<u8>)> {
+        let ranges = std::mem::take(&mut self.ranges);
+        let mut out = Vec::new();
+        for (addr, bytes) in ranges {
+            let mut cursor = 0usize;
+            while cursor < bytes.len() {
+                let at = addr + cursor as u64;
+                let page = at / page_size;
+                let off = (at % page_size) as u32;
+                let room = (page_size - at % page_size) as usize;
+                let take = room.min(bytes.len() - cursor);
+                out.push((page, off, bytes[cursor..cursor + take].to_vec()));
+                cursor += take;
+            }
+        }
+        out
+    }
+
+    /// Discard everything.
+    pub fn clear(&mut self) {
+        self.ranges.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_record_and_query() {
+        let mut ws = WriteSet::new();
+        assert!(ws.is_empty());
+        ws.record(100, &[1, 2, 3, 4]);
+        assert!(!ws.is_empty());
+        assert_eq!(ws.range_count(), 1);
+        assert_eq!(ws.payload_bytes(), 4);
+    }
+
+    #[test]
+    fn repeated_store_coalesces_to_one_range() {
+        let mut ws = WriteSet::new();
+        for _ in 0..1000 {
+            ws.record(64, &7.5f64.to_le_bytes());
+        }
+        assert_eq!(ws.range_count(), 1);
+        assert_eq!(ws.payload_bytes(), 8);
+    }
+
+    #[test]
+    fn adjacent_ranges_merge() {
+        let mut ws = WriteSet::new();
+        ws.record(0, &[1; 8]);
+        ws.record(8, &[2; 8]);
+        assert_eq!(ws.range_count(), 1);
+        assert_eq!(ws.payload_bytes(), 16);
+        let (addr, bytes) = ws.iter().next().unwrap();
+        assert_eq!(addr, 0);
+        assert_eq!(&bytes[0..8], &[1; 8]);
+        assert_eq!(&bytes[8..16], &[2; 8]);
+    }
+
+    #[test]
+    fn later_store_wins_on_overlap() {
+        let mut ws = WriteSet::new();
+        ws.record(0, &[1; 16]);
+        ws.record(4, &[2; 4]);
+        assert_eq!(ws.range_count(), 1);
+        let (_, bytes) = ws.iter().next().unwrap();
+        assert_eq!(bytes, &[1, 1, 1, 1, 2, 2, 2, 2, 1, 1, 1, 1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn new_range_swallows_covered_successors() {
+        let mut ws = WriteSet::new();
+        ws.record(10, &[1; 4]);
+        ws.record(20, &[2; 4]);
+        ws.record(0, &[9; 40]);
+        assert_eq!(ws.range_count(), 1);
+        let (addr, bytes) = ws.iter().next().unwrap();
+        assert_eq!(addr, 0);
+        assert_eq!(bytes.len(), 40);
+        assert!(bytes.iter().all(|&b| b == 9));
+    }
+
+    #[test]
+    fn partial_overlap_with_successor_keeps_tail() {
+        let mut ws = WriteSet::new();
+        ws.record(10, &[1; 10]); // [10, 20)
+        ws.record(5, &[2; 8]); // [5, 13) — overwrites 10..13, keeps 13..20
+        assert_eq!(ws.range_count(), 1);
+        let (addr, bytes) = ws.iter().next().unwrap();
+        assert_eq!(addr, 5);
+        assert_eq!(bytes.len(), 15);
+        assert!(bytes[0..8].iter().all(|&b| b == 2));
+        assert!(bytes[8..].iter().all(|&b| b == 1));
+    }
+
+    #[test]
+    fn touched_pages_spans_boundaries() {
+        let mut ws = WriteSet::new();
+        ws.record(4090, &[1; 12]); // crosses page 0 -> 1 (page size 4096)
+        ws.record(9000, &[2; 4]); // page 2
+        assert_eq!(ws.touched_pages(4096), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn drain_per_page_splits_ranges() {
+        let mut ws = WriteSet::new();
+        ws.record(4090, &[7; 12]);
+        let parts = ws.drain_per_page(4096);
+        assert!(ws.is_empty());
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0], (0, 4090, vec![7; 6]));
+        assert_eq!(parts[1], (1, 0, vec![7; 6]));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut ws = WriteSet::new();
+        ws.record(0, &[1]);
+        ws.clear();
+        assert!(ws.is_empty());
+        assert_eq!(ws.touched_pages(4096), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn empty_store_is_a_no_op() {
+        let mut ws = WriteSet::new();
+        ws.record(42, &[]);
+        assert!(ws.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Reference model: apply stores to a flat byte array, then compare the
+    /// write set's reconstruction against the reference for every recorded
+    /// address.
+    fn reference_apply(stores: &[(u64, Vec<u8>)], size: usize) -> (Vec<u8>, Vec<bool>) {
+        let mut mem = vec![0u8; size];
+        let mut written = vec![false; size];
+        for (addr, bytes) in stores {
+            for (i, &b) in bytes.iter().enumerate() {
+                let at = *addr as usize + i;
+                mem[at] = b;
+                written[at] = true;
+            }
+        }
+        (mem, written)
+    }
+
+    proptest! {
+        #[test]
+        fn writeset_replay_matches_reference(
+            stores in proptest::collection::vec(
+                (0u64..2000, proptest::collection::vec(any::<u8>(), 1..64)),
+                1..64,
+            )
+        ) {
+            const SIZE: usize = 2100;
+            let (reference, written) = reference_apply(&stores, SIZE);
+
+            let mut ws = WriteSet::new();
+            for (addr, bytes) in &stores {
+                ws.record(*addr, bytes);
+            }
+
+            // Replay the write set onto a fresh buffer.
+            let mut replay = vec![0u8; SIZE];
+            let mut covered = vec![false; SIZE];
+            for (addr, bytes) in ws.iter() {
+                for (i, &b) in bytes.iter().enumerate() {
+                    replay[addr as usize + i] = b;
+                    covered[addr as usize + i] = true;
+                }
+            }
+
+            // Every byte the program wrote must be reproduced exactly.
+            for at in 0..SIZE {
+                if written[at] {
+                    prop_assert!(covered[at], "written byte {} not covered", at);
+                    prop_assert_eq!(replay[at], reference[at], "byte {} differs", at);
+                }
+            }
+        }
+
+        #[test]
+        fn ranges_stay_disjoint_and_sorted(
+            stores in proptest::collection::vec(
+                (0u64..5000, proptest::collection::vec(any::<u8>(), 1..32)),
+                1..80,
+            )
+        ) {
+            let mut ws = WriteSet::new();
+            for (addr, bytes) in &stores {
+                ws.record(*addr, bytes);
+            }
+            let ranges: Vec<(u64, usize)> = ws.iter().map(|(a, b)| (a, b.len())).collect();
+            for pair in ranges.windows(2) {
+                let (a0, l0) = pair[0];
+                let (a1, _) = pair[1];
+                // Strictly disjoint AND non-adjacent (else they would merge).
+                prop_assert!(a0 + (l0 as u64) < a1, "ranges touch: {:?}", pair);
+            }
+        }
+
+        #[test]
+        fn drain_per_page_preserves_bytes(
+            stores in proptest::collection::vec(
+                (0u64..10000, proptest::collection::vec(any::<u8>(), 1..48)),
+                1..40,
+            ),
+            page_size in prop_oneof![Just(256u64), Just(1024u64), Just(4096u64)],
+        ) {
+            const SIZE: usize = 10100;
+            let (reference, written) = reference_apply(&stores, SIZE);
+            let mut ws = WriteSet::new();
+            for (addr, bytes) in &stores {
+                ws.record(*addr, bytes);
+            }
+            let mut replay = vec![0u8; SIZE];
+            let mut covered = vec![false; SIZE];
+            for (page, off, bytes) in ws.drain_per_page(page_size) {
+                let base = (page * page_size) as usize + off as usize;
+                // No range may cross a page boundary after draining.
+                prop_assert!(off as u64 + bytes.len() as u64 <= page_size);
+                for (i, &b) in bytes.iter().enumerate() {
+                    replay[base + i] = b;
+                    covered[base + i] = true;
+                }
+            }
+            for at in 0..SIZE {
+                if written[at] {
+                    prop_assert!(covered[at]);
+                    prop_assert_eq!(replay[at], reference[at]);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! The "pthreads" baseline backend.
+//!
+//! Real OS threads over plain shared memory, standing in for the paper's
+//! Pthreads runs on a cache-coherent node. Two fidelity decisions:
+//!
+//! * **Compute costs are identical to Samhita's** (same `flop_ns`,
+//!   `mem_op_ns`): on a hardware-coherent node a cached load costs the same
+//!   whether the program was written for Pthreads or Samhita, and this is
+//!   what makes the paper's "normalized compute time" (Samhita ÷ 1-thread
+//!   Pthreads) meaningful.
+//! * **Synchronization costs are hardware-scale constants** (a hundred ns
+//!   mutex handoff, a few hundred ns barrier) with the same virtual-clock
+//!   combining the DSM uses — a lock grant never precedes the previous
+//!   release, a barrier releases at the maximum arrival clock.
+//!
+//! Shared arrays are `AtomicU64`-backed bit-cast doubles, so the baseline is
+//! data-race-free Rust even when kernels write disjoint elements without
+//! locks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use samhita_core::localsync::LocalSync;
+use samhita_core::{RunReport, ThreadStats};
+use samhita_scl::{FabricStatsSnapshot, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::{ArrF64, KernelCtx, KernelRt, SyncId};
+
+/// Cost constants for the native baseline.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NativeCosts {
+    /// Per-flop cost; keep equal to [`samhita_core::CostParams::flop_ns`].
+    pub flop_ns: f64,
+    /// Per-8-byte-access cost; keep equal to
+    /// [`samhita_core::CostParams::mem_op_ns`].
+    pub mem_op_ns: f64,
+    /// Pthread mutex handoff cost.
+    pub mutex_ns: u64,
+    /// Pthread barrier cost (futex wake fan-out).
+    pub barrier_ns: u64,
+}
+
+impl Default for NativeCosts {
+    fn default() -> Self {
+        let c = samhita_core::CostParams::default();
+        NativeCosts { flop_ns: c.flop_ns, mem_op_ns: c.mem_op_ns, mutex_ns: 120, barrier_ns: 400 }
+    }
+}
+
+impl NativeCosts {
+    /// Costs matching a specific Samhita configuration's compute constants.
+    pub fn matching(c: &samhita_core::CostParams) -> Self {
+        NativeCosts { flop_ns: c.flop_ns, mem_op_ns: c.mem_op_ns, ..NativeCosts::default() }
+    }
+}
+
+/// The native backend.
+pub struct NativeRt {
+    costs: NativeCosts,
+    arrays: RwLock<Vec<Arc<Vec<AtomicU64>>>>,
+    locks: LocalSync,
+    barriers: LocalSync,
+}
+
+impl Default for NativeRt {
+    fn default() -> Self {
+        NativeRt::new(NativeCosts::default())
+    }
+}
+
+impl NativeRt {
+    /// A backend with the given cost constants.
+    pub fn new(costs: NativeCosts) -> Self {
+        NativeRt {
+            costs,
+            arrays: RwLock::new(Vec::new()),
+            locks: LocalSync::new(costs.mutex_ns),
+            barriers: LocalSync::new(costs.barrier_ns),
+        }
+    }
+
+    fn register(&self, n: usize) -> ArrF64 {
+        let mut arrays = self.arrays.write();
+        arrays.push(Arc::new((0..n).map(|_| AtomicU64::new(0f64.to_bits())).collect()));
+        (arrays.len() - 1) as ArrF64
+    }
+
+    fn array(&self, a: ArrF64) -> Arc<Vec<AtomicU64>> {
+        Arc::clone(&self.arrays.read()[a as usize])
+    }
+}
+
+impl KernelRt for NativeRt {
+    fn name(&self) -> &'static str {
+        "pthreads"
+    }
+
+    fn alloc_f64_global(&self, n: usize) -> ArrF64 {
+        self.register(n)
+    }
+
+    fn init_f64(&self, a: ArrF64, values: &[f64]) {
+        let arr = self.array(a);
+        for (slot, &v) in arr.iter().zip(values) {
+            slot.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    fn fetch_f64(&self, a: ArrF64, n: usize) -> Vec<f64> {
+        let arr = self.array(a);
+        arr.iter().take(n).map(|s| f64::from_bits(s.load(Ordering::Relaxed))).collect()
+    }
+
+    fn mutex(&self) -> SyncId {
+        self.locks.create_lock()
+    }
+
+    fn barrier(&self, parties: u32) -> SyncId {
+        self.barriers.create_barrier(parties)
+    }
+
+    fn run(&self, nthreads: u32, body: &(dyn Fn(&mut dyn KernelCtx) + Sync)) -> RunReport {
+        assert!(nthreads >= 1);
+        let stats = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..nthreads)
+                .map(|tid| {
+                    s.spawn(move || {
+                        let mut ctx = NativeCtx {
+                            rt: self,
+                            tid,
+                            nthreads,
+                            clock: SimTime::ZERO,
+                            frac_ns: 0.0,
+                            sync: SimTime::ZERO,
+                            epoch_clock: SimTime::ZERO,
+                            epoch_sync: SimTime::ZERO,
+                        };
+                        body(&mut ctx);
+                        let total = ctx.clock.saturating_sub(ctx.epoch_clock);
+                        let sync = ctx.sync.saturating_sub(ctx.epoch_sync);
+                        ThreadStats {
+                            tid,
+                            total,
+                            sync,
+                            compute: total.saturating_sub(sync),
+                            ..ThreadStats::default()
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(stats) => stats,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect::<Vec<_>>()
+        });
+        RunReport::new(stats, FabricStatsSnapshot::default())
+    }
+}
+
+struct NativeCtx<'rt> {
+    rt: &'rt NativeRt,
+    tid: u32,
+    nthreads: u32,
+    clock: SimTime,
+    frac_ns: f64,
+    sync: SimTime,
+    epoch_clock: SimTime,
+    epoch_sync: SimTime,
+}
+
+impl NativeCtx<'_> {
+    fn charge(&mut self, ns: f64) {
+        self.frac_ns += ns;
+        if self.frac_ns >= 1.0 {
+            let whole = self.frac_ns.floor();
+            self.clock += SimTime::from_ns(whole as u64);
+            self.frac_ns -= whole;
+        }
+    }
+
+    fn charge_mem_ops(&mut self, ops: usize) {
+        self.charge(ops as f64 * self.rt.costs.mem_op_ns);
+    }
+}
+
+impl KernelCtx for NativeCtx<'_> {
+    fn tid(&self) -> u32 {
+        self.tid
+    }
+
+    fn nthreads(&self) -> u32 {
+        self.nthreads
+    }
+
+    fn alloc_local_f64(&mut self, n: usize) -> ArrF64 {
+        // Plain memory: "local" vs "global" only matters for layout under
+        // the DSM; here both are ordinary allocations.
+        self.rt.register(n)
+    }
+
+    fn read(&mut self, a: ArrF64, i: usize) -> f64 {
+        self.charge_mem_ops(1);
+        f64::from_bits(self.rt.array(a)[i].load(Ordering::Relaxed))
+    }
+
+    fn write(&mut self, a: ArrF64, i: usize, v: f64) {
+        self.charge_mem_ops(1);
+        self.rt.array(a)[i].store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    fn read_block(&mut self, a: ArrF64, start: usize, out: &mut [f64]) {
+        self.charge_mem_ops(out.len());
+        let arr = self.rt.array(a);
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = f64::from_bits(arr[start + k].load(Ordering::Relaxed));
+        }
+    }
+
+    fn write_block(&mut self, a: ArrF64, start: usize, src: &[f64]) {
+        self.charge_mem_ops(src.len());
+        let arr = self.rt.array(a);
+        for (k, &v) in src.iter().enumerate() {
+            arr[start + k].store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    fn update_block(
+        &mut self,
+        a: ArrF64,
+        start: usize,
+        n: usize,
+        f: &mut dyn FnMut(usize, f64) -> f64,
+    ) {
+        self.charge_mem_ops(2 * n);
+        let arr = self.rt.array(a);
+        for k in 0..n {
+            let v = f64::from_bits(arr[start + k].load(Ordering::Relaxed));
+            arr[start + k].store(f(k, v).to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    fn compute(&mut self, flops: u64) {
+        self.charge(flops as f64 * self.rt.costs.flop_ns);
+    }
+
+    fn start_timing(&mut self) {
+        self.epoch_clock = self.clock;
+        self.epoch_sync = self.sync;
+    }
+
+    fn lock(&mut self, m: SyncId) {
+        let t0 = self.clock;
+        let (at, _, _) = self.rt.locks.acquire(m, self.tid, self.clock, Vec::new(), Vec::new(), 0);
+        self.clock = self.clock.max(at);
+        self.sync += self.clock - t0;
+    }
+
+    fn unlock(&mut self, m: SyncId) {
+        let t0 = self.clock;
+        self.rt.locks.release(m, self.tid, self.clock, Vec::new(), Vec::new());
+        self.charge(self.rt.costs.mutex_ns as f64);
+        self.sync += self.clock - t0;
+    }
+
+    fn barrier_wait(&mut self, b: SyncId) {
+        let t0 = self.clock;
+        let (at, _, _) = self.rt.barriers.barrier_wait(b, self.tid, self.clock, Vec::new(), Vec::new(), 0);
+        self.clock = self.clock.max(at);
+        self.sync += self.clock - t0;
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.clock.as_ns()
+    }
+
+    fn sync_ns(&self) -> u64 {
+        self.sync.as_ns()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_time_is_deterministic_and_flat() {
+        let rt = NativeRt::default();
+        let b = rt.barrier(4);
+        let report = rt.run(4, &|ctx| {
+            ctx.compute(1_000_000);
+            ctx.barrier_wait(b);
+        });
+        let compute: Vec<u64> = report.threads.iter().map(|t| t.compute.as_ns()).collect();
+        // flop_ns = 0.35 -> exactly 350_000 ns each.
+        assert!(compute.iter().all(|&c| c == 350_000), "{compute:?}");
+        // Barrier time is small and bounded.
+        assert!(report.threads.iter().all(|t| t.sync.as_ns() < 10_000));
+    }
+
+    #[test]
+    fn mutex_serializes_critical_sections_in_virtual_time() {
+        let rt = NativeRt::default();
+        let m = rt.mutex();
+        let total = rt.alloc_f64_global(1);
+        let report = rt.run(8, &|ctx| {
+            ctx.lock(m);
+            let v = ctx.read(total, 0);
+            ctx.write(total, 0, v + 1.0);
+            ctx.unlock(m);
+        });
+        assert_eq!(rt.fetch_f64(total, 1)[0], 8.0);
+        // Virtual serialization: someone's grant waited behind 7 releases.
+        let max_total = report.makespan.as_ns();
+        assert!(max_total >= 7 * rt.costs.mutex_ns, "makespan {max_total}");
+    }
+
+    #[test]
+    fn blocks_and_elementwise_agree() {
+        let rt = NativeRt::default();
+        let a = rt.alloc_f64_global(16);
+        rt.run(1, &|ctx| {
+            ctx.update_block(a, 0, 16, &mut |i, _| i as f64);
+            let mut buf = vec![0.0; 16];
+            ctx.read_block(a, 0, &mut buf);
+            for (i, v) in buf.iter().enumerate() {
+                assert_eq!(*v, i as f64);
+                assert_eq!(ctx.read(a, i), i as f64);
+            }
+            ctx.write_block(a, 0, &[9.0; 16]);
+            assert_eq!(ctx.read(a, 15), 9.0);
+        });
+    }
+
+    #[test]
+    fn init_and_fetch_roundtrip() {
+        let rt = NativeRt::default();
+        let a = rt.alloc_f64_global(4);
+        rt.init_f64(a, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(rt.fetch_f64(a, 4), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+}

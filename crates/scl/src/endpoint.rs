@@ -1,0 +1,128 @@
+//! Endpoints: the receiving half of a fabric attachment.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, TryRecvError};
+
+use crate::error::SclError;
+use crate::fabric::Fabric;
+use crate::stats::MsgClass;
+use crate::time::SimTime;
+use crate::topology::{EndpointId, NodeId};
+
+/// A message in flight (or just delivered).
+#[derive(Debug, Clone)]
+pub struct Envelope<M> {
+    /// Sending endpoint.
+    pub src: EndpointId,
+    /// Virtual time at which the sender posted the message.
+    pub sent_at: SimTime,
+    /// Virtual time at which the message reaches the receiver. Receivers
+    /// must advance their clock to at least this before acting on `msg`.
+    pub deliver_at: SimTime,
+    /// Application payload.
+    pub msg: M,
+}
+
+/// One attachment point on the fabric. Owned by exactly one component
+/// thread; cloneable senders live inside the fabric.
+pub struct Endpoint<M> {
+    id: EndpointId,
+    node: NodeId,
+    rx: Receiver<Envelope<M>>,
+    fabric: Arc<Fabric<M>>,
+}
+
+impl<M: Send + 'static> Endpoint<M> {
+    pub(crate) fn new(
+        id: EndpointId,
+        node: NodeId,
+        rx: Receiver<Envelope<M>>,
+        fabric: Arc<Fabric<M>>,
+    ) -> Self {
+        Endpoint { id, node, rx, fabric }
+    }
+
+    /// This endpoint's fabric id.
+    pub fn id(&self) -> EndpointId {
+        self.id
+    }
+
+    /// The node this endpoint is placed on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The fabric this endpoint is attached to.
+    pub fn fabric(&self) -> &Arc<Fabric<M>> {
+        &self.fabric
+    }
+
+    /// Send a message; see [`Fabric::send`].
+    pub fn send(
+        &self,
+        dst: EndpointId,
+        now: SimTime,
+        wire_bytes: usize,
+        class: MsgClass,
+        msg: M,
+    ) -> Result<SimTime, SclError> {
+        self.fabric.send(self.id, dst, now, wire_bytes, class, msg)
+    }
+
+    /// Block until a message arrives (physically).
+    pub fn recv(&self) -> Result<Envelope<M>, SclError> {
+        self.rx.recv().map_err(|_| SclError::ChannelClosed)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Envelope<M>> {
+        match self.rx.try_recv() {
+            Ok(env) => Some(env),
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Blocking receive with a *wall-clock* timeout; used by service loops to
+    /// poll for shutdown.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Option<Envelope<M>>, SclError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(env) => Ok(Some(env)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(SclError::ChannelClosed),
+        }
+    }
+}
+
+
+impl<M> std::fmt::Debug for Endpoint<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Endpoint").field("id", &self.id).field("node", &self.node).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+
+    #[test]
+    fn try_recv_and_timeout() {
+        let fabric = Fabric::<u8>::new(Topology::single_node(1));
+        let a = fabric.add_endpoint(NodeId(0));
+        let b = fabric.add_endpoint(NodeId(0));
+        assert!(b.try_recv().is_none());
+        assert!(b.recv_timeout(Duration::from_millis(1)).unwrap().is_none());
+        a.send(b.id(), SimTime::ZERO, 1, MsgClass::Control, 9).unwrap();
+        assert_eq!(b.try_recv().unwrap().msg, 9);
+    }
+
+    #[test]
+    fn endpoint_reports_placement() {
+        let fabric = Fabric::<u8>::new(Topology::cluster(3, crate::profiles::ib_qdr()));
+        let e = fabric.add_endpoint(NodeId(2));
+        assert_eq!(e.node(), NodeId(2));
+        assert_eq!(e.fabric().topology().len(), 3);
+    }
+}

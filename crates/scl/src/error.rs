@@ -1,0 +1,40 @@
+//! SCL error types.
+
+use std::fmt;
+
+use crate::topology::EndpointId;
+
+/// Errors surfaced by the communication layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SclError {
+    /// The destination endpoint has been dropped (its receiver is gone).
+    Disconnected(EndpointId),
+    /// The destination endpoint id was never registered with the fabric.
+    UnknownEndpoint(EndpointId),
+    /// A blocking receive found the channel closed and drained.
+    ChannelClosed,
+}
+
+impl fmt::Display for SclError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SclError::Disconnected(id) => write!(f, "endpoint {:?} disconnected", id),
+            SclError::UnknownEndpoint(id) => write!(f, "unknown endpoint {:?}", id),
+            SclError::ChannelClosed => write!(f, "endpoint channel closed"),
+        }
+    }
+}
+
+impl std::error::Error for SclError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SclError::UnknownEndpoint(EndpointId(42));
+        assert!(e.to_string().contains("42"));
+        assert!(SclError::ChannelClosed.to_string().contains("closed"));
+    }
+}

@@ -1,0 +1,200 @@
+//! The fabric: endpoint registry + virtual-time message delivery.
+//!
+//! [`Fabric::send`] is the single point where communication cost is charged:
+//! it looks up the route between the source and destination nodes, computes
+//! the transfer time for the declared wire size, stamps the envelope with
+//! `deliver_at = now + transfer`, and pushes it onto the destination's
+//! unbounded channel. Physical delivery is immediate; *virtual* delivery is
+//! what the receiver's clock advances to.
+
+use std::sync::Arc;
+
+use crossbeam::channel::{self, Sender};
+use parking_lot::RwLock;
+
+use crate::endpoint::{Endpoint, Envelope};
+use crate::error::SclError;
+use crate::stats::{FabricStats, FabricStatsSnapshot, MsgClass};
+use crate::time::SimTime;
+use crate::topology::{EndpointId, NodeId, Topology};
+
+struct Slot<M> {
+    tx: Sender<Envelope<M>>,
+    node: NodeId,
+}
+
+/// The simulated interconnect connecting all DSM components.
+pub struct Fabric<M> {
+    topo: Topology,
+    slots: RwLock<Vec<Slot<M>>>,
+    stats: FabricStats,
+}
+
+impl<M: Send + 'static> Fabric<M> {
+    /// Create a fabric over the given topology.
+    pub fn new(topo: Topology) -> Arc<Self> {
+        Arc::new(Fabric { topo, slots: RwLock::new(Vec::new()), stats: FabricStats::default() })
+    }
+
+    /// Attach a new endpoint on `node` and return its receiving half.
+    ///
+    /// # Panics
+    /// Panics if `node` is not part of the topology.
+    pub fn add_endpoint(self: &Arc<Self>, node: NodeId) -> Endpoint<M> {
+        assert!(self.topo.node(node).is_some(), "placement on unknown node {node:?}");
+        let (tx, rx) = channel::unbounded();
+        let mut slots = self.slots.write();
+        let id = EndpointId(slots.len() as u32);
+        slots.push(Slot { tx, node });
+        drop(slots);
+        Endpoint::new(id, node, rx, Arc::clone(self))
+    }
+
+    /// Node an endpoint lives on.
+    pub fn node_of(&self, ep: EndpointId) -> Option<NodeId> {
+        self.slots.read().get(ep.0 as usize).map(|s| s.node)
+    }
+
+    /// Send `msg` from `src` (whose virtual clock reads `now`) to `dst`,
+    /// declaring `wire_bytes` of payload on the wire. Returns the virtual
+    /// delivery time at `dst`.
+    ///
+    /// The transfer cost is charged against the route between the endpoints'
+    /// nodes; `wire_bytes` should be the *protocol* payload size (headers are
+    /// covered by the per-message overhead term of the link model).
+    pub fn send(
+        &self,
+        src: EndpointId,
+        dst: EndpointId,
+        now: SimTime,
+        wire_bytes: usize,
+        class: MsgClass,
+        msg: M,
+    ) -> Result<SimTime, SclError> {
+        let slots = self.slots.read();
+        let src_slot = slots.get(src.0 as usize).ok_or(SclError::UnknownEndpoint(src))?;
+        let dst_slot = slots.get(dst.0 as usize).ok_or(SclError::UnknownEndpoint(dst))?;
+        let route = self.topo.route(src_slot.node, dst_slot.node);
+        let deliver_at = now + route.transfer_ns(wire_bytes);
+        self.stats.record(class, wire_bytes);
+        let env = Envelope { src, sent_at: now, deliver_at, msg };
+        dst_slot.tx.send(env).map_err(|_| SclError::Disconnected(dst))?;
+        Ok(deliver_at)
+    }
+
+    /// The topology this fabric simulates.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Snapshot traffic counters.
+    pub fn stats(&self) -> FabricStatsSnapshot {
+        self.stats.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles;
+
+    #[test]
+    fn send_charges_route_cost() {
+        let topo = Topology::cluster(2, profiles::ib_qdr());
+        let fabric = Fabric::<&'static str>::new(topo);
+        let a = fabric.add_endpoint(NodeId(0));
+        let b = fabric.add_endpoint(NodeId(1));
+
+        let now = SimTime::from_us(5);
+        let t = a.send(b.id(), now, 4096, MsgClass::Data, "page").unwrap();
+        let expected = now + profiles::ib_qdr().transfer_ns(4096);
+        assert_eq!(t, expected);
+
+        let env = b.recv().unwrap();
+        assert_eq!(env.msg, "page");
+        assert_eq!(env.src, a.id());
+        assert_eq!(env.sent_at, now);
+        assert_eq!(env.deliver_at, expected);
+    }
+
+    #[test]
+    fn intra_node_cheaper_than_inter_node() {
+        let topo = Topology::cluster(2, profiles::ib_qdr());
+        let fabric = Fabric::<()>::new(topo);
+        let a = fabric.add_endpoint(NodeId(0));
+        let b = fabric.add_endpoint(NodeId(0));
+        let c = fabric.add_endpoint(NodeId(1));
+        let t_local = a.send(b.id(), SimTime::ZERO, 1024, MsgClass::Data, ()).unwrap();
+        let t_remote = a.send(c.id(), SimTime::ZERO, 1024, MsgClass::Data, ()).unwrap();
+        assert!(t_local < t_remote);
+    }
+
+    #[test]
+    fn unknown_endpoint_is_an_error() {
+        let fabric = Fabric::<()>::new(Topology::single_node(1));
+        let a = fabric.add_endpoint(NodeId(0));
+        let err = a.send(EndpointId(99), SimTime::ZERO, 0, MsgClass::Control, ());
+        assert_eq!(err.unwrap_err(), SclError::UnknownEndpoint(EndpointId(99)));
+    }
+
+    #[test]
+    fn disconnected_endpoint_is_an_error() {
+        let fabric = Fabric::<()>::new(Topology::single_node(1));
+        let a = fabric.add_endpoint(NodeId(0));
+        let b = fabric.add_endpoint(NodeId(0));
+        let b_id = b.id();
+        drop(b);
+        let err = a.send(b_id, SimTime::ZERO, 0, MsgClass::Control, ());
+        assert_eq!(err.unwrap_err(), SclError::Disconnected(b_id));
+    }
+
+    #[test]
+    fn stats_accumulate_by_class() {
+        let fabric = Fabric::<u8>::new(Topology::single_node(1));
+        let a = fabric.add_endpoint(NodeId(0));
+        let b = fabric.add_endpoint(NodeId(0));
+        a.send(b.id(), SimTime::ZERO, 100, MsgClass::Data, 1).unwrap();
+        a.send(b.id(), SimTime::ZERO, 10, MsgClass::Sync, 2).unwrap();
+        let s = fabric.stats();
+        assert_eq!(s.msgs(MsgClass::Data), 1);
+        assert_eq!(s.bytes(MsgClass::Data), 100);
+        assert_eq!(s.msgs(MsgClass::Sync), 1);
+    }
+
+    #[test]
+    fn endpoint_ids_are_dense() {
+        let fabric = Fabric::<()>::new(Topology::single_node(4));
+        let eps: Vec<_> = (0..5).map(|_| fabric.add_endpoint(NodeId(0))).collect();
+        for (i, ep) in eps.iter().enumerate() {
+            assert_eq!(ep.id(), EndpointId(i as u32));
+            assert_eq!(fabric.node_of(ep.id()), Some(NodeId(0)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn placement_on_unknown_node_panics() {
+        let fabric = Fabric::<()>::new(Topology::single_node(1));
+        let _ = fabric.add_endpoint(NodeId(3));
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let topo = Topology::cluster(2, profiles::ib_qdr());
+        let fabric = Fabric::<u64>::new(topo);
+        let a = fabric.add_endpoint(NodeId(0));
+        let b = fabric.add_endpoint(NodeId(1));
+        let b_id = b.id();
+        let h = std::thread::spawn(move || {
+            let mut sum = 0;
+            for _ in 0..100 {
+                sum += b.recv().unwrap().msg;
+            }
+            sum
+        });
+        for i in 0..100u64 {
+            a.send(b_id, SimTime::from_ns(i), 8, MsgClass::Data, i).unwrap();
+        }
+        assert_eq!(h.join().unwrap(), (0..100).sum::<u64>());
+    }
+}

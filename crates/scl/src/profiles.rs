@@ -1,0 +1,94 @@
+//! Fabric profiles.
+//!
+//! Named [`LinkModel`]s for the interconnects the paper discusses. Absolute
+//! parameters are engineering estimates for the 2013-era hardware; what
+//! matters for reproduction is their *relative* cost structure:
+//!
+//! * QDR InfiniBand (the evaluation fabric): ~1.3 µs end-to-end latency
+//!   through HCA + switch, 32 Gb/s data rate, a few hundred ns of verbs
+//!   software overhead per message.
+//! * PCI Express gen2 x16 (host ↔ Xeon Phi): lower latency, higher raw
+//!   bandwidth, but with a *verbs-proxy* software path whose per-message
+//!   overhead is high — the situation §V of the paper wants to escape.
+//! * SCIF: the same physical PCIe but with the direct SCIF software stack,
+//!   i.e. the per-message overhead drops substantially (§V's proposal).
+//! * 10 GbE: a pessimistic baseline used only in ablations.
+
+use crate::model::LinkModel;
+
+/// Quad-data-rate InfiniBand through one switch (HCA–switch–HCA), as in the
+/// paper's six-node evaluation cluster.
+pub fn ib_qdr() -> LinkModel {
+    LinkModel {
+        latency_ns: 1_300,
+        gbits_per_sec: 32.0,
+        per_msg_overhead_ns: 300,
+    }
+}
+
+/// PCI Express gen2 x16 crossed via an InfiniBand *verbs proxy*, the software
+/// path a stock Samhita build would use between host and coprocessor.
+pub fn pcie_verbs_proxy() -> LinkModel {
+    LinkModel {
+        latency_ns: 900,
+        gbits_per_sec: 48.0,
+        per_msg_overhead_ns: 1_100,
+    }
+}
+
+/// PCI Express gen2 x16 driven directly through SCIF (the paper's proposed
+/// SCL port): same wire, much cheaper software path.
+pub fn scif() -> LinkModel {
+    LinkModel {
+        latency_ns: 550,
+        gbits_per_sec: 48.0,
+        per_msg_overhead_ns: 200,
+    }
+}
+
+/// 10-gigabit Ethernet with a kernel sockets stack; the kind of interconnect
+/// that made 1990s DSMs unattractive. Ablation use only.
+pub fn ethernet_10g() -> LinkModel {
+    LinkModel {
+        latency_ns: 9_000,
+        gbits_per_sec: 10.0,
+        per_msg_overhead_ns: 2_500,
+    }
+}
+
+/// Traffic between two endpoints placed on the *same* node (e.g. manager and
+/// memory server co-located on the host): a shared-memory handoff.
+pub fn intra_node() -> LinkModel {
+    LinkModel {
+        latency_ns: 80,
+        gbits_per_sec: 200.0,
+        per_msg_overhead_ns: 40,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_ordering_of_profiles() {
+        // Latency: intra-node < SCIF < verbs proxy < IB < 10GbE.
+        assert!(intra_node().latency_ns < scif().latency_ns);
+        assert!(scif().latency_ns < pcie_verbs_proxy().latency_ns);
+        assert!(pcie_verbs_proxy().latency_ns < ib_qdr().latency_ns);
+        assert!(ib_qdr().latency_ns < ethernet_10g().latency_ns);
+    }
+
+    #[test]
+    fn scif_beats_verbs_proxy_on_small_messages() {
+        // The whole point of the paper's §V SCIF proposal: small-message cost
+        // drops because the software overhead drops.
+        let small = 64;
+        assert!(scif().transfer_ns(small) < pcie_verbs_proxy().transfer_ns(small));
+    }
+
+    #[test]
+    fn scif_and_proxy_share_wire_bandwidth() {
+        assert_eq!(scif().gbits_per_sec, pcie_verbs_proxy().gbits_per_sec);
+    }
+}

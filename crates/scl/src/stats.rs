@@ -1,0 +1,160 @@
+//! Fabric traffic statistics.
+//!
+//! Counters are lock-free (`Relaxed` atomics — they are statistics, not
+//! synchronization) and classified by [`MsgClass`] so the benchmark harness
+//! can report data movement vs. control/synchronization traffic separately,
+//! mirroring the paper's compute-time / synchronization-time split.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// Coarse classification of fabric traffic.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MsgClass {
+    /// Page / cache-line payloads (demand fetches, prefetches).
+    Data,
+    /// Consistency traffic: diffs and fine-grain updates.
+    Update,
+    /// Synchronization RPCs (locks, barriers, condition variables).
+    Sync,
+    /// Allocation and other management RPCs.
+    Control,
+}
+
+impl MsgClass {
+    /// All classes, in display order.
+    pub const ALL: [MsgClass; 4] =
+        [MsgClass::Data, MsgClass::Update, MsgClass::Sync, MsgClass::Control];
+
+    fn index(self) -> usize {
+        match self {
+            MsgClass::Data => 0,
+            MsgClass::Update => 1,
+            MsgClass::Sync => 2,
+            MsgClass::Control => 3,
+        }
+    }
+}
+
+/// Live counters attached to a fabric.
+#[derive(Debug, Default)]
+pub struct FabricStats {
+    msgs: [AtomicU64; 4],
+    bytes: [AtomicU64; 4],
+}
+
+impl FabricStats {
+    /// Record one message of `bytes` payload in class `class`.
+    #[inline]
+    pub fn record(&self, class: MsgClass, bytes: usize) {
+        let i = class.index();
+        self.msgs[i].fetch_add(1, Ordering::Relaxed);
+        self.bytes[i].fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Snapshot the counters.
+    pub fn snapshot(&self) -> FabricStatsSnapshot {
+        let mut s = FabricStatsSnapshot::default();
+        for class in MsgClass::ALL {
+            let i = class.index();
+            s.msgs[i] = self.msgs[i].load(Ordering::Relaxed);
+            s.bytes[i] = self.bytes[i].load(Ordering::Relaxed);
+        }
+        s
+    }
+}
+
+/// A point-in-time copy of [`FabricStats`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FabricStatsSnapshot {
+    msgs: [u64; 4],
+    bytes: [u64; 4],
+}
+
+impl FabricStatsSnapshot {
+    /// Messages recorded in `class`.
+    pub fn msgs(&self, class: MsgClass) -> u64 {
+        self.msgs[class.index()]
+    }
+
+    /// Payload bytes recorded in `class`.
+    pub fn bytes(&self, class: MsgClass) -> u64 {
+        self.bytes[class.index()]
+    }
+
+    /// Total messages across all classes.
+    pub fn total_msgs(&self) -> u64 {
+        self.msgs.iter().sum()
+    }
+
+    /// Total payload bytes across all classes.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Counter-wise difference (`self - earlier`), for per-phase accounting.
+    pub fn delta(&self, earlier: &FabricStatsSnapshot) -> FabricStatsSnapshot {
+        let mut out = FabricStatsSnapshot::default();
+        for i in 0..4 {
+            out.msgs[i] = self.msgs[i].saturating_sub(earlier.msgs[i]);
+            out.bytes[i] = self.bytes[i].saturating_sub(earlier.bytes[i]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let s = FabricStats::default();
+        s.record(MsgClass::Data, 4096);
+        s.record(MsgClass::Data, 4096);
+        s.record(MsgClass::Sync, 16);
+        let snap = s.snapshot();
+        assert_eq!(snap.msgs(MsgClass::Data), 2);
+        assert_eq!(snap.bytes(MsgClass::Data), 8192);
+        assert_eq!(snap.msgs(MsgClass::Sync), 1);
+        assert_eq!(snap.msgs(MsgClass::Update), 0);
+        assert_eq!(snap.total_msgs(), 3);
+        assert_eq!(snap.total_bytes(), 8208);
+    }
+
+    #[test]
+    fn delta_subtracts_counterwise() {
+        let s = FabricStats::default();
+        s.record(MsgClass::Control, 100);
+        let before = s.snapshot();
+        s.record(MsgClass::Control, 50);
+        s.record(MsgClass::Update, 8);
+        let d = s.snapshot().delta(&before);
+        assert_eq!(d.msgs(MsgClass::Control), 1);
+        assert_eq!(d.bytes(MsgClass::Control), 50);
+        assert_eq!(d.msgs(MsgClass::Update), 1);
+    }
+
+    #[test]
+    fn concurrent_recording_is_consistent() {
+        use std::sync::Arc;
+        let s = Arc::new(FabricStats::default());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        s.record(MsgClass::Data, 8);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.msgs(MsgClass::Data), 4000);
+        assert_eq!(snap.bytes(MsgClass::Data), 32000);
+    }
+}

@@ -1,0 +1,24 @@
+//! # samhita-repro
+//!
+//! Umbrella crate for the Samhita/RegC reproduction: re-exports the public
+//! surfaces of every workspace crate so the examples and integration tests can
+//! use a single dependency, mirroring how a downstream user would consume the
+//! system.
+//!
+//! The implementation reproduces *"Towards Virtual Shared Memory for
+//! Non-Cache-Coherent Multicore Systems"* (Ramesh, Ribbens, Varadarajan;
+//! IPDPS Workshops 2013): a software distributed-shared-memory system
+//! ("Samhita") with the *regional consistency* (RegC) memory model, evaluated
+//! over a virtual-time interconnect simulator standing in for the paper's
+//! InfiniBand cluster / Xeon Phi hardware.
+//!
+//! Start with [`core::Samhita`] for the DSM runtime, [`rt`] for the
+//! pthreads-vs-Samhita kernel façade, and [`kernels`] for the paper's three
+//! workloads.
+
+pub use samhita_core as core;
+pub use samhita_kernels as kernels;
+pub use samhita_mem as mem;
+pub use samhita_regc as regc;
+pub use samhita_rt as rt;
+pub use samhita_scl as scl;

@@ -1,0 +1,200 @@
+//! Shape assertions for the reproduced figures, at reduced (CI) scale.
+//!
+//! The paper's qualitative claims are encoded as inequalities on the actual
+//! harness output — who wins, how penalties order, where amortization
+//! appears — so a regression that breaks an experimental conclusion fails
+//! the test suite, not just the eyeball check.
+
+use samhita_bench::ablations;
+use samhita_bench::figures;
+use samhita_bench::{FigureData, HarnessConfig};
+
+fn quick() -> HarnessConfig {
+    HarnessConfig::quick()
+}
+
+fn last_y(fig: &FigureData, label: &str) -> f64 {
+    fig.series(label).unwrap_or_else(|| panic!("missing series {label}")).points.last().expect("points").1
+}
+
+fn first_y(fig: &FigureData, label: &str) -> f64 {
+    fig.series(label).unwrap_or_else(|| panic!("missing series {label}")).points[0].1
+}
+
+#[test]
+fn fig03_local_allocation_keeps_samhita_at_pthreads_compute() {
+    // "In the absence of false sharing the time spent in computation for
+    //  Samhita is very similar to the equivalent Pthread implementation."
+    let fig = figures::fig03(&quick());
+    for m in [1usize, 10] {
+        let label = format!("smh, M={m}");
+        for &(p, y) in &fig.series(&label).expect("series").points {
+            assert!(
+                (0.9..1.3).contains(&y),
+                "local allocation must stay near 1.0: M={m}, P={p}, got {y}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fig04_fig05_false_sharing_penalty_amortized_by_compute() {
+    // "as we increase the amount of compute this cost is amortized"
+    for fig in [figures::fig04(&quick()), figures::fig05(&quick())] {
+        let m1 = last_y(&fig, "smh, M=1");
+        let m10 = last_y(&fig, "smh, M=10");
+        assert!(m1 > m10, "[{}] M=1 ({m1}) must exceed M=10 ({m10})", fig.id);
+        assert!(m1 > 2.0, "[{}] M=1 must show a visible penalty, got {m1}", fig.id);
+    }
+}
+
+#[test]
+fn fig05_strided_access_is_worse_than_contiguous_global() {
+    let g = figures::fig04(&quick());
+    let s = figures::fig05(&quick());
+    assert!(
+        last_y(&s, "smh, M=1") > last_y(&g, "smh, M=1"),
+        "strided access must increase false sharing over contiguous blocks"
+    );
+}
+
+#[test]
+fn fig06_local_compute_time_flat_in_cores_and_linear_in_s() {
+    // "compute time per thread does not increase as the number of threads
+    //  increases" (local allocation).
+    let fig = figures::fig06(&quick());
+    for s in [1usize, 2, 4] {
+        let series = fig.series(&format!("S = {s}")).expect("series");
+        let first = series.points[0].1;
+        let last = series.points.last().expect("points").1;
+        assert!(
+            (last - first).abs() / first < 0.05,
+            "S={s}: local compute must be flat in cores ({first} .. {last})"
+        );
+    }
+    // Linear-ish in S: doubling S doubles compute.
+    let s1 = first_y(&fig, "S = 1");
+    let s4 = first_y(&fig, "S = 4");
+    assert!((s4 / s1 - 4.0).abs() < 0.4, "S=4 must cost ~4x S=1, ratio {}", s4 / s1);
+}
+
+#[test]
+fn fig08_strided_penalty_grows_with_s_and_cores() {
+    let fig = figures::fig08(&quick());
+    let s1 = last_y(&fig, "S = 1");
+    let s4 = last_y(&fig, "S = 4");
+    assert!(s4 > s1, "penalty must grow with S");
+    let series = fig.series("S = 4").expect("series");
+    assert!(
+        series.points.last().expect("points").1 > series.points[0].1,
+        "penalty must grow with cores"
+    );
+}
+
+#[test]
+fn fig09_mode_ordering_and_s1_equivalence() {
+    // "When the number of blocks is one there is no difference in the
+    //  access pattern between global and global strided allocations."
+    let fig = figures::fig09(&quick());
+    let local = fig.series("local").expect("local");
+    let global = fig.series("global").expect("global");
+    let strided = fig.series("global strided").expect("strided");
+    let g1 = global.points[0].1;
+    let st1 = strided.points[0].1;
+    assert!(
+        (g1 - st1).abs() / g1 < 0.1,
+        "global ({g1}) and strided ({st1}) must coincide at S=1"
+    );
+    // local <= global <= strided at the largest S.
+    let l = local.points.last().expect("pts").1;
+    let g = global.points.last().expect("pts").1;
+    let s = strided.points.last().expect("pts").1;
+    assert!(l < g, "local ({l}) must beat global ({g})");
+    assert!(g < s, "global ({g}) must beat strided ({s})");
+}
+
+#[test]
+fn fig10_sync_time_local_lowest() {
+    // "when there is no false sharing (local allocation) the increase in
+    //  synchronization cost is hardly noticeable"
+    let fig = figures::fig10(&quick());
+    let local = last_y(&fig, "local");
+    let strided = last_y(&fig, "global strided");
+    assert!(local < strided, "local sync ({local}) must be below strided ({strided})");
+}
+
+#[test]
+fn fig11_samhita_sync_costs_more_than_pthreads_but_not_dramatically() {
+    let fig = figures::fig11(&quick());
+    let pth = last_y(&fig, "pth_local");
+    let smh = last_y(&fig, "smh_local");
+    assert!(
+        smh > 3.0 * pth,
+        "DSM sync ops include consistency work and must cost well above pthreads"
+    );
+    assert!(
+        smh < 1000.0 * pth,
+        "\"Samhita's synchronization overhead is not exceptionally high\""
+    );
+    // And the growth with threads is "not dramatic": superlinear by less
+    // than ~4x over the sweep.
+    let series = &fig.series("smh_local").expect("series").points;
+    let per_core_growth = series.last().expect("pts").1 / series[0].1;
+    let core_growth = series.last().expect("pts").0 / series[0].0;
+    assert!(per_core_growth < 4.0 * core_growth);
+}
+
+#[test]
+fn fig13_md_scales_well_on_samhita() {
+    let fig = figures::fig13(&quick());
+    let smh = &fig.series("samhita").expect("series").points;
+    // Monotone increasing speed-up over the quick sweep.
+    for pair in smh.windows(2) {
+        assert!(
+            pair[1].1 > pair[0].1 * 0.95,
+            "MD speed-up must not collapse: {pair:?}"
+        );
+    }
+}
+
+#[test]
+fn ablation_scif_beats_verbs_proxy() {
+    let fig = ablations::scif(&quick());
+    let proxy = last_y(&fig, "verbs proxy");
+    let scif = last_y(&fig, "SCIF (§V)");
+    assert!(scif < proxy, "SCIF ({scif}) must beat the verbs proxy ({proxy})");
+}
+
+#[test]
+fn ablation_bypass_reduces_sync_time() {
+    let fig = ablations::bypass(&quick());
+    let mgr = last_y(&fig, "manager RPCs");
+    let byp = last_y(&fig, "local bypass (§V)");
+    assert!(byp < mgr, "bypass ({byp}) must reduce sync time vs manager ({mgr})");
+}
+
+#[test]
+fn ablation_finegrain_beats_whole_page_sync() {
+    let fig = ablations::finegrain(&quick());
+    let fine = last_y(&fig, "fine-grain (RegC)");
+    let whole = last_y(&fig, "whole-page");
+    assert!(fine < whole, "fine-grain ({fine}) must move less sync data than whole-page ({whole})");
+}
+
+#[test]
+fn ablation_striping_relieves_hot_spots() {
+    let fig = ablations::stripe(&quick());
+    let pts = &fig.series[0].points;
+    assert!(
+        pts.last().expect("pts").1 < pts[0].1,
+        "more memory servers must reduce hot-spot compute time: {pts:?}"
+    );
+}
+
+#[test]
+fn ablation_prefetch_helps_cold_streaming() {
+    let fig = ablations::prefetch(&quick());
+    let on = first_y(&fig, "prefetch on");
+    let off = first_y(&fig, "prefetch off");
+    assert!(on < off, "prefetch ({on}) must beat no-prefetch ({off}) on a cold stream");
+}
