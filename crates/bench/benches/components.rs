@@ -13,10 +13,10 @@ use samhita_core::localsync::LocalSync;
 use samhita_core::manager::ManagerEngine;
 use samhita_core::msg::MgrRequest;
 use samhita_core::{EvictionPolicy, SamhitaConfig};
-use samhita_scl::EndpointId;
 use samhita_kernels::{run_micro, AllocMode, MicroParams};
 use samhita_regc::{Diff, RegionKind, WriteSet};
 use samhita_rt::{NativeRt, SamhitaRt};
+use samhita_scl::EndpointId;
 use samhita_scl::{Fabric, MsgClass, NodeId, SimTime, Topology};
 
 const PAGE: usize = 4096;
@@ -173,7 +173,14 @@ fn bench_fabric(c: &mut Criterion) {
 fn bench_end_to_end(c: &mut Criterion) {
     let mut g = c.benchmark_group("end_to_end_micro");
     g.sample_size(10);
-    let p = MicroParams { n_outer: 2, m_inner: 2, s_rows: 2, b_cols: 64, mode: AllocMode::Global, threads: 4 };
+    let p = MicroParams {
+        n_outer: 2,
+        m_inner: 2,
+        s_rows: 2,
+        b_cols: 64,
+        mode: AllocMode::Global,
+        threads: 4,
+    };
     g.bench_function("native_4t", |b| {
         b.iter(|| {
             let rt = NativeRt::default();
@@ -215,14 +222,24 @@ fn bench_manager(c: &mut Criterion) {
                         EndpointId(0),
                         0,
                         10 + i,
-                        MgrRequest::Acquire { lock: 0, pages: vec![i], updates: vec![], last_seen: i },
+                        MgrRequest::Acquire {
+                            lock: 0,
+                            pages: vec![i],
+                            updates: vec![],
+                            last_seen: i,
+                        },
                         now,
                     );
                     e.handle(
                         EndpointId(0),
                         0,
                         10 + i,
-                        MgrRequest::Release { lock: 0, pages: vec![], updates: vec![], last_seen: i },
+                        MgrRequest::Release {
+                            lock: 0,
+                            pages: vec![],
+                            updates: vec![],
+                            last_seen: i,
+                        },
                         now,
                     );
                 }

@@ -1,19 +1,33 @@
 //! Ablation studies: the paper's §V future-work directions and the design
 //! choices `DESIGN.md §5` calls out.
 
-use samhita_core::{ConsistencyVariant, EvictionPolicy, FabricProfile, SamhitaConfig, TopologyKind};
+use samhita_core::{
+    ConsistencyVariant, EvictionPolicy, FabricProfile, SamhitaConfig, TopologyKind,
+};
 use samhita_kernels::{run_micro, AllocMode, MicroParams};
 use samhita_rt::SamhitaRt;
 
 use crate::harness::{FigureData, HarnessConfig, Series};
 
-fn micro(cfg: &HarnessConfig, sys: SamhitaConfig, m: usize, s: usize, mode: AllocMode, threads: u32)
-    -> samhita_kernels::MicroResult
-{
+fn micro(
+    cfg: &HarnessConfig,
+    sys: SamhitaConfig,
+    m: usize,
+    s: usize,
+    mode: AllocMode,
+    threads: u32,
+) -> samhita_kernels::MicroResult {
     let rt = SamhitaRt::new(sys);
     run_micro(
         &rt,
-        &MicroParams { n_outer: cfg.n_outer, m_inner: m, s_rows: s, b_cols: cfg.b_cols, mode, threads },
+        &MicroParams {
+            n_outer: cfg.n_outer,
+            m_inner: m,
+            s_rows: s,
+            b_cols: cfg.b_cols,
+            mode,
+            threads,
+        },
     )
 }
 
@@ -99,11 +113,8 @@ pub fn eviction(cfg: &HarnessConfig) -> FigureData {
     {
         let mut points = Vec::new();
         for &s in &cfg.s_values {
-            let sys = SamhitaConfig {
-                cache_capacity_lines: 4,
-                eviction: policy,
-                ..cfg.base.clone()
-            };
+            let sys =
+                SamhitaConfig { cache_capacity_lines: 4, eviction: policy, ..cfg.base.clone() };
             let r = micro(cfg, sys, cfg.m_fixed, s, AllocMode::Global, cfg.p_fixed);
             points.push((s as f64, r.report.mean_compute().as_secs_f64()));
         }

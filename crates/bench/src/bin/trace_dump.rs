@@ -1,0 +1,132 @@
+//! Trace a kernel run and dump it for inspection.
+//!
+//! ```text
+//! trace-dump                              # false-sharing micro, 4 threads
+//! trace-dump --kernel jacobi --threads 8
+//! trace-dump --out trace.json             # Chrome trace-event JSON (Perfetto)
+//! trace-dump --jsonl trace.jsonl          # newline-delimited event records
+//! ```
+//!
+//! Runs one kernel with event tracing enabled, then:
+//!
+//! 1. runs the trace-driven RegC invariant checker (exit 1 on violations),
+//! 2. writes the trace as Chrome trace-event JSON — open it at
+//!    <https://ui.perfetto.dev> or `chrome://tracing` to see one track per
+//!    compute thread plus manager / memory-server / fabric tracks,
+//! 3. prints the run's latency summary (fetch / lock / barrier histograms).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use samhita_bench::run_summary;
+use samhita_core::SamhitaConfig;
+use samhita_kernels::{run_jacobi, run_micro, AllocMode, JacobiParams, MicroParams};
+use samhita_rt::SamhitaRt;
+use samhita_trace::validate_json;
+
+struct Args {
+    kernel: String,
+    threads: u32,
+    out: PathBuf,
+    jsonl: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args =
+        Args { kernel: "micro".into(), threads: 4, out: PathBuf::from("trace.json"), jsonl: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--kernel" => {
+                let v = it.next().ok_or("--kernel needs 'micro' or 'jacobi'")?;
+                if v != "micro" && v != "jacobi" {
+                    return Err(format!("unknown kernel '{v}' (micro | jacobi)"));
+                }
+                args.kernel = v;
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a number")?;
+                args.threads = v.parse().map_err(|_| format!("bad thread count '{v}'"))?;
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out needs a path")?;
+                args.out = PathBuf::from(v);
+            }
+            "--jsonl" => {
+                let v = it.next().ok_or("--jsonl needs a path")?;
+                args.jsonl = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: trace-dump [--kernel micro|jacobi] [--threads N] \
+                     [--out trace.json] [--jsonl trace.jsonl]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}' (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let cfg = SamhitaConfig { tracing: true, ..SamhitaConfig::default() };
+    let rt = SamhitaRt::new(cfg);
+    println!("# tracing {} kernel, {} threads", args.kernel, args.threads);
+    let report = match args.kernel.as_str() {
+        "micro" => {
+            let p = MicroParams::paper(10, 2, AllocMode::Global, args.threads);
+            run_micro(&rt, &p).report
+        }
+        _ => {
+            let p = JacobiParams { n: 126, iters: 6, threads: args.threads };
+            run_jacobi(&rt, &p).report
+        }
+    };
+    let trace = rt.take_trace().expect("tracing was enabled");
+    println!("# {} events on {} tracks", trace.len(), trace.tracks.len());
+
+    // Invariant checker first: a trace that fails RegC's rules is still
+    // worth looking at in Perfetto, but the exit code must say so.
+    let ok = match trace.check_invariants() {
+        Ok(summary) => {
+            println!("# invariants ok: {summary}");
+            true
+        }
+        Err(violations) => {
+            eprintln!("# INVARIANT VIOLATIONS ({}):", violations.len());
+            for v in &violations {
+                eprintln!("#   {v}");
+            }
+            false
+        }
+    };
+
+    let chrome = trace.to_chrome_json();
+    validate_json(&chrome).expect("exporter produced invalid JSON");
+    std::fs::write(&args.out, &chrome).expect("write trace file");
+    println!(
+        "# wrote {} ({} bytes) — open at https://ui.perfetto.dev",
+        args.out.display(),
+        chrome.len()
+    );
+    if let Some(path) = &args.jsonl {
+        std::fs::write(path, trace.to_jsonl()).expect("write JSONL file");
+        println!("# wrote {}", path.display());
+    }
+
+    println!("\nrun summary:\n{}", run_summary(&report));
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

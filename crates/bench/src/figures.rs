@@ -26,7 +26,13 @@ fn micro_sync_secs(rt: &dyn KernelRt, p: &MicroParams) -> f64 {
     run_micro(rt, p).report.mean_sync().as_secs_f64()
 }
 
-fn micro_params(cfg: &HarnessConfig, m: usize, s: usize, mode: AllocMode, threads: u32) -> MicroParams {
+fn micro_params(
+    cfg: &HarnessConfig,
+    m: usize,
+    s: usize,
+    mode: AllocMode,
+    threads: u32,
+) -> MicroParams {
     MicroParams { n_outer: cfg.n_outer, m_inner: m, s_rows: s, b_cols: cfg.b_cols, mode, threads }
 }
 
@@ -36,10 +42,8 @@ fn micro_params(cfg: &HarnessConfig, m: usize, s: usize, mode: AllocMode, thread
 fn fig_normalized(cfg: &HarnessConfig, mode: AllocMode, id: &str) -> FigureData {
     let mut series = Vec::new();
     for &m in &cfg.m_values {
-        let baseline = micro_compute_secs(
-            &NativeRt::default(),
-            &micro_params(cfg, m, cfg.s_fixed, mode, 1),
-        );
+        let baseline =
+            micro_compute_secs(&NativeRt::default(), &micro_params(cfg, m, cfg.s_fixed, mode, 1));
         let mut pth = Vec::new();
         for &p in &cfg.pth_cores {
             let t = micro_compute_secs(
@@ -148,7 +152,8 @@ pub fn fig11(cfg: &HarnessConfig) -> FigureData {
             );
             pth.push((p as f64, t));
         }
-        series.push(Series { label: format!("pth_{}", mode.label().replace(' ', "_")), points: pth });
+        series
+            .push(Series { label: format!("pth_{}", mode.label().replace(' ', "_")), points: pth });
     }
     for mode in MODES {
         let mut smh = Vec::new();
@@ -159,7 +164,8 @@ pub fn fig11(cfg: &HarnessConfig) -> FigureData {
             );
             smh.push((p as f64, t));
         }
-        series.push(Series { label: format!("smh_{}", mode.label().replace(' ', "_")), points: smh });
+        series
+            .push(Series { label: format!("smh_{}", mode.label().replace(' ', "_")), points: smh });
     }
     FigureData {
         id: "fig11".into(),
@@ -177,13 +183,10 @@ pub fn fig12(cfg: &HarnessConfig) -> FigureData {
 
     let mut pth = Vec::new();
     for &p in &cfg.pth_cores {
-        let t = run_jacobi(
-            &NativeRt::default(),
-            &JacobiParams { threads: p, ..p1 },
-        )
-        .report
-        .makespan
-        .as_secs_f64();
+        let t = run_jacobi(&NativeRt::default(), &JacobiParams { threads: p, ..p1 })
+            .report
+            .makespan
+            .as_secs_f64();
         pth.push((p as f64, baseline / t));
     }
     let mut smh = Vec::new();
@@ -222,10 +225,7 @@ pub fn fig13(cfg: &HarnessConfig) -> FigureData {
     }
     let mut smh = Vec::new();
     for &p in &cfg.smh_cores {
-        let t = run_md(&smh_rt(cfg), &MdParams { threads: p, ..p1 })
-            .report
-            .makespan
-            .as_secs_f64();
+        let t = run_md(&smh_rt(cfg), &MdParams { threads: p, ..p1 }).report.makespan.as_secs_f64();
         smh.push((p as f64, baseline / t));
     }
     FigureData {

@@ -1,7 +1,25 @@
 //! Shared harness types: scales, figure data, CSV/tabular output.
 
-use samhita_core::SamhitaConfig;
+use samhita_core::{RunReport, SamhitaConfig};
 use serde::{Deserialize, Serialize};
+
+/// One-run diagnostic block: the compute/sync split as a ratio, the
+/// per-thread skew, and the three stall-latency histograms. Printed by the
+/// examples and `trace-dump` after each traced run.
+pub fn run_summary(report: &RunReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "  makespan          {}  ({} threads)\n",
+        report.makespan,
+        report.threads.len()
+    ));
+    out.push_str(&format!("  sync fraction     {:.1}%\n", report.sync_fraction() * 100.0));
+    out.push_str(&format!("  compute imbalance {:.3}x (max/mean)\n", report.compute_imbalance()));
+    out.push_str(&format!("  fetch stalls      {}\n", report.fetch_latency().summary()));
+    out.push_str(&format!("  lock waits        {}\n", report.lock_wait().summary()));
+    out.push_str(&format!("  barrier waits     {}\n", report.barrier_wait().summary()));
+    out
+}
 
 /// One labelled series of a figure.
 #[derive(Clone, Debug, Serialize, Deserialize)]

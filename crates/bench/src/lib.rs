@@ -13,4 +13,4 @@ pub mod ablations;
 pub mod figures;
 pub mod harness;
 
-pub use harness::{FigureData, HarnessConfig, Series};
+pub use harness::{run_summary, FigureData, HarnessConfig, Series};

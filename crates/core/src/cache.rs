@@ -104,14 +104,7 @@ impl SoftCache {
         assert!(page_size.is_power_of_two() && page_size >= 64);
         assert!(line_pages >= 1);
         assert!(capacity_lines >= 2);
-        SoftCache {
-            page_size,
-            line_pages,
-            capacity_lines,
-            policy,
-            lines: HashMap::new(),
-            tick: 0,
-        }
+        SoftCache { page_size, line_pages, capacity_lines, policy, lines: HashMap::new(), tick: 0 }
     }
 
     /// The line a page belongs to.
@@ -399,9 +392,12 @@ impl SoftCache {
             return None;
         }
         let victim = match self.policy {
-            EvictionPolicy::Lru => {
-                *self.lines.iter().min_by_key(|(_, l)| l.last_use).map(|(id, _)| id).expect("nonempty")
-            }
+            EvictionPolicy::Lru => *self
+                .lines
+                .iter()
+                .min_by_key(|(_, l)| l.last_use)
+                .map(|(id, _)| id)
+                .expect("nonempty"),
             EvictionPolicy::DirtyFirst => {
                 // Paper's bias: prefer evicting written-to lines (their
                 // updates must be flushed home anyway); LRU among those,
@@ -701,8 +697,11 @@ mod proptests {
                 .prop_map(|(page, offset, bytes)| Op::Write { page, offset, bytes }),
             Just(Op::Flush),
             Just(Op::Evict),
-            (0..PAGES, 0usize..(PS - 16), 1usize..16)
-                .prop_map(|(page, offset, len)| Op::Read { page, offset, len }),
+            (0..PAGES, 0usize..(PS - 16), 1usize..16).prop_map(|(page, offset, len)| Op::Read {
+                page,
+                offset,
+                len
+            }),
         ]
     }
 

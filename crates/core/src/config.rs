@@ -158,6 +158,13 @@ pub struct SamhitaConfig {
     pub costs: CostParams,
     /// Memory-server service model.
     pub service: ServiceModel,
+    /// Record protocol events into per-track trace buffers. Observational
+    /// only: virtual clocks are bit-identical with tracing on or off.
+    pub tracing: bool,
+    /// Per-track event-buffer capacity; past it the oldest events are
+    /// dropped (and counted, which makes the invariant checker refuse the
+    /// truncated trace).
+    pub trace_capacity: usize,
 }
 
 impl Default for SamhitaConfig {
@@ -182,6 +189,8 @@ impl Default for SamhitaConfig {
             manager_bypass: false,
             costs: CostParams::default(),
             service: ServiceModel::default(),
+            tracing: false,
+            trace_capacity: 1 << 20,
         }
     }
 }
@@ -234,6 +243,10 @@ impl SamhitaConfig {
             "arena smaller than the largest arena-eligible allocation"
         );
         assert!(self.max_threads >= 1, "max_threads must be positive");
+        assert!(
+            !self.tracing || self.trace_capacity >= 1,
+            "tracing enabled with a zero-capacity buffer"
+        );
         if self.manager_bypass {
             assert!(
                 matches!(self.topology, TopologyKind::SingleNode),
@@ -242,7 +255,10 @@ impl SamhitaConfig {
         }
         match self.topology {
             TopologyKind::Cluster { nodes } => {
-                assert!(nodes >= 2 + self.mem_servers, "cluster too small for manager + memory servers + compute")
+                assert!(
+                    nodes >= 2 + self.mem_servers,
+                    "cluster too small for manager + memory servers + compute"
+                )
             }
             TopologyKind::HeteroNode { coprocessors, cores_per_cop } => {
                 assert!(coprocessors >= 1 && cores_per_cop >= 1, "empty coprocessor config")

@@ -227,7 +227,7 @@ mod tests {
         assert_eq!(p.manager, NodeId(0));
         assert_eq!(p.mem_servers, vec![NodeId(1)]);
         assert_eq!(p.compute_cores(), 32); // 4 compute nodes x 8 cores
-        // Fill-first placement: first 8 threads share node 2.
+                                           // Fill-first placement: first 8 threads share node 2.
         assert_eq!(p.compute_node(0), NodeId(2));
         assert_eq!(p.compute_node(7), NodeId(2));
         assert_eq!(p.compute_node(8), NodeId(3));

@@ -224,7 +224,9 @@ mod tests {
         let s = Arc::new(LocalSync::new(50));
         let b = s.create_barrier(2);
         let s2 = Arc::clone(&s);
-        let h = std::thread::spawn(move || s2.barrier_wait(b, 1, SimTime::ZERO, vec![10, 11], vec![], 0));
+        let h = std::thread::spawn(move || {
+            s2.barrier_wait(b, 1, SimTime::ZERO, vec![10, 11], vec![], 0)
+        });
         let (_, notices, wm) = s.barrier_wait(b, 0, SimTime::ZERO, vec![20], vec![], 0);
         let (_, notices2, wm2) = h.join().unwrap();
         assert_eq!(notices.len(), 2);
@@ -234,7 +236,8 @@ mod tests {
         // Second episode: carrying the watermark forward yields only new
         // notices.
         let s2 = Arc::clone(&s);
-        let h = std::thread::spawn(move || s2.barrier_wait(b, 1, SimTime::ZERO, vec![], vec![], wm));
+        let h =
+            std::thread::spawn(move || s2.barrier_wait(b, 1, SimTime::ZERO, vec![], vec![], wm));
         let (_, notices, _) = s.barrier_wait(b, 0, SimTime::ZERO, vec![30], vec![], wm);
         let (_, notices2, _) = h.join().unwrap();
         assert_eq!(notices.len(), 1);

@@ -118,6 +118,8 @@ pub struct ManagerEngine {
     threads: HashMap<u32, ThreadInfo>,
     resource: VirtualResource,
     stats: ManagerStats,
+    /// Service-completion time of the most recent request (for tracing).
+    last_done: SimTime,
 }
 
 impl ManagerEngine {
@@ -140,7 +142,14 @@ impl ManagerEngine {
             threads: HashMap::new(),
             resource: VirtualResource::new(),
             stats: ManagerStats::default(),
+            last_done: SimTime::ZERO,
         }
+    }
+
+    /// When the most recently handled request finished manager service —
+    /// the virtual-time stamp for that request's trace event.
+    pub fn last_done(&self) -> SimTime {
+        self.last_done
     }
 
     /// Process one request. `src` is the requester's endpoint, `arrival` the
@@ -155,6 +164,7 @@ impl ManagerEngine {
     ) -> Vec<Outgoing> {
         self.stats.requests += 1;
         let (_, done) = self.resource.reserve(arrival, self.mgr_service);
+        self.last_done = done;
         match req {
             MgrRequest::Register { observer } => {
                 let watermark = self.intervals.watermark();
@@ -244,12 +254,9 @@ impl ManagerEngine {
                 if state.waiting.len() as u32 == state.parties {
                     self.stats.barrier_releases += 1;
                     let state = &mut self.barriers[barrier as usize];
-                    let release_at = state
-                        .waiting
-                        .iter()
-                        .map(|w| w.ready)
-                        .fold(SimTime::ZERO, SimTime::max)
-                        + self.barrier_release;
+                    let release_at =
+                        state.waiting.iter().map(|w| w.ready).fold(SimTime::ZERO, SimTime::max)
+                            + self.barrier_release;
                     let waiters = std::mem::take(&mut state.waiting);
                     let mut out = Vec::with_capacity(waiters.len());
                     for w in waiters {
@@ -272,7 +279,10 @@ impl ManagerEngine {
                 self.stats.cond_waits += 1;
                 self.publish(tid, pages, updates);
                 let waiter = Waiter { tid, token, ready: done, last_seen };
-                self.conds.get_mut(cond as usize).expect("unknown cond id").waiters
+                self.conds
+                    .get_mut(cond as usize)
+                    .expect("unknown cond id")
+                    .waiters
                     .push_back((waiter, lock));
                 // Atomically release the lock the caller held.
                 self.release_lock(lock, tid, done)
@@ -447,7 +457,13 @@ mod tests {
     fn contended_acquire_queues_until_release() {
         let mut e = engine();
         let l = lock_id(&mut e);
-        e.handle(EP0, T0, 3, MgrRequest::Acquire { lock: l, pages: vec![], updates: vec![], last_seen: 0 }, SimTime::ZERO);
+        e.handle(
+            EP0,
+            T0,
+            3,
+            MgrRequest::Acquire { lock: l, pages: vec![], updates: vec![], last_seen: 0 },
+            SimTime::ZERO,
+        );
         // Second acquire: queued, nothing sent.
         let out = e.handle(
             EP1,
@@ -485,8 +501,20 @@ mod tests {
     fn foreign_release_panics() {
         let mut e = engine();
         let l = lock_id(&mut e);
-        e.handle(EP0, T0, 3, MgrRequest::Acquire { lock: l, pages: vec![], updates: vec![], last_seen: 0 }, SimTime::ZERO);
-        e.handle(EP1, T1, 4, MgrRequest::Release { lock: l, pages: vec![], updates: vec![], last_seen: 0 }, SimTime::ZERO);
+        e.handle(
+            EP0,
+            T0,
+            3,
+            MgrRequest::Acquire { lock: l, pages: vec![], updates: vec![], last_seen: 0 },
+            SimTime::ZERO,
+        );
+        e.handle(
+            EP1,
+            T1,
+            4,
+            MgrRequest::Release { lock: l, pages: vec![], updates: vec![], last_seen: 0 },
+            SimTime::ZERO,
+        );
     }
 
     #[test]
@@ -539,24 +567,48 @@ mod tests {
         let l = lock_id(&mut e);
         e.handle(EP0, T0, 9, MgrRequest::CreateCond, SimTime::ZERO);
         // T0 holds the lock and waits on the cond (releasing the lock).
-        e.handle(EP0, T0, 10, MgrRequest::Acquire { lock: l, pages: vec![], updates: vec![], last_seen: 0 }, SimTime::ZERO);
+        e.handle(
+            EP0,
+            T0,
+            10,
+            MgrRequest::Acquire { lock: l, pages: vec![], updates: vec![], last_seen: 0 },
+            SimTime::ZERO,
+        );
         let out = e.handle(
             EP0,
             T0,
             11,
-            MgrRequest::CondWait { cond: 0, lock: l, pages: vec![3], updates: vec![], last_seen: 0 },
+            MgrRequest::CondWait {
+                cond: 0,
+                lock: l,
+                pages: vec![3],
+                updates: vec![],
+                last_seen: 0,
+            },
             SimTime::from_us(1),
         );
         assert!(out.is_empty(), "no one queued on the lock");
         // T1 can now take the lock, then signals.
-        let out = e.handle(EP1, T1, 12, MgrRequest::Acquire { lock: l, pages: vec![], updates: vec![], last_seen: 0 }, SimTime::from_us(2));
+        let out = e.handle(
+            EP1,
+            T1,
+            12,
+            MgrRequest::Acquire { lock: l, pages: vec![], updates: vec![], last_seen: 0 },
+            SimTime::from_us(2),
+        );
         assert_eq!(out.len(), 1);
         let out = e.handle(EP1, T1, 13, MgrRequest::CondSignal { cond: 0 }, SimTime::from_us(3));
         // Signal moved T0 onto the lock queue; signaler gets an Ok.
         assert_eq!(out.len(), 1);
         assert!(matches!(out[0].resp, MgrResponse::Ok));
         // T1 releases: T0 is re-granted the lock (token 11 — the CondWait).
-        let out = e.handle(EP1, T1, 14, MgrRequest::Release { lock: l, pages: vec![], updates: vec![], last_seen: 0 }, SimTime::from_us(4));
+        let out = e.handle(
+            EP1,
+            T1,
+            14,
+            MgrRequest::Release { lock: l, pages: vec![], updates: vec![], last_seen: 0 },
+            SimTime::from_us(4),
+        );
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].dst, EP0);
         assert_eq!(out[0].token, 11);
@@ -575,14 +627,26 @@ mod tests {
     #[test]
     fn alloc_free_roundtrip_by_region() {
         let mut e = engine();
-        let shared = match &e.handle(EP0, T0, 2, MgrRequest::AllocShared { size: 4096, align: 8 }, SimTime::ZERO)[0].resp {
+        let shared = match &e.handle(
+            EP0,
+            T0,
+            2,
+            MgrRequest::AllocShared { size: 4096, align: 8 },
+            SimTime::ZERO,
+        )[0]
+        .resp
+        {
             MgrResponse::Addr(a) => *a,
             other => panic!("unexpected {other:?}"),
         };
-        let striped = match &e.handle(EP0, T0, 3, MgrRequest::AllocStriped { size: 1 << 20 }, SimTime::ZERO)[0].resp {
-            MgrResponse::Addr(a) => *a,
-            other => panic!("unexpected {other:?}"),
-        };
+        let striped =
+            match &e.handle(EP0, T0, 3, MgrRequest::AllocStriped { size: 1 << 20 }, SimTime::ZERO)
+                [0]
+            .resp
+            {
+                MgrResponse::Addr(a) => *a,
+                other => panic!("unexpected {other:?}"),
+            };
         let layout = AddressLayout::new(&SamhitaConfig::small_for_tests());
         assert_eq!(layout.region_of(shared), Region::Shared);
         assert_eq!(layout.region_of(striped), Region::Striped);
@@ -677,9 +741,22 @@ mod tests {
     fn late_registrants_start_at_the_current_watermark() {
         let mut e = engine();
         let l = lock_id(&mut e);
-        e.handle(EP0, T0, 3, MgrRequest::Acquire { lock: l, pages: vec![1], updates: vec![], last_seen: 0 }, SimTime::ZERO);
-        e.handle(EP0, T0, 4, MgrRequest::Release { lock: l, pages: vec![2], updates: vec![], last_seen: 0 }, SimTime::ZERO);
-        let out = e.handle(EndpointId(50), 7, 5, MgrRequest::Register { observer: false }, SimTime::ZERO);
+        e.handle(
+            EP0,
+            T0,
+            3,
+            MgrRequest::Acquire { lock: l, pages: vec![1], updates: vec![], last_seen: 0 },
+            SimTime::ZERO,
+        );
+        e.handle(
+            EP0,
+            T0,
+            4,
+            MgrRequest::Release { lock: l, pages: vec![2], updates: vec![], last_seen: 0 },
+            SimTime::ZERO,
+        );
+        let out =
+            e.handle(EndpointId(50), 7, 5, MgrRequest::Register { observer: false }, SimTime::ZERO);
         match &out[0].resp {
             MgrResponse::Registered { watermark } => assert_eq!(*watermark, 2),
             other => panic!("unexpected {other:?}"),
@@ -690,8 +767,20 @@ mod tests {
     fn stats_track_activity() {
         let mut e = engine();
         let l = lock_id(&mut e);
-        e.handle(EP0, T0, 3, MgrRequest::Acquire { lock: l, pages: vec![1], updates: vec![], last_seen: 0 }, SimTime::ZERO);
-        e.handle(EP0, T0, 4, MgrRequest::Release { lock: l, pages: vec![], updates: vec![], last_seen: 0 }, SimTime::ZERO);
+        e.handle(
+            EP0,
+            T0,
+            3,
+            MgrRequest::Acquire { lock: l, pages: vec![1], updates: vec![], last_seen: 0 },
+            SimTime::ZERO,
+        );
+        e.handle(
+            EP0,
+            T0,
+            4,
+            MgrRequest::Release { lock: l, pages: vec![], updates: vec![], last_seen: 0 },
+            SimTime::ZERO,
+        );
         let s = e.stats();
         assert_eq!(s.acquires, 1);
         assert_eq!(s.releases, 1);
@@ -716,7 +805,13 @@ mod stress {
         let mut e = ManagerEngine::new(&cfg);
         const CLIENTS: u32 = 6;
         for tid in 0..CLIENTS {
-            e.handle(EndpointId(100 + tid), tid, 1, MgrRequest::Register { observer: false }, SimTime::ZERO);
+            e.handle(
+                EndpointId(100 + tid),
+                tid,
+                1,
+                MgrRequest::Register { observer: false },
+                SimTime::ZERO,
+            );
         }
         e.handle(EndpointId(100), 0, 2, MgrRequest::CreateLock, SimTime::ZERO);
 
@@ -730,10 +825,10 @@ mod stress {
         let mut last_release = SimTime::ZERO;
 
         let absorb = |outs: Vec<Outgoing>,
-                          holder: &mut Option<u32>,
-                          waiting: &mut Vec<u32>,
-                          granted: &mut u32,
-                          last_release: SimTime| {
+                      holder: &mut Option<u32>,
+                      waiting: &mut Vec<u32>,
+                      granted: &mut u32,
+                      last_release: SimTime| {
             for out in outs {
                 assert!(matches!(out.resp, MgrResponse::Granted { .. }));
                 assert!(out.at >= last_release, "grant precedes enabling release");

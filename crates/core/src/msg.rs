@@ -89,6 +89,26 @@ pub enum MgrResponse {
 }
 
 impl MgrRequest {
+    /// Short operation label, for trace events.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MgrRequest::Register { .. } => "register",
+            MgrRequest::AllocShared { .. } => "alloc-shared",
+            MgrRequest::AllocStriped { .. } => "alloc-striped",
+            MgrRequest::Free { .. } => "free",
+            MgrRequest::CreateLock => "create-lock",
+            MgrRequest::CreateBarrier { .. } => "create-barrier",
+            MgrRequest::CreateCond => "create-cond",
+            MgrRequest::Acquire { .. } => "acquire",
+            MgrRequest::Release { .. } => "release",
+            MgrRequest::BarrierWait { .. } => "barrier-wait",
+            MgrRequest::CondWait { .. } => "cond-wait",
+            MgrRequest::CondSignal { .. } => "cond-signal",
+            MgrRequest::CondBroadcast { .. } => "cond-broadcast",
+            MgrRequest::Exit { .. } => "exit",
+        }
+    }
+
     /// Approximate wire payload for the cost model.
     pub fn wire_bytes(&self) -> usize {
         match self {
@@ -148,7 +168,8 @@ mod tests {
     #[test]
     fn sync_requests_charge_for_page_lists() {
         let small = MgrRequest::Acquire { lock: 0, pages: vec![], updates: vec![], last_seen: 0 };
-        let big = MgrRequest::Acquire { lock: 0, pages: vec![0; 100], updates: vec![], last_seen: 0 };
+        let big =
+            MgrRequest::Acquire { lock: 0, pages: vec![0; 100], updates: vec![], last_seen: 0 };
         assert_eq!(big.wire_bytes() - small.wire_bytes(), 800);
     }
 

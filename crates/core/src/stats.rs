@@ -10,6 +10,7 @@
 //! hurts) is compute time.
 
 use samhita_scl::{FabricStatsSnapshot, SimTime};
+use samhita_trace::LatencyHistogram;
 use serde::{Deserialize, Serialize};
 
 /// Counters and clocks of one compute thread over one run.
@@ -45,6 +46,14 @@ pub struct ThreadStats {
     pub locks_acquired: u64,
     /// Barrier episodes.
     pub barriers: u64,
+    /// Latency of every synchronous fetch stall (demand misses, refetches,
+    /// late prefetch waits). Recorded unconditionally — histograms are part
+    /// of the report, not of the (optional) event trace.
+    pub fetch_latency: LatencyHistogram,
+    /// Lock-wait latency: acquire request → grant observed.
+    pub lock_wait: LatencyHistogram,
+    /// Barrier-wait latency: arrival → release observed.
+    pub barrier_wait: LatencyHistogram,
 }
 
 /// The result of one `Samhita::run` (or one native-baseline run).
@@ -97,6 +106,51 @@ impl RunReport {
     pub fn total_of(&self, f: impl Fn(&ThreadStats) -> u64) -> u64 {
         self.threads.iter().map(f).sum()
     }
+
+    /// Fraction of total thread time spent in synchronization, `0.0..=1.0`
+    /// (0 for an empty report). The paper's compute/sync split as a ratio.
+    pub fn sync_fraction(&self) -> f64 {
+        let total: u64 = self.threads.iter().map(|t| t.total.as_ns()).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let sync: u64 = self.threads.iter().map(|t| t.sync.as_ns()).sum();
+        sync as f64 / total as f64
+    }
+
+    /// Compute-time skew across threads: `max(compute) / mean(compute)`.
+    /// 1.0 means perfectly balanced; 0 for an empty report or when no
+    /// thread accumulated compute time.
+    pub fn compute_imbalance(&self) -> f64 {
+        let mean = self.mean_compute().as_ns();
+        if mean == 0 {
+            return 0.0;
+        }
+        self.max_compute().as_ns() as f64 / mean as f64
+    }
+
+    /// All threads' fetch-stall latencies, merged.
+    pub fn fetch_latency(&self) -> LatencyHistogram {
+        self.merged(|t| &t.fetch_latency)
+    }
+
+    /// All threads' lock-wait latencies, merged.
+    pub fn lock_wait(&self) -> LatencyHistogram {
+        self.merged(|t| &t.lock_wait)
+    }
+
+    /// All threads' barrier-wait latencies, merged.
+    pub fn barrier_wait(&self) -> LatencyHistogram {
+        self.merged(|t| &t.barrier_wait)
+    }
+
+    fn merged(&self, f: impl Fn(&ThreadStats) -> &LatencyHistogram) -> LatencyHistogram {
+        let mut out = LatencyHistogram::new();
+        for t in &self.threads {
+            out.merge(f(t));
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -128,6 +182,48 @@ mod tests {
         let r = RunReport::new(vec![], FabricStatsSnapshot::default());
         assert_eq!(r.makespan, SimTime::ZERO);
         assert_eq!(r.mean_compute(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn sync_fraction_is_time_weighted() {
+        // Thread 0: 100ns total, 20 sync; thread 1: 300ns total, 60 sync.
+        // Weighted fraction = (20 + 60) / (100 + 300) = 0.2, not the mean of
+        // the per-thread fractions.
+        let r = RunReport::new(vec![t(0, 100, 20), t(1, 300, 60)], FabricStatsSnapshot::default());
+        assert!((r.sync_fraction() - 0.2).abs() < 1e-12);
+        // Degenerate cases are 0, not NaN.
+        assert_eq!(RunReport::new(vec![], FabricStatsSnapshot::default()).sync_fraction(), 0.0);
+        assert_eq!(
+            RunReport::new(vec![t(0, 0, 0)], FabricStatsSnapshot::default()).sync_fraction(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn compute_imbalance_is_max_over_mean() {
+        // compute: 80 and 140 → mean 110, max 140.
+        let r = RunReport::new(vec![t(0, 100, 20), t(1, 200, 60)], FabricStatsSnapshot::default());
+        assert!((r.compute_imbalance() - 140.0 / 110.0).abs() < 1e-12);
+        // A perfectly balanced run sits at exactly 1.0.
+        let b = RunReport::new(vec![t(0, 100, 0), t(1, 100, 0)], FabricStatsSnapshot::default());
+        assert_eq!(b.compute_imbalance(), 1.0);
+        // Degenerate cases are 0, not NaN.
+        assert_eq!(RunReport::new(vec![], FabricStatsSnapshot::default()).compute_imbalance(), 0.0);
+    }
+
+    #[test]
+    fn merged_histograms_cover_all_threads() {
+        let mut a = t(0, 10, 0);
+        a.fetch_latency.record(100);
+        a.lock_wait.record(50);
+        let mut b = t(1, 10, 0);
+        b.fetch_latency.record(200);
+        b.barrier_wait.record(70);
+        let r = RunReport::new(vec![a, b], FabricStatsSnapshot::default());
+        assert_eq!(r.fetch_latency().count(), 2);
+        assert_eq!(r.fetch_latency().max_ns(), 200);
+        assert_eq!(r.lock_wait().count(), 1);
+        assert_eq!(r.barrier_wait().count(), 1);
     }
 
     #[test]

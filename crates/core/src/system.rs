@@ -19,6 +19,7 @@ use std::thread::JoinHandle;
 use parking_lot::Mutex;
 use samhita_mem::{HomeMap, MemRequest, MemResponse, MemoryServer, PageId, ServerStats};
 use samhita_scl::{Endpoint, EndpointId, Fabric, MsgClass, SimTime};
+use samhita_trace::{EventKind, RunTrace, SharedTrack, Tracer, TrackId};
 use serde::{Deserialize, Serialize};
 
 use crate::config::SamhitaConfig;
@@ -60,6 +61,7 @@ pub struct Samhita {
     ctl: Mutex<CtlClient>,
     mgr_handle: Option<JoinHandle<ManagerStats>>,
     mem_handles: Vec<JoinHandle<ServerStats>>,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl Samhita {
@@ -76,6 +78,26 @@ impl Samhita {
         let fabric = Fabric::<Msg>::new(topo);
         let home_map = HomeMap::new(cfg.mem_servers, cfg.line_pages);
 
+        // Event tracing is strictly observational: services push into shared
+        // tracks after their virtual-time accounting is done, and the fabric
+        // observer fires after the cost model has charged the send. Enabling
+        // it cannot move any virtual clock.
+        let tracer = cfg.tracing.then(|| Arc::new(Tracer::new(cfg.trace_capacity)));
+        if let Some(t) = &tracer {
+            let track = t.shared_track(TrackId::Fabric);
+            fabric.set_observer(Some(Box::new(move |src, dst, now, bytes, class| {
+                track.push(
+                    now,
+                    EventKind::FabricSend {
+                        src: src.0 as u64,
+                        dst: dst.0 as u64,
+                        class,
+                        bytes: bytes as u64,
+                    },
+                );
+            })));
+        }
+
         // Memory servers.
         let mut mem_eps = Vec::new();
         let mut mem_handles = Vec::new();
@@ -83,14 +105,17 @@ impl Samhita {
             let ep = fabric.add_endpoint(placement.mem_servers[i as usize]);
             mem_eps.push(ep.id());
             let server = MemoryServer::new(cfg.page_size, cfg.service);
-            mem_handles.push(std::thread::spawn(move || mem_server_loop(ep, server)));
+            let track = tracer.as_ref().map(|t| t.shared_track(TrackId::MemServer(i)));
+            mem_handles.push(std::thread::spawn(move || mem_server_loop(ep, server, track)));
         }
 
         // Manager.
         let mgr_endpoint = fabric.add_endpoint(placement.manager);
         let mgr_ep = mgr_endpoint.id();
         let engine = ManagerEngine::new(&cfg);
-        let mgr_handle = Some(std::thread::spawn(move || manager_loop(mgr_endpoint, engine)));
+        let mgr_track = tracer.as_ref().map(|t| t.shared_track(TrackId::Manager));
+        let mgr_handle =
+            Some(std::thread::spawn(move || manager_loop(mgr_endpoint, engine, mgr_track)));
 
         // Host control client (registers like a thread, but never syncs).
         let ctl_ep = fabric.add_endpoint(placement.manager);
@@ -99,9 +124,8 @@ impl Samhita {
             ctl.rpc(mgr_ep, HOST_TID, MgrRequest::Register { observer: true }, MsgClass::Control);
         assert!(matches!(resp, MgrResponse::Registered { .. }), "host registration failed");
 
-        let local_sync = cfg
-            .manager_bypass
-            .then(|| Arc::new(LocalSync::new(cfg.costs.local_sync_ns)));
+        let local_sync =
+            cfg.manager_bypass.then(|| Arc::new(LocalSync::new(cfg.costs.local_sync_ns)));
 
         Samhita {
             cfg,
@@ -115,6 +139,7 @@ impl Samhita {
             ctl: Mutex::new(ctl),
             mgr_handle,
             mem_handles,
+            tracer,
         }
     }
 
@@ -228,8 +253,10 @@ impl Samhita {
             let offset = (at % ps) as usize;
             let take = ((ps - at % ps) as usize).min(out.len() - cursor);
             let server = self.home_map.home_of_page(PageId(page));
-            let resp = ctl
-                .rpc_mem(self.mem_eps[server as usize], MemRequest::FetchPage { page: PageId(page) });
+            let resp = ctl.rpc_mem(
+                self.mem_eps[server as usize],
+                MemRequest::FetchPage { page: PageId(page) },
+            );
             match resp {
                 MemResponse::Page { data, .. } => {
                     out[cursor..cursor + take].copy_from_slice(&data[offset..offset + take]);
@@ -286,12 +313,20 @@ impl Samhita {
                     let mem_eps = self.mem_eps.clone();
                     let local_sync = self.local_sync.clone();
                     let mgr_ep = self.mgr_ep;
+                    let tracer = self.tracer.clone();
                     s.spawn(move || {
                         let mut ctx = ThreadCtx::new(
                             t as u32, nthreads, cfg, ep, mgr_ep, mem_eps, local_sync,
                         );
+                        if let Some(tr) = &tracer {
+                            ctx.attach_trace(tr.buf(TrackId::Thread(t as u32)));
+                        }
                         body(&mut ctx);
-                        ctx.finish()
+                        let (stats, buf) = ctx.finish();
+                        if let (Some(tr), Some(buf)) = (&tracer, buf) {
+                            tr.submit(buf);
+                        }
+                        stats
                     })
                 })
                 .collect();
@@ -306,6 +341,14 @@ impl Samhita {
                 .collect::<Vec<_>>()
         });
         RunReport::new(stats, self.fabric.stats().delta(&fabric_before))
+    }
+
+    /// Drain the event trace accumulated so far (threads that finished a
+    /// run, plus manager / memory-server / fabric activity). Returns `None`
+    /// unless the configuration enabled [`SamhitaConfig::tracing`]. Each
+    /// call starts a fresh collection window.
+    pub fn take_trace(&self) -> Option<RunTrace> {
+        self.tracer.as_ref().map(|t| t.take())
     }
 
     /// Tear the system down and return server-side statistics.
@@ -347,13 +390,7 @@ impl CtlClient {
         t
     }
 
-    fn rpc(
-        &mut self,
-        mgr: EndpointId,
-        tid: u32,
-        req: MgrRequest,
-        class: MsgClass,
-    ) -> MgrResponse {
+    fn rpc(&mut self, mgr: EndpointId, tid: u32, req: MgrRequest, class: MsgClass) -> MgrResponse {
         let wire = req.wire_bytes();
         let token = self.fresh_token();
         self.ep
@@ -392,11 +429,37 @@ impl CtlClient {
     }
 }
 
-fn mem_server_loop(ep: Endpoint<Msg>, mut server: MemoryServer) -> ServerStats {
+/// Summarize a memory request as a trace event (stamped later, at the
+/// server's service-completion time).
+fn mem_event(req: &MemRequest) -> EventKind {
+    match req {
+        MemRequest::FetchLine { first, pages } => {
+            EventKind::ServeFetch { page: first.0, pages: *pages }
+        }
+        MemRequest::FetchPage { page } => EventKind::ServeFetch { page: page.0, pages: 1 },
+        MemRequest::ApplyDiff { page, diff } => {
+            EventKind::ApplyDiff { page: page.0, bytes: diff.payload_bytes() as u64 }
+        }
+        MemRequest::ApplyFine { page, bytes, .. } => {
+            EventKind::ApplyFine { page: page.0, bytes: bytes.len() as u64 }
+        }
+        MemRequest::WritePage { page, .. } => EventKind::ServeWrite { page: page.0 },
+    }
+}
+
+fn mem_server_loop(
+    ep: Endpoint<Msg>,
+    mut server: MemoryServer,
+    track: Option<SharedTrack>,
+) -> ServerStats {
     while let Ok(env) = ep.recv() {
         match env.msg {
             Msg::MemReq { token, req } => {
+                let event = track.as_ref().map(|_| mem_event(&req));
                 let (resp, done) = server.handle(req, env.deliver_at);
+                if let (Some(track), Some(event)) = (&track, event) {
+                    track.push(done, event);
+                }
                 let wire = resp.wire_bytes();
                 let class = match &resp {
                     MemResponse::Line { .. } | MemResponse::Page { .. } => MsgClass::Data,
@@ -412,10 +475,15 @@ fn mem_server_loop(ep: Endpoint<Msg>, mut server: MemoryServer) -> ServerStats {
     server.stats()
 }
 
-fn manager_loop(ep: Endpoint<Msg>, mut engine: ManagerEngine) -> ManagerStats {
+fn manager_loop(
+    ep: Endpoint<Msg>,
+    mut engine: ManagerEngine,
+    track: Option<SharedTrack>,
+) -> ManagerStats {
     while let Ok(env) = ep.recv() {
         match env.msg {
             Msg::MgrReq { token, tid, req } => {
+                let op = track.as_ref().map(|_| req.label());
                 for out in engine.handle(env.src, tid, token, req, env.deliver_at) {
                     let wire = out.resp.wire_bytes();
                     let _ = ep.send(
@@ -425,6 +493,9 @@ fn manager_loop(ep: Endpoint<Msg>, mut engine: ManagerEngine) -> ManagerStats {
                         MsgClass::Sync,
                         Msg::MgrResp { token: out.token, resp: out.resp },
                     );
+                }
+                if let (Some(track), Some(op)) = (&track, op) {
+                    track.push(engine.last_done(), EventKind::MgrServe { op, tid });
                 }
             }
             Msg::Shutdown => break,

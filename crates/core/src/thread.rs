@@ -30,6 +30,7 @@ use std::sync::Arc;
 use samhita_mem::{HomeMap, MemRequest, MemResponse, PageId};
 use samhita_regc::{FineUpdate, PageState, RegionKind, RegionState, WriteNotice, WriteSet};
 use samhita_scl::{Endpoint, EndpointId, Envelope, MsgClass, SimTime};
+use samhita_trace::{EventKind, FetchKind, TraceBuf};
 
 use crate::cache::SoftCache;
 use crate::config::{ConsistencyVariant, SamhitaConfig};
@@ -73,7 +74,7 @@ pub struct ThreadCtx {
     stash: HashMap<u64, Envelope<Msg>>,
     outstanding_acks: HashSet<u64>,
     ack_horizon: SimTime,
-    prefetch_tokens: HashMap<u64, u64>, // token -> line
+    prefetch_tokens: HashMap<u64, u64>,   // token -> line
     prefetch_inflight: HashMap<u64, u64>, // line -> token
     prefetch_ready: HashMap<u64, (SimTime, Vec<u8>, Vec<u64>)>,
     /// Prefetch tokens whose line was invalidated while the fetch was in
@@ -81,6 +82,9 @@ pub struct ThreadCtx {
     poisoned_prefetches: HashSet<u64>,
 
     stats: ThreadStats,
+    /// Event ring for this thread's track; `None` when tracing is off.
+    /// Strictly observational — never read back, never advances the clock.
+    trace: Option<TraceBuf>,
 }
 
 impl ThreadCtx {
@@ -135,6 +139,7 @@ impl ThreadCtx {
             prefetch_ready: HashMap::new(),
             poisoned_prefetches: HashSet::new(),
             stats: ThreadStats { tid, ..ThreadStats::default() },
+            trace: None,
         };
         match ctx.rpc_mgr(MgrRequest::Register { observer: false }, MsgClass::Control) {
             MgrResponse::Registered { watermark } => ctx.last_seen = watermark,
@@ -143,6 +148,29 @@ impl ThreadCtx {
         // Registration is setup, not application time.
         ctx.clock = SimTime::ZERO;
         ctx
+    }
+
+    /// Attach the thread's event buffer. Called by the system after
+    /// construction (registration is setup, not a traced protocol event), so
+    /// every stamp in the buffer is on the post-reset application timeline.
+    pub(crate) fn attach_trace(&mut self, buf: TraceBuf) {
+        self.trace = Some(buf);
+    }
+
+    /// Record one protocol event at the current virtual time, if tracing.
+    #[inline]
+    fn trace(&mut self, kind: EventKind) {
+        if let Some(buf) = self.trace.as_mut() {
+            buf.push(self.clock, kind);
+        }
+    }
+
+    /// Close a fetch stall that started at `t0`: feed the latency histogram
+    /// (always on) and the event trace (when enabled).
+    fn record_fetch(&mut self, page: u64, pages: u32, kind: FetchKind, t0: SimTime) {
+        let wait_ns = (self.clock - t0).as_ns();
+        self.stats.fetch_latency.record(wait_ns);
+        self.trace(EventKind::Fetch { page, pages, kind, wait_ns });
     }
 
     // ------------------------------------------------------------------
@@ -226,7 +254,7 @@ impl ThreadCtx {
         } else {
             MgrRequest::AllocShared { size, align }
         };
-        match self.rpc_mgr(req, MsgClass::Control) {
+        match self.rpc_mgr_traced(req, MsgClass::Control) {
             MgrResponse::Addr(addr) => addr,
             MgrResponse::Err(e) => panic!("allocation failed: {e}"),
             other => panic!("unexpected allocation response: {other:?}"),
@@ -246,7 +274,7 @@ impl ThreadCtx {
                 panic!("thread {} freeing thread {owner}'s arena allocation", self.tid)
             }
             Region::Shared | Region::Striped => {
-                match self.rpc_mgr(MgrRequest::Free { addr }, MsgClass::Control) {
+                match self.rpc_mgr_traced(MgrRequest::Free { addr }, MsgClass::Control) {
                     MgrResponse::Ok => {}
                     MgrResponse::Err(e) => panic!("free failed: {e}"),
                     other => panic!("unexpected free response: {other:?}"),
@@ -291,6 +319,7 @@ impl ThreadCtx {
             let outcome = self.cache.write_page(page, off, chunk, region);
             if outcome.twin_created {
                 self.stats.twins_created += 1;
+                self.trace(EventKind::TwinCreate { page });
             }
             if outcome.log_fine_grain {
                 self.writeset.record(at, chunk);
@@ -371,6 +400,7 @@ impl ThreadCtx {
             let outcome = self.cache.write_page(page, off, &scratch, region);
             if outcome.twin_created {
                 self.stats.twins_created += 1;
+                self.trace(EventKind::TwinCreate { page });
             }
             if outcome.log_fine_grain {
                 self.writeset.record(at, &scratch);
@@ -397,24 +427,27 @@ impl ThreadCtx {
     pub fn lock(&mut self, lock: u32) {
         let t0 = self.clock;
         let (pages, updates) = self.flush_all();
-        if let Some(ls) = self.local_sync.clone() {
+        let req_at = self.clock;
+        self.trace(EventKind::LockRequest { lock });
+        let (notices, wm) = if let Some(ls) = self.local_sync.clone() {
             let (at, notices, wm) =
                 ls.acquire(lock, self.tid, self.clock, pages, updates, self.last_seen);
             self.clock = self.clock.max(at);
-            self.apply_notices(&notices);
-            self.last_seen = wm;
+            (notices, wm)
         } else {
             match self.rpc_mgr(
                 MgrRequest::Acquire { lock, pages, updates, last_seen: self.last_seen },
                 MsgClass::Sync,
             ) {
-                MgrResponse::Granted { notices, watermark } => {
-                    self.apply_notices(&notices);
-                    self.last_seen = watermark;
-                }
+                MgrResponse::Granted { notices, watermark } => (notices, watermark),
                 other => panic!("unexpected acquire response: {other:?}"),
             }
-        }
+        };
+        let wait_ns = (self.clock - req_at).as_ns();
+        self.stats.lock_wait.record(wait_ns);
+        self.trace(EventKind::LockAcquire { lock, wait_ns });
+        self.apply_notices(&notices);
+        self.last_seen = wm;
         self.region.enter();
         self.stats.locks_acquired += 1;
         self.sync_time += self.clock - t0;
@@ -425,6 +458,10 @@ impl ThreadCtx {
         let t0 = self.clock;
         self.region.exit();
         let (pages, updates) = self.flush_all();
+        // Stamped after the flush and before the wire send: on a correct run
+        // this always precedes the next holder's grant stamp, which is what
+        // lets the trace checker treat [acquire, release] as the hold.
+        self.trace(EventKind::LockRelease { lock });
         if let Some(ls) = self.local_sync.clone() {
             ls.release(lock, self.tid, self.clock, pages, updates);
             self.charge(self.cfg.costs.local_sync_ns as f64);
@@ -435,11 +472,13 @@ impl ThreadCtx {
             let wire = req.wire_bytes();
             let token = self.fresh_token();
             self.ep
-                .send(self.mgr_ep, self.clock, wire, MsgClass::Sync, Msg::MgrReq {
-                    token,
-                    tid: self.tid,
-                    req,
-                })
+                .send(
+                    self.mgr_ep,
+                    self.clock,
+                    wire,
+                    MsgClass::Sync,
+                    Msg::MgrReq { token, tid: self.tid, req },
+                )
                 .expect("manager endpoint closed");
             self.charge(self.cfg.costs.send_ns as f64);
         }
@@ -450,24 +489,27 @@ impl ThreadCtx {
     pub fn barrier(&mut self, barrier: u32) {
         let t0 = self.clock;
         let (pages, updates) = self.flush_all();
-        if let Some(ls) = self.local_sync.clone() {
+        let arrive_at = self.clock;
+        self.trace(EventKind::BarrierArrive { barrier });
+        let (notices, wm) = if let Some(ls) = self.local_sync.clone() {
             let (at, notices, wm) =
                 ls.barrier_wait(barrier, self.tid, self.clock, pages, updates, self.last_seen);
             self.clock = self.clock.max(at);
-            self.apply_notices(&notices);
-            self.last_seen = wm;
+            (notices, wm)
         } else {
             match self.rpc_mgr(
                 MgrRequest::BarrierWait { barrier, pages, updates, last_seen: self.last_seen },
                 MsgClass::Sync,
             ) {
-                MgrResponse::BarrierReleased { notices, watermark } => {
-                    self.apply_notices(&notices);
-                    self.last_seen = watermark;
-                }
+                MgrResponse::BarrierReleased { notices, watermark } => (notices, watermark),
                 other => panic!("unexpected barrier response: {other:?}"),
             }
-        }
+        };
+        let wait_ns = (self.clock - arrive_at).as_ns();
+        self.stats.barrier_wait.record(wait_ns);
+        self.trace(EventKind::BarrierRelease { barrier, wait_ns });
+        self.apply_notices(&notices);
+        self.last_seen = wm;
         self.stats.barriers += 1;
         self.sync_time += self.clock - t0;
     }
@@ -478,11 +520,17 @@ impl ThreadCtx {
     pub fn cond_wait(&mut self, cond: u32, lock: u32) {
         let t0 = self.clock;
         let (pages, updates) = self.flush_all();
+        // On the trace, a cond wait is a lock release (the atomic handoff to
+        // the manager) followed by a re-acquire at wake-up.
+        self.trace(EventKind::LockRelease { lock });
+        let req_at = self.clock;
         match self.rpc_mgr(
             MgrRequest::CondWait { cond, lock, pages, updates, last_seen: self.last_seen },
             MsgClass::Sync,
         ) {
             MgrResponse::Granted { notices, watermark } => {
+                let wait_ns = (self.clock - req_at).as_ns();
+                self.trace(EventKind::LockAcquire { lock, wait_ns });
                 self.apply_notices(&notices);
                 self.last_seen = watermark;
             }
@@ -494,7 +542,7 @@ impl ThreadCtx {
     /// Wake one waiter of `cond`.
     pub fn cond_signal(&mut self, cond: u32) {
         let t0 = self.clock;
-        match self.rpc_mgr(MgrRequest::CondSignal { cond }, MsgClass::Sync) {
+        match self.rpc_mgr_traced(MgrRequest::CondSignal { cond }, MsgClass::Sync) {
             MgrResponse::Ok => {}
             other => panic!("unexpected signal response: {other:?}"),
         }
@@ -504,7 +552,7 @@ impl ThreadCtx {
     /// Wake all waiters of `cond`.
     pub fn cond_broadcast(&mut self, cond: u32) {
         let t0 = self.clock;
-        match self.rpc_mgr(MgrRequest::CondBroadcast { cond }, MsgClass::Sync) {
+        match self.rpc_mgr_traced(MgrRequest::CondBroadcast { cond }, MsgClass::Sync) {
             MgrResponse::Ok => {}
             other => panic!("unexpected broadcast response: {other:?}"),
         }
@@ -514,7 +562,7 @@ impl ThreadCtx {
     /// Create a lock from a running thread (locks are more typically created
     /// by the host before `run`).
     pub fn create_lock(&mut self) -> u32 {
-        match self.rpc_mgr(MgrRequest::CreateLock, MsgClass::Control) {
+        match self.rpc_mgr_traced(MgrRequest::CreateLock, MsgClass::Control) {
             MgrResponse::SyncId(id) => id,
             other => panic!("unexpected create-lock response: {other:?}"),
         }
@@ -527,33 +575,32 @@ impl ThreadCtx {
     /// Make `page` resident and valid, faulting (and prefetching) as needed.
     fn ensure_resident(&mut self, page: u64) {
         let line = self.cache.line_of(page);
+        let line_pages = self.cache.line_pages() as u32;
         if self.cache.contains_line(line) {
             if self.cache.page_state(page) == Some(PageState::Invalid) {
+                let t0 = self.clock;
                 // Revalidation after invalidation notices: false-sharing
                 // refetch traffic. When several pages of the line were
                 // invalidated, one line fetch amortizes the round-trip.
-                if self.cache.invalid_pages_in_line(line) > 1 {
+                let fetched_pages = if self.cache.invalid_pages_in_line(line) > 1 {
                     let first = PageId(line * self.cache.line_pages() as u64);
                     let server = self.home_map.home_of_line(line);
                     let (resp, _) = self.rpc_mem(
                         server,
-                        MemRequest::FetchLine {
-                            first,
-                            pages: self.cache.line_pages() as u32,
-                        },
+                        MemRequest::FetchLine { first, pages: self.cache.line_pages() as u32 },
                         MsgClass::Data,
                     );
                     match resp {
                         MemResponse::Line { data, versions, .. } => {
                             self.charge(
-                                (data.len() as u64 / 1024
-                                    * self.cfg.costs.cache_fill_per_kib_ns)
+                                (data.len() as u64 / 1024 * self.cfg.costs.cache_fill_per_kib_ns)
                                     as f64,
                             );
                             self.cache.refresh_line(line, &data, &versions);
                         }
                         other => panic!("unexpected line fetch response: {other:?}"),
                     }
+                    line_pages
                 } else {
                     let server = self.home_map.home_of_page(PageId(page));
                     let (resp, _) = self.rpc_mem(
@@ -565,25 +612,29 @@ impl ThreadCtx {
                         MemResponse::Page { data, version, .. } => {
                             self.cache.install_page(page, &data, version);
                             self.charge(
-                                (data.len() as u64 / 1024
-                                    * self.cfg.costs.cache_fill_per_kib_ns)
+                                (data.len() as u64 / 1024 * self.cfg.costs.cache_fill_per_kib_ns)
                                     as f64,
                             );
                         }
                         other => panic!("unexpected page fetch response: {other:?}"),
                     }
-                }
+                    1
+                };
                 self.stats.page_refetches += 1;
+                self.record_fetch(page, fetched_pages, FetchKind::Refetch, t0);
             }
             self.cache.touch_line(line);
             return;
         }
 
+        let first_page = line * self.cache.line_pages() as u64;
+        let t0 = self.clock;
         if let Some((deliver, data, versions)) = self.prefetch_ready.remove(&line) {
             // A completed prefetch: free unless we outran it.
             self.clock = self.clock.max(deliver);
             self.stats.prefetch_hits += 1;
             self.install_line(line, data, versions);
+            self.record_fetch(first_page, line_pages, FetchKind::PrefetchHit, t0);
         } else if let Some(token) = self.prefetch_inflight.remove(&line) {
             // Prefetch still in flight: wait for it.
             self.prefetch_tokens.remove(&token);
@@ -596,6 +647,7 @@ impl ThreadCtx {
                 }
                 other => panic!("unexpected prefetch response: {other:?}"),
             }
+            self.record_fetch(first_page, line_pages, FetchKind::PrefetchLate, t0);
         } else {
             // Demand miss.
             self.stats.line_misses += 1;
@@ -607,11 +659,10 @@ impl ThreadCtx {
                 MsgClass::Data,
             );
             match resp {
-                MemResponse::Line { data, versions, .. } => {
-                    self.install_line(line, data, versions)
-                }
+                MemResponse::Line { data, versions, .. } => self.install_line(line, data, versions),
                 other => panic!("unexpected line fetch response: {other:?}"),
             }
+            self.record_fetch(first_page, line_pages, FetchKind::Demand, t0);
         }
         self.cache.touch_line(line);
 
@@ -623,18 +674,18 @@ impl ThreadCtx {
 
     fn install_line(&mut self, line: u64, data: Vec<u8>, versions: Vec<u64>) {
         self.make_room();
-        self.charge(
-            (data.len() as u64 / 1024 * self.cfg.costs.cache_fill_per_kib_ns) as f64,
-        );
+        self.charge((data.len() as u64 / 1024 * self.cfg.costs.cache_fill_per_kib_ns) as f64);
         self.cache.install_line(line, data, versions);
     }
 
     /// Evict until a new line fits, flushing dirty victims home.
     fn make_room(&mut self) {
         while self.cache.is_full() {
-            let (_line, victim) = self.cache.pop_victim().expect("full cache has lines");
+            let (line, victim) = self.cache.pop_victim().expect("full cache has lines");
             self.stats.evictions += 1;
-            for (page, diff) in self.cache.diffs_of_evicted(victim) {
+            let diffs = self.cache.diffs_of_evicted(victim);
+            self.trace(EventKind::Evict { line, dirty_pages: diffs.len() as u32 });
+            for (page, diff) in diffs {
                 self.send_diff(page, diff);
             }
         }
@@ -664,12 +715,18 @@ impl ThreadCtx {
         self.charge(self.cfg.costs.send_ns as f64);
         self.prefetch_tokens.insert(token, line);
         self.prefetch_inflight.insert(line, token);
+        self.trace(EventKind::PrefetchIssue {
+            page: first.0,
+            pages: self.cache.line_pages() as u32,
+        });
     }
 
     /// Ship one page diff home asynchronously (ack awaited at the next
     /// flush fence).
     fn send_diff(&mut self, page: u64, diff: samhita_regc::Diff) {
-        self.stats.diff_bytes_flushed += diff.payload_bytes() as u64;
+        let bytes = diff.payload_bytes() as u64;
+        self.stats.diff_bytes_flushed += bytes;
+        self.trace(EventKind::DiffFlush { page, bytes });
         self.pending_pages.insert(page);
         let server = self.home_map.home_of_page(PageId(page));
         let req = MemRequest::ApplyDiff { page: PageId(page), diff };
@@ -708,9 +765,9 @@ impl ThreadCtx {
         let mut updates = Vec::with_capacity(parts.len());
         for (page, offset, bytes) in parts {
             self.stats.fine_bytes_flushed += bytes.len() as u64;
+            self.trace(EventKind::FineFlush { page, bytes: bytes.len() as u64 });
             let server = self.home_map.home_of_page(PageId(page));
-            let req =
-                MemRequest::ApplyFine { page: PageId(page), offset, bytes: bytes.clone() };
+            let req = MemRequest::ApplyFine { page: PageId(page), offset, bytes: bytes.clone() };
             let wire = req.wire_bytes();
             let token = self.fresh_token();
             self.ep
@@ -755,6 +812,7 @@ impl ThreadCtx {
             for &page in &n.pages {
                 if self.cache.invalidate_page(page) {
                     self.stats.invalidations += 1;
+                    self.trace(EventKind::Invalidate { page, writer: n.writer });
                 }
                 self.poison_prefetch(page);
             }
@@ -835,10 +893,13 @@ impl ThreadCtx {
         let wire = req.wire_bytes();
         let token = self.fresh_token();
         self.ep
-            .send(self.mem_eps[server as usize], self.clock, wire, class, Msg::MemReq {
-                token,
-                req,
-            })
+            .send(
+                self.mem_eps[server as usize],
+                self.clock,
+                wire,
+                class,
+                Msg::MemReq { token, req },
+            )
             .expect("memory server endpoint closed");
         let env = self.wait_for(token);
         self.clock = self.clock.max(env.deliver_at);
@@ -848,15 +909,23 @@ impl ThreadCtx {
         }
     }
 
+    /// [`ThreadCtx::rpc_mgr`] plus a `MgrRpc` trace event covering the
+    /// request→response stall. Used by the non-sync paths (allocation,
+    /// creation, signals); lock/barrier paths have dedicated events.
+    fn rpc_mgr_traced(&mut self, req: MgrRequest, class: MsgClass) -> MgrResponse {
+        let op = req.label();
+        let t0 = self.clock;
+        let resp = self.rpc_mgr(req, class);
+        let wait_ns = (self.clock - t0).as_ns();
+        self.trace(EventKind::MgrRpc { op, wait_ns });
+        resp
+    }
+
     fn rpc_mgr(&mut self, req: MgrRequest, class: MsgClass) -> MgrResponse {
         let wire = req.wire_bytes();
         let token = self.fresh_token();
         self.ep
-            .send(self.mgr_ep, self.clock, wire, class, Msg::MgrReq {
-                token,
-                tid: self.tid,
-                req,
-            })
+            .send(self.mgr_ep, self.clock, wire, class, Msg::MgrReq { token, tid: self.tid, req })
             .expect("manager endpoint closed");
         let env = self.wait_for(token);
         self.clock = self.clock.max(env.deliver_at);
@@ -866,8 +935,9 @@ impl ThreadCtx {
         }
     }
 
-    /// Final flush + departure. Returns the thread's statistics.
-    pub(crate) fn finish(mut self) -> ThreadStats {
+    /// Final flush + departure. Returns the thread's statistics and its
+    /// event buffer (if tracing).
+    pub(crate) fn finish(mut self) -> (ThreadStats, Option<TraceBuf>) {
         // The measurement stops here: the final flush and departure RPC are
         // teardown, not application time (a wall-clock benchmark's timer
         // stops before join/teardown too).
@@ -891,6 +961,6 @@ impl ThreadCtx {
         stats.total = end_clock.saturating_sub(self.epoch_clock);
         stats.sync = end_sync.saturating_sub(self.epoch_sync);
         stats.compute = stats.total.saturating_sub(stats.sync);
-        stats
+        (stats, self.trace.take())
     }
 }

@@ -57,10 +57,7 @@ fn block(n: usize, threads: usize, tid: usize) -> (usize, usize) {
 /// Run Jacobi on a backend.
 pub fn run_jacobi(rt: &dyn KernelRt, p: &JacobiParams) -> JacobiResult {
     assert!(p.n >= 1 && p.iters >= 1 && p.threads >= 1);
-    assert!(
-        (p.threads as usize) <= p.n,
-        "more threads than interior rows"
-    );
+    assert!((p.threads as usize) <= p.n, "more threads than interior rows");
     let width = p.n + 2;
     let cells = width * width;
     let u = rt.alloc_f64_global(cells);

@@ -22,6 +22,8 @@ pub mod jacobi;
 pub mod md;
 pub mod micro;
 
-pub use jacobi::{run_jacobi, serial_reference as serial_reference_jacobi, JacobiParams, JacobiResult};
+pub use jacobi::{
+    run_jacobi, serial_reference as serial_reference_jacobi, JacobiParams, JacobiResult,
+};
 pub use md::{run_md, serial_reference as serial_reference_md, MdParams, MdResult};
 pub use micro::{expected_gsum, run_micro, AllocMode, MicroParams, MicroResult};

@@ -238,8 +238,7 @@ mod tests {
         // causes none after warm-up.
         let cfg = SamhitaConfig::small_for_tests();
         let local = run_micro(&SamhitaRt::new(cfg.clone()), &tiny(AllocMode::Local, 4));
-        let strided =
-            run_micro(&SamhitaRt::new(cfg), &tiny(AllocMode::GlobalStrided, 4));
+        let strided = run_micro(&SamhitaRt::new(cfg), &tiny(AllocMode::GlobalStrided, 4));
         let refetch_local = local.report.total_of(|t| t.page_refetches);
         let refetch_strided = strided.report.total_of(|t| t.page_refetches);
         assert!(

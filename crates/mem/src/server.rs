@@ -180,10 +180,7 @@ impl MemoryServer {
                 (MemResponse::Ack { page, version }, moved)
             }
         };
-        let service = if matches!(
-            resp,
-            MemResponse::Ack { .. }
-        ) {
+        let service = if matches!(resp, MemResponse::Ack { .. }) {
             self.model.apply_ns(moved)
         } else {
             self.model.service_ns(moved)
@@ -216,10 +213,8 @@ mod tests {
     #[test]
     fn fetch_line_returns_zeroed_pages_and_completion_time() {
         let mut s = server();
-        let (resp, done) = s.handle(
-            MemRequest::FetchLine { first: PageId(0), pages: 4 },
-            SimTime::from_ns(100),
-        );
+        let (resp, done) =
+            s.handle(MemRequest::FetchLine { first: PageId(0), pages: 4 }, SimTime::from_ns(100));
         match resp {
             MemResponse::Line { data, versions, .. } => {
                 assert_eq!(data.len(), 1024);
@@ -331,13 +326,10 @@ mod tests {
         let m = ServiceModel::default();
         assert!(m.apply_ns(4096) < m.service_ns(4096));
         let mut s = MemoryServer::new(256, m);
-        let (_, fetch_done) =
-            s.handle(MemRequest::FetchPage { page: PageId(0) }, SimTime::ZERO);
+        let (_, fetch_done) = s.handle(MemRequest::FetchPage { page: PageId(0) }, SimTime::ZERO);
         let mut s2 = MemoryServer::new(256, m);
-        let (_, apply_done) = s2.handle(
-            MemRequest::WritePage { page: PageId(0), bytes: vec![0; 256] },
-            SimTime::ZERO,
-        );
+        let (_, apply_done) = s2
+            .handle(MemRequest::WritePage { page: PageId(0), bytes: vec![0; 256] }, SimTime::ZERO);
         assert!(apply_done < fetch_done);
     }
 }
@@ -363,11 +355,17 @@ mod proptests {
         prop_oneof![
             (0..PAGES / 2).prop_map(|line| ReqKind::FetchLine { line }),
             (0..PAGES).prop_map(|page| ReqKind::FetchPage { page }),
-            (0..PAGES, 0u16..200, 1u8..32)
-                .prop_map(|(page, offset, len)| ReqKind::Fine { page, offset, len }),
+            (0..PAGES, 0u16..200, 1u8..32).prop_map(|(page, offset, len)| ReqKind::Fine {
+                page,
+                offset,
+                len
+            }),
             (0..PAGES, any::<u8>()).prop_map(|(page, fill)| ReqKind::Whole { page, fill }),
-            (0..PAGES, 0u8..32, any::<u64>())
-                .prop_map(|(page, word, value)| ReqKind::DiffWord { page, word, value }),
+            (0..PAGES, 0u8..32, any::<u64>()).prop_map(|(page, word, value)| ReqKind::DiffWord {
+                page,
+                word,
+                value
+            }),
         ]
     }
 

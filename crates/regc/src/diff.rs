@@ -39,19 +39,20 @@ impl Diff {
         let mut runs: Vec<DiffRun> = Vec::new();
         let mut open: Option<DiffRun> = None;
 
-        let push_word = |runs: &mut Vec<DiffRun>, open: &mut Option<DiffRun>, at: usize, bytes: &[u8]| {
-            match open {
-                Some(run) if run.offset as usize + run.bytes.len() == at => {
-                    run.bytes.extend_from_slice(bytes);
-                }
-                _ => {
-                    if let Some(run) = open.take() {
-                        runs.push(run);
+        let push_word =
+            |runs: &mut Vec<DiffRun>, open: &mut Option<DiffRun>, at: usize, bytes: &[u8]| {
+                match open {
+                    Some(run) if run.offset as usize + run.bytes.len() == at => {
+                        run.bytes.extend_from_slice(bytes);
                     }
-                    *open = Some(DiffRun { offset: at as u32, bytes: bytes.to_vec() });
+                    _ => {
+                        if let Some(run) = open.take() {
+                            runs.push(run);
+                        }
+                        *open = Some(DiffRun { offset: at as u32, bytes: bytes.to_vec() });
+                    }
                 }
-            }
-        };
+            };
 
         let mut at = 0;
         while at + WORD <= twin.len() {
@@ -251,7 +252,10 @@ mod proptests {
 
     fn page_pair() -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
         // A twin plus a mutation of it at random word positions.
-        (proptest::collection::vec(any::<u8>(), 256..=256), proptest::collection::vec((0usize..32, any::<u64>()), 0..16))
+        (
+            proptest::collection::vec(any::<u8>(), 256..=256),
+            proptest::collection::vec((0usize..32, any::<u64>()), 0..16),
+        )
             .prop_map(|(twin, writes)| {
                 let mut cur = twin.clone();
                 for (word, value) in writes {

@@ -54,7 +54,9 @@ pub struct WriteEffect {
 /// Panics on a write to an `Invalid` page: the fault handler must run first.
 pub fn on_write(state: PageState, region: RegionKind) -> WriteEffect {
     match (state, region) {
-        (PageState::Invalid, _) => panic!("write to non-resident page: fault handler must run first"),
+        (PageState::Invalid, _) => {
+            panic!("write to non-resident page: fault handler must run first")
+        }
         (PageState::Clean, RegionKind::Ordinary) => WriteEffect {
             make_twin: true,
             log_fine_grain: false,
@@ -136,7 +138,11 @@ mod tests {
         assert!(!e.make_twin);
         assert!(e.log_fine_grain);
         assert!(!e.write_through_twin);
-        assert_eq!(e.next, PageState::Clean, "page must not become dirty: the write set carries the update");
+        assert_eq!(
+            e.next,
+            PageState::Clean,
+            "page must not become dirty: the write set carries the update"
+        );
     }
 
     #[test]

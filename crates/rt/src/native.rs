@@ -24,6 +24,7 @@ use parking_lot::RwLock;
 use samhita_core::localsync::LocalSync;
 use samhita_core::{RunReport, ThreadStats};
 use samhita_scl::{FabricStatsSnapshot, SimTime};
+use samhita_trace::LatencyHistogram;
 use serde::{Deserialize, Serialize};
 
 use crate::{ArrF64, KernelCtx, KernelRt, SyncId};
@@ -136,6 +137,8 @@ impl KernelRt for NativeRt {
                             sync: SimTime::ZERO,
                             epoch_clock: SimTime::ZERO,
                             epoch_sync: SimTime::ZERO,
+                            lock_wait: LatencyHistogram::new(),
+                            barrier_wait: LatencyHistogram::new(),
                         };
                         body(&mut ctx);
                         let total = ctx.clock.saturating_sub(ctx.epoch_clock);
@@ -145,6 +148,8 @@ impl KernelRt for NativeRt {
                             total,
                             sync,
                             compute: total.saturating_sub(sync),
+                            lock_wait: ctx.lock_wait,
+                            barrier_wait: ctx.barrier_wait,
                             ..ThreadStats::default()
                         }
                     })
@@ -171,6 +176,8 @@ struct NativeCtx<'rt> {
     sync: SimTime,
     epoch_clock: SimTime,
     epoch_sync: SimTime,
+    lock_wait: LatencyHistogram,
+    barrier_wait: LatencyHistogram,
 }
 
 impl NativeCtx<'_> {
@@ -257,6 +264,7 @@ impl KernelCtx for NativeCtx<'_> {
         let t0 = self.clock;
         let (at, _, _) = self.rt.locks.acquire(m, self.tid, self.clock, Vec::new(), Vec::new(), 0);
         self.clock = self.clock.max(at);
+        self.lock_wait.record((self.clock - t0).as_ns());
         self.sync += self.clock - t0;
     }
 
@@ -269,8 +277,10 @@ impl KernelCtx for NativeCtx<'_> {
 
     fn barrier_wait(&mut self, b: SyncId) {
         let t0 = self.clock;
-        let (at, _, _) = self.rt.barriers.barrier_wait(b, self.tid, self.clock, Vec::new(), Vec::new(), 0);
+        let (at, _, _) =
+            self.rt.barriers.barrier_wait(b, self.tid, self.clock, Vec::new(), Vec::new(), 0);
         self.clock = self.clock.max(at);
+        self.barrier_wait.record((self.clock - t0).as_ns());
         self.sync += self.clock - t0;
     }
 

@@ -25,6 +25,12 @@ impl SamhitaRt {
         &self.sys
     }
 
+    /// Drain the event trace (see [`Samhita::take_trace`]); `None` unless
+    /// the configuration enabled tracing.
+    pub fn take_trace(&self) -> Option<samhita_trace::RunTrace> {
+        self.sys.take_trace()
+    }
+
     /// Tear down, returning server-side statistics.
     pub fn shutdown(self) -> samhita_core::SystemStats {
         self.sys.shutdown()

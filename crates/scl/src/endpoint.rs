@@ -95,7 +95,6 @@ impl<M: Send + 'static> Endpoint<M> {
     }
 }
 
-
 impl<M> std::fmt::Debug for Endpoint<M> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Endpoint").field("id", &self.id).field("node", &self.node).finish()

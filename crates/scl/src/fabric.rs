@@ -23,17 +23,26 @@ struct Slot<M> {
     node: NodeId,
 }
 
+/// Callback invoked on every [`Fabric::send`], for tracing.
+pub type SendObserver = Box<dyn Fn(EndpointId, EndpointId, SimTime, usize, MsgClass) + Send + Sync>;
+
 /// The simulated interconnect connecting all DSM components.
 pub struct Fabric<M> {
     topo: Topology,
     slots: RwLock<Vec<Slot<M>>>,
     stats: FabricStats,
+    observer: RwLock<Option<SendObserver>>,
 }
 
 impl<M: Send + 'static> Fabric<M> {
     /// Create a fabric over the given topology.
     pub fn new(topo: Topology) -> Arc<Self> {
-        Arc::new(Fabric { topo, slots: RwLock::new(Vec::new()), stats: FabricStats::default() })
+        Arc::new(Fabric {
+            topo,
+            slots: RwLock::new(Vec::new()),
+            stats: FabricStats::default(),
+            observer: RwLock::new(None),
+        })
     }
 
     /// Attach a new endpoint on `node` and return its receiving half.
@@ -77,6 +86,9 @@ impl<M: Send + 'static> Fabric<M> {
         let route = self.topo.route(src_slot.node, dst_slot.node);
         let deliver_at = now + route.transfer_ns(wire_bytes);
         self.stats.record(class, wire_bytes);
+        if let Some(observer) = self.observer.read().as_ref() {
+            observer(src, dst, now, wire_bytes, class);
+        }
         let env = Envelope { src, sent_at: now, deliver_at, msg };
         dst_slot.tx.send(env).map_err(|_| SclError::Disconnected(dst))?;
         Ok(deliver_at)
@@ -90,6 +102,14 @@ impl<M: Send + 'static> Fabric<M> {
     /// Snapshot traffic counters.
     pub fn stats(&self) -> FabricStatsSnapshot {
         self.stats.snapshot()
+    }
+
+    /// Install (or clear) an observer called on every send with
+    /// `(src, dst, sent_at, wire_bytes, class)`. Purely observational: the
+    /// observer cannot alter delivery times or message contents, so tracing
+    /// cannot perturb virtual clocks.
+    pub fn set_observer(&self, observer: Option<SendObserver>) {
+        *self.observer.write() = observer;
     }
 }
 
@@ -176,6 +196,27 @@ mod tests {
     fn placement_on_unknown_node_panics() {
         let fabric = Fabric::<()>::new(Topology::single_node(1));
         let _ = fabric.add_endpoint(NodeId(3));
+    }
+
+    #[test]
+    fn observer_sees_sends_without_changing_delivery() {
+        use std::sync::Mutex;
+        let topo = Topology::cluster(2, profiles::ib_qdr());
+        let fabric = Fabric::<&'static str>::new(topo);
+        let a = fabric.add_endpoint(NodeId(0));
+        let b = fabric.add_endpoint(NodeId(1));
+        type Seen = Vec<(EndpointId, EndpointId, u64, usize, MsgClass)>;
+        let seen: Arc<Mutex<Seen>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        fabric.set_observer(Some(Box::new(move |src, dst, now, bytes, class| {
+            sink.lock().unwrap().push((src, dst, now.as_ns(), bytes, class));
+        })));
+        let t_observed = a.send(b.id(), SimTime::from_ns(7), 256, MsgClass::Update, "x").unwrap();
+        fabric.set_observer(None);
+        let t_plain = a.send(b.id(), SimTime::from_ns(7), 256, MsgClass::Update, "y").unwrap();
+        assert_eq!(t_observed, t_plain, "observing a send must not change its cost");
+        let seen = seen.lock().unwrap();
+        assert_eq!(*seen, vec![(a.id(), b.id(), 7, 256, MsgClass::Update)]);
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub mod topology;
 
 pub use endpoint::{Endpoint, Envelope};
 pub use error::SclError;
-pub use fabric::Fabric;
+pub use fabric::{Fabric, SendObserver};
 pub use model::LinkModel;
 pub use resource::VirtualResource;
 pub use stats::{FabricStats, FabricStatsSnapshot, MsgClass};

@@ -31,11 +31,8 @@ pub struct LinkModel {
 impl LinkModel {
     /// A link with effectively infinite speed; used for co-located endpoints
     /// in degenerate test topologies.
-    pub const INSTANT: LinkModel = LinkModel {
-        latency_ns: 0,
-        gbits_per_sec: f64::INFINITY,
-        per_msg_overhead_ns: 0,
-    };
+    pub const INSTANT: LinkModel =
+        LinkModel { latency_ns: 0, gbits_per_sec: f64::INFINITY, per_msg_overhead_ns: 0 };
 
     /// Virtual time to move `bytes` across this link as a single message.
     #[inline]
@@ -91,16 +88,8 @@ mod tests {
 
     #[test]
     fn chain_adds_latency_and_takes_min_bandwidth() {
-        let fast = LinkModel {
-            latency_ns: 100,
-            gbits_per_sec: 64.0,
-            per_msg_overhead_ns: 10,
-        };
-        let slow = LinkModel {
-            latency_ns: 900,
-            gbits_per_sec: 32.0,
-            per_msg_overhead_ns: 300,
-        };
+        let fast = LinkModel { latency_ns: 100, gbits_per_sec: 64.0, per_msg_overhead_ns: 10 };
+        let slow = LinkModel { latency_ns: 900, gbits_per_sec: 32.0, per_msg_overhead_ns: 300 };
         let route = fast.chain(&slow);
         assert_eq!(route.latency_ns, 1000);
         assert_eq!(route.per_msg_overhead_ns, 310);

@@ -19,51 +19,31 @@ use crate::model::LinkModel;
 /// Quad-data-rate InfiniBand through one switch (HCA–switch–HCA), as in the
 /// paper's six-node evaluation cluster.
 pub fn ib_qdr() -> LinkModel {
-    LinkModel {
-        latency_ns: 1_300,
-        gbits_per_sec: 32.0,
-        per_msg_overhead_ns: 300,
-    }
+    LinkModel { latency_ns: 1_300, gbits_per_sec: 32.0, per_msg_overhead_ns: 300 }
 }
 
 /// PCI Express gen2 x16 crossed via an InfiniBand *verbs proxy*, the software
 /// path a stock Samhita build would use between host and coprocessor.
 pub fn pcie_verbs_proxy() -> LinkModel {
-    LinkModel {
-        latency_ns: 900,
-        gbits_per_sec: 48.0,
-        per_msg_overhead_ns: 1_100,
-    }
+    LinkModel { latency_ns: 900, gbits_per_sec: 48.0, per_msg_overhead_ns: 1_100 }
 }
 
 /// PCI Express gen2 x16 driven directly through SCIF (the paper's proposed
 /// SCL port): same wire, much cheaper software path.
 pub fn scif() -> LinkModel {
-    LinkModel {
-        latency_ns: 550,
-        gbits_per_sec: 48.0,
-        per_msg_overhead_ns: 200,
-    }
+    LinkModel { latency_ns: 550, gbits_per_sec: 48.0, per_msg_overhead_ns: 200 }
 }
 
 /// 10-gigabit Ethernet with a kernel sockets stack; the kind of interconnect
 /// that made 1990s DSMs unattractive. Ablation use only.
 pub fn ethernet_10g() -> LinkModel {
-    LinkModel {
-        latency_ns: 9_000,
-        gbits_per_sec: 10.0,
-        per_msg_overhead_ns: 2_500,
-    }
+    LinkModel { latency_ns: 9_000, gbits_per_sec: 10.0, per_msg_overhead_ns: 2_500 }
 }
 
 /// Traffic between two endpoints placed on the *same* node (e.g. manager and
 /// memory server co-located on the host): a shared-memory handoff.
 pub fn intra_node() -> LinkModel {
-    LinkModel {
-        latency_ns: 80,
-        gbits_per_sec: 200.0,
-        per_msg_overhead_ns: 40,
-    }
+    LinkModel { latency_ns: 80, gbits_per_sec: 200.0, per_msg_overhead_ns: 40 }
 }
 
 #[cfg(test)]

@@ -110,10 +110,8 @@ mod tests {
                 std::thread::spawn(move || {
                     let mut windows = Vec::new();
                     for k in 0..100u64 {
-                        windows.push(r.reserve(
-                            SimTime::from_ns(i * 13 + k * 7),
-                            SimTime::from_ns(5),
-                        ));
+                        windows
+                            .push(r.reserve(SimTime::from_ns(i * 13 + k * 7), SimTime::from_ns(5)));
                     }
                     windows
                 })

@@ -27,6 +27,16 @@ impl MsgClass {
     pub const ALL: [MsgClass; 4] =
         [MsgClass::Data, MsgClass::Update, MsgClass::Sync, MsgClass::Control];
 
+    /// Short lowercase label, for trace exports and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            MsgClass::Data => "data",
+            MsgClass::Update => "update",
+            MsgClass::Sync => "sync",
+            MsgClass::Control => "control",
+        }
+    }
+
     fn index(self) -> usize {
         match self {
             MsgClass::Data => 0,

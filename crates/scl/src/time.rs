@@ -12,9 +12,7 @@ use std::ops::{Add, AddAssign, Sub, SubAssign};
 use serde::{Deserialize, Serialize};
 
 /// A virtual instant or duration, in nanoseconds.
-#[derive(
-    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct SimTime(u64);
 
 impl SimTime {
@@ -169,10 +167,7 @@ mod tests {
     fn arithmetic_saturates() {
         let a = SimTime::from_ns(u64::MAX);
         assert_eq!((a + SimTime::from_ns(10)).as_ns(), u64::MAX);
-        assert_eq!(
-            SimTime::from_ns(5).saturating_sub(SimTime::from_ns(9)),
-            SimTime::ZERO
-        );
+        assert_eq!(SimTime::from_ns(5).saturating_sub(SimTime::from_ns(9)), SimTime::ZERO);
     }
 
     #[test]

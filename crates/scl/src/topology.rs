@@ -78,10 +78,7 @@ impl Topology {
     /// A single node; every message is an intra-node handoff. Useful for
     /// tests and for the "Samhita on one cache-coherent node" configuration.
     pub fn single_node(cores: u32) -> Self {
-        Topology::from_fn(
-            vec![Node { kind: NodeKind::Host, cores }],
-            |_, _| profiles::intra_node(),
-        )
+        Topology::from_fn(vec![Node { kind: NodeKind::Host, cores }], |_, _| profiles::intra_node())
     }
 
     /// `n_nodes` homogeneous cluster nodes behind a single switch, all pairs
@@ -89,9 +86,7 @@ impl Topology {
     /// in the switch crossing, as [`profiles::ib_qdr`] does).
     pub fn cluster(n_nodes: u32, link: LinkModel) -> Self {
         assert!(n_nodes >= 1);
-        let nodes = (0..n_nodes)
-            .map(|_| Node { kind: NodeKind::ClusterNode, cores: 8 })
-            .collect();
+        let nodes = (0..n_nodes).map(|_| Node { kind: NodeKind::ClusterNode, cores: 8 }).collect();
         Topology::from_fn(nodes, |_, _| link)
     }
 

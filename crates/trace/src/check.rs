@@ -1,0 +1,655 @@
+//! Trace-driven RegC invariant checker.
+//!
+//! Replays a [`RunTrace`] and verifies protocol invariants that must hold on
+//! the *virtual* timeline of any correct run:
+//!
+//! 1. **Lock mutual exclusion** — hold intervals `[acquire, release]` for
+//!    the same lock never overlap across threads. Release stamps are taken
+//!    after the consistency flush and strictly before the next grant can be
+//!    issued (the manager reserves `free_at >= release arrival`, the local
+//!    bypass charges its cost on both sides), so on a correct run intervals
+//!    are disjoint with at most boundary contact.
+//! 2. **Invalidation causality** — every `Invalidate {page, writer}` at time
+//!    `t` is preceded by a `DiffFlush {page}` on the writer's track at some
+//!    time `<= t`: write notices are published from flushed diffs, never
+//!    from un-flushed state.
+//! 3. **Diff-byte conservation** — bytes flushed as diffs by threads equal
+//!    bytes applied as diffs by memory servers (threads are the only diff
+//!    producers). Fine-grain bytes may only be *under*-counted on the thread
+//!    side (the host control client also writes through the fine path), so
+//!    servers must apply at least what threads flushed.
+//! 4. **Barrier episode alignment** — for each barrier episode, no thread is
+//!    released before the last participant has arrived:
+//!    `min(release stamps) >= max(arrive stamps)`.
+//!
+//! The checker refuses traces with dropped events — a truncated stream
+//! proves nothing — and reports each violation with precise virtual-time
+//! diagnostics.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::event::{EventKind, TrackId};
+use crate::tracer::RunTrace;
+
+/// What a clean check verified, for reporting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckSummary {
+    /// Distinct locks observed.
+    pub locks: usize,
+    /// Total lock hold intervals checked for overlap.
+    pub lock_holds: u64,
+    /// Invalidations whose causal flush was found.
+    pub invalidations: u64,
+    /// Barrier episodes checked for alignment.
+    pub barrier_episodes: u64,
+    /// Diff bytes conserved between flushers and servers.
+    pub diff_bytes: u64,
+    /// Fine-grain bytes flushed by threads (servers may apply more).
+    pub fine_bytes: u64,
+}
+
+impl fmt::Display for CheckSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} holds on {} locks, {} invalidations, {} barrier episodes, \
+             {} diff bytes conserved, {} fine bytes accounted",
+            self.lock_holds,
+            self.locks,
+            self.invalidations,
+            self.barrier_episodes,
+            self.diff_bytes,
+            self.fine_bytes
+        )
+    }
+}
+
+/// A violated invariant, with virtual-time diagnostics. All times in ns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// The trace lost events to buffer capacity; nothing can be proven.
+    Truncated { dropped: u64 },
+    /// Two threads held the same lock at overlapping virtual times.
+    LockOverlap {
+        lock: u32,
+        holder: u32,
+        held_from: u64,
+        held_to: u64,
+        intruder: u32,
+        acquired_at: u64,
+    },
+    /// A lock event without its counterpart on the same thread.
+    UnpairedLock { lock: u32, tid: u32, at: u64, what: &'static str },
+    /// An invalidation with no causally-ordered diff flush by the writer.
+    UnorderedInvalidate {
+        page: u64,
+        reader: u32,
+        writer: u32,
+        at: u64,
+        earliest_flush: Option<u64>,
+    },
+    /// Threads flushed a different number of diff bytes than servers applied.
+    DiffBytesMismatch { flushed: u64, applied: u64 },
+    /// Servers applied fewer fine-grain bytes than threads flushed.
+    FineBytesLoss { flushed: u64, applied: u64 },
+    /// A barrier released a thread before the last participant arrived.
+    BarrierOverlap { barrier: u32, episode: u64, last_arrive: u64, first_release: u64 },
+    /// A barrier arrive without a matching release on the same thread.
+    UnpairedBarrier { barrier: u32, tid: u32, at: u64 },
+    /// Threads disagree on how many episodes a barrier ran.
+    BarrierArity { barrier: u32, tid: u32, episodes: u64, expected: u64 },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Truncated { dropped } => write!(
+                f,
+                "trace truncated: {dropped} events dropped by ring capacity; \
+                 invariants cannot be verified on a partial stream"
+            ),
+            Violation::LockOverlap { lock, holder, held_from, held_to, intruder, acquired_at } => {
+                write!(
+                    f,
+                    "mutual exclusion violated on lock {lock}: thread {intruder} acquired at \
+                     {acquired_at}ns while thread {holder} held it during [{held_from}ns, \
+                     {held_to}ns]"
+                )
+            }
+            Violation::UnpairedLock { lock, tid, at, what } => {
+                write!(f, "unpaired lock event on lock {lock}: thread {tid} {what} at {at}ns")
+            }
+            Violation::UnorderedInvalidate { page, reader, writer, at, earliest_flush } => {
+                match earliest_flush {
+                    Some(flush) => write!(
+                        f,
+                        "out-of-order invalidation of page {page}: thread {reader} invalidated \
+                         at {at}ns but writer thread {writer} first flushed a diff at {flush}ns \
+                         (flush must causally precede the notice)"
+                    ),
+                    None => write!(
+                        f,
+                        "orphan invalidation of page {page}: thread {reader} invalidated at \
+                         {at}ns but writer thread {writer} never flushed a diff for it"
+                    ),
+                }
+            }
+            Violation::DiffBytesMismatch { flushed, applied } => write!(
+                f,
+                "diff bytes not conserved: threads flushed {flushed} bytes but memory servers \
+                 applied {applied} bytes"
+            ),
+            Violation::FineBytesLoss { flushed, applied } => write!(
+                f,
+                "fine-grain bytes lost: threads flushed {flushed} bytes but memory servers \
+                 applied only {applied} bytes"
+            ),
+            Violation::BarrierOverlap { barrier, episode, last_arrive, first_release } => write!(
+                f,
+                "barrier {barrier} episode {episode} misaligned: a thread was released at \
+                 {first_release}ns before the last arrival at {last_arrive}ns"
+            ),
+            Violation::UnpairedBarrier { barrier, tid, at } => write!(
+                f,
+                "unpaired barrier event on barrier {barrier}: thread {tid} arrived at {at}ns \
+                 with no release"
+            ),
+            Violation::BarrierArity { barrier, tid, episodes, expected } => write!(
+                f,
+                "barrier {barrier} episode-count mismatch: thread {tid} ran {episodes} episodes \
+                 but other participants ran {expected}"
+            ),
+        }
+    }
+}
+
+impl RunTrace {
+    /// Verify the RegC protocol invariants (see module docs). Returns a
+    /// summary of what was proven, or every violation found.
+    pub fn check_invariants(&self) -> Result<CheckSummary, Vec<Violation>> {
+        let mut violations = Vec::new();
+        if self.dropped > 0 {
+            violations.push(Violation::Truncated { dropped: self.dropped });
+            return Err(violations);
+        }
+        let mut summary = CheckSummary::default();
+        self.check_locks(&mut summary, &mut violations);
+        self.check_invalidations(&mut summary, &mut violations);
+        self.check_byte_conservation(&mut summary, &mut violations);
+        self.check_barriers(&mut summary, &mut violations);
+        if violations.is_empty() {
+            Ok(summary)
+        } else {
+            Err(violations)
+        }
+    }
+
+    fn check_locks(&self, summary: &mut CheckSummary, violations: &mut Vec<Violation>) {
+        // (acquire, release, tid) intervals per lock, from per-thread pairing.
+        let mut intervals: BTreeMap<u32, Vec<(u64, u64, u32)>> = BTreeMap::new();
+        for (track, events) in &self.tracks {
+            let TrackId::Thread(tid) = *track else { continue };
+            let mut open: BTreeMap<u32, u64> = BTreeMap::new();
+            for e in events {
+                match e.kind {
+                    EventKind::LockAcquire { lock, .. } => {
+                        if let Some(prev) = open.insert(lock, e.at.as_ns()) {
+                            violations.push(Violation::UnpairedLock {
+                                lock,
+                                tid,
+                                at: prev,
+                                what: "re-acquired without releasing the hold begun",
+                            });
+                        }
+                    }
+                    EventKind::LockRelease { lock } => match open.remove(&lock) {
+                        Some(acq) => {
+                            intervals.entry(lock).or_default().push((acq, e.at.as_ns(), tid));
+                        }
+                        None => violations.push(Violation::UnpairedLock {
+                            lock,
+                            tid,
+                            at: e.at.as_ns(),
+                            what: "released without holding",
+                        }),
+                    },
+                    _ => {}
+                }
+            }
+            // A hold still open at thread exit excludes everyone forever.
+            for (lock, acq) in open {
+                intervals.entry(lock).or_default().push((acq, u64::MAX, tid));
+            }
+        }
+        summary.locks = intervals.len();
+        for (lock, mut holds) in intervals {
+            holds.sort_unstable();
+            summary.lock_holds += holds.len() as u64;
+            for pair in holds.windows(2) {
+                let (a1, r1, t1) = pair[0];
+                let (a2, _, t2) = pair[1];
+                // Boundary contact (a2 == r1) is legal: the release stamp is
+                // taken before the wire send, strictly before the next grant.
+                if a2 < r1 {
+                    violations.push(Violation::LockOverlap {
+                        lock,
+                        holder: t1,
+                        held_from: a1,
+                        held_to: r1,
+                        intruder: t2,
+                        acquired_at: a2,
+                    });
+                }
+            }
+        }
+    }
+
+    fn check_invalidations(&self, summary: &mut CheckSummary, violations: &mut Vec<Violation>) {
+        // Writer-side flush stamps per (writer, page), sorted by track order.
+        let mut flushes: BTreeMap<(u32, u64), Vec<u64>> = BTreeMap::new();
+        for (track, events) in &self.tracks {
+            let TrackId::Thread(tid) = *track else { continue };
+            for e in events {
+                if let EventKind::DiffFlush { page, .. } = e.kind {
+                    flushes.entry((tid, page)).or_default().push(e.at.as_ns());
+                }
+            }
+        }
+        for (track, events) in &self.tracks {
+            let TrackId::Thread(reader) = *track else { continue };
+            for e in events {
+                let EventKind::Invalidate { page, writer } = e.kind else { continue };
+                let at = e.at.as_ns();
+                let ok = flushes
+                    .get(&(writer, page))
+                    .is_some_and(|stamps| stamps.first().is_some_and(|&f| f <= at));
+                if ok {
+                    summary.invalidations += 1;
+                } else {
+                    violations.push(Violation::UnorderedInvalidate {
+                        page,
+                        reader,
+                        writer,
+                        at,
+                        earliest_flush: flushes
+                            .get(&(writer, page))
+                            .and_then(|s| s.first().copied()),
+                    });
+                }
+            }
+        }
+    }
+
+    fn check_byte_conservation(&self, summary: &mut CheckSummary, violations: &mut Vec<Violation>) {
+        let (mut diff_flushed, mut fine_flushed) = (0u64, 0u64);
+        let (mut diff_applied, mut fine_applied) = (0u64, 0u64);
+        for (track, events) in &self.tracks {
+            for e in events {
+                match (track, &e.kind) {
+                    (TrackId::Thread(_), EventKind::DiffFlush { bytes, .. }) => {
+                        diff_flushed += bytes;
+                    }
+                    (TrackId::Thread(_), EventKind::FineFlush { bytes, .. }) => {
+                        fine_flushed += bytes;
+                    }
+                    (TrackId::MemServer(_), EventKind::ApplyDiff { bytes, .. }) => {
+                        diff_applied += bytes;
+                    }
+                    (TrackId::MemServer(_), EventKind::ApplyFine { bytes, .. }) => {
+                        fine_applied += bytes;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if diff_flushed != diff_applied {
+            violations.push(Violation::DiffBytesMismatch {
+                flushed: diff_flushed,
+                applied: diff_applied,
+            });
+        } else {
+            summary.diff_bytes = diff_flushed;
+        }
+        // The host control client also writes through ApplyFine, so servers
+        // may legitimately apply more fine bytes than threads flushed.
+        if fine_applied < fine_flushed {
+            violations
+                .push(Violation::FineBytesLoss { flushed: fine_flushed, applied: fine_applied });
+        } else {
+            summary.fine_bytes = fine_flushed;
+        }
+    }
+
+    fn check_barriers(&self, summary: &mut CheckSummary, violations: &mut Vec<Violation>) {
+        // Per (barrier, tid): the ordered list of (arrive, release) pairs.
+        let mut pairs: BTreeMap<u32, BTreeMap<u32, Vec<(u64, u64)>>> = BTreeMap::new();
+        for (track, events) in &self.tracks {
+            let TrackId::Thread(tid) = *track else { continue };
+            let mut pending: BTreeMap<u32, u64> = BTreeMap::new();
+            for e in events {
+                match e.kind {
+                    EventKind::BarrierArrive { barrier } => {
+                        pending.insert(barrier, e.at.as_ns());
+                    }
+                    EventKind::BarrierRelease { barrier, .. } => {
+                        if let Some(arrive) = pending.remove(&barrier) {
+                            pairs
+                                .entry(barrier)
+                                .or_default()
+                                .entry(tid)
+                                .or_default()
+                                .push((arrive, e.at.as_ns()));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            for (barrier, at) in pending {
+                violations.push(Violation::UnpairedBarrier { barrier, tid, at });
+            }
+        }
+        for (barrier, by_tid) in pairs {
+            // All participants must have run the same number of episodes —
+            // barriers in this system are whole-group (fixed parties).
+            let expected = by_tid.values().map(|v| v.len() as u64).max().unwrap_or(0);
+            let mut aligned = true;
+            for (tid, eps) in &by_tid {
+                if eps.len() as u64 != expected {
+                    violations.push(Violation::BarrierArity {
+                        barrier,
+                        tid: *tid,
+                        episodes: eps.len() as u64,
+                        expected,
+                    });
+                    aligned = false;
+                }
+            }
+            if !aligned {
+                continue;
+            }
+            for k in 0..expected as usize {
+                let last_arrive = by_tid.values().map(|eps| eps[k].0).max().expect("participants");
+                let first_release =
+                    by_tid.values().map(|eps| eps[k].1).min().expect("participants");
+                if first_release < last_arrive {
+                    violations.push(Violation::BarrierOverlap {
+                        barrier,
+                        episode: k as u64,
+                        last_arrive,
+                        first_release,
+                    });
+                } else {
+                    summary.barrier_episodes += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+    use samhita_scl::SimTime;
+
+    fn ev(at: u64, kind: EventKind) -> TraceEvent {
+        TraceEvent { at: SimTime::from_ns(at), kind }
+    }
+
+    /// A small well-formed trace: two threads trade a lock, run one barrier
+    /// episode, and thread 1 invalidates a page thread 0 flushed.
+    fn clean_trace() -> RunTrace {
+        RunTrace::from_tracks(vec![
+            (
+                TrackId::Thread(0),
+                vec![
+                    ev(100, EventKind::LockAcquire { lock: 0, wait_ns: 50 }),
+                    ev(150, EventKind::TwinCreate { page: 9 }),
+                    ev(200, EventKind::DiffFlush { page: 9, bytes: 64 }),
+                    ev(250, EventKind::LockRelease { lock: 0 }),
+                    ev(300, EventKind::BarrierArrive { barrier: 0 }),
+                    ev(500, EventKind::BarrierRelease { barrier: 0, wait_ns: 200 }),
+                ],
+            ),
+            (
+                TrackId::Thread(1),
+                vec![
+                    ev(400, EventKind::LockAcquire { lock: 0, wait_ns: 300 }),
+                    ev(410, EventKind::Invalidate { page: 9, writer: 0 }),
+                    ev(450, EventKind::LockRelease { lock: 0 }),
+                    ev(460, EventKind::BarrierArrive { barrier: 0 }),
+                    ev(520, EventKind::BarrierRelease { barrier: 0, wait_ns: 60 }),
+                ],
+            ),
+            (TrackId::MemServer(0), vec![ev(230, EventKind::ApplyDiff { page: 9, bytes: 64 })]),
+        ])
+    }
+
+    #[test]
+    fn clean_trace_passes_with_accurate_summary() {
+        let summary = clean_trace().check_invariants().expect("clean");
+        assert_eq!(summary.locks, 1);
+        assert_eq!(summary.lock_holds, 2);
+        assert_eq!(summary.invalidations, 1);
+        assert_eq!(summary.barrier_episodes, 1);
+        assert_eq!(summary.diff_bytes, 64);
+        // Display is a one-liner mentioning what was proven.
+        assert!(summary.to_string().contains("2 holds on 1 locks"));
+    }
+
+    /// Injected-violation fixture 1: overlapping lock holds.
+    #[test]
+    fn rejects_mutual_exclusion_violation_with_diagnostics() {
+        let trace = RunTrace::from_tracks(vec![
+            (
+                TrackId::Thread(0),
+                vec![
+                    ev(100, EventKind::LockAcquire { lock: 3, wait_ns: 0 }),
+                    ev(500, EventKind::LockRelease { lock: 3 }),
+                ],
+            ),
+            (
+                TrackId::Thread(1),
+                vec![
+                    // Acquired at 300 while thread 0 still holds until 500.
+                    ev(300, EventKind::LockAcquire { lock: 3, wait_ns: 0 }),
+                    ev(600, EventKind::LockRelease { lock: 3 }),
+                ],
+            ),
+        ]);
+        let violations = trace.check_invariants().expect_err("must reject");
+        assert_eq!(violations.len(), 1);
+        let v = &violations[0];
+        assert_eq!(
+            *v,
+            Violation::LockOverlap {
+                lock: 3,
+                holder: 0,
+                held_from: 100,
+                held_to: 500,
+                intruder: 1,
+                acquired_at: 300,
+            }
+        );
+        let msg = v.to_string();
+        assert!(msg.contains("lock 3"), "diagnostic names the lock: {msg}");
+        assert!(msg.contains("thread 1 acquired at 300ns"), "names the intruder: {msg}");
+        assert!(msg.contains("[100ns, 500ns]"), "names the hold interval: {msg}");
+    }
+
+    /// Injected-violation fixture 2: invalidation precedes the writer's flush.
+    #[test]
+    fn rejects_out_of_order_invalidation_with_diagnostics() {
+        let trace = RunTrace::from_tracks(vec![
+            (
+                TrackId::Thread(0),
+                // Flush happens only at t=900…
+                vec![ev(900, EventKind::DiffFlush { page: 42, bytes: 32 })],
+            ),
+            (
+                TrackId::Thread(1),
+                // …but the reader saw the invalidation at t=400.
+                vec![ev(400, EventKind::Invalidate { page: 42, writer: 0 })],
+            ),
+            (TrackId::MemServer(0), vec![ev(950, EventKind::ApplyDiff { page: 42, bytes: 32 })]),
+        ]);
+        let violations = trace.check_invariants().expect_err("must reject");
+        assert_eq!(violations.len(), 1);
+        assert_eq!(
+            violations[0],
+            Violation::UnorderedInvalidate {
+                page: 42,
+                reader: 1,
+                writer: 0,
+                at: 400,
+                earliest_flush: Some(900),
+            }
+        );
+        let msg = violations[0].to_string();
+        assert!(msg.contains("page 42"), "diagnostic names the page: {msg}");
+        assert!(msg.contains("invalidated at 400ns"), "names the notice time: {msg}");
+        assert!(msg.contains("flushed a diff at 900ns"), "names the flush time: {msg}");
+    }
+
+    #[test]
+    fn rejects_orphan_invalidation() {
+        let trace = RunTrace::from_tracks(vec![(
+            TrackId::Thread(1),
+            vec![ev(400, EventKind::Invalidate { page: 5, writer: 0 })],
+        )]);
+        let violations = trace.check_invariants().expect_err("must reject");
+        assert!(matches!(
+            violations[0],
+            Violation::UnorderedInvalidate { page: 5, earliest_flush: None, .. }
+        ));
+        assert!(violations[0].to_string().contains("never flushed"));
+    }
+
+    #[test]
+    fn rejects_unpaired_release() {
+        let trace = RunTrace::from_tracks(vec![(
+            TrackId::Thread(2),
+            vec![ev(700, EventKind::LockRelease { lock: 1 })],
+        )]);
+        let violations = trace.check_invariants().expect_err("must reject");
+        assert_eq!(
+            violations[0],
+            Violation::UnpairedLock { lock: 1, tid: 2, at: 700, what: "released without holding" }
+        );
+    }
+
+    #[test]
+    fn hold_open_at_exit_excludes_later_acquires() {
+        let trace = RunTrace::from_tracks(vec![
+            (TrackId::Thread(0), vec![ev(100, EventKind::LockAcquire { lock: 0, wait_ns: 0 })]),
+            (
+                TrackId::Thread(1),
+                vec![
+                    ev(200, EventKind::LockAcquire { lock: 0, wait_ns: 0 }),
+                    ev(300, EventKind::LockRelease { lock: 0 }),
+                ],
+            ),
+        ]);
+        let violations = trace.check_invariants().expect_err("must reject");
+        assert!(matches!(violations[0], Violation::LockOverlap { lock: 0, .. }));
+    }
+
+    #[test]
+    fn rejects_diff_byte_mismatch() {
+        let trace = RunTrace::from_tracks(vec![
+            (TrackId::Thread(0), vec![ev(10, EventKind::DiffFlush { page: 1, bytes: 100 })]),
+            (TrackId::MemServer(0), vec![ev(20, EventKind::ApplyDiff { page: 1, bytes: 60 })]),
+        ]);
+        let violations = trace.check_invariants().expect_err("must reject");
+        assert_eq!(violations[0], Violation::DiffBytesMismatch { flushed: 100, applied: 60 });
+    }
+
+    #[test]
+    fn fine_bytes_tolerate_host_writes_but_not_loss() {
+        // Servers applying more than threads flushed is fine (host writes).
+        let extra = RunTrace::from_tracks(vec![
+            (TrackId::Thread(0), vec![ev(10, EventKind::FineFlush { page: 1, bytes: 8 })]),
+            (TrackId::MemServer(0), vec![ev(20, EventKind::ApplyFine { page: 1, bytes: 8 })]),
+            (TrackId::MemServer(0), vec![ev(30, EventKind::ApplyFine { page: 2, bytes: 16 })]),
+        ]);
+        assert!(extra.check_invariants().is_ok());
+        // Applying less is loss.
+        let loss = RunTrace::from_tracks(vec![
+            (TrackId::Thread(0), vec![ev(10, EventKind::FineFlush { page: 1, bytes: 32 })]),
+            (TrackId::MemServer(0), vec![ev(20, EventKind::ApplyFine { page: 1, bytes: 8 })]),
+        ]);
+        let violations = loss.check_invariants().expect_err("must reject");
+        assert_eq!(violations[0], Violation::FineBytesLoss { flushed: 32, applied: 8 });
+    }
+
+    #[test]
+    fn rejects_misaligned_barrier_episode() {
+        let trace = RunTrace::from_tracks(vec![
+            (
+                TrackId::Thread(0),
+                vec![
+                    ev(100, EventKind::BarrierArrive { barrier: 0 }),
+                    // Released at 150, before thread 1 arrives at 200.
+                    ev(150, EventKind::BarrierRelease { barrier: 0, wait_ns: 50 }),
+                ],
+            ),
+            (
+                TrackId::Thread(1),
+                vec![
+                    ev(200, EventKind::BarrierArrive { barrier: 0 }),
+                    ev(250, EventKind::BarrierRelease { barrier: 0, wait_ns: 50 }),
+                ],
+            ),
+        ]);
+        let violations = trace.check_invariants().expect_err("must reject");
+        assert_eq!(
+            violations[0],
+            Violation::BarrierOverlap {
+                barrier: 0,
+                episode: 0,
+                last_arrive: 200,
+                first_release: 150
+            }
+        );
+        let msg = violations[0].to_string();
+        assert!(msg.contains("released at 150ns"), "{msg}");
+        assert!(msg.contains("last arrival at 200ns"), "{msg}");
+    }
+
+    #[test]
+    fn rejects_barrier_arity_mismatch() {
+        let trace = RunTrace::from_tracks(vec![
+            (
+                TrackId::Thread(0),
+                vec![
+                    ev(100, EventKind::BarrierArrive { barrier: 0 }),
+                    ev(200, EventKind::BarrierRelease { barrier: 0, wait_ns: 100 }),
+                    ev(300, EventKind::BarrierArrive { barrier: 0 }),
+                    ev(400, EventKind::BarrierRelease { barrier: 0, wait_ns: 100 }),
+                ],
+            ),
+            (
+                TrackId::Thread(1),
+                vec![
+                    ev(110, EventKind::BarrierArrive { barrier: 0 }),
+                    ev(200, EventKind::BarrierRelease { barrier: 0, wait_ns: 90 }),
+                ],
+            ),
+        ]);
+        let violations = trace.check_invariants().expect_err("must reject");
+        assert!(matches!(
+            violations[0],
+            Violation::BarrierArity { barrier: 0, tid: 1, episodes: 1, expected: 2 }
+        ));
+    }
+
+    #[test]
+    fn refuses_truncated_traces() {
+        let mut trace = clean_trace();
+        trace.dropped = 17;
+        let violations = trace.check_invariants().expect_err("must refuse");
+        assert_eq!(violations, vec![Violation::Truncated { dropped: 17 }]);
+        assert!(violations[0].to_string().contains("17 events dropped"));
+    }
+}

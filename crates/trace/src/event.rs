@@ -1,0 +1,166 @@
+//! Trace event vocabulary.
+//!
+//! One [`TraceEvent`] records one protocol action at one virtual-time stamp.
+//! Events live on *tracks*: one per compute thread, one per memory server,
+//! one for the manager, and one for the fabric. Stamps on a single track are
+//! monotone (each actor's virtual clock only moves forward), which the
+//! exporters and the invariant checker rely on.
+
+use samhita_scl::{MsgClass, SimTime};
+
+/// Which actor's timeline an event belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TrackId {
+    /// A compute thread, by tid.
+    Thread(u32),
+    /// The central manager.
+    Manager,
+    /// A memory server, by index.
+    MemServer(u32),
+    /// The interconnect (one aggregate track; events carry src/dst).
+    Fabric,
+}
+
+impl TrackId {
+    /// Human-readable track label, used by both exporters.
+    pub fn label(&self) -> String {
+        match self {
+            TrackId::Thread(t) => format!("thread {t}"),
+            TrackId::Manager => "manager".to_string(),
+            TrackId::MemServer(i) => format!("mem server {i}"),
+            TrackId::Fabric => "fabric".to_string(),
+        }
+    }
+
+    /// Stable numeric id for the Chrome trace-event `tid` field: compute
+    /// threads keep their tid, service tracks are offset well past any
+    /// plausible thread count so Perfetto sorts them below the threads.
+    pub fn chrome_tid(&self) -> u64 {
+        match self {
+            TrackId::Thread(t) => u64::from(*t),
+            TrackId::Manager => 1000,
+            TrackId::MemServer(i) => 1001 + u64::from(*i),
+            TrackId::Fabric => 2000,
+        }
+    }
+}
+
+/// How a page became resident, for [`EventKind::Fetch`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FetchKind {
+    /// Demand miss: a whole line was fetched synchronously.
+    Demand,
+    /// Re-fetch of invalidated pages within an otherwise resident line.
+    Refetch,
+    /// A previously issued prefetch had already arrived.
+    PrefetchHit,
+    /// A previously issued prefetch was still in flight and had to be waited
+    /// for ("late" prefetch).
+    PrefetchLate,
+}
+
+impl FetchKind {
+    /// Short lowercase label used by the exporters.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FetchKind::Demand => "demand",
+            FetchKind::Refetch => "refetch",
+            FetchKind::PrefetchHit => "prefetch-hit",
+            FetchKind::PrefetchLate => "prefetch-late",
+        }
+    }
+}
+
+/// One protocol action. Byte counts are payload bytes (what the protocol
+/// moved), not wire bytes; `wait_ns` fields measure the virtual-time interval
+/// the acting thread was stalled, ending at the event's stamp.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EventKind {
+    /// Pages became resident in the software cache (thread track).
+    Fetch { page: u64, pages: u32, kind: FetchKind, wait_ns: u64 },
+    /// An asynchronous prefetch of a line was issued (thread track).
+    PrefetchIssue { page: u64, pages: u32 },
+    /// A twin was created for an ordinary-region page (thread track).
+    TwinCreate { page: u64 },
+    /// A diff for `page` was flushed towards its home server (thread track).
+    DiffFlush { page: u64, bytes: u64 },
+    /// A fine-grain write set for `page` was flushed (thread track).
+    FineFlush { page: u64, bytes: u64 },
+    /// `page` was invalidated by a write notice from `writer` (thread track).
+    Invalidate { page: u64, writer: u32 },
+    /// A cache line was evicted to make room (thread track).
+    Evict { line: u64, dirty_pages: u32 },
+    /// Lock acquire request left for the manager / local bypass (thread track).
+    LockRequest { lock: u32 },
+    /// Lock grant observed; `wait_ns` spans request → grant (thread track).
+    LockAcquire { lock: u32, wait_ns: u64 },
+    /// Lock released, after consistency flush (thread track).
+    LockRelease { lock: u32 },
+    /// Thread arrived at a barrier, after consistency flush (thread track).
+    BarrierArrive { barrier: u32 },
+    /// Barrier released this thread; `wait_ns` spans arrive → release.
+    BarrierRelease { barrier: u32, wait_ns: u64 },
+    /// A non-sync manager RPC (alloc, free, create, signal…) completed;
+    /// `wait_ns` spans request → response (thread track).
+    MgrRpc { op: &'static str, wait_ns: u64 },
+    /// The manager finished serving a request from `tid` (manager track).
+    MgrServe { op: &'static str, tid: u32 },
+    /// A memory server applied a diff (mem-server track).
+    ApplyDiff { page: u64, bytes: u64 },
+    /// A memory server applied a fine-grain update (mem-server track).
+    ApplyFine { page: u64, bytes: u64 },
+    /// A memory server served a line/page fetch (mem-server track).
+    ServeFetch { page: u64, pages: u32 },
+    /// A memory server overwrote a whole page (mem-server track).
+    ServeWrite { page: u64 },
+    /// A message entered the interconnect (fabric track).
+    FabricSend { src: u64, dst: u64, class: MsgClass, bytes: u64 },
+}
+
+impl EventKind {
+    /// Short lowercase event name used by the exporters.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Fetch { .. } => "fetch",
+            EventKind::PrefetchIssue { .. } => "prefetch-issue",
+            EventKind::TwinCreate { .. } => "twin-create",
+            EventKind::DiffFlush { .. } => "diff-flush",
+            EventKind::FineFlush { .. } => "fine-flush",
+            EventKind::Invalidate { .. } => "invalidate",
+            EventKind::Evict { .. } => "evict",
+            EventKind::LockRequest { .. } => "lock-request",
+            EventKind::LockAcquire { .. } => "lock-acquire",
+            EventKind::LockRelease { .. } => "lock-release",
+            EventKind::BarrierArrive { .. } => "barrier-arrive",
+            EventKind::BarrierRelease { .. } => "barrier-release",
+            EventKind::MgrRpc { .. } => "mgr-rpc",
+            EventKind::MgrServe { .. } => "mgr-serve",
+            EventKind::ApplyDiff { .. } => "apply-diff",
+            EventKind::ApplyFine { .. } => "apply-fine",
+            EventKind::ServeFetch { .. } => "serve-fetch",
+            EventKind::ServeWrite { .. } => "serve-write",
+            EventKind::FabricSend { .. } => "fabric-send",
+        }
+    }
+
+    /// The stall interval this event closes, if it represents one. Used by
+    /// the Chrome exporter to render a span instead of an instant.
+    pub fn wait_ns(&self) -> Option<u64> {
+        match self {
+            EventKind::Fetch { wait_ns, .. }
+            | EventKind::LockAcquire { wait_ns, .. }
+            | EventKind::BarrierRelease { wait_ns, .. }
+            | EventKind::MgrRpc { wait_ns, .. } => Some(*wait_ns),
+            _ => None,
+        }
+    }
+}
+
+/// One recorded protocol action with its virtual-time stamp.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Virtual time at which the action completed on its track.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: EventKind,
+}

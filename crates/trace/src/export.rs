@@ -1,0 +1,412 @@
+//! Trace exporters: JSONL and Chrome trace-event JSON.
+//!
+//! No JSON library is available offline, so both exporters emit JSON by
+//! hand. The vocabulary keeps it safe: every string written is either a
+//! static identifier from the event vocabulary or a track label, none of
+//! which contain characters needing escapes. A minimal [`validate_json`]
+//! parser backs the tests (and the `trace-dump` tool) to guarantee the
+//! output is well-formed anyway.
+//!
+//! The Chrome format targets Perfetto / `chrome://tracing`: one track per
+//! compute thread plus manager / memory-server / fabric tracks, named via
+//! `"M"` metadata records. Events that close a stall interval (fetch waits,
+//! lock waits, barrier waits, manager RPCs) are rendered as `"X"` complete
+//! spans covering the wait; everything else is an `"i"` instant.
+
+use crate::event::{EventKind, TraceEvent};
+use crate::tracer::RunTrace;
+
+/// (key, already-valid-JSON-value) argument pairs for one event.
+fn args_of(kind: &EventKind) -> Vec<(&'static str, String)> {
+    fn s(v: &str) -> String {
+        format!("\"{v}\"")
+    }
+    match kind {
+        EventKind::Fetch { page, pages, kind, wait_ns } => vec![
+            ("page", page.to_string()),
+            ("pages", pages.to_string()),
+            ("kind", s(kind.label())),
+            ("wait_ns", wait_ns.to_string()),
+        ],
+        EventKind::PrefetchIssue { page, pages } => {
+            vec![("page", page.to_string()), ("pages", pages.to_string())]
+        }
+        EventKind::TwinCreate { page } => vec![("page", page.to_string())],
+        EventKind::DiffFlush { page, bytes } | EventKind::FineFlush { page, bytes } => {
+            vec![("page", page.to_string()), ("bytes", bytes.to_string())]
+        }
+        EventKind::Invalidate { page, writer } => {
+            vec![("page", page.to_string()), ("writer", writer.to_string())]
+        }
+        EventKind::Evict { line, dirty_pages } => {
+            vec![("line", line.to_string()), ("dirty_pages", dirty_pages.to_string())]
+        }
+        EventKind::LockRequest { lock } | EventKind::LockRelease { lock } => {
+            vec![("lock", lock.to_string())]
+        }
+        EventKind::LockAcquire { lock, wait_ns } => {
+            vec![("lock", lock.to_string()), ("wait_ns", wait_ns.to_string())]
+        }
+        EventKind::BarrierArrive { barrier } => vec![("barrier", barrier.to_string())],
+        EventKind::BarrierRelease { barrier, wait_ns } => {
+            vec![("barrier", barrier.to_string()), ("wait_ns", wait_ns.to_string())]
+        }
+        EventKind::MgrRpc { op, wait_ns } => {
+            vec![("op", s(op)), ("wait_ns", wait_ns.to_string())]
+        }
+        EventKind::MgrServe { op, tid } => {
+            vec![("op", s(op)), ("tid", tid.to_string())]
+        }
+        EventKind::ApplyDiff { page, bytes } | EventKind::ApplyFine { page, bytes } => {
+            vec![("page", page.to_string()), ("bytes", bytes.to_string())]
+        }
+        EventKind::ServeFetch { page, pages } => {
+            vec![("page", page.to_string()), ("pages", pages.to_string())]
+        }
+        EventKind::ServeWrite { page } => vec![("page", page.to_string())],
+        EventKind::FabricSend { src, dst, class, bytes } => vec![
+            ("src", src.to_string()),
+            ("dst", dst.to_string()),
+            ("class", s(class.label())),
+            ("bytes", bytes.to_string()),
+        ],
+    }
+}
+
+/// Coarse category for the Chrome `cat` field, so Perfetto can filter.
+fn category(kind: &EventKind) -> &'static str {
+    match kind {
+        EventKind::Fetch { .. }
+        | EventKind::PrefetchIssue { .. }
+        | EventKind::Evict { .. }
+        | EventKind::ServeFetch { .. }
+        | EventKind::ServeWrite { .. } => "mem",
+        EventKind::TwinCreate { .. }
+        | EventKind::DiffFlush { .. }
+        | EventKind::FineFlush { .. }
+        | EventKind::Invalidate { .. }
+        | EventKind::ApplyDiff { .. }
+        | EventKind::ApplyFine { .. } => "regc",
+        EventKind::LockRequest { .. }
+        | EventKind::LockAcquire { .. }
+        | EventKind::LockRelease { .. }
+        | EventKind::BarrierArrive { .. }
+        | EventKind::BarrierRelease { .. } => "sync",
+        EventKind::MgrRpc { .. } | EventKind::MgrServe { .. } => "mgr",
+        EventKind::FabricSend { .. } => "fabric",
+    }
+}
+
+fn args_json(kind: &EventKind) -> String {
+    let body: Vec<String> =
+        args_of(kind).into_iter().map(|(k, v)| format!("\"{k}\":{v}")).collect();
+    format!("{{{}}}", body.join(","))
+}
+
+impl RunTrace {
+    /// Export as JSON Lines: one event per line, tracks in order, each line
+    /// a flat object `{"track": …, "at_ns": …, "event": …, <args>}`.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (track, events) in &self.tracks {
+            for TraceEvent { at, kind } in events {
+                out.push_str(&format!(
+                    "{{\"track\":\"{}\",\"at_ns\":{},\"event\":\"{}\"",
+                    track.label(),
+                    at.as_ns(),
+                    kind.name()
+                ));
+                for (k, v) in args_of(kind) {
+                    out.push_str(&format!(",\"{k}\":{v}"));
+                }
+                out.push_str("}\n");
+            }
+        }
+        out
+    }
+
+    /// Export as Chrome trace-event JSON (the "JSON object format"), which
+    /// opens directly in Perfetto and `chrome://tracing`.
+    pub fn to_chrome_json(&self) -> String {
+        let mut records: Vec<String> = Vec::with_capacity(self.len() + self.tracks.len() + 1);
+        records.push(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+             \"args\":{\"name\":\"samhita\"}}"
+                .to_string(),
+        );
+        for (track, _) in &self.tracks {
+            records.push(format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                track.chrome_tid(),
+                track.label()
+            ));
+        }
+        for (track, events) in &self.tracks {
+            let tid = track.chrome_tid();
+            for TraceEvent { at, kind } in events {
+                let args = args_json(kind);
+                let cat = category(kind);
+                let name = kind.name();
+                let rec = match kind.wait_ns() {
+                    // A stall interval: render as a complete span ending at
+                    // the stamp. ts is in microseconds (fractional ok).
+                    Some(wait_ns) => {
+                        let start_ns = at.as_ns().saturating_sub(wait_ns);
+                        format!(
+                            "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"X\",\
+                             \"pid\":0,\"tid\":{tid},\"ts\":{:.3},\"dur\":{:.3},\
+                             \"args\":{args}}}",
+                            start_ns as f64 / 1000.0,
+                            wait_ns as f64 / 1000.0
+                        )
+                    }
+                    None => format!(
+                        "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"i\",\
+                         \"pid\":0,\"tid\":{tid},\"ts\":{:.3},\"s\":\"t\",\
+                         \"args\":{args}}}",
+                        at.as_ns() as f64 / 1000.0
+                    ),
+                };
+                records.push(rec);
+            }
+        }
+        format!("{{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n{}\n]}}\n", records.join(",\n"))
+    }
+}
+
+/// Minimal recursive-descent JSON well-formedness check. Exists because no
+/// JSON library is available offline; used by the tests and the
+/// `trace-dump` tool to vouch for the hand-rolled exporters.
+pub fn validate_json(input: &str) -> Result<(), String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing bytes at offset {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, "true"),
+        Some(b'f') => literal(b, pos, "false"),
+        Some(b'n') => literal(b, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
+        other => Err(format!("unexpected {other:?} at offset {pos}")),
+    }
+}
+
+fn literal(b: &[u8], pos: &mut usize, word: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(())
+    } else {
+        Err(format!("malformed literal at offset {pos}"))
+    }
+}
+
+fn object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at offset {pos}"));
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            other => return Err(format!("expected ',' or '}}', got {other:?} at offset {pos}")),
+        }
+    }
+}
+
+fn array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            other => return Err(format!("expected ',' or ']', got {other:?} at offset {pos}")),
+        }
+    }
+}
+
+fn string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected '\"' at offset {pos}"));
+    }
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => *pos += 2,
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+        *pos += 1;
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+            *pos += 1;
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e') | Some(b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+') | Some(b'-')) {
+            *pos += 1;
+        }
+        while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+            *pos += 1;
+        }
+    }
+    if *pos == start || (*pos == start + 1 && b[start] == b'-') {
+        return Err(format!("malformed number at offset {start}"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{FetchKind, TrackId};
+    use samhita_scl::{MsgClass, SimTime};
+
+    fn sample_trace() -> RunTrace {
+        let ns = SimTime::from_ns;
+        RunTrace::from_tracks(vec![
+            (
+                TrackId::Thread(0),
+                vec![
+                    TraceEvent {
+                        at: ns(1_000),
+                        kind: EventKind::Fetch {
+                            page: 7,
+                            pages: 4,
+                            kind: FetchKind::Demand,
+                            wait_ns: 800,
+                        },
+                    },
+                    TraceEvent { at: ns(2_000), kind: EventKind::TwinCreate { page: 7 } },
+                    TraceEvent {
+                        at: ns(3_000),
+                        kind: EventKind::DiffFlush { page: 7, bytes: 128 },
+                    },
+                    TraceEvent {
+                        at: ns(4_000),
+                        kind: EventKind::LockAcquire { lock: 0, wait_ns: 500 },
+                    },
+                ],
+            ),
+            (
+                TrackId::MemServer(0),
+                vec![TraceEvent {
+                    at: ns(3_500),
+                    kind: EventKind::ApplyDiff { page: 7, bytes: 128 },
+                }],
+            ),
+            (
+                TrackId::Fabric,
+                vec![TraceEvent {
+                    at: ns(900),
+                    kind: EventKind::FabricSend {
+                        src: 0,
+                        dst: 9,
+                        class: MsgClass::Data,
+                        bytes: 64,
+                    },
+                }],
+            ),
+        ])
+    }
+
+    #[test]
+    fn jsonl_lines_are_individually_valid() {
+        let out = sample_trace().to_jsonl();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 6);
+        for line in lines {
+            validate_json(line).unwrap_or_else(|e| panic!("invalid line {line}: {e}"));
+        }
+        assert!(out.contains("\"event\":\"twin-create\""));
+        assert!(out.contains("\"track\":\"mem server 0\""));
+        assert!(out.contains("\"class\":\"data\""));
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_named_tracks() {
+        let out = sample_trace().to_chrome_json();
+        validate_json(&out).expect("valid chrome json");
+        assert!(out.contains("\"traceEvents\""));
+        assert!(out.contains("\"process_name\""));
+        assert!(out.contains("\"name\":\"thread 0\""));
+        assert!(out.contains("\"name\":\"mem server 0\""));
+        assert!(out.contains("\"name\":\"fabric\""));
+        // The fetch wait renders as a complete span: ts = (1000-800)/1000 µs.
+        assert!(out.contains("\"ph\":\"X\""));
+        assert!(out.contains("\"ts\":0.200"));
+        assert!(out.contains("\"dur\":0.800"));
+        // Instants carry a scope.
+        assert!(out.contains("\"ph\":\"i\""));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_json() {
+        assert!(validate_json("{\"a\":1,}").is_err());
+        assert!(validate_json("{\"a\" 1}").is_err());
+        assert!(validate_json("[1, 2").is_err());
+        assert!(validate_json("{} extra").is_err());
+        assert!(validate_json("\"unterminated").is_err());
+        assert!(validate_json("{\"a\":[1,2,{\"b\":-3.5e-2}],\"c\":null}").is_ok());
+    }
+}

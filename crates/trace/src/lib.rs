@@ -1,0 +1,35 @@
+//! Event-level tracing for the Samhita reproduction.
+//!
+//! Every protocol action — line fetches, prefetches, invalidations, twin
+//! creation, diff/fine flushes, lock and barrier episodes, manager RPCs,
+//! fabric sends — can be recorded as a [`TraceEvent`] stamped with the
+//! *virtual* time at which it occurred. Recording is strictly observational:
+//! events are pushed into per-track ring buffers ([`TraceBuf`]) and never
+//! feed back into the simulation, so a traced run produces bit-identical
+//! virtual clocks to an untraced one.
+//!
+//! On top of the raw event stream this crate provides
+//!
+//! * exporters ([`RunTrace::to_jsonl`], [`RunTrace::to_chrome_json`]) — the
+//!   Chrome trace-event JSON opens directly in Perfetto / `chrome://tracing`
+//!   with one track per compute thread plus manager / memory-server / fabric
+//!   tracks;
+//! * log-bucketed [`LatencyHistogram`]s for fetch, lock-wait and barrier-wait
+//!   latencies (p50/p95/p99/max);
+//! * a trace-driven RegC invariant checker ([`RunTrace::check_invariants`])
+//!   that verifies mutual exclusion of lock hold intervals on the virtual
+//!   timeline, causal ordering of invalidations behind their flushes,
+//!   diff-byte conservation between flushers and memory servers, and barrier
+//!   episode alignment.
+
+pub mod check;
+pub mod event;
+pub mod export;
+pub mod hist;
+pub mod tracer;
+
+pub use check::{CheckSummary, Violation};
+pub use event::{EventKind, FetchKind, TraceEvent, TrackId};
+pub use export::validate_json;
+pub use hist::LatencyHistogram;
+pub use tracer::{RunTrace, SharedTrack, TraceBuf, Tracer};

@@ -5,17 +5,30 @@
 //! placement changes invalidation-refetch traffic and where the time goes.
 //!
 //! ```text
-//! cargo run --release --example false_sharing [threads] [M]
+//! cargo run --release --example false_sharing [threads] [M] [--trace out.json]
 //! ```
+//!
+//! With `--trace`, the `global` run (the false-sharing one) records a
+//! protocol event trace, verifies the RegC invariants on it, and writes it
+//! as Chrome trace-event JSON — open it at <https://ui.perfetto.dev>.
 
 use samhita_repro::core::SamhitaConfig;
 use samhita_repro::kernels::{expected_gsum, run_micro, AllocMode, MicroParams};
 use samhita_repro::rt::{NativeRt, SamhitaRt};
 
 fn main() {
+    let mut positional = Vec::new();
+    let mut trace_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
-    let threads: u32 = args.next().map(|v| v.parse().expect("threads")).unwrap_or(8);
-    let m: usize = args.next().map(|v| v.parse().expect("M")).unwrap_or(10);
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            trace_path = Some(args.next().expect("--trace needs a path"));
+        } else {
+            positional.push(a);
+        }
+    }
+    let threads: u32 = positional.first().map(|v| v.parse().expect("threads")).unwrap_or(8);
+    let m: usize = positional.get(1).map(|v| v.parse().expect("M")).unwrap_or(10);
 
     println!("Figure 2 micro-benchmark: {threads} threads, M={m}, S=2, B=260, N=10\n");
     println!(
@@ -29,8 +42,9 @@ fn main() {
     };
 
     for mode in [AllocMode::Local, AllocMode::Global, AllocMode::GlobalStrided] {
+        let traced = trace_path.is_some() && mode == AllocMode::Global;
         let p = MicroParams::paper(m, 2, mode, threads);
-        let rt = SamhitaRt::new(SamhitaConfig::default());
+        let rt = SamhitaRt::new(SamhitaConfig { tracing: traced, ..SamhitaConfig::default() });
         let r = run_micro(&rt, &p);
         // Check the numerics while we are here.
         let rel = (r.gsum - expected_gsum(&p)).abs() / expected_gsum(&p).abs();
@@ -45,6 +59,13 @@ fn main() {
             r.report.total_of(|t| t.diff_bytes_flushed),
             r.report.total_of(|t| t.fine_bytes_flushed),
         );
+        if traced {
+            let path = trace_path.as_ref().expect("traced implies a path");
+            let trace = rt.take_trace().expect("tracing was enabled");
+            trace.check_invariants().expect("RegC invariants violated");
+            std::fs::write(path, trace.to_chrome_json()).expect("write trace file");
+            println!("{:>16} wrote {} ({} events)", "", path, trace.len());
+        }
     }
 
     println!(

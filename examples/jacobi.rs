@@ -2,17 +2,30 @@
 //! runnable application.
 //!
 //! ```text
-//! cargo run --release --example jacobi [grid_n] [iters]
+//! cargo run --release --example jacobi [grid_n] [iters] [--trace out.json]
 //! ```
+//!
+//! With `--trace`, a dedicated 4-thread Samhita run records a protocol event
+//! trace, verifies the RegC invariants on it, and writes it as Chrome
+//! trace-event JSON — open it at <https://ui.perfetto.dev>.
 
 use samhita_repro::core::SamhitaConfig;
 use samhita_repro::kernels::{run_jacobi, serial_reference_jacobi, JacobiParams};
 use samhita_repro::rt::{KernelRt, NativeRt, SamhitaRt};
 
 fn main() {
+    let mut positional = Vec::new();
+    let mut trace_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
-    let n: usize = args.next().map(|v| v.parse().expect("grid size")).unwrap_or(254);
-    let iters: usize = args.next().map(|v| v.parse().expect("iterations")).unwrap_or(20);
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            trace_path = Some(args.next().expect("--trace needs a path"));
+        } else {
+            positional.push(a);
+        }
+    }
+    let n: usize = positional.first().map(|v| v.parse().expect("grid size")).unwrap_or(254);
+    let iters: usize = positional.get(1).map(|v| v.parse().expect("iterations")).unwrap_or(20);
 
     println!("Jacobi, {n}x{n} interior grid, {iters} sweeps (virtual time)\n");
     println!(
@@ -57,4 +70,13 @@ fn main() {
     let r = run_jacobi(&rt, &JacobiParams { n: 30, iters: 8, threads: 4 });
     assert_eq!(r.grid, serial_reference_jacobi(30, 8), "DSM run must equal serial reference");
     println!("\nverification: 4-thread Samhita grid identical to serial reference ✓");
+
+    if let Some(path) = &trace_path {
+        let rt = SamhitaRt::new(SamhitaConfig { tracing: true, ..SamhitaConfig::default() });
+        run_jacobi(&rt, &JacobiParams { n, iters, threads: 4 });
+        let trace = rt.take_trace().expect("tracing was enabled");
+        trace.check_invariants().expect("RegC invariants violated");
+        std::fs::write(path, trace.to_chrome_json()).expect("write trace file");
+        println!("wrote {path} ({} events) — open at https://ui.perfetto.dev", trace.len());
+    }
 }

@@ -22,3 +22,4 @@ pub use samhita_mem as mem;
 pub use samhita_regc as regc;
 pub use samhita_rt as rt;
 pub use samhita_scl as scl;
+pub use samhita_trace as trace;

@@ -5,12 +5,10 @@
 //! Samhita/RegC with trivial code modification", tested as program
 //! equivalence.
 
-use samhita_repro::core::{
-    ConsistencyVariant, FabricProfile, SamhitaConfig, TopologyKind,
-};
+use samhita_repro::core::{ConsistencyVariant, FabricProfile, SamhitaConfig, TopologyKind};
 use samhita_repro::kernels::{
-    expected_gsum, run_jacobi, run_md, run_micro, serial_reference_jacobi,
-    serial_reference_md, AllocMode, JacobiParams, MdParams, MicroParams,
+    expected_gsum, run_jacobi, run_md, run_micro, serial_reference_jacobi, serial_reference_md,
+    AllocMode, JacobiParams, MdParams, MicroParams,
 };
 use samhita_repro::rt::{NativeRt, SamhitaRt};
 

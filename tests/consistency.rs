@@ -194,11 +194,7 @@ fn whole_page_ablation_variant_is_still_correct() {
 
 #[test]
 fn manager_bypass_variant_is_still_correct() {
-    let cfg = SamhitaConfig {
-        topology: TopologyKind::SingleNode,
-        manager_bypass: true,
-        ..small()
-    };
+    let cfg = SamhitaConfig { topology: TopologyKind::SingleNode, manager_bypass: true, ..small() };
     let sys = Samhita::new(cfg);
     let counter = sys.alloc_global(8);
     let data = sys.alloc_global(4096);
@@ -225,11 +221,7 @@ fn manager_bypass_variant_is_still_correct() {
 
 #[test]
 fn lru_eviction_policy_is_correct_too() {
-    let cfg = SamhitaConfig {
-        cache_capacity_lines: 4,
-        eviction: EvictionPolicy::Lru,
-        ..small()
-    };
+    let cfg = SamhitaConfig { cache_capacity_lines: 4, eviction: EvictionPolicy::Lru, ..small() };
     let page = cfg.page_size as u64;
     let sys = Samhita::new(cfg);
     let addr = sys.alloc_global(32 * page);

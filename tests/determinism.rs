@@ -6,7 +6,9 @@
 //! the conservative-approximate queueing model).
 
 use samhita_repro::core::{Samhita, SamhitaConfig};
-use samhita_repro::kernels::{run_jacobi, run_md, run_micro, AllocMode, JacobiParams, MdParams, MicroParams};
+use samhita_repro::kernels::{
+    run_jacobi, run_md, run_micro, AllocMode, JacobiParams, MdParams, MicroParams,
+};
 use samhita_repro::rt::SamhitaRt;
 
 #[test]

@@ -1,0 +1,125 @@
+//! End-to-end checks of the event-tracing subsystem: export validity, the
+//! RegC invariant checker on real kernel traces, and — the load-bearing
+//! property — that enabling tracing does not move any virtual clock.
+
+use samhita_repro::core::{Samhita, SamhitaConfig};
+use samhita_repro::kernels::{run_jacobi, run_micro, AllocMode, JacobiParams, MicroParams};
+use samhita_repro::rt::SamhitaRt;
+use samhita_repro::trace::{validate_json, TrackId};
+
+fn traced_cfg() -> SamhitaConfig {
+    SamhitaConfig { tracing: true, ..SamhitaConfig::small_for_tests() }
+}
+
+#[test]
+fn traced_run_exports_valid_chrome_json_and_jsonl() {
+    let rt = SamhitaRt::new(SamhitaConfig { tracing: true, ..SamhitaConfig::default() });
+    let p = MicroParams::paper(2, 2, AllocMode::Global, 4);
+    run_micro(&rt, &p);
+    let trace = rt.take_trace().expect("tracing enabled");
+    assert!(!trace.is_empty(), "a false-sharing run must record events");
+
+    let chrome = trace.to_chrome_json();
+    validate_json(&chrome).expect("Chrome export must be valid JSON");
+    assert!(chrome.contains("\"traceEvents\""));
+    assert!(chrome.contains("thread_name"), "tracks need Perfetto name metadata");
+
+    for line in trace.to_jsonl().lines() {
+        validate_json(line).expect("every JSONL line must be valid JSON");
+    }
+}
+
+#[test]
+fn trace_covers_threads_and_services() {
+    let rt = SamhitaRt::new(traced_cfg());
+    run_micro(&rt, &MicroParams::paper(1, 1, AllocMode::Global, 2));
+    let trace = rt.take_trace().expect("tracing enabled");
+    for id in [
+        TrackId::Thread(0),
+        TrackId::Thread(1),
+        TrackId::Manager,
+        TrackId::MemServer(0),
+        TrackId::Fabric,
+    ] {
+        assert!(
+            trace.track(id).is_some_and(|evs| !evs.is_empty()),
+            "expected events on track {id:?}"
+        );
+    }
+}
+
+#[test]
+fn invariants_hold_on_example_kernels() {
+    for mode in [AllocMode::Local, AllocMode::Global, AllocMode::GlobalStrided] {
+        let rt = SamhitaRt::new(SamhitaConfig { tracing: true, ..SamhitaConfig::default() });
+        run_micro(&rt, &MicroParams::paper(2, 2, mode, 4));
+        let trace = rt.take_trace().expect("tracing enabled");
+        let summary = trace
+            .check_invariants()
+            .unwrap_or_else(|v| panic!("micro/{mode:?} violated invariants: {v:?}"));
+        assert!(summary.lock_holds > 0, "micro kernel takes the gsum lock");
+        assert!(summary.barrier_episodes > 0);
+    }
+
+    let rt = SamhitaRt::new(SamhitaConfig { tracing: true, ..SamhitaConfig::default() });
+    run_jacobi(&rt, &JacobiParams { n: 62, iters: 4, threads: 4 });
+    let trace = rt.take_trace().expect("tracing enabled");
+    let summary =
+        trace.check_invariants().unwrap_or_else(|v| panic!("jacobi violated invariants: {v:?}"));
+    assert!(summary.barrier_episodes > 0, "jacobi is barrier-synchronized");
+}
+
+/// The acceptance bar for "tracing is observational": with one compute
+/// thread the simulation is fully deterministic (DESIGN.md §2), so the
+/// makespan — and every per-thread stat — must be bit-identical with
+/// tracing on and off.
+#[test]
+fn tracing_does_not_perturb_virtual_clocks() {
+    let run = |tracing: bool| {
+        let rt = SamhitaRt::new(SamhitaConfig { tracing, ..SamhitaConfig::default() });
+        run_micro(&rt, &MicroParams::paper(5, 2, AllocMode::Global, 1)).report
+    };
+    let plain = run(false);
+    let traced = run(true);
+    assert_eq!(plain.makespan, traced.makespan, "tracing moved the virtual clock");
+    for (a, b) in plain.threads.iter().zip(&traced.threads) {
+        assert_eq!(a.total, b.total);
+        assert_eq!(a.sync, b.sync);
+        assert_eq!(a.fetch_latency, b.fetch_latency, "histograms are tracing-independent");
+        assert_eq!(a.lock_wait, b.lock_wait);
+        assert_eq!(a.barrier_wait, b.barrier_wait);
+    }
+}
+
+#[test]
+fn report_surfaces_latency_histograms_and_ratios() {
+    let rt = SamhitaRt::new(SamhitaConfig::default());
+    let report = run_micro(&rt, &MicroParams::paper(2, 2, AllocMode::Global, 4)).report;
+    // Histograms are always on — no tracing flag needed.
+    assert!(report.fetch_latency().count() > 0, "a DSM run has fetch stalls");
+    assert!(report.lock_wait().count() > 0, "the gsum lock is taken");
+    assert!(report.barrier_wait().count() > 0);
+    assert!(report.fetch_latency().p50_ns() <= report.fetch_latency().p99_ns());
+    let f = report.sync_fraction();
+    assert!(f > 0.0 && f < 1.0, "sync fraction {f} out of range");
+    assert!(report.compute_imbalance() >= 1.0, "max/mean is at least 1");
+}
+
+#[test]
+fn take_trace_is_none_without_tracing_and_drains_when_on() {
+    let sys = Samhita::new(SamhitaConfig::small_for_tests());
+    assert!(sys.take_trace().is_none(), "tracing off: no trace");
+
+    let sys = Samhita::new(traced_cfg());
+    let addr = sys.alloc_global(1024);
+    sys.run(1, |ctx| {
+        for i in 0..64 {
+            ctx.write_f64(addr + i * 8, i as f64);
+        }
+    });
+    let first = sys.take_trace().expect("tracing on");
+    assert!(!first.is_empty());
+    // A second drain starts from a clean window: thread buffers were taken.
+    let second = sys.take_trace().expect("tracing on");
+    assert!(second.track(TrackId::Thread(0)).is_none_or(|evs| evs.is_empty()));
+}

@@ -1,0 +1,143 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API shape the workspace's component benches use —
+//! `benchmark_group`, `bench_function`, `iter`, `iter_batched`, throughput
+//! and sample-size knobs — with a deliberately tiny runner: a short warm-up,
+//! a fixed number of timed iterations, and a mean-per-iteration printout. No
+//! statistics, no plots; set `CRITERION_ITERS` to raise the iteration count
+//! when timing by hand.
+
+use std::time::{Duration, Instant};
+
+/// How a group's throughput is expressed (stored, displayed per element).
+#[derive(Copy, Clone, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; the shim runs one
+/// setup per iteration regardless.
+#[derive(Copy, Clone, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+fn iters() -> u32 {
+    std::env::var("CRITERION_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(10)
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.to_string() }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        run_one(name, &mut f);
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Declare the group's throughput (recorded, not currently displayed).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Set the sample count (the shim's iteration count is fixed).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(&format!("{}/{name}", self.name), &mut f);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(name: &str, f: &mut impl FnMut(&mut Bencher)) {
+    let mut b = Bencher { elapsed: Duration::ZERO, iterations: 0 };
+    f(&mut b);
+    let mean_ns =
+        if b.iterations > 0 { b.elapsed.as_nanos() as f64 / b.iterations as f64 } else { 0.0 };
+    println!("bench {name:<40} {mean_ns:>14.1} ns/iter ({} iters)", b.iterations);
+}
+
+/// Times closures handed to it by a benchmark function.
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured iteration count.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        std::hint::black_box(routine()); // warm-up
+        let n = iters();
+        let start = Instant::now();
+        for _ in 0..n {
+            std::hint::black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iterations += n as u64;
+    }
+
+    /// Time `routine` on fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        std::hint::black_box(routine(setup())); // warm-up
+        for _ in 0..iters() {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iterations += 1;
+        }
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit a `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container this workspace builds in has no access to crates.io, so the
+//! real crate is replaced by marker traits that every type implements and
+//! derive macros that expand to nothing (see the sibling `serde_derive`
+//! shim). `#[derive(Serialize, Deserialize)]` annotations throughout the
+//! workspace therefore remain purely declarative.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait; blanket-implemented for all sized types.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}

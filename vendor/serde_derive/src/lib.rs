@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace builds without network access, so the real proc-macro crate
+//! is replaced by this shim: `#[derive(Serialize, Deserialize)]` expands to
+//! nothing, and the matching trait definitions in the `serde` shim are
+//! blanket-implemented. The derives stay on the public data types as
+//! documentation of intent; no code in this workspace serializes through
+//! serde.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; the `serde` shim blanket-implements the trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; the `serde` shim blanket-implements the trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
