@@ -18,6 +18,17 @@ pub fn run_summary(report: &RunReport) -> String {
     out.push_str(&format!("  fetch stalls      {}\n", report.fetch_latency().summary()));
     out.push_str(&format!("  lock waits        {}\n", report.lock_wait().summary()));
     out.push_str(&format!("  barrier waits     {}\n", report.barrier_wait().summary()));
+    let retries = report.total_of(|t| t.retries);
+    let failovers = report.total_of(|t| t.failovers);
+    if report.fabric.total_faults() > 0 || retries > 0 || failovers > 0 {
+        out.push_str(&format!(
+            "  faults injected   {} dropped, {} duplicated, {} delayed\n",
+            report.fabric.total_drops(),
+            report.fabric.total_dups(),
+            report.fabric.total_delays(),
+        ));
+        out.push_str(&format!("  recovery          {retries} retries, {failovers} failovers\n"));
+    }
     out
 }
 
@@ -218,7 +229,7 @@ mod tests {
             assert!(!cfg.pth_cores.is_empty());
             assert!(cfg.smh_cores.iter().all(|&c| c <= 32));
             assert!(cfg.m_values.contains(&1));
-            cfg.base.validate();
+            cfg.base.validate().expect("harness base configs are valid");
         }
     }
 }

@@ -7,6 +7,8 @@
 //! Defaults reproduce the paper's evaluation platform: a six-node QDR
 //! InfiniBand cluster with one manager node and one memory-server node.
 
+use std::fmt;
+
 use samhita_mem::ServiceModel;
 use samhita_scl::{profiles, LinkModel, Topology};
 use serde::{Deserialize, Serialize};
@@ -117,6 +119,149 @@ impl Default for CostParams {
     }
 }
 
+/// A timed symmetric link partition between two topology nodes, expressed
+/// in config-friendly plain integers (node indices, nanoseconds).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionSpec {
+    /// One side of the severed link (topology node index).
+    pub a: u32,
+    /// The other side (topology node index).
+    pub b: u32,
+    /// First virtual nanosecond at which sends are lost (inclusive).
+    pub from_ns: u64,
+    /// Virtual nanosecond at which the link heals (exclusive).
+    pub until_ns: u64,
+}
+
+/// Deterministic fault schedule for a run. The default injects nothing and
+/// leaves every virtual clock bit-identical to a fault-free build.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Seed for the per-message fate hash and retry jitter.
+    pub seed: u64,
+    /// Probability a fabric message is dropped.
+    pub drop_p: f64,
+    /// Probability a fabric message is duplicated.
+    pub dup_p: f64,
+    /// Probability a fabric message suffers a latency spike.
+    pub delay_p: f64,
+    /// The latency spike added to delayed messages, ns.
+    pub delay_ns: u64,
+    /// Timed symmetric link partitions.
+    pub partitions: Vec<PartitionSpec>,
+    /// Crash one memory server (by index) at a virtual instant: from then
+    /// on every message to or from it is lost and clients must fail over
+    /// to the replica (requires `replica_offset > 0`).
+    pub crash: Option<(u32, u64)>,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0,
+            drop_p: 0.0,
+            dup_p: 0.0,
+            delay_p: 0.0,
+            delay_ns: 0,
+            partitions: Vec::new(),
+            crash: None,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A lossy-fabric schedule: drop/duplicate/delay with one seed.
+    pub fn lossy(seed: u64, drop_p: f64, dup_p: f64, delay_p: f64, delay_ns: u64) -> Self {
+        FaultConfig { seed, drop_p, dup_p, delay_p, delay_ns, ..FaultConfig::default() }
+    }
+
+    /// True if this schedule can ever inject a fault.
+    pub fn is_active(&self) -> bool {
+        self.drop_p > 0.0
+            || self.dup_p > 0.0
+            || self.delay_p > 0.0
+            || !self.partitions.is_empty()
+            || self.crash.is_some()
+    }
+}
+
+/// Retry/timeout/backoff parameters for protocol RPCs, in virtual time.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryConfig {
+    /// First-retry delay (and jitter modulus), ns.
+    pub base_ns: u64,
+    /// Upper bound on any single backoff delay, ns.
+    pub cap_ns: u64,
+    /// Attempts before a peer is declared unreachable.
+    pub max_attempts: u32,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig { base_ns: 20_000, cap_ns: 500_000, max_attempts: 8 }
+    }
+}
+
+/// Typed rejection from [`SamhitaConfig::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[allow(missing_docs)] // each variant's Display text is the documentation
+pub enum ConfigError {
+    BadPageSize,
+    ZeroLinePages,
+    CacheTooSmall,
+    NoMemServers,
+    ThresholdsInverted,
+    ArenaTooSmall,
+    ZeroMaxThreads,
+    ZeroTraceCapacity,
+    BypassNeedsSingleNode,
+    ClusterTooSmall,
+    EmptyCoprocessors,
+    ReplicaOffsetOutOfRange,
+    BadFaultProbabilities,
+    CrashedServerOutOfRange,
+    CrashWithoutReplica,
+    ZeroRetryAttempts,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            ConfigError::BadPageSize => "bad page size",
+            ConfigError::ZeroLinePages => "lines need at least one page",
+            ConfigError::CacheTooSmall => "cache must hold at least two lines",
+            ConfigError::NoMemServers => "need at least one memory server",
+            ConfigError::ThresholdsInverted => "allocator thresholds inverted",
+            ConfigError::ArenaTooSmall => {
+                "arena smaller than the largest arena-eligible allocation"
+            }
+            ConfigError::ZeroMaxThreads => "max_threads must be positive",
+            ConfigError::ZeroTraceCapacity => "tracing enabled with a zero-capacity buffer",
+            ConfigError::BypassNeedsSingleNode => {
+                "manager bypass is the single-node optimization (§V)"
+            }
+            ConfigError::ClusterTooSmall => {
+                "cluster too small for manager + memory servers + compute"
+            }
+            ConfigError::EmptyCoprocessors => "empty coprocessor config",
+            ConfigError::ReplicaOffsetOutOfRange => {
+                "replica offset out of range (need 1 <= offset < mem_servers)"
+            }
+            ConfigError::BadFaultProbabilities => {
+                "fault probabilities must lie in [0, 1] and sum to at most 1"
+            }
+            ConfigError::CrashedServerOutOfRange => "crashed server index out of range",
+            ConfigError::CrashWithoutReplica => {
+                "a server crash without a replica configured cannot be survived"
+            }
+            ConfigError::ZeroRetryAttempts => "retry policy needs at least one attempt",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Full runtime configuration.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SamhitaConfig {
@@ -165,6 +310,15 @@ pub struct SamhitaConfig {
     /// dropped (and counted, which makes the invariant checker refuse the
     /// truncated trace).
     pub trace_capacity: usize,
+    /// Deterministic fault-injection schedule (default: inject nothing).
+    pub faults: FaultConfig,
+    /// Retry/timeout/backoff parameters for protocol RPCs.
+    pub retry: RetryConfig,
+    /// Write-through replication: data homed on server `s` is mirrored to
+    /// server `(s + replica_offset) % mem_servers`, and clients fail over
+    /// to that replica when the primary stops responding. `0` disables
+    /// replication (the paper's baseline).
+    pub replica_offset: u32,
 }
 
 impl Default for SamhitaConfig {
@@ -191,6 +345,9 @@ impl Default for SamhitaConfig {
             service: ServiceModel::default(),
             tracing: false,
             trace_capacity: 1 << 20,
+            faults: FaultConfig::default(),
+            retry: RetryConfig::default(),
+            replica_offset: 0,
         }
     }
 }
@@ -228,43 +385,73 @@ impl SamhitaConfig {
         }
     }
 
-    /// Validate internal consistency; called by the system constructor.
+    /// Validate internal consistency; called by the system constructor
+    /// (which refuses to build from an invalid configuration).
     ///
-    /// # Panics
-    /// Panics with a descriptive message on an inconsistent configuration.
-    pub fn validate(&self) {
-        assert!(self.page_size.is_power_of_two() && self.page_size >= 64, "bad page size");
-        assert!(self.line_pages >= 1, "lines need at least one page");
-        assert!(self.cache_capacity_lines >= 2, "cache must hold at least two lines");
-        assert!(self.mem_servers >= 1, "need at least one memory server");
-        assert!(self.small_threshold <= self.large_threshold, "allocator thresholds inverted");
-        assert!(
-            self.arena_bytes_per_thread >= self.small_threshold,
-            "arena smaller than the largest arena-eligible allocation"
-        );
-        assert!(self.max_threads >= 1, "max_threads must be positive");
-        assert!(
-            !self.tracing || self.trace_capacity >= 1,
-            "tracing enabled with a zero-capacity buffer"
-        );
-        if self.manager_bypass {
-            assert!(
-                matches!(self.topology, TopologyKind::SingleNode),
-                "manager bypass is the single-node optimization (§V)"
-            );
+    /// # Errors
+    /// Returns the first [`ConfigError`] found, checked in declaration
+    /// order of the fields.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !self.page_size.is_power_of_two() || self.page_size < 64 {
+            return Err(ConfigError::BadPageSize);
+        }
+        if self.line_pages < 1 {
+            return Err(ConfigError::ZeroLinePages);
+        }
+        if self.cache_capacity_lines < 2 {
+            return Err(ConfigError::CacheTooSmall);
+        }
+        if self.mem_servers < 1 {
+            return Err(ConfigError::NoMemServers);
+        }
+        if self.small_threshold > self.large_threshold {
+            return Err(ConfigError::ThresholdsInverted);
+        }
+        if self.arena_bytes_per_thread < self.small_threshold {
+            return Err(ConfigError::ArenaTooSmall);
+        }
+        if self.max_threads < 1 {
+            return Err(ConfigError::ZeroMaxThreads);
+        }
+        if self.tracing && self.trace_capacity < 1 {
+            return Err(ConfigError::ZeroTraceCapacity);
+        }
+        if self.manager_bypass && !matches!(self.topology, TopologyKind::SingleNode) {
+            return Err(ConfigError::BypassNeedsSingleNode);
         }
         match self.topology {
             TopologyKind::Cluster { nodes } => {
-                assert!(
-                    nodes >= 2 + self.mem_servers,
-                    "cluster too small for manager + memory servers + compute"
-                )
+                if nodes < 2 + self.mem_servers {
+                    return Err(ConfigError::ClusterTooSmall);
+                }
             }
             TopologyKind::HeteroNode { coprocessors, cores_per_cop } => {
-                assert!(coprocessors >= 1 && cores_per_cop >= 1, "empty coprocessor config")
+                if coprocessors < 1 || cores_per_cop < 1 {
+                    return Err(ConfigError::EmptyCoprocessors);
+                }
             }
             TopologyKind::SingleNode => {}
         }
+        if self.replica_offset >= self.mem_servers && self.replica_offset != 0 {
+            return Err(ConfigError::ReplicaOffsetOutOfRange);
+        }
+        let f = &self.faults;
+        let ps = [f.drop_p, f.dup_p, f.delay_p];
+        if ps.iter().any(|p| !(0.0..=1.0).contains(p)) || ps.iter().sum::<f64>() > 1.0 {
+            return Err(ConfigError::BadFaultProbabilities);
+        }
+        if let Some((server, _)) = f.crash {
+            if server >= self.mem_servers {
+                return Err(ConfigError::CrashedServerOutOfRange);
+            }
+            if self.replica_offset == 0 {
+                return Err(ConfigError::CrashWithoutReplica);
+            }
+        }
+        if self.retry.max_attempts < 1 {
+            return Err(ConfigError::ZeroRetryAttempts);
+        }
+        Ok(())
     }
 }
 
@@ -275,15 +462,17 @@ mod tests {
     #[test]
     fn default_config_is_valid_and_paper_shaped() {
         let c = SamhitaConfig::default();
-        c.validate();
+        c.validate().expect("default config must validate");
         assert_eq!(c.topology, TopologyKind::Cluster { nodes: 6 });
         assert_eq!(c.mem_servers, 1);
         assert_eq!(c.line_bytes(), 16384);
+        assert_eq!(c.replica_offset, 0, "the paper's baseline has no replication");
+        assert!(!c.faults.is_active(), "the default fault schedule injects nothing");
     }
 
     #[test]
     fn test_config_is_valid() {
-        SamhitaConfig::small_for_tests().validate();
+        SamhitaConfig::small_for_tests().validate().expect("test config must validate");
     }
 
     #[test]
@@ -297,21 +486,75 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "single-node optimization")]
     fn bypass_requires_single_node() {
         let c = SamhitaConfig { manager_bypass: true, ..SamhitaConfig::default() };
-        c.validate();
+        assert_eq!(c.validate().unwrap_err(), ConfigError::BypassNeedsSingleNode);
+        assert!(c.validate().unwrap_err().to_string().contains("single-node optimization"));
     }
 
     #[test]
-    #[should_panic(expected = "thresholds inverted")]
     fn inverted_thresholds_rejected() {
         let c = SamhitaConfig {
             small_threshold: 2 << 20,
             large_threshold: 1 << 20,
             ..SamhitaConfig::default()
         };
-        c.validate();
+        assert_eq!(c.validate().unwrap_err(), ConfigError::ThresholdsInverted);
+        assert!(c.validate().unwrap_err().to_string().contains("thresholds inverted"));
+    }
+
+    #[test]
+    fn zero_cache_capacity_rejected() {
+        let c = SamhitaConfig { cache_capacity_lines: 0, ..SamhitaConfig::default() };
+        assert_eq!(c.validate().unwrap_err(), ConfigError::CacheTooSmall);
+    }
+
+    #[test]
+    fn zero_line_pages_rejected() {
+        let c = SamhitaConfig { line_pages: 0, ..SamhitaConfig::default() };
+        assert_eq!(c.validate().unwrap_err(), ConfigError::ZeroLinePages);
+    }
+
+    #[test]
+    fn replica_offset_must_name_a_distinct_server() {
+        let mut c = SamhitaConfig { mem_servers: 2, ..SamhitaConfig::default() };
+        c.topology = TopologyKind::Cluster { nodes: 6 };
+        c.replica_offset = 1;
+        c.validate().expect("offset 1 of 2 servers is valid");
+        c.replica_offset = 2;
+        assert_eq!(c.validate().unwrap_err(), ConfigError::ReplicaOffsetOutOfRange);
+        c.mem_servers = 1;
+        c.replica_offset = 1;
+        assert_eq!(c.validate().unwrap_err(), ConfigError::ReplicaOffsetOutOfRange);
+    }
+
+    #[test]
+    fn fault_probabilities_are_bounded() {
+        let mut c =
+            SamhitaConfig { faults: FaultConfig::lossy(1, 0.6, 0.3, 0.3, 0), ..Default::default() };
+        assert_eq!(c.validate().unwrap_err(), ConfigError::BadFaultProbabilities);
+        c.faults = FaultConfig::lossy(1, -0.1, 0.0, 0.0, 0);
+        assert_eq!(c.validate().unwrap_err(), ConfigError::BadFaultProbabilities);
+        c.faults = FaultConfig::lossy(1, 0.1, 0.05, 0.05, 3_000);
+        c.validate().expect("modest probabilities are valid");
+    }
+
+    #[test]
+    fn crash_needs_a_valid_server_and_a_replica() {
+        let mut c = SamhitaConfig { mem_servers: 2, ..SamhitaConfig::default() };
+        c.faults.crash = Some((5, 1_000));
+        assert_eq!(c.validate().unwrap_err(), ConfigError::CrashedServerOutOfRange);
+        c.faults.crash = Some((0, 1_000));
+        assert_eq!(c.validate().unwrap_err(), ConfigError::CrashWithoutReplica);
+        c.replica_offset = 1;
+        c.validate().expect("a crash with a replica configured is survivable");
+    }
+
+    #[test]
+    fn zero_retry_attempts_rejected() {
+        let mut c = SamhitaConfig::default();
+        c.retry.max_attempts = 0;
+        assert_eq!(c.validate().unwrap_err(), ConfigError::ZeroRetryAttempts);
     }
 
     #[test]

@@ -61,7 +61,8 @@ pub mod system;
 pub mod thread;
 
 pub use config::{
-    ConsistencyVariant, CostParams, EvictionPolicy, FabricProfile, SamhitaConfig, TopologyKind,
+    ConfigError, ConsistencyVariant, CostParams, EvictionPolicy, FabricProfile, FaultConfig,
+    PartitionSpec, RetryConfig, SamhitaConfig, TopologyKind,
 };
 pub use layout::{AddressLayout, Placement, Region};
 pub use stats::{RunReport, ThreadStats};

@@ -13,8 +13,11 @@ use samhita_regc::{FineUpdate, WriteNotice};
 #[derive(Clone, Debug)]
 #[allow(missing_docs)] // payloads are described on each variant
 pub enum Msg {
-    /// Compute thread → memory server.
-    MemReq { token: u64, req: MemRequest },
+    /// Compute thread → memory server. `shadow` marks write-through replica
+    /// copies: the server applies and acknowledges them like any update but
+    /// keeps them out of the event trace, so replication does not perturb
+    /// the observable protocol timeline.
+    MemReq { token: u64, shadow: bool, req: MemRequest },
     /// Memory server → compute thread.
     MemResp { token: u64, resp: MemResponse },
     /// Compute thread (or host control client) → manager.
@@ -188,6 +191,9 @@ mod tests {
         let req = MgrRequest::Register { observer: false };
         let wire = req.wire_bytes();
         assert_eq!(Msg::MgrReq { token: 1, tid: 2, req }.wire_bytes(), wire);
+        let mreq = MemRequest::FetchPage { page: samhita_mem::PageId(0) };
+        let mwire = mreq.wire_bytes();
+        assert_eq!(Msg::MemReq { token: 1, shadow: true, req: mreq }.wire_bytes(), mwire);
         assert_eq!(Msg::Shutdown.wire_bytes(), 8);
     }
 }

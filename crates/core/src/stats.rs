@@ -46,6 +46,11 @@ pub struct ThreadStats {
     pub locks_acquired: u64,
     /// Barrier episodes.
     pub barriers: u64,
+    /// Protocol requests retransmitted after detecting loss.
+    pub retries: u64,
+    /// Memory-server failovers: the thread gave up on a primary home and
+    /// re-homed its traffic to the replica.
+    pub failovers: u64,
     /// Latency of every synchronous fetch stall (demand misses, refetches,
     /// late prefetch waits). Recorded unconditionally — histograms are part
     /// of the report, not of the (optional) event trace.

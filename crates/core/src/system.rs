@@ -13,6 +13,7 @@
 //! runs of one instance, which is harmless for correctness but perturbs
 //! timings of later runs.
 
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -70,7 +71,9 @@ impl Samhita {
     /// # Panics
     /// Panics on an invalid configuration (see [`SamhitaConfig::validate`]).
     pub fn new(cfg: SamhitaConfig) -> Self {
-        cfg.validate();
+        if let Err(e) = cfg.validate() {
+            panic!("invalid SamhitaConfig: {e}");
+        }
         let cfg = Arc::new(cfg);
         let layout = AddressLayout::new(&cfg);
         let topo = cfg.build_topology();
@@ -85,7 +88,7 @@ impl Samhita {
         let tracer = cfg.tracing.then(|| Arc::new(Tracer::new(cfg.trace_capacity)));
         if let Some(t) = &tracer {
             let track = t.shared_track(TrackId::Fabric);
-            fabric.set_observer(Some(Box::new(move |src, dst, now, bytes, class| {
+            fabric.set_observer(Some(Box::new(move |src, dst, now, bytes, class, fault| {
                 track.push(
                     now,
                     EventKind::FabricSend {
@@ -95,8 +98,21 @@ impl Samhita {
                         bytes: bytes as u64,
                     },
                 );
+                if let Some(kind) = fault {
+                    track.push(
+                        now,
+                        EventKind::FaultInjected { src: src.0 as u64, dst: dst.0 as u64, kind },
+                    );
+                }
             })));
         }
+
+        // Host control endpoint, created first so the service loops know it:
+        // the host control plane models the experimenter's out-of-band access
+        // and is exempt from fault injection (replies to it go reliably).
+        let ctl_endpoint = fabric.add_endpoint(placement.manager);
+        let ctl_id = ctl_endpoint.id();
+        let dedup = cfg.faults.is_active();
 
         // Memory servers.
         let mut mem_eps = Vec::new();
@@ -106,7 +122,35 @@ impl Samhita {
             mem_eps.push(ep.id());
             let server = MemoryServer::new(cfg.page_size, cfg.service);
             let track = tracer.as_ref().map(|t| t.shared_track(TrackId::MemServer(i)));
-            mem_handles.push(std::thread::spawn(move || mem_server_loop(ep, server, track)));
+            mem_handles.push(std::thread::spawn(move || {
+                mem_server_loop(ep, server, track, ctl_id, dedup)
+            }));
+        }
+
+        // Deterministic fault injection: structural faults (crash windows
+        // need the crashed server's endpoint id) are resolved here, then the
+        // plan is installed before any protocol traffic flows.
+        if dedup {
+            let f = &cfg.faults;
+            let mut plan = samhita_scl::FaultPlan::lossy(
+                f.seed,
+                f.drop_p,
+                f.dup_p,
+                f.delay_p,
+                SimTime::from_ns(f.delay_ns),
+            );
+            for p in &f.partitions {
+                plan.partitions.push(samhita_scl::Partition {
+                    a: samhita_scl::NodeId(p.a),
+                    b: samhita_scl::NodeId(p.b),
+                    from: SimTime::from_ns(p.from_ns),
+                    until: SimTime::from_ns(p.until_ns),
+                });
+            }
+            if let Some((server, at_ns)) = f.crash {
+                plan.crashed.push((mem_eps[server as usize], SimTime::from_ns(at_ns)));
+            }
+            fabric.set_fault_plan(plan);
         }
 
         // Manager.
@@ -114,12 +158,12 @@ impl Samhita {
         let mgr_ep = mgr_endpoint.id();
         let engine = ManagerEngine::new(&cfg);
         let mgr_track = tracer.as_ref().map(|t| t.shared_track(TrackId::Manager));
-        let mgr_handle =
-            Some(std::thread::spawn(move || manager_loop(mgr_endpoint, engine, mgr_track)));
+        let mgr_handle = Some(std::thread::spawn(move || {
+            manager_loop(mgr_endpoint, engine, mgr_track, ctl_id, dedup)
+        }));
 
         // Host control client (registers like a thread, but never syncs).
-        let ctl_ep = fabric.add_endpoint(placement.manager);
-        let mut ctl = CtlClient { ep: ctl_ep, clock: SimTime::ZERO, next_token: 1 };
+        let mut ctl = CtlClient { ep: ctl_endpoint, clock: SimTime::ZERO, next_token: 1 };
         let resp =
             ctl.rpc(mgr_ep, HOST_TID, MgrRequest::Register { observer: true }, MsgClass::Control);
         assert!(matches!(resp, MgrResponse::Registered { .. }), "host registration failed");
@@ -218,7 +262,9 @@ impl Samhita {
         }
     }
 
-    /// Initialize global memory from the host (outside timed runs).
+    /// Initialize global memory from the host (outside timed runs). With
+    /// replication configured, every write also goes through to the replica
+    /// as a shadow copy, so replicas mirror the primaries from time zero.
     pub fn write_global(&self, addr: u64, data: &[u8]) {
         let ps = self.cfg.page_size as u64;
         let mut ctl = self.ctl.lock();
@@ -229,16 +275,32 @@ impl Samhita {
             let offset = (at % ps) as u32;
             let take = ((ps - at % ps) as usize).min(data.len() - cursor);
             let server = self.home_map.home_of_page(PageId(page));
-            let resp = ctl.rpc_mem(
-                self.mem_eps[server as usize],
-                MemRequest::ApplyFine {
-                    page: PageId(page),
-                    offset,
-                    bytes: data[cursor..cursor + take].to_vec(),
-                },
-            );
+            let req = MemRequest::ApplyFine {
+                page: PageId(page),
+                offset,
+                bytes: data[cursor..cursor + take].to_vec(),
+            };
+            if let Some(r) = self.home_map.replica_of_server(server, self.cfg.replica_offset) {
+                let resp = ctl.rpc_mem(self.mem_eps[r as usize], true, req.clone());
+                assert!(matches!(resp, MemResponse::Ack { .. }));
+            }
+            let resp = ctl.rpc_mem(self.mem_eps[server as usize], false, req);
             assert!(matches!(resp, MemResponse::Ack { .. }));
             cursor += take;
+        }
+    }
+
+    /// The server the host reads a page's home data from: the primary,
+    /// unless the fault plan crashes it — the crashed store misses every
+    /// update sent after the crash instant, so the host reads the
+    /// write-through replica instead (validation guarantees one exists).
+    fn host_read_server(&self, home: u32) -> u32 {
+        match self.cfg.faults.crash {
+            Some((dead, _)) if dead == home => self
+                .home_map
+                .replica_of_server(home, self.cfg.replica_offset)
+                .expect("a crashed server always has a replica (config validation)"),
+            _ => home,
         }
     }
 
@@ -252,9 +314,10 @@ impl Samhita {
             let page = at / ps;
             let offset = (at % ps) as usize;
             let take = ((ps - at % ps) as usize).min(out.len() - cursor);
-            let server = self.home_map.home_of_page(PageId(page));
+            let server = self.host_read_server(self.home_map.home_of_page(PageId(page)));
             let resp = ctl.rpc_mem(
                 self.mem_eps[server as usize],
+                false,
                 MemRequest::FetchPage { page: PageId(page) },
             );
             match resp {
@@ -359,11 +422,14 @@ impl Samhita {
     fn shutdown_inner(&mut self) -> SystemStats {
         let mut stats = SystemStats::default();
         {
+            // Reliable sends: a crashed (or partitioned) server must still
+            // receive its shutdown message, or the join below would hang.
             let ctl = self.ctl.lock();
             for &ep in &self.mem_eps {
-                let _ = ctl.ep.send(ep, ctl.clock, 8, MsgClass::Control, Msg::Shutdown);
+                let _ = ctl.ep.send_reliable(ep, ctl.clock, 8, MsgClass::Control, Msg::Shutdown);
             }
-            let _ = ctl.ep.send(self.mgr_ep, ctl.clock, 8, MsgClass::Control, Msg::Shutdown);
+            let _ =
+                ctl.ep.send_reliable(self.mgr_ep, ctl.clock, 8, MsgClass::Control, Msg::Shutdown);
         }
         for h in self.mem_handles.drain(..) {
             stats.servers.push(h.join().expect("memory server panicked"));
@@ -394,7 +460,7 @@ impl CtlClient {
         let wire = req.wire_bytes();
         let token = self.fresh_token();
         self.ep
-            .send(mgr, self.clock, wire, class, Msg::MgrReq { token, tid, req })
+            .send_reliable(mgr, self.clock, wire, class, Msg::MgrReq { token, tid, req })
             .expect("manager endpoint closed");
         let env = self.wait_for(token);
         self.clock = self.clock.max(env.deliver_at);
@@ -404,11 +470,17 @@ impl CtlClient {
         }
     }
 
-    fn rpc_mem(&mut self, server: EndpointId, req: MemRequest) -> MemResponse {
+    fn rpc_mem(&mut self, server: EndpointId, shadow: bool, req: MemRequest) -> MemResponse {
         let wire = req.wire_bytes();
         let token = self.fresh_token();
         self.ep
-            .send(server, self.clock, wire, MsgClass::Control, Msg::MemReq { token, req })
+            .send_reliable(
+                server,
+                self.clock,
+                wire,
+                MsgClass::Control,
+                Msg::MemReq { token, shadow, req },
+            )
             .expect("memory server endpoint closed");
         let env = self.wait_for(token);
         self.clock = self.clock.max(env.deliver_at);
@@ -447,26 +519,76 @@ fn mem_event(req: &MemRequest) -> EventKind {
     }
 }
 
+fn mem_resp_class(resp: &MemResponse) -> MsgClass {
+    match resp {
+        MemResponse::Line { .. } | MemResponse::Page { .. } => MsgClass::Data,
+        MemResponse::Ack { .. } => MsgClass::Update,
+    }
+}
+
+/// Requests kept in a server's idempotency cache. Retransmissions arrive
+/// almost immediately after their original (the client blocks on the lost
+/// copy's arrival), so a small window suffices; it only bounds memory.
+const DEDUP_WINDOW: usize = 512;
+
 fn mem_server_loop(
     ep: Endpoint<Msg>,
     mut server: MemoryServer,
     track: Option<SharedTrack>,
+    ctl: EndpointId,
+    dedup: bool,
 ) -> ServerStats {
+    // Idempotency cache: (requester, token) → completed response. A replayed
+    // request is re-acknowledged without re-applying, re-charging the service
+    // resource, or re-tracing — exactly-once application under at-least-once
+    // delivery.
+    let mut seen: HashMap<(EndpointId, u64), (SimTime, MemResponse)> = HashMap::new();
+    let mut order: VecDeque<(EndpointId, u64)> = VecDeque::new();
     while let Ok(env) = ep.recv() {
         match env.msg {
-            Msg::MemReq { token, req } => {
-                let event = track.as_ref().map(|_| mem_event(&req));
+            Msg::MemReq { token, shadow, req } => {
+                // A lost request never reached this server; discard it.
+                if env.lost {
+                    continue;
+                }
+                if let Some((done, resp)) = seen.get(&(env.src, token)) {
+                    let at = (*done).max(env.deliver_at);
+                    let wire = resp.wire_bytes();
+                    let class = mem_resp_class(resp);
+                    let msg = Msg::MemResp { token, resp: resp.clone() };
+                    let _ = if env.src == ctl {
+                        ep.send_reliable(env.src, at, wire, class, msg)
+                    } else {
+                        ep.send(env.src, at, wire, class, msg)
+                    };
+                    continue;
+                }
+                // Shadow (replica write-through) copies are applied and
+                // counted, but kept off the event trace so replication does
+                // not disturb the observable protocol timeline.
+                let event = if shadow { None } else { track.as_ref().map(|_| mem_event(&req)) };
                 let (resp, done) = server.handle(req, env.deliver_at);
                 if let (Some(track), Some(event)) = (&track, event) {
                     track.push(done, event);
                 }
+                if dedup {
+                    seen.insert((env.src, token), (done, resp.clone()));
+                    order.push_back((env.src, token));
+                    if order.len() > DEDUP_WINDOW {
+                        if let Some(old) = order.pop_front() {
+                            seen.remove(&old);
+                        }
+                    }
+                }
                 let wire = resp.wire_bytes();
-                let class = match &resp {
-                    MemResponse::Line { .. } | MemResponse::Page { .. } => MsgClass::Data,
-                    MemResponse::Ack { .. } => MsgClass::Update,
-                };
+                let class = mem_resp_class(&resp);
+                let msg = Msg::MemResp { token, resp };
                 // A send failure means the requester is gone; nothing to do.
-                let _ = ep.send(env.src, done, wire, class, Msg::MemResp { token, resp });
+                let _ = if env.src == ctl {
+                    ep.send_reliable(env.src, done, wire, class, msg)
+                } else {
+                    ep.send(env.src, done, wire, class, msg)
+                };
             }
             Msg::Shutdown => break,
             other => panic!("memory server received unexpected message: {other:?}"),
@@ -479,20 +601,59 @@ fn manager_loop(
     ep: Endpoint<Msg>,
     mut engine: ManagerEngine,
     track: Option<SharedTrack>,
+    ctl: EndpointId,
+    dedup: bool,
 ) -> ManagerStats {
+    // Replay protection. Each client's tokens arrive monotonically (its
+    // requests are serialized and the fabric preserves per-sender order), so
+    // a high-water mark per source detects retransmissions, and the last
+    // response issued *to* each endpoint answers a retransmission whose
+    // reply was lost. A retransmission of a still-queued request (a blocked
+    // acquire or condition wait) is simply ignored: the original will be
+    // answered when granted.
+    let mut hwm: HashMap<EndpointId, u64> = HashMap::new();
+    let mut done: HashMap<EndpointId, (u64, SimTime, MgrResponse)> = HashMap::new();
     while let Ok(env) = ep.recv() {
         match env.msg {
             Msg::MgrReq { token, tid, req } => {
+                // A lost request never reached the manager; discard it.
+                if env.lost {
+                    continue;
+                }
+                if dedup {
+                    let seen = hwm.get(&env.src).copied().unwrap_or(0);
+                    if token < seen {
+                        continue;
+                    }
+                    if token == seen {
+                        if let Some((t, at, resp)) = done.get(&env.src) {
+                            if *t == token {
+                                let at = (*at).max(env.deliver_at);
+                                let wire = resp.wire_bytes();
+                                let msg = Msg::MgrResp { token, resp: resp.clone() };
+                                let _ = if env.src == ctl {
+                                    ep.send_reliable(env.src, at, wire, MsgClass::Sync, msg)
+                                } else {
+                                    ep.send(env.src, at, wire, MsgClass::Sync, msg)
+                                };
+                            }
+                        }
+                        continue;
+                    }
+                    hwm.insert(env.src, token);
+                }
                 let op = track.as_ref().map(|_| req.label());
                 for out in engine.handle(env.src, tid, token, req, env.deliver_at) {
                     let wire = out.resp.wire_bytes();
-                    let _ = ep.send(
-                        out.dst,
-                        out.at,
-                        wire,
-                        MsgClass::Sync,
-                        Msg::MgrResp { token: out.token, resp: out.resp },
-                    );
+                    if dedup {
+                        done.insert(out.dst, (out.token, out.at, out.resp.clone()));
+                    }
+                    let msg = Msg::MgrResp { token: out.token, resp: out.resp };
+                    let _ = if out.dst == ctl {
+                        ep.send_reliable(out.dst, out.at, wire, MsgClass::Sync, msg)
+                    } else {
+                        ep.send(out.dst, out.at, wire, MsgClass::Sync, msg)
+                    };
                 }
                 if let (Some(track), Some(op)) = (&track, op) {
                     track.push(engine.last_done(), EventKind::MgrServe { op, tid });

@@ -29,7 +29,7 @@ use std::sync::Arc;
 
 use samhita_mem::{HomeMap, MemRequest, MemResponse, PageId};
 use samhita_regc::{FineUpdate, PageState, RegionKind, RegionState, WriteNotice, WriteSet};
-use samhita_scl::{Endpoint, EndpointId, Envelope, MsgClass, SimTime};
+use samhita_scl::{Endpoint, EndpointId, Envelope, MsgClass, RetryPolicy, SimTime};
 use samhita_trace::{EventKind, FetchKind, TraceBuf};
 
 use crate::cache::SoftCache;
@@ -39,6 +39,19 @@ use crate::layout::{AddressLayout, Region};
 use crate::localsync::LocalSync;
 use crate::msg::{MgrRequest, MgrResponse, Msg};
 use crate::stats::ThreadStats;
+
+/// An asynchronous update (diff or fine-grain flush) whose acknowledgement
+/// is still outstanding. Kept so a lost ack can be answered by retransmitting
+/// the identical request (the server's idempotency cache re-acks without
+/// re-applying), and so ack-path exhaustion can fail over knowing which
+/// server and copy (primary or write-through shadow) the update targeted.
+struct PendingAck {
+    server: u32,
+    class: MsgClass,
+    req: MemRequest,
+    shadow: bool,
+    attempts: u32,
+}
 
 /// The per-thread handle to the shared global address space.
 pub struct ThreadCtx {
@@ -71,8 +84,11 @@ pub struct ThreadCtx {
     arena: FreeListAlloc,
 
     next_token: u64,
-    stash: HashMap<u64, Envelope<Msg>>,
-    outstanding_acks: HashSet<u64>,
+    retry: RetryPolicy,
+    /// Memory servers this thread has given up on (sticky: once a server is
+    /// declared dead, all its traffic is re-homed to the replica).
+    failed_servers: HashSet<u32>,
+    outstanding_acks: HashMap<u64, PendingAck>,
     ack_horizon: SimTime,
     prefetch_tokens: HashMap<u64, u64>,   // token -> line
     prefetch_inflight: HashMap<u64, u64>, // line -> token
@@ -109,6 +125,14 @@ impl ThreadCtx {
             cfg.eviction,
         );
         let home_map = HomeMap::new(cfg.mem_servers, cfg.line_pages);
+        // Per-thread jitter stream: deterministic, but decorrelated across
+        // threads so retransmissions do not synchronize.
+        let retry = RetryPolicy {
+            base: SimTime::from_ns(cfg.retry.base_ns),
+            cap: SimTime::from_ns(cfg.retry.cap_ns),
+            max_attempts: cfg.retry.max_attempts,
+            seed: cfg.faults.seed ^ (u64::from(tid) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        };
         let mut ctx = ThreadCtx {
             tid,
             nthreads,
@@ -131,8 +155,9 @@ impl ThreadCtx {
             last_seen: 0,
             arena: FreeListAlloc::new(arena_lo, arena_hi),
             next_token: 1,
-            stash: HashMap::new(),
-            outstanding_acks: HashSet::new(),
+            retry,
+            failed_servers: HashSet::new(),
+            outstanding_acks: HashMap::new(),
             ack_horizon: SimTime::ZERO,
             prefetch_tokens: HashMap::new(),
             prefetch_inflight: HashMap::new(),
@@ -467,20 +492,35 @@ impl ThreadCtx {
             self.charge(self.cfg.costs.local_sync_ns as f64);
         } else {
             // Fire-and-forget: the manager orders the release before any
-            // subsequent grant; the releaser only pays the send cost.
+            // subsequent grant; the releaser only pays the send cost (plus
+            // backoff for any retransmission after a send-time drop).
             let req = MgrRequest::Release { lock, pages, updates, last_seen: self.last_seen };
             let wire = req.wire_bytes();
             let token = self.fresh_token();
-            self.ep
-                .send(
-                    self.mgr_ep,
-                    self.clock,
-                    wire,
-                    MsgClass::Sync,
-                    Msg::MgrReq { token, tid: self.tid, req },
-                )
-                .expect("manager endpoint closed");
-            self.charge(self.cfg.costs.send_ns as f64);
+            let mut attempt = 0u32;
+            loop {
+                let sent_at = self.clock;
+                let (_, fate) = self
+                    .ep
+                    .send_faulted(
+                        self.mgr_ep,
+                        self.clock,
+                        wire,
+                        MsgClass::Sync,
+                        Msg::MgrReq { token, tid: self.tid, req: req.clone() },
+                    )
+                    .expect("manager endpoint closed");
+                self.charge(self.cfg.costs.send_ns as f64);
+                if !fate.is_dropped() {
+                    break;
+                }
+                attempt += 1;
+                assert!(
+                    attempt < self.retry.max_attempts,
+                    "manager unreachable: release of lock {lock} dropped {attempt} times"
+                );
+                self.note_retry("release", attempt, sent_at + self.retry.delay(attempt));
+            }
         }
         self.sync_time += self.clock - t0;
     }
@@ -638,30 +678,24 @@ impl ThreadCtx {
         } else if let Some(token) = self.prefetch_inflight.remove(&line) {
             // Prefetch still in flight: wait for it.
             self.prefetch_tokens.remove(&token);
-            let env = self.wait_for(token);
-            self.clock = self.clock.max(env.deliver_at);
-            match env.msg {
-                Msg::MemResp { resp: MemResponse::Line { data, versions, .. }, .. } => {
+            match self.await_prefetch(token) {
+                Some((data, versions)) => {
                     self.stats.prefetch_late += 1;
                     self.install_line(line, data, versions);
+                    self.record_fetch(first_page, line_pages, FetchKind::PrefetchLate, t0);
                 }
-                other => panic!("unexpected prefetch response: {other:?}"),
+                None => {
+                    // The prefetch response was lost on the wire (the wait
+                    // for the lost copy was the timeout): demand-fetch.
+                    self.stats.line_misses += 1;
+                    self.demand_fetch_line(line);
+                    self.record_fetch(first_page, line_pages, FetchKind::Demand, t0);
+                }
             }
-            self.record_fetch(first_page, line_pages, FetchKind::PrefetchLate, t0);
         } else {
             // Demand miss.
             self.stats.line_misses += 1;
-            let first = PageId(line * self.cache.line_pages() as u64);
-            let server = self.home_map.home_of_line(line);
-            let (resp, _) = self.rpc_mem(
-                server,
-                MemRequest::FetchLine { first, pages: self.cache.line_pages() as u32 },
-                MsgClass::Data,
-            );
-            match resp {
-                MemResponse::Line { data, versions, .. } => self.install_line(line, data, versions),
-                other => panic!("unexpected line fetch response: {other:?}"),
-            }
+            self.demand_fetch_line(line);
             self.record_fetch(first_page, line_pages, FetchKind::Demand, t0);
         }
         self.cache.touch_line(line);
@@ -669,6 +703,45 @@ impl ThreadCtx {
         // Anticipatory paging: ask for the adjacent line asynchronously.
         if self.cfg.prefetch {
             self.maybe_prefetch(line + 1);
+        }
+    }
+
+    /// Fetch a whole line synchronously from its (effective) home.
+    fn demand_fetch_line(&mut self, line: u64) {
+        let first = PageId(line * self.cache.line_pages() as u64);
+        let server = self.home_map.home_of_line(line);
+        let (resp, _) = self.rpc_mem(
+            server,
+            MemRequest::FetchLine { first, pages: self.cache.line_pages() as u32 },
+            MsgClass::Data,
+        );
+        match resp {
+            MemResponse::Line { data, versions, .. } => self.install_line(line, data, versions),
+            other => panic!("unexpected line fetch response: {other:?}"),
+        }
+    }
+
+    /// Block for an in-flight prefetch response. Returns `None` when the
+    /// response was lost on the wire — the lost copy's arrival plays the
+    /// retransmission timeout, and the caller demand-fetches instead.
+    fn await_prefetch(&mut self, token: u64) -> Option<(Vec<u8>, Vec<u64>)> {
+        loop {
+            let env = self.ep.recv().expect("fabric closed while awaiting response");
+            let t = Self::token_of(&env);
+            if t != token {
+                self.absorb(t, env);
+                continue;
+            }
+            self.clock = self.clock.max(env.deliver_at);
+            if env.lost {
+                return None;
+            }
+            match env.msg {
+                Msg::MemResp { resp: MemResponse::Line { data, versions, .. }, .. } => {
+                    return Some((data, versions));
+                }
+                other => panic!("unexpected prefetch response: {other:?}"),
+            }
         }
     }
 
@@ -699,20 +772,26 @@ impl ThreadCtx {
             return;
         }
         let first = PageId(line * self.cache.line_pages() as u64);
-        let server = self.home_map.home_of_line(line);
+        let server = self.effective_server(self.home_map.home_of_line(line));
         let req = MemRequest::FetchLine { first, pages: self.cache.line_pages() as u32 };
         let wire = req.wire_bytes();
         let token = self.fresh_token();
-        self.ep
-            .send(
+        let (_, fate) = self
+            .ep
+            .send_faulted(
                 self.mem_eps[server as usize],
                 self.clock,
                 wire,
                 MsgClass::Data,
-                Msg::MemReq { token, req },
+                Msg::MemReq { token, shadow: false, req },
             )
             .expect("memory server endpoint closed");
         self.charge(self.cfg.costs.send_ns as f64);
+        if fate.is_dropped() {
+            // Prefetch is opportunistic: never retried; a later demand miss
+            // fetches the line for real.
+            return;
+        }
         self.prefetch_tokens.insert(token, line);
         self.prefetch_inflight.insert(line, token);
         self.trace(EventKind::PrefetchIssue {
@@ -728,21 +807,73 @@ impl ThreadCtx {
         self.stats.diff_bytes_flushed += bytes;
         self.trace(EventKind::DiffFlush { page, bytes });
         self.pending_pages.insert(page);
-        let server = self.home_map.home_of_page(PageId(page));
-        let req = MemRequest::ApplyDiff { page: PageId(page), diff };
+        let home = self.home_map.home_of_page(PageId(page));
+        self.send_update(
+            home,
+            MsgClass::Update,
+            MemRequest::ApplyDiff { page: PageId(page), diff },
+        );
+    }
+
+    /// Ship one asynchronous update to its home, write-through to the
+    /// replica when one is configured and the home is still the live
+    /// primary. Acks for every copy are awaited at the next fence, so at a
+    /// fence the replica is byte-identical to the primary — the property
+    /// that makes post-failover reads bit-exact.
+    fn send_update(&mut self, home: u32, class: MsgClass, req: MemRequest) {
+        let primary = self.effective_server(home);
+        if self.cfg.replica_offset == 0 {
+            self.post_update(primary, class, req, false);
+            return;
+        }
+        self.post_update(primary, class, req.clone(), false);
+        // Re-check after the primary send: if it exhausted its retries and
+        // failed over, the replica already received the (sole) live copy.
+        if !self.failed_servers.contains(&home) {
+            if let Some(r) = self.live_replica_of(home) {
+                self.post_update(r, class, req, true);
+            }
+        }
+    }
+
+    /// Transmit one update copy, eagerly riding out send-time drops with
+    /// capped backoff; registers the ack obligation on success.
+    fn post_update(&mut self, mut server: u32, class: MsgClass, req: MemRequest, shadow: bool) {
+        let op = req.label();
         let wire = req.wire_bytes();
         let token = self.fresh_token();
-        self.ep
-            .send(
-                self.mem_eps[server as usize],
-                self.clock,
-                wire,
-                MsgClass::Update,
-                Msg::MemReq { token, req },
-            )
-            .expect("memory server endpoint closed");
-        self.charge(self.cfg.costs.send_ns as f64);
-        self.outstanding_acks.insert(token);
+        let mut attempt = 0u32;
+        loop {
+            let sent_at = self.clock;
+            let (_, fate) = self
+                .ep
+                .send_faulted(
+                    self.mem_eps[server as usize],
+                    self.clock,
+                    wire,
+                    class,
+                    Msg::MemReq { token, shadow, req: req.clone() },
+                )
+                .expect("memory server endpoint closed");
+            self.charge(self.cfg.costs.send_ns as f64);
+            if !fate.is_dropped() {
+                break;
+            }
+            attempt += 1;
+            if attempt >= self.retry.max_attempts {
+                if shadow {
+                    // The replica is unreachable: abandon write-through to
+                    // it; the already-posted primary copy stands alone.
+                    self.failed_servers.insert(server);
+                    return;
+                }
+                server = self.fail_over(server);
+                attempt = 0;
+                continue;
+            }
+            self.note_retry(op, attempt, sent_at + self.retry.delay(attempt));
+        }
+        self.outstanding_acks.insert(token, PendingAck { server, class, req, shadow, attempts: 0 });
     }
 
     /// Flush all local modifications home. Returns the interval to publish:
@@ -766,21 +897,12 @@ impl ThreadCtx {
         for (page, offset, bytes) in parts {
             self.stats.fine_bytes_flushed += bytes.len() as u64;
             self.trace(EventKind::FineFlush { page, bytes: bytes.len() as u64 });
-            let server = self.home_map.home_of_page(PageId(page));
-            let req = MemRequest::ApplyFine { page: PageId(page), offset, bytes: bytes.clone() };
-            let wire = req.wire_bytes();
-            let token = self.fresh_token();
-            self.ep
-                .send(
-                    self.mem_eps[server as usize],
-                    self.clock,
-                    wire,
-                    MsgClass::Update,
-                    Msg::MemReq { token, req },
-                )
-                .expect("memory server endpoint closed");
-            self.charge(self.cfg.costs.send_ns as f64);
-            self.outstanding_acks.insert(token);
+            let home = self.home_map.home_of_page(PageId(page));
+            self.send_update(
+                home,
+                MsgClass::Update,
+                MemRequest::ApplyFine { page: PageId(page), offset, bytes: bytes.clone() },
+            );
             updates.push(FineUpdate { page, offset, bytes });
         }
         // Fence: all updates must be applied at their homes before the sync
@@ -855,57 +977,181 @@ impl ThreadCtx {
         }
     }
 
-    /// File an out-of-band response: prefetch data, flush ack, or a stashed
-    /// response for a different in-flight token.
+    /// File an out-of-band message: prefetch data, a flush ack, a lost copy
+    /// signalling a retransmission timeout, or a suppressed duplicate of an
+    /// already-handled reply (silently dropped — that is the idempotent-token
+    /// half of duplicate suppression).
     fn absorb(&mut self, token: u64, env: Envelope<Msg>) {
         if self.poisoned_prefetches.remove(&token) {
-            // Stale prefetch overtaken by an invalidation: drop it.
+            // Stale prefetch overtaken by an invalidation: drop it (lost or
+            // not — nobody waits on it).
         } else if let Some(line) = self.prefetch_tokens.remove(&token) {
             self.prefetch_inflight.remove(&line);
+            if env.lost {
+                // Lost prefetch response: forget the prefetch entirely; a
+                // later miss will demand-fetch the line.
+                return;
+            }
             match env.msg {
                 Msg::MemResp { resp: MemResponse::Line { data, versions, .. }, .. } => {
                     self.prefetch_ready.insert(line, (env.deliver_at, data, versions));
                 }
                 other => panic!("unexpected prefetch response: {other:?}"),
             }
-        } else if self.outstanding_acks.remove(&token) {
-            self.ack_horizon = self.ack_horizon.max(env.deliver_at);
-        } else {
-            self.stash.insert(token, env);
-        }
-    }
-
-    fn wait_for(&mut self, token: u64) -> Envelope<Msg> {
-        if let Some(env) = self.stash.remove(&token) {
-            return env;
-        }
-        loop {
-            let env = self.ep.recv().expect("fabric closed while awaiting response");
-            let t = Self::token_of(&env);
-            if t == token {
-                return env;
+        } else if self.outstanding_acks.contains_key(&token) {
+            if env.lost {
+                self.retransmit_update(token, env.deliver_at);
+            } else {
+                self.outstanding_acks.remove(&token);
+                self.ack_horizon = self.ack_horizon.max(env.deliver_at);
             }
-            self.absorb(t, env);
         }
     }
 
-    fn rpc_mem(&mut self, server: u32, req: MemRequest, class: MsgClass) -> (MemResponse, SimTime) {
+    /// A flush ack was lost. The server *has* applied the update (only the
+    /// acknowledgement is missing), so retransmit the identical request —
+    /// the server's idempotency cache re-acks without re-applying — until an
+    /// ack survives the wire, or give up and lean on the replica copy.
+    fn retransmit_update(&mut self, token: u64, observed_at: SimTime) {
+        let mut pa = self.outstanding_acks.remove(&token).expect("pending ack");
+        let give_up = |me: &mut Self, pa: &PendingAck| {
+            // The path to this server is dead, but the data was applied
+            // there. Drop the ack obligation; for a primary copy, re-home
+            // future traffic to the replica carrying the write-through copy.
+            if pa.shadow {
+                me.failed_servers.insert(pa.server);
+            } else {
+                me.fail_over(pa.server);
+            }
+        };
+        pa.attempts += 1;
+        if pa.attempts >= self.retry.max_attempts {
+            give_up(self, &pa);
+            self.ack_horizon = self.ack_horizon.max(observed_at);
+            return;
+        }
+        self.note_retry(pa.req.label(), pa.attempts, observed_at);
+        loop {
+            let sent_at = self.clock;
+            let (_, fate) = self
+                .ep
+                .send_faulted(
+                    self.mem_eps[pa.server as usize],
+                    self.clock,
+                    pa.req.wire_bytes(),
+                    pa.class,
+                    Msg::MemReq { token, shadow: pa.shadow, req: pa.req.clone() },
+                )
+                .expect("memory server endpoint closed");
+            self.charge(self.cfg.costs.send_ns as f64);
+            if !fate.is_dropped() {
+                self.outstanding_acks.insert(token, pa);
+                return;
+            }
+            pa.attempts += 1;
+            if pa.attempts >= self.retry.max_attempts {
+                give_up(self, &pa);
+                return;
+            }
+            self.note_retry(pa.req.label(), pa.attempts, sent_at + self.retry.delay(pa.attempts));
+        }
+    }
+
+    /// Record one retransmission: bump the counter, advance the clock to the
+    /// backoff deadline (or the virtual-timeout instant), trace it.
+    fn note_retry(&mut self, op: &'static str, attempt: u32, resume_at: SimTime) {
+        self.stats.retries += 1;
+        self.clock = self.clock.max(resume_at);
+        self.trace(EventKind::Retry { op, attempt });
+    }
+
+    fn replica_of(&self, server: u32) -> Option<u32> {
+        self.home_map.replica_of_server(server, self.cfg.replica_offset)
+    }
+
+    fn live_replica_of(&self, server: u32) -> Option<u32> {
+        self.replica_of(server).filter(|r| !self.failed_servers.contains(r))
+    }
+
+    /// Where traffic homed on `home` actually goes: the primary while it is
+    /// believed alive, its replica after a failover.
+    fn effective_server(&self, home: u32) -> u32 {
+        if self.failed_servers.contains(&home) {
+            self.live_replica_of(home)
+                .unwrap_or_else(|| panic!("memory server {home} failed with no live replica"))
+        } else {
+            home
+        }
+    }
+
+    /// Declare `from` dead and re-home its traffic to the replica.
+    fn fail_over(&mut self, from: u32) -> u32 {
+        let to = self
+            .live_replica_of(from)
+            .unwrap_or_else(|| panic!("memory server {from} unreachable and no live replica"));
+        if self.failed_servers.insert(from) {
+            self.stats.failovers += 1;
+            self.trace(EventKind::Failover { from, to });
+        }
+        to
+    }
+
+    /// Synchronous memory-server RPC with retry, timeout (played by the lost
+    /// copy's arrival), backoff, and failover to the replica on exhaustion.
+    fn rpc_mem(&mut self, home: u32, req: MemRequest, class: MsgClass) -> (MemResponse, SimTime) {
+        let op = req.label();
         let wire = req.wire_bytes();
-        let token = self.fresh_token();
-        self.ep
-            .send(
-                self.mem_eps[server as usize],
-                self.clock,
-                wire,
-                class,
-                Msg::MemReq { token, req },
-            )
-            .expect("memory server endpoint closed");
-        let env = self.wait_for(token);
-        self.clock = self.clock.max(env.deliver_at);
-        match env.msg {
-            Msg::MemResp { resp, .. } => (resp, env.deliver_at),
-            other => panic!("unexpected memory response: {other:?}"),
+        let mut server = self.effective_server(home);
+        'fresh: loop {
+            // A fresh token per target server: a late reply from an
+            // abandoned primary must never pass for the replica's answer.
+            let token = self.fresh_token();
+            let mut attempt = 0u32;
+            loop {
+                let sent_at = self.clock;
+                let (_, fate) = self
+                    .ep
+                    .send_faulted(
+                        self.mem_eps[server as usize],
+                        self.clock,
+                        wire,
+                        class,
+                        Msg::MemReq { token, shadow: false, req: req.clone() },
+                    )
+                    .expect("memory server endpoint closed");
+                self.charge(self.cfg.costs.send_ns as f64);
+                if fate.is_dropped() {
+                    attempt += 1;
+                    if attempt >= self.retry.max_attempts {
+                        server = self.fail_over(server);
+                        continue 'fresh;
+                    }
+                    self.note_retry(op, attempt, sent_at + self.retry.delay(attempt));
+                    continue;
+                }
+                loop {
+                    let env = self.ep.recv().expect("fabric closed while awaiting response");
+                    let t = Self::token_of(&env);
+                    if t != token {
+                        self.absorb(t, env);
+                        continue;
+                    }
+                    self.clock = self.clock.max(env.deliver_at);
+                    if env.lost {
+                        attempt += 1;
+                        if attempt >= self.retry.max_attempts {
+                            server = self.fail_over(server);
+                            continue 'fresh;
+                        }
+                        self.note_retry(op, attempt, env.deliver_at);
+                        break;
+                    }
+                    match env.msg {
+                        Msg::MemResp { resp, .. } => return (resp, env.deliver_at),
+                        other => panic!("unexpected memory response: {other:?}"),
+                    }
+                }
+            }
         }
     }
 
@@ -921,17 +1167,63 @@ impl ThreadCtx {
         resp
     }
 
+    /// Synchronous manager RPC with retry and backoff. Every retransmission
+    /// reuses the request's token, so the manager's replay cache makes the
+    /// request idempotent (a retried `Acquire` can never double-acquire).
+    /// The manager has no replica: exhaustion is fatal.
     fn rpc_mgr(&mut self, req: MgrRequest, class: MsgClass) -> MgrResponse {
+        let op = req.label();
         let wire = req.wire_bytes();
         let token = self.fresh_token();
-        self.ep
-            .send(self.mgr_ep, self.clock, wire, class, Msg::MgrReq { token, tid: self.tid, req })
-            .expect("manager endpoint closed");
-        let env = self.wait_for(token);
-        self.clock = self.clock.max(env.deliver_at);
-        match env.msg {
-            Msg::MgrResp { resp, .. } => resp,
-            other => panic!("unexpected manager response: {other:?}"),
+        let mut attempt = 0u32;
+        loop {
+            let sent_at = self.clock;
+            let (_, fate) = self
+                .ep
+                .send_faulted(
+                    self.mgr_ep,
+                    self.clock,
+                    wire,
+                    class,
+                    Msg::MgrReq { token, tid: self.tid, req: req.clone() },
+                )
+                .expect("manager endpoint closed");
+            self.charge(self.cfg.costs.send_ns as f64);
+            if fate.is_dropped() {
+                attempt += 1;
+                assert!(
+                    attempt < self.retry.max_attempts,
+                    "manager unreachable: {op} request dropped {attempt} times"
+                );
+                self.note_retry(op, attempt, sent_at + self.retry.delay(attempt));
+                continue;
+            }
+            // Block for the matching reply. A *lost* matching reply arriving
+            // is the deterministic analogue of a retransmission timeout
+            // firing; requests whose grant is legitimately deferred (queued
+            // acquires, condition waits) just keep blocking.
+            loop {
+                let env = self.ep.recv().expect("fabric closed while awaiting response");
+                let t = Self::token_of(&env);
+                if t != token {
+                    self.absorb(t, env);
+                    continue;
+                }
+                self.clock = self.clock.max(env.deliver_at);
+                if env.lost {
+                    attempt += 1;
+                    assert!(
+                        attempt < self.retry.max_attempts,
+                        "manager unreachable: {op} reply lost {attempt} times"
+                    );
+                    self.note_retry(op, attempt, env.deliver_at);
+                    break;
+                }
+                match env.msg {
+                    Msg::MgrResp { resp, .. } => return resp,
+                    other => panic!("unexpected manager response: {other:?}"),
+                }
+            }
         }
     }
 

@@ -31,6 +31,17 @@ pub enum MemRequest {
 }
 
 impl MemRequest {
+    /// Short operation label, for trace events.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MemRequest::FetchLine { .. } => "fetch-line",
+            MemRequest::FetchPage { .. } => "fetch-page",
+            MemRequest::ApplyDiff { .. } => "apply-diff",
+            MemRequest::ApplyFine { .. } => "apply-fine",
+            MemRequest::WritePage { .. } => "write-page",
+        }
+    }
+
     /// Payload bytes this request carries on the wire (request direction).
     pub fn wire_bytes(&self) -> usize {
         match self {

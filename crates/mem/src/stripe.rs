@@ -61,6 +61,32 @@ impl HomeMap {
     pub fn home_of_line(&self, line: u64) -> u32 {
         (line % self.servers as u64) as u32
     }
+
+    /// Replica server for data homed on `server`, under a static rotation
+    /// by `offset`: the write-through secondary home that failover re-homes
+    /// to when the primary dies. `None` when replication is disabled
+    /// (`offset == 0`) or the rotation degenerates to the primary itself
+    /// (`offset` a multiple of the server count — only possible with a
+    /// single server).
+    #[inline]
+    pub fn replica_of_server(&self, server: u32, offset: u32) -> Option<u32> {
+        if offset == 0 || offset.is_multiple_of(self.servers) {
+            return None;
+        }
+        Some((server + offset) % self.servers)
+    }
+
+    /// Replica server for a line; see [`HomeMap::replica_of_server`].
+    #[inline]
+    pub fn replica_of_line(&self, line: u64, offset: u32) -> Option<u32> {
+        self.replica_of_server(self.home_of_line(line), offset)
+    }
+
+    /// Replica server for a page; see [`HomeMap::replica_of_server`].
+    #[inline]
+    pub fn replica_of_page(&self, page: PageId, offset: u32) -> Option<u32> {
+        self.replica_of_server(self.home_of_page(page), offset)
+    }
 }
 
 #[cfg(test)]
@@ -116,5 +142,26 @@ mod tests {
     #[should_panic(expected = "at least one memory server")]
     fn zero_servers_rejected() {
         HomeMap::new(0, 1);
+    }
+
+    #[test]
+    fn replica_rotates_away_from_the_home() {
+        let m = HomeMap::new(3, 2);
+        for line in 0..12u64 {
+            let home = m.home_of_line(line);
+            let replica = m.replica_of_line(line, 1).unwrap();
+            assert_ne!(replica, home, "a replica co-located with its primary is useless");
+            assert_eq!(replica, (home + 1) % 3);
+            assert_eq!(m.replica_of_page(m.first_page_of_line(line), 1), Some(replica));
+        }
+    }
+
+    #[test]
+    fn replica_disabled_or_degenerate_is_none() {
+        let m = HomeMap::new(3, 2);
+        assert_eq!(m.replica_of_server(1, 0), None, "offset 0 means no replication");
+        assert_eq!(m.replica_of_server(1, 3), None, "full rotation degenerates to the home");
+        let single = HomeMap::new(1, 4);
+        assert_eq!(single.replica_of_server(0, 1), None, "one server cannot host a replica");
     }
 }

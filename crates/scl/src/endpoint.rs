@@ -7,6 +7,7 @@ use crossbeam::channel::{Receiver, RecvTimeoutError, TryRecvError};
 
 use crate::error::SclError;
 use crate::fabric::Fabric;
+use crate::fault::SendFate;
 use crate::stats::MsgClass;
 use crate::time::SimTime;
 use crate::topology::{EndpointId, NodeId};
@@ -21,6 +22,11 @@ pub struct Envelope<M> {
     /// Virtual time at which the message reaches the receiver. Receivers
     /// must advance their clock to at least this before acting on `msg`.
     pub deliver_at: SimTime,
+    /// Set by fault injection: the message was lost on the wire. Receivers
+    /// must discard the payload without acting on it; a lost *response*
+    /// arriving is how a client's virtual-time retransmission timeout fires
+    /// without any wall-clock timer.
+    pub lost: bool,
     /// Application payload.
     pub msg: M,
 }
@@ -34,7 +40,7 @@ pub struct Endpoint<M> {
     fabric: Arc<Fabric<M>>,
 }
 
-impl<M: Send + 'static> Endpoint<M> {
+impl<M: Send + Clone + 'static> Endpoint<M> {
     pub(crate) fn new(
         id: EndpointId,
         node: NodeId,
@@ -69,6 +75,32 @@ impl<M: Send + 'static> Endpoint<M> {
         msg: M,
     ) -> Result<SimTime, SclError> {
         self.fabric.send(self.id, dst, now, wire_bytes, class, msg)
+    }
+
+    /// Send a message and learn its injected fate; see
+    /// [`Fabric::send_faulted`].
+    pub fn send_faulted(
+        &self,
+        dst: EndpointId,
+        now: SimTime,
+        wire_bytes: usize,
+        class: MsgClass,
+        msg: M,
+    ) -> Result<(SimTime, SendFate), SclError> {
+        self.fabric.send_faulted(self.id, dst, now, wire_bytes, class, msg)
+    }
+
+    /// Send a message that bypasses fault injection; see
+    /// [`Fabric::send_reliable`].
+    pub fn send_reliable(
+        &self,
+        dst: EndpointId,
+        now: SimTime,
+        wire_bytes: usize,
+        class: MsgClass,
+        msg: M,
+    ) -> Result<SimTime, SclError> {
+        self.fabric.send_reliable(self.id, dst, now, wire_bytes, class, msg)
     }
 
     /// Block until a message arrives (physically).

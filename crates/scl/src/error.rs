@@ -13,6 +13,10 @@ pub enum SclError {
     UnknownEndpoint(EndpointId),
     /// A blocking receive found the channel closed and drained.
     ChannelClosed,
+    /// Every retransmission attempt towards the endpoint was lost; the
+    /// retry policy declared it dead (crashed, partitioned away, or the
+    /// fault plan is simply too hostile for the configured attempt cap).
+    Unreachable(EndpointId),
 }
 
 impl fmt::Display for SclError {
@@ -21,6 +25,9 @@ impl fmt::Display for SclError {
             SclError::Disconnected(id) => write!(f, "endpoint {:?} disconnected", id),
             SclError::UnknownEndpoint(id) => write!(f, "unknown endpoint {:?}", id),
             SclError::ChannelClosed => write!(f, "endpoint channel closed"),
+            SclError::Unreachable(id) => {
+                write!(f, "endpoint {:?} unreachable after retries", id)
+            }
         }
     }
 }
@@ -36,5 +43,6 @@ mod tests {
         let e = SclError::UnknownEndpoint(EndpointId(42));
         assert!(e.to_string().contains("42"));
         assert!(SclError::ChannelClosed.to_string().contains("closed"));
+        assert!(SclError::Unreachable(EndpointId(3)).to_string().contains("unreachable"));
     }
 }

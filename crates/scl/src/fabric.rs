@@ -7,6 +7,7 @@
 //! unbounded channel. Physical delivery is immediate; *virtual* delivery is
 //! what the receiver's clock advances to.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::{self, Sender};
@@ -14,6 +15,7 @@ use parking_lot::RwLock;
 
 use crate::endpoint::{Endpoint, Envelope};
 use crate::error::SclError;
+use crate::fault::{FaultPlan, SendFate};
 use crate::stats::{FabricStats, FabricStatsSnapshot, MsgClass};
 use crate::time::SimTime;
 use crate::topology::{EndpointId, NodeId, Topology};
@@ -21,10 +23,18 @@ use crate::topology::{EndpointId, NodeId, Topology};
 struct Slot<M> {
     tx: Sender<Envelope<M>>,
     node: NodeId,
+    /// Per-source message sequence, feeding the fault plan's fate hash.
+    /// Each endpoint is owned by exactly one component thread, so this
+    /// sequence is deterministic across runs.
+    seq: AtomicU64,
 }
 
-/// Callback invoked on every [`Fabric::send`], for tracing.
-pub type SendObserver = Box<dyn Fn(EndpointId, EndpointId, SimTime, usize, MsgClass) + Send + Sync>;
+/// Callback invoked on every [`Fabric::send`], for tracing. The final
+/// argument is the injected-fault label ([`SendFate::label`]), `None` for a
+/// cleanly delivered message.
+pub type SendObserver = Box<
+    dyn Fn(EndpointId, EndpointId, SimTime, usize, MsgClass, Option<&'static str>) + Send + Sync,
+>;
 
 /// The simulated interconnect connecting all DSM components.
 pub struct Fabric<M> {
@@ -32,9 +42,10 @@ pub struct Fabric<M> {
     slots: RwLock<Vec<Slot<M>>>,
     stats: FabricStats,
     observer: RwLock<Option<SendObserver>>,
+    fault: RwLock<FaultPlan>,
 }
 
-impl<M: Send + 'static> Fabric<M> {
+impl<M: Send + Clone + 'static> Fabric<M> {
     /// Create a fabric over the given topology.
     pub fn new(topo: Topology) -> Arc<Self> {
         Arc::new(Fabric {
@@ -42,6 +53,7 @@ impl<M: Send + 'static> Fabric<M> {
             slots: RwLock::new(Vec::new()),
             stats: FabricStats::default(),
             observer: RwLock::new(None),
+            fault: RwLock::new(FaultPlan::none()),
         })
     }
 
@@ -54,7 +66,7 @@ impl<M: Send + 'static> Fabric<M> {
         let (tx, rx) = channel::unbounded();
         let mut slots = self.slots.write();
         let id = EndpointId(slots.len() as u32);
-        slots.push(Slot { tx, node });
+        slots.push(Slot { tx, node, seq: AtomicU64::new(0) });
         drop(slots);
         Endpoint::new(id, node, rx, Arc::clone(self))
     }
@@ -80,6 +92,77 @@ impl<M: Send + 'static> Fabric<M> {
         class: MsgClass,
         msg: M,
     ) -> Result<SimTime, SclError> {
+        self.send_faulted(src, dst, now, wire_bytes, class, msg).map(|(t, _)| t)
+    }
+
+    /// [`Fabric::send`], additionally reporting the [`SendFate`] the fault
+    /// plan chose. Senders that implement retransmission consult the fate
+    /// (a dropped request is detected at send time, mirroring a virtual
+    /// retransmission timeout); plain [`Fabric::send`] discards it.
+    pub fn send_faulted(
+        &self,
+        src: EndpointId,
+        dst: EndpointId,
+        now: SimTime,
+        wire_bytes: usize,
+        class: MsgClass,
+        msg: M,
+    ) -> Result<(SimTime, SendFate), SclError> {
+        let slots = self.slots.read();
+        let src_slot = slots.get(src.0 as usize).ok_or(SclError::UnknownEndpoint(src))?;
+        let dst_slot = slots.get(dst.0 as usize).ok_or(SclError::UnknownEndpoint(dst))?;
+        let route = self.topo.route(src_slot.node, dst_slot.node);
+        let deliver_at = now + route.transfer_ns(wire_bytes);
+        self.stats.record(class, wire_bytes);
+        // The fate decision sits after all cost accounting, so an empty plan
+        // leaves every charge bit-identical to a fault-free fabric.
+        let fate = {
+            let plan = self.fault.read();
+            if plan.is_active() {
+                let seq = src_slot.seq.fetch_add(1, Ordering::Relaxed);
+                plan.fate(src, dst, src_slot.node, dst_slot.node, now, seq)
+            } else {
+                SendFate::Delivered
+            }
+        };
+        if let Some(label) = fate.label() {
+            self.stats.record_fault(class, label);
+        }
+        if let Some(observer) = self.observer.read().as_ref() {
+            observer(src, dst, now, wire_bytes, class, fate.label());
+        }
+        let post = |deliver_at: SimTime, lost: bool, msg: M| {
+            let env = Envelope { src, sent_at: now, deliver_at, lost, msg };
+            dst_slot.tx.send(env).map_err(|_| SclError::Disconnected(dst))
+        };
+        match fate {
+            SendFate::Delivered => post(deliver_at, false, msg)?,
+            // Lost messages still travel physically, marked lost, so that a
+            // receiver blocked on the channel wakes up and can fire its
+            // *virtual* retransmission timeout deterministically.
+            SendFate::Dropped(_) => post(deliver_at, true, msg)?,
+            SendFate::Duplicated => {
+                post(deliver_at, false, msg.clone())?;
+                post(deliver_at, false, msg)?;
+            }
+            SendFate::Delayed(extra) => post(deliver_at + extra, false, msg)?,
+        }
+        Ok((deliver_at, fate))
+    }
+
+    /// [`Fabric::send`] bypassing fault injection entirely: used for system
+    /// control traffic (shutdown) that must reach even a "crashed" endpoint
+    /// — the crash is simulated, the OS thread behind it is real and must
+    /// still be joined.
+    pub fn send_reliable(
+        &self,
+        src: EndpointId,
+        dst: EndpointId,
+        now: SimTime,
+        wire_bytes: usize,
+        class: MsgClass,
+        msg: M,
+    ) -> Result<SimTime, SclError> {
         let slots = self.slots.read();
         let src_slot = slots.get(src.0 as usize).ok_or(SclError::UnknownEndpoint(src))?;
         let dst_slot = slots.get(dst.0 as usize).ok_or(SclError::UnknownEndpoint(dst))?;
@@ -87,11 +170,18 @@ impl<M: Send + 'static> Fabric<M> {
         let deliver_at = now + route.transfer_ns(wire_bytes);
         self.stats.record(class, wire_bytes);
         if let Some(observer) = self.observer.read().as_ref() {
-            observer(src, dst, now, wire_bytes, class);
+            observer(src, dst, now, wire_bytes, class, None);
         }
-        let env = Envelope { src, sent_at: now, deliver_at, msg };
+        let env = Envelope { src, sent_at: now, deliver_at, lost: false, msg };
         dst_slot.tx.send(env).map_err(|_| SclError::Disconnected(dst))?;
         Ok(deliver_at)
+    }
+
+    /// Install the fault plan consulted on every subsequent send. The
+    /// default is [`FaultPlan::none`], under which `send_faulted` takes the
+    /// exact same cost path as a fabric without fault injection.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        *self.fault.write() = plan;
     }
 
     /// The topology this fabric simulates.
@@ -105,9 +195,9 @@ impl<M: Send + 'static> Fabric<M> {
     }
 
     /// Install (or clear) an observer called on every send with
-    /// `(src, dst, sent_at, wire_bytes, class)`. Purely observational: the
-    /// observer cannot alter delivery times or message contents, so tracing
-    /// cannot perturb virtual clocks.
+    /// `(src, dst, sent_at, wire_bytes, class, fault_label)`. Purely
+    /// observational: the observer cannot alter delivery times or message
+    /// contents, so tracing cannot perturb virtual clocks.
     pub fn set_observer(&self, observer: Option<SendObserver>) {
         *self.observer.write() = observer;
     }
@@ -205,18 +295,98 @@ mod tests {
         let fabric = Fabric::<&'static str>::new(topo);
         let a = fabric.add_endpoint(NodeId(0));
         let b = fabric.add_endpoint(NodeId(1));
-        type Seen = Vec<(EndpointId, EndpointId, u64, usize, MsgClass)>;
+        type Seen = Vec<(EndpointId, EndpointId, u64, usize, MsgClass, Option<&'static str>)>;
         let seen: Arc<Mutex<Seen>> = Arc::new(Mutex::new(Vec::new()));
         let sink = Arc::clone(&seen);
-        fabric.set_observer(Some(Box::new(move |src, dst, now, bytes, class| {
-            sink.lock().unwrap().push((src, dst, now.as_ns(), bytes, class));
+        fabric.set_observer(Some(Box::new(move |src, dst, now, bytes, class, fault| {
+            sink.lock().unwrap().push((src, dst, now.as_ns(), bytes, class, fault));
         })));
         let t_observed = a.send(b.id(), SimTime::from_ns(7), 256, MsgClass::Update, "x").unwrap();
         fabric.set_observer(None);
         let t_plain = a.send(b.id(), SimTime::from_ns(7), 256, MsgClass::Update, "y").unwrap();
         assert_eq!(t_observed, t_plain, "observing a send must not change its cost");
         let seen = seen.lock().unwrap();
-        assert_eq!(*seen, vec![(a.id(), b.id(), 7, 256, MsgClass::Update)]);
+        assert_eq!(*seen, vec![(a.id(), b.id(), 7, 256, MsgClass::Update, None)]);
+    }
+
+    #[test]
+    fn empty_fault_plan_changes_nothing() {
+        let topo = Topology::cluster(2, profiles::ib_qdr());
+        let fabric = Fabric::<u8>::new(topo);
+        let a = fabric.add_endpoint(NodeId(0));
+        let b = fabric.add_endpoint(NodeId(1));
+        fabric.set_fault_plan(crate::fault::FaultPlan::none());
+        let now = SimTime::from_us(5);
+        let (t, fate) = a.send_faulted(b.id(), now, 4096, MsgClass::Data, 1).unwrap();
+        assert_eq!(fate, crate::fault::SendFate::Delivered);
+        assert_eq!(t, now + profiles::ib_qdr().transfer_ns(4096));
+        let env = b.recv().unwrap();
+        assert!(!env.lost);
+        assert_eq!(env.deliver_at, t);
+        assert_eq!(fabric.stats().total_faults(), 0);
+    }
+
+    #[test]
+    fn dropped_messages_travel_marked_lost_and_are_counted() {
+        let fabric = Fabric::<u8>::new(Topology::cluster(2, profiles::ib_qdr()));
+        let a = fabric.add_endpoint(NodeId(0));
+        let b = fabric.add_endpoint(NodeId(1));
+        fabric.set_fault_plan(crate::fault::FaultPlan::lossy(11, 1.0, 0.0, 0.0, SimTime::ZERO));
+        let (t, fate) = a.send_faulted(b.id(), SimTime::ZERO, 64, MsgClass::Sync, 9).unwrap();
+        assert!(fate.is_dropped());
+        let env = b.recv().unwrap();
+        assert!(env.lost, "a dropped message must still arrive physically, marked lost");
+        assert_eq!(env.deliver_at, t);
+        let s = fabric.stats();
+        assert_eq!(s.drops(MsgClass::Sync), 1);
+        assert_eq!(s.total_faults(), 1);
+        // Cost accounting is charged whether or not the message survives.
+        assert_eq!(s.msgs(MsgClass::Sync), 1);
+    }
+
+    #[test]
+    fn duplicated_messages_arrive_twice_cleanly() {
+        let fabric = Fabric::<u8>::new(Topology::cluster(2, profiles::ib_qdr()));
+        let a = fabric.add_endpoint(NodeId(0));
+        let b = fabric.add_endpoint(NodeId(1));
+        fabric.set_fault_plan(crate::fault::FaultPlan::lossy(11, 0.0, 1.0, 0.0, SimTime::ZERO));
+        let (t, fate) = a.send_faulted(b.id(), SimTime::ZERO, 64, MsgClass::Update, 3).unwrap();
+        assert_eq!(fate, crate::fault::SendFate::Duplicated);
+        for _ in 0..2 {
+            let env = b.recv().unwrap();
+            assert!(!env.lost);
+            assert_eq!(env.deliver_at, t);
+            assert_eq!(env.msg, 3);
+        }
+        assert!(b.try_recv().is_none());
+        assert_eq!(fabric.stats().dups(MsgClass::Update), 1);
+    }
+
+    #[test]
+    fn delayed_messages_pay_the_spike() {
+        let fabric = Fabric::<u8>::new(Topology::cluster(2, profiles::ib_qdr()));
+        let a = fabric.add_endpoint(NodeId(0));
+        let b = fabric.add_endpoint(NodeId(1));
+        let spike = SimTime::from_us(30);
+        fabric.set_fault_plan(crate::fault::FaultPlan::lossy(11, 0.0, 0.0, 1.0, spike));
+        let (t, fate) = a.send_faulted(b.id(), SimTime::ZERO, 64, MsgClass::Data, 5).unwrap();
+        assert_eq!(fate, crate::fault::SendFate::Delayed(spike));
+        let env = b.recv().unwrap();
+        assert!(!env.lost);
+        assert_eq!(env.deliver_at, t + spike, "spike rides on top of the route cost");
+        assert_eq!(fabric.stats().delays(MsgClass::Data), 1);
+    }
+
+    #[test]
+    fn reliable_send_ignores_the_fault_plan() {
+        let fabric = Fabric::<u8>::new(Topology::cluster(2, profiles::ib_qdr()));
+        let a = fabric.add_endpoint(NodeId(0));
+        let b = fabric.add_endpoint(NodeId(1));
+        fabric.set_fault_plan(crate::fault::FaultPlan::lossy(11, 1.0, 0.0, 0.0, SimTime::ZERO));
+        a.send_reliable(b.id(), SimTime::ZERO, 8, MsgClass::Control, 1).unwrap();
+        let env = b.recv().unwrap();
+        assert!(!env.lost, "control-plane sends must bypass injected faults");
+        assert_eq!(fabric.stats().total_faults(), 0);
     }
 
     #[test]

@@ -39,6 +39,7 @@
 pub mod endpoint;
 pub mod error;
 pub mod fabric;
+pub mod fault;
 pub mod model;
 pub mod profiles;
 pub mod resource;
@@ -49,6 +50,7 @@ pub mod topology;
 pub use endpoint::{Endpoint, Envelope};
 pub use error::SclError;
 pub use fabric::{Fabric, SendObserver};
+pub use fault::{FaultPlan, Partition, RetryPolicy, SendFate};
 pub use model::LinkModel;
 pub use resource::VirtualResource;
 pub use stats::{FabricStats, FabricStatsSnapshot, MsgClass};

@@ -52,6 +52,9 @@ impl MsgClass {
 pub struct FabricStats {
     msgs: [AtomicU64; 4],
     bytes: [AtomicU64; 4],
+    drops: [AtomicU64; 4],
+    dups: [AtomicU64; 4],
+    delays: [AtomicU64; 4],
 }
 
 impl FabricStats {
@@ -63,6 +66,19 @@ impl FabricStats {
         self.bytes[i].fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
+    /// Record one injected fault, by the fate label the fault plan produced
+    /// (`"drop"`, `"partition"`, `"crash"`, `"duplicate"`, `"delay"`).
+    /// Losses of any cause count as drops.
+    #[inline]
+    pub fn record_fault(&self, class: MsgClass, label: &str) {
+        let i = class.index();
+        match label {
+            "duplicate" => self.dups[i].fetch_add(1, Ordering::Relaxed),
+            "delay" => self.delays[i].fetch_add(1, Ordering::Relaxed),
+            _ => self.drops[i].fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
     /// Snapshot the counters.
     pub fn snapshot(&self) -> FabricStatsSnapshot {
         let mut s = FabricStatsSnapshot::default();
@@ -70,6 +86,9 @@ impl FabricStats {
             let i = class.index();
             s.msgs[i] = self.msgs[i].load(Ordering::Relaxed);
             s.bytes[i] = self.bytes[i].load(Ordering::Relaxed);
+            s.drops[i] = self.drops[i].load(Ordering::Relaxed);
+            s.dups[i] = self.dups[i].load(Ordering::Relaxed);
+            s.delays[i] = self.delays[i].load(Ordering::Relaxed);
         }
         s
     }
@@ -80,6 +99,9 @@ impl FabricStats {
 pub struct FabricStatsSnapshot {
     msgs: [u64; 4],
     bytes: [u64; 4],
+    drops: [u64; 4],
+    dups: [u64; 4],
+    delays: [u64; 4],
 }
 
 impl FabricStatsSnapshot {
@@ -93,6 +115,22 @@ impl FabricStatsSnapshot {
         self.bytes[class.index()]
     }
 
+    /// Messages of `class` lost to injected faults (drops, partitions,
+    /// crashes).
+    pub fn drops(&self, class: MsgClass) -> u64 {
+        self.drops[class.index()]
+    }
+
+    /// Messages of `class` duplicated by injected faults.
+    pub fn dups(&self, class: MsgClass) -> u64 {
+        self.dups[class.index()]
+    }
+
+    /// Messages of `class` hit by an injected latency spike.
+    pub fn delays(&self, class: MsgClass) -> u64 {
+        self.delays[class.index()]
+    }
+
     /// Total messages across all classes.
     pub fn total_msgs(&self) -> u64 {
         self.msgs.iter().sum()
@@ -103,12 +141,37 @@ impl FabricStatsSnapshot {
         self.bytes.iter().sum()
     }
 
+    /// Total messages lost to injected faults, all classes.
+    pub fn total_drops(&self) -> u64 {
+        self.drops.iter().sum()
+    }
+
+    /// Total messages duplicated by injected faults, all classes.
+    pub fn total_dups(&self) -> u64 {
+        self.dups.iter().sum()
+    }
+
+    /// Total messages hit by injected latency spikes, all classes.
+    pub fn total_delays(&self) -> u64 {
+        self.delays.iter().sum()
+    }
+
+    /// Total injected faults of any kind, all classes.
+    pub fn total_faults(&self) -> u64 {
+        self.drops.iter().sum::<u64>()
+            + self.dups.iter().sum::<u64>()
+            + self.delays.iter().sum::<u64>()
+    }
+
     /// Counter-wise difference (`self - earlier`), for per-phase accounting.
     pub fn delta(&self, earlier: &FabricStatsSnapshot) -> FabricStatsSnapshot {
         let mut out = FabricStatsSnapshot::default();
         for i in 0..4 {
             out.msgs[i] = self.msgs[i].saturating_sub(earlier.msgs[i]);
             out.bytes[i] = self.bytes[i].saturating_sub(earlier.bytes[i]);
+            out.drops[i] = self.drops[i].saturating_sub(earlier.drops[i]);
+            out.dups[i] = self.dups[i].saturating_sub(earlier.dups[i]);
+            out.delays[i] = self.delays[i].saturating_sub(earlier.delays[i]);
         }
         out
     }
@@ -144,6 +207,25 @@ mod tests {
         assert_eq!(d.msgs(MsgClass::Control), 1);
         assert_eq!(d.bytes(MsgClass::Control), 50);
         assert_eq!(d.msgs(MsgClass::Update), 1);
+    }
+
+    #[test]
+    fn fault_counters_classify_by_cause() {
+        let s = FabricStats::default();
+        s.record_fault(MsgClass::Data, "drop");
+        s.record_fault(MsgClass::Data, "partition");
+        s.record_fault(MsgClass::Sync, "crash");
+        s.record_fault(MsgClass::Update, "duplicate");
+        s.record_fault(MsgClass::Data, "delay");
+        let snap = s.snapshot();
+        assert_eq!(snap.drops(MsgClass::Data), 2, "drops and partitions are both losses");
+        assert_eq!(snap.drops(MsgClass::Sync), 1);
+        assert_eq!(snap.dups(MsgClass::Update), 1);
+        assert_eq!(snap.delays(MsgClass::Data), 1);
+        assert_eq!(snap.total_drops(), 3);
+        assert_eq!(snap.total_faults(), 5);
+        let d = snap.delta(&FabricStatsSnapshot::default());
+        assert_eq!(d, snap, "delta from zero is the identity");
     }
 
     #[test]

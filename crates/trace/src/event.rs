@@ -115,6 +115,15 @@ pub enum EventKind {
     ServeWrite { page: u64 },
     /// A message entered the interconnect (fabric track).
     FabricSend { src: u64, dst: u64, class: MsgClass, bytes: u64 },
+    /// The fault plan perturbed a send: `kind` is the fate label —
+    /// `drop`, `partition`, `crash`, `duplicate`, or `delay` (fabric track).
+    FaultInjected { src: u64, dst: u64, kind: &'static str },
+    /// A thread re-sent a protocol request after detecting loss; `attempt`
+    /// counts retransmissions of that request so far (thread track).
+    Retry { op: &'static str, attempt: u32 },
+    /// A thread gave up on memory server `from` and re-homed its traffic to
+    /// the replica `to` (thread track).
+    Failover { from: u32, to: u32 },
 }
 
 impl EventKind {
@@ -140,6 +149,9 @@ impl EventKind {
             EventKind::ServeFetch { .. } => "serve-fetch",
             EventKind::ServeWrite { .. } => "serve-write",
             EventKind::FabricSend { .. } => "fabric-send",
+            EventKind::FaultInjected { .. } => "fault-injected",
+            EventKind::Retry { .. } => "retry",
+            EventKind::Failover { .. } => "failover",
         }
     }
 

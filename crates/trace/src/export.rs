@@ -70,6 +70,15 @@ fn args_of(kind: &EventKind) -> Vec<(&'static str, String)> {
             ("class", s(class.label())),
             ("bytes", bytes.to_string()),
         ],
+        EventKind::FaultInjected { src, dst, kind } => {
+            vec![("src", src.to_string()), ("dst", dst.to_string()), ("kind", s(kind))]
+        }
+        EventKind::Retry { op, attempt } => {
+            vec![("op", s(op)), ("attempt", attempt.to_string())]
+        }
+        EventKind::Failover { from, to } => {
+            vec![("from", from.to_string()), ("to", to.to_string())]
+        }
     }
 }
 
@@ -94,6 +103,9 @@ fn category(kind: &EventKind) -> &'static str {
         | EventKind::BarrierRelease { .. } => "sync",
         EventKind::MgrRpc { .. } | EventKind::MgrServe { .. } => "mgr",
         EventKind::FabricSend { .. } => "fabric",
+        EventKind::FaultInjected { .. } | EventKind::Retry { .. } | EventKind::Failover { .. } => {
+            "fault"
+        }
     }
 }
 

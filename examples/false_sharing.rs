@@ -5,24 +5,33 @@
 //! placement changes invalidation-refetch traffic and where the time goes.
 //!
 //! ```text
-//! cargo run --release --example false_sharing [threads] [M] [--trace out.json]
+//! cargo run --release --example false_sharing [threads] [M] [--trace out.json] [--faults seed]
 //! ```
 //!
 //! With `--trace`, the `global` run (the false-sharing one) records a
 //! protocol event trace, verifies the RegC invariants on it, and writes it
 //! as Chrome trace-event JSON — open it at <https://ui.perfetto.dev>.
+//!
+//! With `--faults`, every Samhita run rides a lossy fabric (seeded drops,
+//! duplicates, latency spikes) over two replicated memory servers; the
+//! numerics must still check out, and the injected/retried/failed-over
+//! counts are printed at exit.
 
-use samhita_repro::core::SamhitaConfig;
+use samhita_repro::core::{FaultConfig, SamhitaConfig};
 use samhita_repro::kernels::{expected_gsum, run_micro, AllocMode, MicroParams};
 use samhita_repro::rt::{NativeRt, SamhitaRt};
 
 fn main() {
     let mut positional = Vec::new();
     let mut trace_path: Option<String> = None;
+    let mut fault_seed: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == "--trace" {
             trace_path = Some(args.next().expect("--trace needs a path"));
+        } else if a == "--faults" {
+            fault_seed =
+                Some(args.next().expect("--faults needs a seed").parse().expect("fault seed"));
         } else {
             positional.push(a);
         }
@@ -41,11 +50,24 @@ fn main() {
         run_micro(&NativeRt::default(), &p).report.mean_compute()
     };
 
+    let base_cfg = match fault_seed {
+        None => SamhitaConfig::default(),
+        Some(seed) => SamhitaConfig {
+            mem_servers: 2,
+            replica_offset: 1,
+            faults: FaultConfig::lossy(seed, 0.03, 0.01, 0.03, 3_000),
+            ..SamhitaConfig::default()
+        },
+    };
+    let (mut injected, mut retries, mut failovers) = (0u64, 0u64, 0u64);
     for mode in [AllocMode::Local, AllocMode::Global, AllocMode::GlobalStrided] {
         let traced = trace_path.is_some() && mode == AllocMode::Global;
         let p = MicroParams::paper(m, 2, mode, threads);
-        let rt = SamhitaRt::new(SamhitaConfig { tracing: traced, ..SamhitaConfig::default() });
+        let rt = SamhitaRt::new(SamhitaConfig { tracing: traced, ..base_cfg.clone() });
         let r = run_micro(&rt, &p);
+        injected += r.report.fabric.total_faults();
+        retries += r.report.total_of(|t| t.retries);
+        failovers += r.report.total_of(|t| t.failovers);
         // Check the numerics while we are here.
         let rel = (r.gsum - expected_gsum(&p)).abs() / expected_gsum(&p).abs();
         assert!(rel < 1e-9, "gsum off by {rel:.2e}");
@@ -68,6 +90,12 @@ fn main() {
         }
     }
 
+    if let Some(seed) = fault_seed {
+        println!(
+            "\nfaults (seed {seed}): {injected} injected, {retries} retried, \
+             {failovers} failed over — numerics unaffected"
+        );
+    }
     println!(
         "\n1-thread pthreads compute baseline: {pth_baseline} \
          (the paper normalizes Figures 3-5 by this)"

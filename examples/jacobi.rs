@@ -2,24 +2,33 @@
 //! runnable application.
 //!
 //! ```text
-//! cargo run --release --example jacobi [grid_n] [iters] [--trace out.json]
+//! cargo run --release --example jacobi [grid_n] [iters] [--trace out.json] [--faults seed]
 //! ```
 //!
 //! With `--trace`, a dedicated 4-thread Samhita run records a protocol event
 //! trace, verifies the RegC invariants on it, and writes it as Chrome
 //! trace-event JSON — open it at <https://ui.perfetto.dev>.
+//!
+//! With `--faults`, every Samhita run rides a lossy fabric (seeded drops,
+//! duplicates, latency spikes) over two replicated memory servers; the
+//! results must still match the fault-free serial reference bit for bit,
+//! and the injected/retried/failed-over counts are printed at exit.
 
-use samhita_repro::core::SamhitaConfig;
+use samhita_repro::core::{FaultConfig, SamhitaConfig};
 use samhita_repro::kernels::{run_jacobi, serial_reference_jacobi, JacobiParams};
 use samhita_repro::rt::{KernelRt, NativeRt, SamhitaRt};
 
 fn main() {
     let mut positional = Vec::new();
     let mut trace_path: Option<String> = None;
+    let mut fault_seed: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == "--trace" {
             trace_path = Some(args.next().expect("--trace needs a path"));
+        } else if a == "--faults" {
+            fault_seed =
+                Some(args.next().expect("--faults needs a seed").parse().expect("fault seed"));
         } else {
             positional.push(a);
         }
@@ -51,9 +60,13 @@ fn main() {
             baseline.as_secs_f64() / r.report.makespan.as_secs_f64(),
         );
     }
+    let (mut injected, mut retries, mut failovers) = (0u64, 0u64, 0u64);
     for threads in [1u32, 2, 4, 8, 16, 32] {
-        let rt = SamhitaRt::new(SamhitaConfig::default());
+        let rt = SamhitaRt::new(samhita_cfg(fault_seed));
         let r = run_jacobi(&rt, &JacobiParams { n, iters, threads });
+        injected += r.report.fabric.total_faults();
+        retries += r.report.total_of(|t| t.retries);
+        failovers += r.report.total_of(|t| t.failovers);
         println!(
             "{:>8} {:>10} {:>14} {:>14} {:>12} {:>10.2}",
             rt.name(),
@@ -65,18 +78,40 @@ fn main() {
         );
     }
 
-    // Verify against the serial reference (bitwise: Jacobi is data-parallel).
-    let rt = SamhitaRt::new(SamhitaConfig::default());
+    // Verify against the serial reference (bitwise: Jacobi is data-parallel —
+    // this holds even on the lossy fabric, which is the point of the
+    // retry/failover machinery).
+    let rt = SamhitaRt::new(samhita_cfg(fault_seed));
     let r = run_jacobi(&rt, &JacobiParams { n: 30, iters: 8, threads: 4 });
     assert_eq!(r.grid, serial_reference_jacobi(30, 8), "DSM run must equal serial reference");
     println!("\nverification: 4-thread Samhita grid identical to serial reference ✓");
+    if let Some(seed) = fault_seed {
+        println!(
+            "faults (seed {seed}): {injected} injected, {retries} retried, \
+             {failovers} failed over — results unaffected"
+        );
+    }
 
     if let Some(path) = &trace_path {
-        let rt = SamhitaRt::new(SamhitaConfig { tracing: true, ..SamhitaConfig::default() });
+        let rt = SamhitaRt::new(SamhitaConfig { tracing: true, ..samhita_cfg(fault_seed) });
         run_jacobi(&rt, &JacobiParams { n, iters, threads: 4 });
         let trace = rt.take_trace().expect("tracing was enabled");
         trace.check_invariants().expect("RegC invariants violated");
         std::fs::write(path, trace.to_chrome_json()).expect("write trace file");
         println!("wrote {path} ({} events) — open at https://ui.perfetto.dev", trace.len());
+    }
+}
+
+/// The paper's fault-free platform, or — with `--faults` — the same cluster
+/// with two write-through-replicated memory servers behind a lossy fabric.
+fn samhita_cfg(fault_seed: Option<u64>) -> SamhitaConfig {
+    match fault_seed {
+        None => SamhitaConfig::default(),
+        Some(seed) => SamhitaConfig {
+            mem_servers: 2,
+            replica_offset: 1,
+            faults: FaultConfig::lossy(seed, 0.03, 0.01, 0.03, 3_000),
+            ..SamhitaConfig::default()
+        },
     }
 }
