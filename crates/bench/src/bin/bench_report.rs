@@ -1,0 +1,100 @@
+//! Emit machine-readable performance reports (`BENCH_<kernel>.json`).
+//!
+//! ```text
+//! bench-report [--out DIR]          # default DIR: results
+//! bench-report --out results/baselines   # regenerate the committed baselines
+//! ```
+//!
+//! Runs the three kernels (micro / jacobi / md) single-threaded at the
+//! quick (CI) scale with event tracing on, and writes one
+//! [`BenchReport`](samhita_bench::BenchReport) per kernel. Single-threaded
+//! runs are fully deterministic (DESIGN.md §2), so the committed baselines
+//! can be compared exactly by `bench-diff` — the CI tolerance exists for
+//! future configurations, not for noise.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use samhita_bench::{run_summary, BenchReport, HarnessConfig};
+use samhita_core::{RunReport, SamhitaConfig};
+use samhita_kernels::{
+    run_jacobi, run_md, run_micro, AllocMode, JacobiParams, MdParams, MicroParams,
+};
+use samhita_rt::SamhitaRt;
+
+fn main() -> ExitCode {
+    let mut out_dir = PathBuf::from("results");
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(v) => out_dir = PathBuf::from(v),
+                None => return usage("--out needs a directory"),
+            },
+            "--help" | "-h" => {
+                println!("usage: bench-report [--out DIR]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+
+    let q = HarnessConfig::quick();
+    let cfg = SamhitaConfig { tracing: true, ..q.base.clone() };
+
+    for (kernel, run) in kernels(&q) {
+        let rt = SamhitaRt::new(cfg.clone());
+        let (params, report) = run(&rt);
+        let trace = rt.take_trace().expect("tracing was enabled");
+        let bench = BenchReport::from_run(kernel, &params, &cfg, 1, &report, Some(&trace));
+        let path = out_dir.join(format!("BENCH_{kernel}.json"));
+        std::fs::write(&path, bench.to_json()).expect("write report");
+        println!("wrote {} ({})", path.display(), params);
+        println!("{}", run_summary(&report));
+    }
+    ExitCode::SUCCESS
+}
+
+/// The three reported kernels, each at the deterministic single-threaded
+/// quick scale.
+#[allow(clippy::type_complexity)]
+fn kernels(
+    q: &HarnessConfig,
+) -> Vec<(&'static str, Box<dyn Fn(&SamhitaRt) -> (String, RunReport) + '_>)> {
+    vec![
+        (
+            "micro",
+            Box::new(|rt| {
+                let p = MicroParams {
+                    n_outer: q.n_outer,
+                    m_inner: q.m_fixed,
+                    s_rows: q.s_fixed,
+                    b_cols: q.b_cols,
+                    mode: AllocMode::Global,
+                    threads: 1,
+                };
+                (format!("{p:?}"), run_micro(rt, &p).report)
+            }),
+        ),
+        (
+            "jacobi",
+            Box::new(|rt| {
+                let p = JacobiParams { n: q.jacobi_n, iters: q.jacobi_iters, threads: 1 };
+                (format!("{p:?}"), run_jacobi(rt, &p).report)
+            }),
+        ),
+        (
+            "md",
+            Box::new(|rt| {
+                let p = MdParams { n: q.md_n, steps: q.md_steps, dt: 1e-3, threads: 1, seed: 42 };
+                (format!("{p:?}"), run_md(rt, &p).report)
+            }),
+        ),
+    ]
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("error: {err}\nusage: bench-report [--out DIR]");
+    ExitCode::FAILURE
+}

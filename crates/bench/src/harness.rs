@@ -18,6 +18,35 @@ pub fn run_summary(report: &RunReport) -> String {
     out.push_str(&format!("  fetch stalls      {}\n", report.fetch_latency().summary()));
     out.push_str(&format!("  lock waits        {}\n", report.lock_wait().summary()));
     out.push_str(&format!("  barrier waits     {}\n", report.barrier_wait().summary()));
+    // Service-side utilization rides on the always-on busy accounting; a
+    // native (non-DSM) run has no services and skips the lines entirely.
+    if report.layout.is_some() {
+        out.push_str(&format!("  manager util      {:.1}%\n", report.mgr_utilization() * 100.0));
+        let per_server: Vec<String> =
+            report.server_utilization().iter().map(|u| format!("{:.1}%", u * 100.0)).collect();
+        out.push_str(&format!("  mem-server util   {}\n", per_server.join(" ")));
+    }
+    // Top pages by coherence churn, with their allocation sites — the
+    // false-sharing culprits, printed without any flag.
+    let hot = report.hotspots();
+    let top = hot.top_churn(3);
+    if !top.is_empty() {
+        out.push_str("  hot pages         ");
+        let cells: Vec<String> = top
+            .iter()
+            .map(|(page, c)| {
+                format!(
+                    "page {page} [{}] {} refetch / {} inval / {} twin",
+                    report.site_label(*page),
+                    c.refetches,
+                    c.invalidations,
+                    c.twins
+                )
+            })
+            .collect();
+        out.push_str(&cells.join(", "));
+        out.push('\n');
+    }
     let retries = report.total_of(|t| t.retries);
     let failovers = report.total_of(|t| t.failovers);
     if report.fabric.total_faults() > 0 || retries > 0 || failovers > 0 {

@@ -10,7 +10,11 @@
 //! points that can be printed as a table or dumped as CSV.
 
 pub mod ablations;
+pub mod cli;
 pub mod figures;
 pub mod harness;
+pub mod report;
 
+pub use cli::ExampleArgs;
 pub use harness::{run_summary, FigureData, HarnessConfig, Series};
+pub use report::{compare, BenchReport, Comparison};

@@ -1,0 +1,534 @@
+//! Machine-readable per-kernel performance reports and baseline comparison.
+//!
+//! A [`BenchReport`] condenses one benchmark run into the numbers a
+//! regression gate needs: virtual makespan, sync fraction, stall-latency
+//! percentiles, manager / memory-server utilization, a trace-derived
+//! timeline summary, and the top hotspot pages with their allocation sites.
+//! Reports serialize to `BENCH_<kernel>.json` (the vendored serde is a
+//! no-op shim, so JSON is written by hand and read back through
+//! [`samhita_trace::JsonValue`]) and are compared against committed
+//! baselines by the `bench-diff` binary; [`compare`] is the pure decision
+//! function so the gate itself is unit-testable.
+//!
+//! Comparability is guarded by a configuration fingerprint: a report made
+//! under a different [`SamhitaConfig`] or kernel parameterization never
+//! silently "passes" against a stale baseline — the fingerprint mismatch is
+//! itself a failure that says "regenerate the baseline".
+
+use samhita_core::{RunReport, SamhitaConfig};
+use samhita_trace::{
+    json::escape, JsonValue, LatencyHistogram, MetricsTimeline, PageCounters, RunTrace,
+};
+
+/// Schema tag written into every report, bumped on breaking changes.
+pub const SCHEMA: &str = "samhita-bench-report-v1";
+
+/// Number of timeline intervals summarized into a report.
+const TIMELINE_BUCKETS: u64 = 20;
+
+/// Hotspot pages kept in a report (ranked by coherence churn).
+const HOTSPOT_TOP_N: usize = 10;
+
+/// Percentile digest of one stall-latency histogram.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSummary {
+    pub count: u64,
+    pub p50_ns: u64,
+    pub p95_ns: u64,
+    pub p99_ns: u64,
+    pub max_ns: u64,
+}
+
+impl HistogramSummary {
+    /// Digest a histogram.
+    pub fn of(h: &LatencyHistogram) -> Self {
+        HistogramSummary {
+            count: h.count(),
+            p50_ns: h.p50_ns(),
+            p95_ns: h.p95_ns(),
+            p99_ns: h.p99_ns(),
+            max_ns: h.max_ns(),
+        }
+    }
+}
+
+/// Condensed view of a [`MetricsTimeline`]: the totals plus where the peaks
+/// landed, enough to spot a phase shift without shipping every bucket.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TimelineSummary {
+    /// Interval width (virtual ns).
+    pub bucket_ns: u64,
+    /// Number of intervals.
+    pub buckets: u64,
+    /// Total fabric payload over the run (bytes).
+    pub fabric_bytes: u64,
+    /// Interval index with the most fabric traffic, and its byte count.
+    pub peak_fabric_bucket: u64,
+    pub peak_fabric_bytes: u64,
+    /// Interval index with the most memory-server busy time, and that time.
+    pub peak_server_bucket: u64,
+    pub peak_server_busy_ns: u64,
+}
+
+impl TimelineSummary {
+    /// Digest a timeline.
+    pub fn of(t: &MetricsTimeline) -> Self {
+        let totals = t.totals();
+        let fabric = t.peak_by(|b| b.fabric_bytes).unwrap_or((0, 0));
+        let server = t.peak_by(|b| b.server_busy_ns).unwrap_or((0, 0));
+        TimelineSummary {
+            bucket_ns: t.bucket_ns,
+            buckets: t.buckets.len() as u64,
+            fabric_bytes: totals.fabric_bytes,
+            peak_fabric_bucket: fabric.0 as u64,
+            peak_fabric_bytes: fabric.1,
+            peak_server_bucket: server.0 as u64,
+            peak_server_busy_ns: server.1,
+        }
+    }
+}
+
+/// One hotspot page with its allocation site and protocol counters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HotspotEntry {
+    /// Global page number.
+    pub page: u64,
+    /// Allocation site label (`arena(t)`, `shared`, `striped`, …).
+    pub site: String,
+    pub counters: PageCounters,
+}
+
+/// Machine-readable record of one benchmark run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchReport {
+    /// Kernel name, e.g. `"micro"`, `"jacobi"`, `"md"`.
+    pub kernel: String,
+    /// Human-readable kernel parameterization (also fingerprinted).
+    pub params: String,
+    /// `git rev-parse --short HEAD`, or `"unknown"`; informational only —
+    /// [`compare`] ignores it.
+    pub git_rev: String,
+    /// FNV-1a over the full `SamhitaConfig` debug form plus `params`.
+    pub config_fingerprint: u64,
+    pub threads: u32,
+    pub makespan_ns: u64,
+    pub sync_fraction: f64,
+    pub mgr_utilization: f64,
+    pub server_utilization: Vec<f64>,
+    pub fetch: HistogramSummary,
+    pub lock: HistogramSummary,
+    pub barrier: HistogramSummary,
+    /// Present when the run recorded an event trace.
+    pub timeline: Option<TimelineSummary>,
+    /// Top pages by coherence churn, with allocation sites.
+    pub hotspots: Vec<HotspotEntry>,
+}
+
+/// FNV-1a fingerprint of a configuration + kernel parameterization.
+pub fn fingerprint(cfg: &SamhitaConfig, params: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in format!("{cfg:?}|{params}").bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The current short git revision, or `"unknown"` outside a git checkout.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+impl BenchReport {
+    /// Build a report from a finished run. Pass the run's event trace to
+    /// include the timeline section; without one, `timeline` is absent.
+    pub fn from_run(
+        kernel: &str,
+        params: &str,
+        cfg: &SamhitaConfig,
+        threads: u32,
+        report: &RunReport,
+        trace: Option<&RunTrace>,
+    ) -> Self {
+        let timeline = trace.map(|t| {
+            let width =
+                MetricsTimeline::bucket_width_for(report.makespan.as_ns(), TIMELINE_BUCKETS);
+            TimelineSummary::of(&MetricsTimeline::from_trace(t, width, &cfg.service_costs()))
+        });
+        let hot = report.hotspots();
+        let hotspots = hot
+            .top_churn(HOTSPOT_TOP_N)
+            .into_iter()
+            .map(|(page, counters)| HotspotEntry { page, site: report.site_label(page), counters })
+            .collect();
+        BenchReport {
+            kernel: kernel.to_string(),
+            params: params.to_string(),
+            git_rev: git_rev(),
+            config_fingerprint: fingerprint(cfg, params),
+            threads,
+            makespan_ns: report.makespan.as_ns(),
+            sync_fraction: report.sync_fraction(),
+            mgr_utilization: report.mgr_utilization(),
+            server_utilization: report.server_utilization(),
+            fetch: HistogramSummary::of(&report.fetch_latency()),
+            lock: HistogramSummary::of(&report.lock_wait()),
+            barrier: HistogramSummary::of(&report.barrier_wait()),
+            timeline,
+            hotspots,
+        }
+    }
+
+    /// Serialize as a JSON object (`BENCH_<kernel>.json` contents).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        // The fingerprint is a full-range u64; JSON numbers only carry 53
+        // bits of integer precision, so it travels as a hex string.
+        out.push_str(&format!(
+            "{{\"schema\":\"{}\",\"kernel\":\"{}\",\"params\":\"{}\",\"git_rev\":\"{}\",\
+             \"config_fingerprint\":\"{:016x}\",\"threads\":{},\"makespan_ns\":{},\
+             \"sync_fraction\":{},\"mgr_utilization\":{},\"server_utilization\":[",
+            SCHEMA,
+            escape(&self.kernel),
+            escape(&self.params),
+            escape(&self.git_rev),
+            self.config_fingerprint,
+            self.threads,
+            self.makespan_ns,
+            self.sync_fraction,
+            self.mgr_utilization,
+        ));
+        for (i, u) in self.server_utilization.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{u}"));
+        }
+        out.push_str("],");
+        for (name, h) in [("fetch", &self.fetch), ("lock", &self.lock), ("barrier", &self.barrier)]
+        {
+            out.push_str(&format!(
+                "\"{name}\":{{\"count\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\
+                 \"max_ns\":{}}},",
+                h.count, h.p50_ns, h.p95_ns, h.p99_ns, h.max_ns
+            ));
+        }
+        match &self.timeline {
+            None => out.push_str("\"timeline\":null,"),
+            Some(t) => out.push_str(&format!(
+                "\"timeline\":{{\"bucket_ns\":{},\"buckets\":{},\"fabric_bytes\":{},\
+                 \"peak_fabric_bucket\":{},\"peak_fabric_bytes\":{},\"peak_server_bucket\":{},\
+                 \"peak_server_busy_ns\":{}}},",
+                t.bucket_ns,
+                t.buckets,
+                t.fabric_bytes,
+                t.peak_fabric_bucket,
+                t.peak_fabric_bytes,
+                t.peak_server_bucket,
+                t.peak_server_busy_ns
+            )),
+        }
+        out.push_str("\"hotspots\":[");
+        for (i, h) in self.hotspots.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let c = &h.counters;
+            out.push_str(&format!(
+                "{{\"page\":{},\"site\":\"{}\",\"misses\":{},\"refetches\":{},\
+                 \"invalidations\":{},\"twins\":{},\"diff_bytes\":{},\"fine_bytes\":{}}}",
+                h.page,
+                escape(&h.site),
+                c.misses,
+                c.refetches,
+                c.invalidations,
+                c.twins,
+                c.diff_bytes,
+                c.fine_bytes
+            ));
+        }
+        out.push_str("]}");
+        debug_assert!(samhita_trace::validate_json(&out).is_ok(), "report serializer broke");
+        out
+    }
+
+    /// Parse a report written by [`BenchReport::to_json`].
+    pub fn from_json(input: &str) -> Result<Self, String> {
+        let v = JsonValue::parse(input)?;
+        let schema = req_str(&v, "schema")?;
+        if schema != SCHEMA {
+            return Err(format!("unsupported report schema {schema:?} (want {SCHEMA:?})"));
+        }
+        let histogram = |name: &str| -> Result<HistogramSummary, String> {
+            let h = v.get(name).ok_or_else(|| format!("missing histogram {name:?}"))?;
+            Ok(HistogramSummary {
+                count: req_u64(h, "count")?,
+                p50_ns: req_u64(h, "p50_ns")?,
+                p95_ns: req_u64(h, "p95_ns")?,
+                p99_ns: req_u64(h, "p99_ns")?,
+                max_ns: req_u64(h, "max_ns")?,
+            })
+        };
+        let timeline = match v.get("timeline") {
+            None | Some(JsonValue::Null) => None,
+            Some(t) => Some(TimelineSummary {
+                bucket_ns: req_u64(t, "bucket_ns")?,
+                buckets: req_u64(t, "buckets")?,
+                fabric_bytes: req_u64(t, "fabric_bytes")?,
+                peak_fabric_bucket: req_u64(t, "peak_fabric_bucket")?,
+                peak_fabric_bytes: req_u64(t, "peak_fabric_bytes")?,
+                peak_server_bucket: req_u64(t, "peak_server_bucket")?,
+                peak_server_busy_ns: req_u64(t, "peak_server_busy_ns")?,
+            }),
+        };
+        let mut hotspots = Vec::new();
+        for h in
+            v.get("hotspots").and_then(|h| h.as_array()).ok_or("missing or non-array hotspots")?
+        {
+            hotspots.push(HotspotEntry {
+                page: req_u64(h, "page")?,
+                site: req_str(h, "site")?.to_string(),
+                counters: PageCounters {
+                    misses: req_u64(h, "misses")?,
+                    refetches: req_u64(h, "refetches")?,
+                    invalidations: req_u64(h, "invalidations")?,
+                    twins: req_u64(h, "twins")?,
+                    diff_bytes: req_u64(h, "diff_bytes")?,
+                    fine_bytes: req_u64(h, "fine_bytes")?,
+                },
+            });
+        }
+        Ok(BenchReport {
+            kernel: req_str(&v, "kernel")?.to_string(),
+            params: req_str(&v, "params")?.to_string(),
+            git_rev: req_str(&v, "git_rev")?.to_string(),
+            config_fingerprint: u64::from_str_radix(req_str(&v, "config_fingerprint")?, 16)
+                .map_err(|e| format!("bad config_fingerprint: {e}"))?,
+            threads: req_u64(&v, "threads")? as u32,
+            makespan_ns: req_u64(&v, "makespan_ns")?,
+            sync_fraction: req_f64(&v, "sync_fraction")?,
+            mgr_utilization: req_f64(&v, "mgr_utilization")?,
+            server_utilization: v
+                .get("server_utilization")
+                .and_then(|s| s.as_array())
+                .ok_or("missing or non-array server_utilization")?
+                .iter()
+                .map(|u| u.as_f64().ok_or("non-numeric server utilization".to_string()))
+                .collect::<Result<_, _>>()?,
+            fetch: histogram("fetch")?,
+            lock: histogram("lock")?,
+            barrier: histogram("barrier")?,
+            timeline,
+            hotspots,
+        })
+    }
+}
+
+fn req_u64(v: &JsonValue, key: &str) -> Result<u64, String> {
+    v.get(key).and_then(|x| x.as_u64()).ok_or_else(|| format!("missing or non-u64 field {key:?}"))
+}
+
+fn req_f64(v: &JsonValue, key: &str) -> Result<f64, String> {
+    v.get(key).and_then(|x| x.as_f64()).ok_or_else(|| format!("missing or non-number {key:?}"))
+}
+
+fn req_str<'a>(v: &'a JsonValue, key: &str) -> Result<&'a str, String> {
+    v.get(key).and_then(|x| x.as_str()).ok_or_else(|| format!("missing or non-string {key:?}"))
+}
+
+/// Outcome of comparing a fresh report against a committed baseline.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Comparison {
+    /// Human-readable metric lines (always populated).
+    pub lines: Vec<String>,
+    /// Regressions beyond tolerance; empty means the gate passes.
+    pub regressions: Vec<String>,
+}
+
+impl Comparison {
+    /// Whether the regression gate passes.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Absolute slack added to the sync-fraction bound so near-zero baselines
+/// (where a relative tolerance is meaninglessly tight) don't flap.
+const SYNC_FRACTION_SLACK: f64 = 0.005;
+
+/// Compare `fresh` against `base`: makespan and sync fraction may grow by at
+/// most `tolerance` (relative, e.g. `0.05` for 5%; sync fraction gets an
+/// extra [`SYNC_FRACTION_SLACK`] absolute allowance). `git_rev` is ignored;
+/// a `config_fingerprint` mismatch is always a failure because the numbers
+/// are not comparable — regenerate the baseline instead.
+pub fn compare(base: &BenchReport, fresh: &BenchReport, tolerance: f64) -> Comparison {
+    let mut cmp = Comparison::default();
+    if base.config_fingerprint != fresh.config_fingerprint {
+        cmp.regressions.push(format!(
+            "{}: config fingerprint {:#x} != baseline {:#x} — configuration or kernel \
+             parameters changed; regenerate the baseline (bench-report)",
+            fresh.kernel, fresh.config_fingerprint, base.config_fingerprint
+        ));
+        return cmp;
+    }
+    let pct = |b: f64, f: f64| if b == 0.0 { 0.0 } else { (f - b) / b * 100.0 };
+
+    let makespan_delta = pct(base.makespan_ns as f64, fresh.makespan_ns as f64);
+    cmp.lines.push(format!(
+        "{:>10}  makespan      {:>14} -> {:>14}  ({:+.2}%)",
+        fresh.kernel, base.makespan_ns, fresh.makespan_ns, makespan_delta
+    ));
+    if fresh.makespan_ns as f64 > base.makespan_ns as f64 * (1.0 + tolerance) {
+        cmp.regressions.push(format!(
+            "{}: makespan regressed {:+.2}% ({} -> {} ns, tolerance {:.1}%)",
+            fresh.kernel,
+            makespan_delta,
+            base.makespan_ns,
+            fresh.makespan_ns,
+            tolerance * 100.0
+        ));
+    }
+
+    let sync_delta = fresh.sync_fraction - base.sync_fraction;
+    cmp.lines.push(format!(
+        "{:>10}  sync fraction {:>13.2}% -> {:>13.2}%  ({:+.2} pts)",
+        fresh.kernel,
+        base.sync_fraction * 100.0,
+        fresh.sync_fraction * 100.0,
+        sync_delta * 100.0
+    ));
+    if fresh.sync_fraction > base.sync_fraction * (1.0 + tolerance) + SYNC_FRACTION_SLACK {
+        cmp.regressions.push(format!(
+            "{}: sync fraction regressed {:.2}% -> {:.2}% (tolerance {:.1}% + {:.1} pts)",
+            fresh.kernel,
+            base.sync_fraction * 100.0,
+            fresh.sync_fraction * 100.0,
+            tolerance * 100.0,
+            SYNC_FRACTION_SLACK * 100.0
+        ));
+    }
+    cmp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        BenchReport {
+            kernel: "micro".into(),
+            params: "M=10 S=2 mode=global P=1".into(),
+            git_rev: "abc1234".into(),
+            config_fingerprint: 0xdead_beef,
+            threads: 1,
+            makespan_ns: 1_000_000,
+            sync_fraction: 0.25,
+            mgr_utilization: 0.125,
+            server_utilization: vec![0.5, 0.0625],
+            fetch: HistogramSummary {
+                count: 10,
+                p50_ns: 100,
+                p95_ns: 200,
+                p99_ns: 300,
+                max_ns: 400,
+            },
+            lock: HistogramSummary::default(),
+            barrier: HistogramSummary { count: 2, p50_ns: 8, p95_ns: 8, p99_ns: 8, max_ns: 9 },
+            timeline: Some(TimelineSummary {
+                bucket_ns: 50_000,
+                buckets: 20,
+                fabric_bytes: 123_456,
+                peak_fabric_bucket: 3,
+                peak_fabric_bytes: 40_000,
+                peak_server_bucket: 4,
+                peak_server_busy_ns: 30_000,
+            }),
+            hotspots: vec![HotspotEntry {
+                page: 65538,
+                site: "shared".into(),
+                counters: PageCounters { refetches: 12, invalidations: 11, ..Default::default() },
+            }],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = sample();
+        let json = r.to_json();
+        samhita_trace::validate_json(&json).expect("valid JSON");
+        assert_eq!(BenchReport::from_json(&json).expect("parses"), r);
+
+        // Without a timeline section, too.
+        let bare = BenchReport { timeline: None, hotspots: Vec::new(), ..r };
+        assert_eq!(BenchReport::from_json(&bare.to_json()).expect("parses"), bare);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(BenchReport::from_json("{}").is_err());
+        assert!(BenchReport::from_json("not json").is_err());
+        let wrong_schema = sample().to_json().replace(SCHEMA, "other-schema-v9");
+        assert!(BenchReport::from_json(&wrong_schema).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn identical_reports_pass_the_gate() {
+        let r = sample();
+        let cmp = compare(&r, &r, 0.05);
+        assert!(cmp.passed(), "self-comparison regressed: {:?}", cmp.regressions);
+        assert_eq!(cmp.lines.len(), 2);
+    }
+
+    #[test]
+    fn ten_percent_makespan_regression_fails_at_five_percent_tolerance() {
+        let base = sample();
+        let fresh = BenchReport { makespan_ns: base.makespan_ns * 110 / 100, ..base.clone() };
+        let cmp = compare(&base, &fresh, 0.05);
+        assert!(!cmp.passed());
+        assert!(cmp.regressions[0].contains("makespan"));
+        // The same delta inside tolerance passes.
+        let ok = BenchReport { makespan_ns: base.makespan_ns * 104 / 100, ..base.clone() };
+        assert!(compare(&base, &ok, 0.05).passed());
+        // Getting faster is never a regression.
+        let faster = BenchReport { makespan_ns: base.makespan_ns / 2, ..base.clone() };
+        assert!(compare(&base, &faster, 0.05).passed());
+    }
+
+    #[test]
+    fn sync_fraction_regression_fails() {
+        let base = sample();
+        let fresh = BenchReport { sync_fraction: 0.40, ..base.clone() };
+        let cmp = compare(&base, &fresh, 0.05);
+        assert!(!cmp.passed());
+        assert!(cmp.regressions[0].contains("sync fraction"));
+        // Tiny absolute movement on a near-zero baseline is slack, not a
+        // regression.
+        let quiet_base = BenchReport { sync_fraction: 0.0001, ..base.clone() };
+        let quiet_fresh = BenchReport { sync_fraction: 0.004, ..base };
+        assert!(compare(&quiet_base, &quiet_fresh, 0.05).passed());
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_always_a_failure() {
+        let base = sample();
+        let fresh = BenchReport { config_fingerprint: 1, ..base.clone() };
+        let cmp = compare(&base, &fresh, 0.05);
+        assert!(!cmp.passed());
+        assert!(cmp.regressions[0].contains("fingerprint"));
+    }
+
+    #[test]
+    fn fingerprint_tracks_config_and_params() {
+        let a = SamhitaConfig::default();
+        let b = SamhitaConfig { page_size: a.page_size * 2, ..a.clone() };
+        assert_ne!(fingerprint(&a, "x"), fingerprint(&b, "x"));
+        assert_ne!(fingerprint(&a, "x"), fingerprint(&a, "y"));
+        assert_eq!(fingerprint(&a, "x"), fingerprint(&a.clone(), "x"));
+    }
+}

@@ -373,6 +373,20 @@ impl SamhitaConfig {
         }
     }
 
+    /// The deterministic service-cost parameters, packaged for the trace
+    /// crate's [`samhita_trace::MetricsTimeline`] so busy-time
+    /// reconstruction from serve events can never drift from the
+    /// simulation's own cost model.
+    pub fn service_costs(&self) -> samhita_trace::ServiceCosts {
+        samhita_trace::ServiceCosts {
+            mgr_service_ns: self.costs.mgr_service_ns,
+            fetch_base_ns: self.service.base_ns,
+            apply_base_ns: self.service.apply_base_ns,
+            per_kib_ns: self.service.per_kib_ns,
+            page_size: self.page_size as u64,
+        }
+    }
+
     /// Build the [`Topology`] this configuration describes.
     pub fn build_topology(&self) -> Topology {
         let link = self.fabric.link();
@@ -555,6 +569,19 @@ mod tests {
         let mut c = SamhitaConfig::default();
         c.retry.max_attempts = 0;
         assert_eq!(c.validate().unwrap_err(), ConfigError::ZeroRetryAttempts);
+    }
+
+    #[test]
+    fn service_costs_mirror_the_simulation_model() {
+        use samhita_scl::SimTime;
+        let c = SamhitaConfig::default();
+        let sc = c.service_costs();
+        assert_eq!(sc.mgr_service_ns, c.costs.mgr_service_ns);
+        assert_eq!(sc.page_size, c.page_size as u64);
+        for bytes in [0usize, 100, 1024, 4096, 16384] {
+            assert_eq!(SimTime::from_ns(sc.fetch_ns(bytes as u64)), c.service.service_ns(bytes));
+            assert_eq!(SimTime::from_ns(sc.apply_ns(bytes as u64)), c.service.apply_ns(bytes));
+        }
     }
 
     #[test]

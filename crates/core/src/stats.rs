@@ -10,8 +10,10 @@
 //! hurts) is compute time.
 
 use samhita_scl::{FabricStatsSnapshot, SimTime};
-use samhita_trace::LatencyHistogram;
+use samhita_trace::{HotspotMap, LatencyHistogram};
 use serde::{Deserialize, Serialize};
+
+use crate::layout::{AddressLayout, Region};
 
 /// Counters and clocks of one compute thread over one run.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
@@ -59,6 +61,10 @@ pub struct ThreadStats {
     pub lock_wait: LatencyHistogram,
     /// Barrier-wait latency: arrival → release observed.
     pub barrier_wait: LatencyHistogram,
+    /// Per-page protocol activity (misses, refetches, invalidations, twins,
+    /// flushed bytes). Always on, like the histograms: part of the report,
+    /// not of the (optional) event trace.
+    pub hot: HotspotMap,
 }
 
 /// The result of one `Samhita::run` (or one native-baseline run).
@@ -70,13 +76,29 @@ pub struct RunReport {
     pub fabric: FabricStatsSnapshot,
     /// Longest thread clock: the run's virtual wall time.
     pub makespan: SimTime,
+    /// Manager service time spent on this run's requests, in virtual ns.
+    pub mgr_busy_ns: u64,
+    /// Per-server service time spent on this run's requests, in virtual ns.
+    pub server_busy_ns: Vec<u64>,
+    /// The run's address-space layout, for attributing hotspot pages to
+    /// allocation sites. `None` for native-baseline runs (no DSM layout).
+    pub layout: Option<AddressLayout>,
 }
 
 impl RunReport {
-    /// Assemble a report, computing the makespan.
+    /// Assemble a report, computing the makespan. Busy time and layout are
+    /// filled in by the DSM runtime after construction; native baselines
+    /// leave them at their defaults.
     pub fn new(threads: Vec<ThreadStats>, fabric: FabricStatsSnapshot) -> Self {
         let makespan = threads.iter().map(|t| t.total).fold(SimTime::ZERO, SimTime::max);
-        RunReport { threads, fabric, makespan }
+        RunReport {
+            threads,
+            fabric,
+            makespan,
+            mgr_busy_ns: 0,
+            server_busy_ns: Vec::new(),
+            layout: None,
+        }
     }
 
     /// Mean compute time across threads.
@@ -156,6 +178,51 @@ impl RunReport {
         }
         out
     }
+
+    /// All threads' per-page hotspot counters, merged.
+    pub fn hotspots(&self) -> HotspotMap {
+        let mut out = HotspotMap::new();
+        for t in &self.threads {
+            out.merge(&t.hot);
+        }
+        out
+    }
+
+    /// Manager utilization: service time over the run's makespan,
+    /// `0.0..=1.0` (0 for an empty run).
+    pub fn mgr_utilization(&self) -> f64 {
+        Self::utilization(self.mgr_busy_ns, self.makespan)
+    }
+
+    /// Per-server utilization: service time over the run's makespan, in
+    /// server order.
+    pub fn server_utilization(&self) -> Vec<f64> {
+        self.server_busy_ns.iter().map(|&b| Self::utilization(b, self.makespan)).collect()
+    }
+
+    fn utilization(busy_ns: u64, makespan: SimTime) -> f64 {
+        if makespan.as_ns() == 0 {
+            return 0.0;
+        }
+        busy_ns as f64 / makespan.as_ns() as f64
+    }
+
+    /// The allocation site of a global page, when the run has a layout.
+    pub fn site_of_page(&self, page: u64) -> Option<Region> {
+        self.layout.map(|l| l.region_of(page * l.page_size))
+    }
+
+    /// Human label for a page's allocation site: `arena(tid)`, `shared`,
+    /// `striped`, `reserved`, or `?` when no layout is attached.
+    pub fn site_label(&self, page: u64) -> String {
+        match self.site_of_page(page) {
+            Some(Region::Arena(tid)) => format!("arena({tid})"),
+            Some(Region::Shared) => "shared".to_string(),
+            Some(Region::Striped) => "striped".to_string(),
+            Some(Region::Reserved) => "reserved".to_string(),
+            None => "?".to_string(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -229,6 +296,49 @@ mod tests {
         assert_eq!(r.fetch_latency().max_ns(), 200);
         assert_eq!(r.lock_wait().count(), 1);
         assert_eq!(r.barrier_wait().count(), 1);
+    }
+
+    #[test]
+    fn hotspots_merge_across_threads() {
+        let mut a = t(0, 10, 0);
+        a.hot.record_refetch(5);
+        a.hot.record_diff(5, 100);
+        let mut b = t(1, 10, 0);
+        b.hot.record_refetch(5);
+        b.hot.record_miss(9, 2);
+        let r = RunReport::new(vec![a, b], FabricStatsSnapshot::default());
+        let hot = r.hotspots();
+        assert_eq!(hot.page(5).unwrap().refetches, 2);
+        assert_eq!(hot.page(5).unwrap().diff_bytes, 100);
+        assert_eq!(hot.page(9).unwrap().misses, 1);
+        assert_eq!(hot.page(10).unwrap().misses, 1);
+    }
+
+    #[test]
+    fn utilization_is_busy_over_makespan() {
+        let mut r = RunReport::new(vec![t(0, 1_000, 0)], FabricStatsSnapshot::default());
+        r.mgr_busy_ns = 250;
+        r.server_busy_ns = vec![500, 1_000];
+        assert!((r.mgr_utilization() - 0.25).abs() < 1e-12);
+        let su = r.server_utilization();
+        assert!((su[0] - 0.5).abs() < 1e-12);
+        assert!((su[1] - 1.0).abs() < 1e-12);
+        // Degenerate: empty run divides to 0, not NaN.
+        let empty = RunReport::new(vec![], FabricStatsSnapshot::default());
+        assert_eq!(empty.mgr_utilization(), 0.0);
+    }
+
+    #[test]
+    fn site_labels_follow_the_layout() {
+        let cfg = crate::config::SamhitaConfig::small_for_tests();
+        let layout = AddressLayout::new(&cfg);
+        let mut r = RunReport::new(vec![t(0, 10, 0)], FabricStatsSnapshot::default());
+        assert_eq!(r.site_label(0), "?", "no layout attached yet");
+        r.layout = Some(layout);
+        assert_eq!(r.site_label(0), "reserved");
+        assert_eq!(r.site_label(layout.arena_base / layout.page_size), "arena(0)");
+        assert_eq!(r.site_label(layout.shared_base / layout.page_size), "shared");
+        assert_eq!(r.site_label(layout.striped_base / layout.page_size + 100), "striped");
     }
 
     #[test]

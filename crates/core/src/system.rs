@@ -14,6 +14,7 @@
 //! timings of later runs.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -63,6 +64,14 @@ pub struct Samhita {
     mgr_handle: Option<JoinHandle<ManagerStats>>,
     mem_handles: Vec<JoinHandle<ServerStats>>,
     tracer: Option<Arc<Tracer>>,
+    // Live virtual-busy-time mirrors of the service loops, published after
+    // each request is handled and before its response is sent. A thread
+    // receiving the response therefore observes a busy value that already
+    // includes its request; once every outstanding request has been answered
+    // (threads drain their acks and prefetches before exiting), reading
+    // these from the host is race-free and deterministic.
+    mgr_busy: Arc<AtomicU64>,
+    mem_busy: Vec<Arc<AtomicU64>>,
 }
 
 impl Samhita {
@@ -117,13 +126,16 @@ impl Samhita {
         // Memory servers.
         let mut mem_eps = Vec::new();
         let mut mem_handles = Vec::new();
+        let mut mem_busy = Vec::new();
         for i in 0..cfg.mem_servers {
             let ep = fabric.add_endpoint(placement.mem_servers[i as usize]);
             mem_eps.push(ep.id());
             let server = MemoryServer::new(cfg.page_size, cfg.service);
             let track = tracer.as_ref().map(|t| t.shared_track(TrackId::MemServer(i)));
+            let busy = Arc::new(AtomicU64::new(0));
+            mem_busy.push(Arc::clone(&busy));
             mem_handles.push(std::thread::spawn(move || {
-                mem_server_loop(ep, server, track, ctl_id, dedup)
+                mem_server_loop(ep, server, track, ctl_id, dedup, busy)
             }));
         }
 
@@ -158,8 +170,10 @@ impl Samhita {
         let mgr_ep = mgr_endpoint.id();
         let engine = ManagerEngine::new(&cfg);
         let mgr_track = tracer.as_ref().map(|t| t.shared_track(TrackId::Manager));
+        let mgr_busy = Arc::new(AtomicU64::new(0));
+        let mgr_busy_loop = Arc::clone(&mgr_busy);
         let mgr_handle = Some(std::thread::spawn(move || {
-            manager_loop(mgr_endpoint, engine, mgr_track, ctl_id, dedup)
+            manager_loop(mgr_endpoint, engine, mgr_track, ctl_id, dedup, mgr_busy_loop)
         }));
 
         // Host control client (registers like a thread, but never syncs).
@@ -184,6 +198,8 @@ impl Samhita {
             mgr_handle,
             mem_handles,
             tracer,
+            mgr_busy,
+            mem_busy,
         }
     }
 
@@ -363,6 +379,9 @@ impl Samhita {
             self.cfg.max_threads
         );
         let fabric_before = self.fabric.stats();
+        let mgr_busy_before = self.mgr_busy.load(Ordering::Relaxed);
+        let mem_busy_before: Vec<u64> =
+            self.mem_busy.iter().map(|b| b.load(Ordering::Relaxed)).collect();
         let endpoints: Vec<Endpoint<Msg>> = (0..nthreads)
             .map(|t| self.fabric.add_endpoint(self.placement.compute_node(t)))
             .collect();
@@ -403,7 +422,19 @@ impl Samhita {
                 })
                 .collect::<Vec<_>>()
         });
-        RunReport::new(stats, self.fabric.stats().delta(&fabric_before))
+        let mut report = RunReport::new(stats, self.fabric.stats().delta(&fabric_before));
+        // Every thread settled its outstanding traffic before joining
+        // (synchronous Exit RPC to the manager, ack/prefetch drains to the
+        // servers), so the busy mirrors are final for this run.
+        report.mgr_busy_ns = self.mgr_busy.load(Ordering::Relaxed) - mgr_busy_before;
+        report.server_busy_ns = self
+            .mem_busy
+            .iter()
+            .zip(&mem_busy_before)
+            .map(|(b, &before)| b.load(Ordering::Relaxed) - before)
+            .collect();
+        report.layout = Some(self.layout);
+        report
     }
 
     /// Drain the event trace accumulated so far (threads that finished a
@@ -537,6 +568,7 @@ fn mem_server_loop(
     track: Option<SharedTrack>,
     ctl: EndpointId,
     dedup: bool,
+    busy: Arc<AtomicU64>,
 ) -> ServerStats {
     // Idempotency cache: (requester, token) → completed response. A replayed
     // request is re-acknowledged without re-applying, re-charging the service
@@ -568,6 +600,9 @@ fn mem_server_loop(
                 // not disturb the observable protocol timeline.
                 let event = if shadow { None } else { track.as_ref().map(|_| mem_event(&req)) };
                 let (resp, done) = server.handle(req, env.deliver_at);
+                // Publish virtual busy time before the response leaves: the
+                // requester's receipt then proves the new value is visible.
+                busy.store(server.stats().busy_ns, Ordering::Relaxed);
                 if let (Some(track), Some(event)) = (&track, event) {
                     track.push(done, event);
                 }
@@ -603,6 +638,7 @@ fn manager_loop(
     track: Option<SharedTrack>,
     ctl: EndpointId,
     dedup: bool,
+    busy: Arc<AtomicU64>,
 ) -> ManagerStats {
     // Replay protection. Each client's tokens arrive monotonically (its
     // requests are serialized and the fabric preserves per-sender order), so
@@ -643,7 +679,11 @@ fn manager_loop(
                     hwm.insert(env.src, token);
                 }
                 let op = track.as_ref().map(|_| req.label());
-                for out in engine.handle(env.src, tid, token, req, env.deliver_at) {
+                let outgoing = engine.handle(env.src, tid, token, req, env.deliver_at);
+                // Publish virtual busy time before any response leaves (see
+                // mem_server_loop for the visibility argument).
+                busy.store(engine.stats().busy_ns, Ordering::Relaxed);
+                for out in outgoing {
                     let wire = out.resp.wire_bytes();
                     if dedup {
                         done.insert(out.dst, (out.token, out.at, out.resp.clone()));
@@ -758,5 +798,64 @@ mod tests {
     fn run_rejects_too_many_threads() {
         let s = system();
         s.run(1000, |_| {});
+    }
+
+    #[test]
+    fn utilization_accounting_is_deterministic() {
+        // Single-threaded on purpose: P=1 is the configuration whose virtual
+        // timeline is bit-reproducible (multi-thread lock arbitration depends
+        // on OS-level arrival order), so it is where exact equality holds.
+        let run = || {
+            let s = system();
+            let addr = s.alloc_global(2048);
+            let lock = s.create_mutex();
+            s.run(1, |ctx| {
+                for i in 0..128u64 {
+                    ctx.write_u64(addr + i * 8, i);
+                }
+                ctx.lock(lock);
+                ctx.unlock(lock);
+            })
+        };
+        let a = run();
+        let b = run();
+        assert!(a.mgr_busy_ns > 0, "locks and registration must occupy the manager");
+        assert_eq!(a.server_busy_ns.len(), 1);
+        assert!(a.server_busy_ns[0] > 0, "fetches and flushes must occupy the server");
+        assert!(a.mgr_utilization() > 0.0);
+        assert!(a.server_utilization().iter().all(|&u| u > 0.0));
+        assert!(a.layout.is_some());
+        // Busy accounting is part of the deterministic report, not a
+        // wall-clock artifact: two fresh systems agree exactly.
+        assert_eq!(a.mgr_busy_ns, b.mgr_busy_ns);
+        assert_eq!(a.server_busy_ns, b.server_busy_ns);
+        assert_eq!(a.makespan, b.makespan);
+    }
+
+    #[test]
+    fn report_hotspots_name_the_written_pages() {
+        let s = system(); // 256-byte pages
+        let addr = s.alloc_global(1024);
+        let report = s.run(1, |ctx| {
+            for i in 0..128u64 {
+                ctx.write_u64(addr + i * 8, i);
+            }
+        });
+        let hot = report.hotspots();
+        assert!(!hot.is_empty());
+        let first_page = addr / 256;
+        // Every written page shows write-side churn (a twin) and flushed
+        // bytes; the first line also shows the demand miss (later lines can
+        // be store-allocated without a fetch).
+        for p in first_page..first_page + 4 {
+            let c = hot.page(p).unwrap_or_else(|| panic!("page {p} missing from hotspot map"));
+            assert!(c.twins >= 1);
+            assert!(c.diff_bytes + c.fine_bytes > 0);
+        }
+        assert!(hot.total_of(|c| c.misses) >= 1);
+        // And the report can label where each page lives.
+        for (page, _) in hot.iter() {
+            assert_ne!(report.site_label(page), "?");
+        }
     }
 }

@@ -344,6 +344,7 @@ impl ThreadCtx {
             let outcome = self.cache.write_page(page, off, chunk, region);
             if outcome.twin_created {
                 self.stats.twins_created += 1;
+                self.stats.hot.record_twin(page);
                 self.trace(EventKind::TwinCreate { page });
             }
             if outcome.log_fine_grain {
@@ -425,6 +426,7 @@ impl ThreadCtx {
             let outcome = self.cache.write_page(page, off, &scratch, region);
             if outcome.twin_created {
                 self.stats.twins_created += 1;
+                self.stats.hot.record_twin(page);
                 self.trace(EventKind::TwinCreate { page });
             }
             if outcome.log_fine_grain {
@@ -661,6 +663,7 @@ impl ThreadCtx {
                     1
                 };
                 self.stats.page_refetches += 1;
+                self.stats.hot.record_refetch(page);
                 self.record_fetch(page, fetched_pages, FetchKind::Refetch, t0);
             }
             self.cache.touch_line(line);
@@ -688,6 +691,7 @@ impl ThreadCtx {
                     // The prefetch response was lost on the wire (the wait
                     // for the lost copy was the timeout): demand-fetch.
                     self.stats.line_misses += 1;
+                    self.stats.hot.record_miss(first_page, line_pages as u64);
                     self.demand_fetch_line(line);
                     self.record_fetch(first_page, line_pages, FetchKind::Demand, t0);
                 }
@@ -695,6 +699,7 @@ impl ThreadCtx {
         } else {
             // Demand miss.
             self.stats.line_misses += 1;
+            self.stats.hot.record_miss(first_page, line_pages as u64);
             self.demand_fetch_line(line);
             self.record_fetch(first_page, line_pages, FetchKind::Demand, t0);
         }
@@ -805,6 +810,7 @@ impl ThreadCtx {
     fn send_diff(&mut self, page: u64, diff: samhita_regc::Diff) {
         let bytes = diff.payload_bytes() as u64;
         self.stats.diff_bytes_flushed += bytes;
+        self.stats.hot.record_diff(page, bytes);
         self.trace(EventKind::DiffFlush { page, bytes });
         self.pending_pages.insert(page);
         let home = self.home_map.home_of_page(PageId(page));
@@ -896,6 +902,7 @@ impl ThreadCtx {
         let mut updates = Vec::with_capacity(parts.len());
         for (page, offset, bytes) in parts {
             self.stats.fine_bytes_flushed += bytes.len() as u64;
+            self.stats.hot.record_fine(page, bytes.len() as u64);
             self.trace(EventKind::FineFlush { page, bytes: bytes.len() as u64 });
             let home = self.home_map.home_of_page(PageId(page));
             self.send_update(
@@ -934,6 +941,7 @@ impl ThreadCtx {
             for &page in &n.pages {
                 if self.cache.invalidate_page(page) {
                     self.stats.invalidations += 1;
+                    self.stats.hot.record_invalidate(page);
                     self.trace(EventKind::Invalidate { page, writer: n.writer });
                 }
                 self.poison_prefetch(page);
@@ -1236,6 +1244,17 @@ impl ThreadCtx {
         let end_clock = self.clock;
         let end_sync = self.sync_time;
         let (pages, updates) = self.flush_all();
+        // Settle in-flight prefetch traffic: receiving each response proves
+        // its server already processed the request, so by the time all
+        // threads have joined, every server-side request this run issued is
+        // accounted for — the run-level busy-time counters read after join
+        // would otherwise race straggler prefetches. Stats were snapshotted
+        // above; draining is teardown and cannot affect the report.
+        while !self.prefetch_tokens.is_empty() || !self.poisoned_prefetches.is_empty() {
+            let env = self.ep.recv().expect("fabric closed while settling prefetches");
+            let token = Self::token_of(&env);
+            self.absorb(token, env);
+        }
         if let Some(ls) = self.local_sync.clone() {
             ls.publish_final(self.tid, pages, updates);
             let req = MgrRequest::Exit { pages: Vec::new(), updates: Vec::new() };

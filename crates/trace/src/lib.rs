@@ -16,6 +16,11 @@
 //!   tracks;
 //! * log-bucketed [`LatencyHistogram`]s for fetch, lock-wait and barrier-wait
 //!   latencies (p50/p95/p99/max);
+//! * a post-hoc [`MetricsTimeline`] — per-interval miss/refetch/byte/wait
+//!   counters and manager/server busy time bucketed over virtual time — and
+//!   page-granular [`HotspotMap`] attribution for false-sharing diagnosis;
+//! * a value-producing [`JsonValue`] parser backing machine-readable report
+//!   comparison (no JSON library is available offline);
 //! * a trace-driven RegC invariant checker ([`RunTrace::check_invariants`])
 //!   that verifies mutual exclusion of lock hold intervals on the virtual
 //!   timeline, causal ordering of invalidations behind their flushes,
@@ -26,10 +31,16 @@ pub mod check;
 pub mod event;
 pub mod export;
 pub mod hist;
+pub mod hotspot;
+pub mod json;
+pub mod metrics;
 pub mod tracer;
 
 pub use check::{CheckSummary, Violation};
 pub use event::{EventKind, FetchKind, TraceEvent, TrackId};
 pub use export::validate_json;
 pub use hist::LatencyHistogram;
+pub use hotspot::{HotspotMap, PageCounters};
+pub use json::JsonValue;
+pub use metrics::{MetricsTimeline, ServiceCosts, TimelineBucket};
 pub use tracer::{RunTrace, SharedTrack, TraceBuf, Tracer};

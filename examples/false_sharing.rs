@@ -5,39 +5,36 @@
 //! placement changes invalidation-refetch traffic and where the time goes.
 //!
 //! ```text
-//! cargo run --release --example false_sharing [threads] [M] [--trace out.json] [--faults seed]
+//! cargo run --release --example false_sharing [threads] [M] \
+//!     [--trace out.json] [--faults seed] [--metrics-out out.json]
 //! ```
 //!
 //! With `--trace`, the `global` run (the false-sharing one) records a
 //! protocol event trace, verifies the RegC invariants on it, and writes it
 //! as Chrome trace-event JSON — open it at <https://ui.perfetto.dev>.
 //!
+//! With `--metrics-out`, the same `global` run is condensed into a
+//! machine-readable `BenchReport` (makespan, sync fraction, utilization,
+//! timeline summary, hotspot pages) at the given path.
+//!
 //! With `--faults`, every Samhita run rides a lossy fabric (seeded drops,
 //! duplicates, latency spikes) over two replicated memory servers; the
 //! numerics must still check out, and the injected/retried/failed-over
 //! counts are printed at exit.
+//!
+//! The closing hotspot report names the exact global pages that ping-pong
+//! between writers in the `global` mode — the pages at block boundaries
+//! where two threads' rows share a page.
 
-use samhita_repro::core::{FaultConfig, SamhitaConfig};
+use samhita_bench::{run_summary, BenchReport, ExampleArgs};
+use samhita_repro::core::SamhitaConfig;
 use samhita_repro::kernels::{expected_gsum, run_micro, AllocMode, MicroParams};
 use samhita_repro::rt::{NativeRt, SamhitaRt};
 
 fn main() {
-    let mut positional = Vec::new();
-    let mut trace_path: Option<String> = None;
-    let mut fault_seed: Option<u64> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        if a == "--trace" {
-            trace_path = Some(args.next().expect("--trace needs a path"));
-        } else if a == "--faults" {
-            fault_seed =
-                Some(args.next().expect("--faults needs a seed").parse().expect("fault seed"));
-        } else {
-            positional.push(a);
-        }
-    }
-    let threads: u32 = positional.first().map(|v| v.parse().expect("threads")).unwrap_or(8);
-    let m: usize = positional.get(1).map(|v| v.parse().expect("M")).unwrap_or(10);
+    let args = ExampleArgs::parse();
+    let threads = args.pos_u32(0, 8);
+    let m = args.pos_usize(1, 10);
 
     println!("Figure 2 micro-benchmark: {threads} threads, M={m}, S=2, B=260, N=10\n");
     println!(
@@ -50,20 +47,14 @@ fn main() {
         run_micro(&NativeRt::default(), &p).report.mean_compute()
     };
 
-    let base_cfg = match fault_seed {
-        None => SamhitaConfig::default(),
-        Some(seed) => SamhitaConfig {
-            mem_servers: 2,
-            replica_offset: 1,
-            faults: FaultConfig::lossy(seed, 0.03, 0.01, 0.03, 3_000),
-            ..SamhitaConfig::default()
-        },
-    };
+    let base_cfg = args.base_config(SamhitaConfig::default());
     let (mut injected, mut retries, mut failovers) = (0u64, 0u64, 0u64);
+    let mut global_summary = String::new();
     for mode in [AllocMode::Local, AllocMode::Global, AllocMode::GlobalStrided] {
-        let traced = trace_path.is_some() && mode == AllocMode::Global;
+        let traced = args.wants_trace() && mode == AllocMode::Global;
         let p = MicroParams::paper(m, 2, mode, threads);
-        let rt = SamhitaRt::new(SamhitaConfig { tracing: traced, ..base_cfg.clone() });
+        let cfg = SamhitaConfig { tracing: traced, ..base_cfg.clone() };
+        let rt = SamhitaRt::new(cfg.clone());
         let r = run_micro(&rt, &p);
         injected += r.report.fabric.total_faults();
         retries += r.report.total_of(|t| t.retries);
@@ -81,18 +72,35 @@ fn main() {
             r.report.total_of(|t| t.diff_bytes_flushed),
             r.report.total_of(|t| t.fine_bytes_flushed),
         );
+        if mode == AllocMode::Global {
+            global_summary = run_summary(&r.report);
+        }
         if traced {
-            let path = trace_path.as_ref().expect("traced implies a path");
             let trace = rt.take_trace().expect("tracing was enabled");
             trace.check_invariants().expect("RegC invariants violated");
-            std::fs::write(path, trace.to_chrome_json()).expect("write trace file");
-            println!("{:>16} wrote {} ({} events)", "", path, trace.len());
+            if let Some(path) = &args.trace_path {
+                std::fs::write(path, trace.to_chrome_json()).expect("write trace file");
+                println!("{:>16} wrote {} ({} events)", "", path, trace.len());
+            }
+            if let Some(path) = &args.metrics_out {
+                let bench = BenchReport::from_run(
+                    "false_sharing",
+                    &format!("{p:?}"),
+                    &cfg,
+                    threads,
+                    &r.report,
+                    Some(&trace),
+                );
+                std::fs::write(path, bench.to_json()).expect("write metrics file");
+                println!("{:>16} wrote {}", "", path);
+            }
         }
     }
 
-    if let Some(seed) = fault_seed {
+    println!("\nglobal-mode run summary (the false-sharing case):\n{global_summary}");
+    if let Some(seed) = args.fault_seed {
         println!(
-            "\nfaults (seed {seed}): {injected} injected, {retries} retried, \
+            "faults (seed {seed}): {injected} injected, {retries} retried, \
              {failovers} failed over — numerics unaffected"
         );
     }

@@ -5,28 +5,36 @@
 //! port the paper's §V proposes.
 //!
 //! ```text
-//! cargo run --release --example heterogeneous_node
+//! cargo run --release --example heterogeneous_node \
+//!     [--trace out.json] [--faults seed] [--metrics-out out.json]
 //! ```
+//!
+//! `--trace` / `--metrics-out` record the final SCIF 32-thread run.
 
+use samhita_bench::{run_summary, BenchReport, ExampleArgs};
 use samhita_repro::core::{FabricProfile, SamhitaConfig, TopologyKind};
 use samhita_repro::kernels::{run_micro, AllocMode, MicroParams};
 use samhita_repro::rt::SamhitaRt;
 
 fn main() {
+    let args = ExampleArgs::parse();
     println!("host + coprocessor node (Figure 1): 60 coprocessor cores over PCIe\n");
     println!(
         "{:>14} {:>8} {:>12} {:>12} {:>14}",
         "transport", "threads", "compute", "sync", "makespan"
     );
 
+    let mut scif_summary = String::new();
     for fabric in [FabricProfile::PcieVerbsProxy, FabricProfile::Scif] {
         for threads in [4u32, 16, 32] {
+            let record = args.wants_trace() && fabric == FabricProfile::Scif && threads == 32;
             let cfg = SamhitaConfig {
                 topology: TopologyKind::HeteroNode { coprocessors: 1, cores_per_cop: 60 },
                 fabric,
-                ..SamhitaConfig::default()
+                tracing: record,
+                ..args.base_config(SamhitaConfig::default())
             };
-            let rt = SamhitaRt::new(cfg);
+            let rt = SamhitaRt::new(cfg.clone());
             let p = MicroParams::paper(10, 2, AllocMode::Global, threads);
             let r = run_micro(&rt, &p);
             println!(
@@ -41,11 +49,35 @@ fn main() {
                 r.report.mean_sync().to_string(),
                 r.report.makespan.to_string(),
             );
+            if fabric == FabricProfile::Scif && threads == 32 {
+                scif_summary = run_summary(&r.report);
+            }
+            if record {
+                let trace = rt.take_trace().expect("tracing was enabled");
+                trace.check_invariants().expect("RegC invariants violated");
+                if let Some(path) = &args.trace_path {
+                    std::fs::write(path, trace.to_chrome_json()).expect("write trace file");
+                    println!("{:>14} wrote {} ({} events)", "", path, trace.len());
+                }
+                if let Some(path) = &args.metrics_out {
+                    let bench = BenchReport::from_run(
+                        "heterogeneous_node",
+                        &format!("scif {p:?}"),
+                        &cfg,
+                        threads,
+                        &r.report,
+                        Some(&trace),
+                    );
+                    std::fs::write(path, bench.to_json()).expect("write metrics file");
+                    println!("{:>14} wrote {}", "", path);
+                }
+            }
         }
     }
+    println!("\nSCIF 32-thread run summary:\n{scif_summary}");
 
     println!(
-        "\nSCIF removes the verbs-proxy software overhead on every PCIe crossing —\n\
+        "SCIF removes the verbs-proxy software overhead on every PCIe crossing —\n\
          the communication-layer improvement §V of the paper proposes."
     );
 }

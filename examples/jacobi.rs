@@ -2,39 +2,29 @@
 //! runnable application.
 //!
 //! ```text
-//! cargo run --release --example jacobi [grid_n] [iters] [--trace out.json] [--faults seed]
+//! cargo run --release --example jacobi [grid_n] [iters] \
+//!     [--trace out.json] [--faults seed] [--metrics-out out.json]
 //! ```
 //!
 //! With `--trace`, a dedicated 4-thread Samhita run records a protocol event
 //! trace, verifies the RegC invariants on it, and writes it as Chrome
-//! trace-event JSON — open it at <https://ui.perfetto.dev>.
+//! trace-event JSON — open it at <https://ui.perfetto.dev>. With
+//! `--metrics-out`, the same run also emits a machine-readable `BenchReport`.
 //!
 //! With `--faults`, every Samhita run rides a lossy fabric (seeded drops,
 //! duplicates, latency spikes) over two replicated memory servers; the
 //! results must still match the fault-free serial reference bit for bit,
 //! and the injected/retried/failed-over counts are printed at exit.
 
-use samhita_repro::core::{FaultConfig, SamhitaConfig};
+use samhita_bench::{run_summary, BenchReport, ExampleArgs};
+use samhita_repro::core::SamhitaConfig;
 use samhita_repro::kernels::{run_jacobi, serial_reference_jacobi, JacobiParams};
 use samhita_repro::rt::{KernelRt, NativeRt, SamhitaRt};
 
 fn main() {
-    let mut positional = Vec::new();
-    let mut trace_path: Option<String> = None;
-    let mut fault_seed: Option<u64> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        if a == "--trace" {
-            trace_path = Some(args.next().expect("--trace needs a path"));
-        } else if a == "--faults" {
-            fault_seed =
-                Some(args.next().expect("--faults needs a seed").parse().expect("fault seed"));
-        } else {
-            positional.push(a);
-        }
-    }
-    let n: usize = positional.first().map(|v| v.parse().expect("grid size")).unwrap_or(254);
-    let iters: usize = positional.get(1).map(|v| v.parse().expect("iterations")).unwrap_or(20);
+    let args = ExampleArgs::parse();
+    let n = args.pos_usize(0, 254);
+    let iters = args.pos_usize(1, 20);
 
     println!("Jacobi, {n}x{n} interior grid, {iters} sweeps (virtual time)\n");
     println!(
@@ -60,9 +50,11 @@ fn main() {
             baseline.as_secs_f64() / r.report.makespan.as_secs_f64(),
         );
     }
+    let base_cfg = args.base_config(SamhitaConfig::default());
     let (mut injected, mut retries, mut failovers) = (0u64, 0u64, 0u64);
+    let mut last_summary = String::new();
     for threads in [1u32, 2, 4, 8, 16, 32] {
-        let rt = SamhitaRt::new(samhita_cfg(fault_seed));
+        let rt = SamhitaRt::new(base_cfg.clone());
         let r = run_jacobi(&rt, &JacobiParams { n, iters, threads });
         injected += r.report.fabric.total_faults();
         retries += r.report.total_of(|t| t.retries);
@@ -76,42 +68,40 @@ fn main() {
             r.report.total_of(|t| t.page_refetches),
             baseline.as_secs_f64() / r.report.makespan.as_secs_f64(),
         );
+        last_summary = run_summary(&r.report);
     }
+    println!("\n32-thread Samhita run summary:\n{last_summary}");
 
     // Verify against the serial reference (bitwise: Jacobi is data-parallel —
     // this holds even on the lossy fabric, which is the point of the
     // retry/failover machinery).
-    let rt = SamhitaRt::new(samhita_cfg(fault_seed));
+    let rt = SamhitaRt::new(base_cfg.clone());
     let r = run_jacobi(&rt, &JacobiParams { n: 30, iters: 8, threads: 4 });
     assert_eq!(r.grid, serial_reference_jacobi(30, 8), "DSM run must equal serial reference");
-    println!("\nverification: 4-thread Samhita grid identical to serial reference ✓");
-    if let Some(seed) = fault_seed {
+    println!("verification: 4-thread Samhita grid identical to serial reference ✓");
+    if let Some(seed) = args.fault_seed {
         println!(
             "faults (seed {seed}): {injected} injected, {retries} retried, \
              {failovers} failed over — results unaffected"
         );
     }
 
-    if let Some(path) = &trace_path {
-        let rt = SamhitaRt::new(SamhitaConfig { tracing: true, ..samhita_cfg(fault_seed) });
-        run_jacobi(&rt, &JacobiParams { n, iters, threads: 4 });
+    if args.wants_trace() {
+        let p = JacobiParams { n, iters, threads: 4 };
+        let cfg = SamhitaConfig { tracing: true, ..base_cfg };
+        let rt = SamhitaRt::new(cfg.clone());
+        let report = run_jacobi(&rt, &p).report;
         let trace = rt.take_trace().expect("tracing was enabled");
         trace.check_invariants().expect("RegC invariants violated");
-        std::fs::write(path, trace.to_chrome_json()).expect("write trace file");
-        println!("wrote {path} ({} events) — open at https://ui.perfetto.dev", trace.len());
-    }
-}
-
-/// The paper's fault-free platform, or — with `--faults` — the same cluster
-/// with two write-through-replicated memory servers behind a lossy fabric.
-fn samhita_cfg(fault_seed: Option<u64>) -> SamhitaConfig {
-    match fault_seed {
-        None => SamhitaConfig::default(),
-        Some(seed) => SamhitaConfig {
-            mem_servers: 2,
-            replica_offset: 1,
-            faults: FaultConfig::lossy(seed, 0.03, 0.01, 0.03, 3_000),
-            ..SamhitaConfig::default()
-        },
+        if let Some(path) = &args.trace_path {
+            std::fs::write(path, trace.to_chrome_json()).expect("write trace file");
+            println!("wrote {path} ({} events) — open at https://ui.perfetto.dev", trace.len());
+        }
+        if let Some(path) = &args.metrics_out {
+            let bench =
+                BenchReport::from_run("jacobi", &format!("{p:?}"), &cfg, 4, &report, Some(&trace));
+            std::fs::write(path, bench.to_json()).expect("write metrics file");
+            println!("wrote {path}");
+        }
     }
 }

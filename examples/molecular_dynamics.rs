@@ -3,17 +3,25 @@
 //! can easily mask the synchronization overhead of Samhita").
 //!
 //! ```text
-//! cargo run --release --example molecular_dynamics [particles] [steps]
+//! cargo run --release --example molecular_dynamics [particles] [steps] \
+//!     [--trace out.json] [--faults seed] [--metrics-out out.json]
 //! ```
+//!
+//! With `--trace`, a dedicated 4-thread Samhita run records a protocol
+//! event trace and writes it as Chrome trace-event JSON; `--metrics-out`
+//! condenses the same run into a machine-readable `BenchReport`. With
+//! `--faults`, every Samhita run rides the standard lossy-fabric chaos
+//! configuration and the trajectories must still be bit-exact.
 
+use samhita_bench::{run_summary, BenchReport, ExampleArgs};
 use samhita_repro::core::SamhitaConfig;
 use samhita_repro::kernels::{run_md, serial_reference_md, MdParams};
 use samhita_repro::rt::{KernelRt, NativeRt, SamhitaRt};
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let n: usize = args.next().map(|v| v.parse().expect("particle count")).unwrap_or(768);
-    let steps: usize = args.next().map(|v| v.parse().expect("steps")).unwrap_or(5);
+    let args = ExampleArgs::parse();
+    let n = args.pos_usize(0, 768);
+    let steps = args.pos_usize(1, 5);
 
     let params = |threads| MdParams { n, steps, dt: 1e-3, threads, seed: 42 };
     println!("molecular dynamics, {n} particles, {steps} velocity-Verlet steps\n");
@@ -37,8 +45,10 @@ fn main() {
             baseline.as_secs_f64() / r.report.makespan.as_secs_f64(),
         );
     }
+    let base_cfg = args.base_config(SamhitaConfig::default());
+    let mut last_summary = String::new();
     for threads in [1u32, 2, 4, 8, 16, 32] {
-        let rt = SamhitaRt::new(SamhitaConfig::default());
+        let rt = SamhitaRt::new(base_cfg.clone());
         let r = run_md(&rt, &params(threads));
         println!(
             "{:>8} {:>10} {:>14} {:>14} {:>16.6} {:>10.2}",
@@ -49,12 +59,33 @@ fn main() {
             r.kinetic + r.potential,
             baseline.as_secs_f64() / r.report.makespan.as_secs_f64(),
         );
+        last_summary = run_summary(&r.report);
     }
+    println!("\n32-thread Samhita run summary:\n{last_summary}");
 
     // Trajectories are deterministic: the DSM run reproduces the serial
     // reference bit for bit.
     let small = MdParams { n: 64, steps: 3, dt: 1e-3, threads: 4, seed: 7 };
-    let r = run_md(&SamhitaRt::new(SamhitaConfig::default()), &small);
+    let r = run_md(&SamhitaRt::new(base_cfg.clone()), &small);
     assert_eq!(r.positions, serial_reference_md(&small));
-    println!("\nverification: 4-thread Samhita trajectory identical to serial reference ✓");
+    println!("verification: 4-thread Samhita trajectory identical to serial reference ✓");
+
+    if args.wants_trace() {
+        let p = params(4);
+        let cfg = SamhitaConfig { tracing: true, ..base_cfg };
+        let rt = SamhitaRt::new(cfg.clone());
+        let report = run_md(&rt, &p).report;
+        let trace = rt.take_trace().expect("tracing was enabled");
+        trace.check_invariants().expect("RegC invariants violated");
+        if let Some(path) = &args.trace_path {
+            std::fs::write(path, trace.to_chrome_json()).expect("write trace file");
+            println!("wrote {path} ({} events) — open at https://ui.perfetto.dev", trace.len());
+        }
+        if let Some(path) = &args.metrics_out {
+            let bench =
+                BenchReport::from_run("md", &format!("{p:?}"), &cfg, 4, &report, Some(&trace));
+            std::fs::write(path, bench.to_json()).expect("write metrics file");
+            println!("wrote {path}");
+        }
+    }
 }

@@ -7,9 +7,11 @@
 //! every wait).
 //!
 //! ```text
-//! cargo run --release --example producer_consumer
+//! cargo run --release --example producer_consumer \
+//!     [--trace out.json] [--faults seed] [--metrics-out out.json]
 //! ```
 
+use samhita_bench::{run_summary, BenchReport, ExampleArgs};
 use samhita_repro::core::{Samhita, SamhitaConfig};
 
 const CAPACITY: u64 = 8;
@@ -18,7 +20,10 @@ const PRODUCERS: u64 = 2;
 const CONSUMERS: u64 = 2;
 
 fn main() {
-    let system = Samhita::new(SamhitaConfig::default());
+    let args = ExampleArgs::parse();
+    let cfg =
+        SamhitaConfig { tracing: args.wants_trace(), ..args.base_config(SamhitaConfig::default()) };
+    let system = Samhita::new(cfg.clone());
 
     // Shared state: ring buffer + head/tail/done counters, all lock-protected.
     let buf = system.alloc_global(CAPACITY * 8);
@@ -101,6 +106,33 @@ fn main() {
     println!("  checksum {consumed_sum} == expected {expected} ✓");
     println!("  virtual makespan : {}", report.makespan);
     println!("  mean sync time   : {}", report.mean_sync());
+    println!("\nrun summary:\n{}", run_summary(&report));
+
+    if args.wants_trace() {
+        let trace = system.take_trace().expect("tracing was enabled");
+        trace.check_invariants().expect("RegC invariants violated");
+        if let Some(path) = &args.trace_path {
+            std::fs::write(path, trace.to_chrome_json()).expect("write trace file");
+            println!("  wrote {path} ({} events) — open at https://ui.perfetto.dev", trace.len());
+        }
+        if let Some(path) = &args.metrics_out {
+            let params = format!(
+                "producers={PRODUCERS} consumers={CONSUMERS} items={ITEMS_PER_PRODUCER} \
+                 capacity={CAPACITY}"
+            );
+            let bench = BenchReport::from_run(
+                "producer_consumer",
+                &params,
+                &cfg,
+                threads,
+                &report,
+                Some(&trace),
+            );
+            std::fs::write(path, bench.to_json()).expect("write metrics file");
+            println!("  wrote {path}");
+        }
+    }
+
     let stats = system.shutdown();
     println!("  condvar waits    : {}", stats.manager.cond_waits);
     println!("  condvar signals  : {}", stats.manager.cond_signals);

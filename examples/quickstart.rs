@@ -2,16 +2,21 @@
 //! have no hardware cache coherence, and read the statistics back.
 //!
 //! ```text
-//! cargo run --release --example quickstart
+//! cargo run --release --example quickstart \
+//!     [--trace out.json] [--faults seed] [--metrics-out out.json]
 //! ```
 
+use samhita_bench::{run_summary, BenchReport, ExampleArgs};
 use samhita_repro::core::{Samhita, SamhitaConfig};
 
 fn main() {
+    let args = ExampleArgs::parse();
     // The default configuration models the paper's evaluation platform: a
     // six-node QDR InfiniBand cluster with one manager node and one
     // memory-server node; compute threads fill the remaining four nodes.
-    let system = Samhita::new(SamhitaConfig::default());
+    let cfg =
+        SamhitaConfig { tracing: args.wants_trace(), ..args.base_config(SamhitaConfig::default()) };
+    let system = Samhita::new(cfg.clone());
 
     // Host-side setup: global memory and synchronization objects.
     let n_threads = 8u32;
@@ -64,11 +69,33 @@ fn main() {
     println!("  invalidations received  : {}", report.total_of(|t| t.invalidations));
     println!("  diff bytes flushed      : {}", report.total_of(|t| t.diff_bytes_flushed));
     println!("  fine-grain bytes flushed: {}", report.total_of(|t| t.fine_bytes_flushed));
+    println!("\nrun summary:\n{}", run_summary(&report));
 
     // Host can inspect global memory after the run.
     let mut buf = [0u8; 8];
     system.read_global(total, &mut buf);
     println!("  final total (host view) : {}", u64::from_le_bytes(buf));
+
+    if args.wants_trace() {
+        let trace = system.take_trace().expect("tracing was enabled");
+        trace.check_invariants().expect("RegC invariants violated");
+        if let Some(path) = &args.trace_path {
+            std::fs::write(path, trace.to_chrome_json()).expect("write trace file");
+            println!("  wrote {path} ({} events) — open at https://ui.perfetto.dev", trace.len());
+        }
+        if let Some(path) = &args.metrics_out {
+            let bench = BenchReport::from_run(
+                "quickstart",
+                &format!("threads={n_threads}"),
+                &cfg,
+                n_threads,
+                &report,
+                Some(&trace),
+            );
+            std::fs::write(path, bench.to_json()).expect("write metrics file");
+            println!("  wrote {path}");
+        }
+    }
 
     let stats = system.shutdown();
     println!("  manager requests        : {}", stats.manager.requests);

@@ -1,0 +1,107 @@
+//! End-to-end checks of the profiling subsystem: hotspot attribution to
+//! allocation sites, machine-readable bench reports, and the bench-diff
+//! regression gate against the committed baselines.
+
+use samhita_bench::{compare, BenchReport};
+use samhita_repro::core::{Region, SamhitaConfig};
+use samhita_repro::kernels::{run_micro, AllocMode, MicroParams};
+use samhita_repro::rt::SamhitaRt;
+
+/// The acceptance bar for the false-sharing profiler: in the micro
+/// benchmark's `global` mode, the pages that ping-pong between writers all
+/// live in the shared zone, so the hotspot report must attribute (nearly)
+/// every refetch to shared-allocation pages and rank one of them first.
+#[test]
+fn hotspot_report_names_the_false_shared_pages() {
+    let rt = SamhitaRt::new(SamhitaConfig::default());
+    let report = run_micro(&rt, &MicroParams::paper(2, 2, AllocMode::Global, 4)).report;
+    let hot = report.hotspots();
+    let total_refetches = hot.total_of(|c| c.refetches);
+    assert!(total_refetches > 0, "global mode must false-share");
+
+    let shared_refetches: u64 = hot
+        .iter()
+        .filter(|(page, _)| matches!(report.site_of_page(*page), Some(Region::Shared)))
+        .map(|(_, c)| c.refetches)
+        .sum();
+    assert!(
+        shared_refetches * 10 >= total_refetches * 9,
+        "only {shared_refetches}/{total_refetches} refetches attributed to shared pages"
+    );
+
+    // The top churn page is one of the shared ping-pong pages, and the
+    // report can name its site.
+    let top = hot.top_churn(3);
+    assert!(!top.is_empty());
+    for (page, counters) in &top {
+        assert_eq!(report.site_label(*page), "shared");
+        assert!(counters.churn() > 0);
+    }
+
+    // Contrast: arena-only allocation has no cross-thread refetches at all.
+    let rt = SamhitaRt::new(SamhitaConfig::default());
+    let local = run_micro(&rt, &MicroParams::paper(2, 2, AllocMode::Local, 4)).report;
+    let arena_pages_refetched: u64 = local
+        .hotspots()
+        .iter()
+        .filter(|(page, _)| matches!(local.site_of_page(*page), Some(Region::Arena(_))))
+        .map(|(_, c)| c.refetches)
+        .sum();
+    assert_eq!(arena_pages_refetched, 0, "private arenas cannot false-share");
+}
+
+#[test]
+fn bench_report_from_run_round_trips_with_sane_utilization() {
+    let cfg = SamhitaConfig { tracing: true, ..SamhitaConfig::small_for_tests() };
+    let rt = SamhitaRt::new(cfg.clone());
+    let report = run_micro(&rt, &MicroParams::paper(2, 2, AllocMode::Global, 2)).report;
+    let trace = rt.take_trace().expect("tracing enabled");
+    let bench = BenchReport::from_run("micro", "integration-test", &cfg, 2, &report, Some(&trace));
+
+    assert!(bench.makespan_ns > 0);
+    assert!(bench.sync_fraction > 0.0 && bench.sync_fraction < 1.0);
+    assert!(bench.mgr_utilization > 0.0 && bench.mgr_utilization < 1.0);
+    assert_eq!(bench.server_utilization.len(), 1);
+    assert!(bench.server_utilization[0] > 0.0 && bench.server_utilization[0] < 1.0);
+    let timeline = bench.timeline.expect("trace given, timeline present");
+    assert!(timeline.buckets > 0 && timeline.fabric_bytes > 0);
+    assert!(!bench.hotspots.is_empty(), "a sharing run has hotspot pages");
+    assert!(bench.hotspots.iter().all(|h| !h.site.is_empty()));
+
+    let parsed = BenchReport::from_json(&bench.to_json()).expect("round trip");
+    assert_eq!(parsed, bench);
+
+    // Without a trace the timeline section is absent but the report stands.
+    let bare = BenchReport::from_run("micro", "integration-test", &cfg, 2, &report, None);
+    assert!(bare.timeline.is_none());
+    assert_eq!(BenchReport::from_json(&bare.to_json()).expect("round trip"), bare);
+}
+
+/// The committed baselines are real, parseable reports, and the gate logic
+/// run against them behaves exactly as CI relies on: identical reports
+/// pass, a synthetic 10% makespan regression fails at the 5% tolerance.
+#[test]
+fn committed_baselines_gate_synthetic_regressions() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/results/baselines");
+    let mut checked = 0;
+    for kernel in ["micro", "jacobi", "md"] {
+        let path = format!("{dir}/BENCH_{kernel}.json");
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("baseline {path} unreadable: {e}"));
+        let base = BenchReport::from_json(&text)
+            .unwrap_or_else(|e| panic!("baseline {path} unparsable: {e}"));
+        assert_eq!(base.kernel, kernel);
+        assert!(base.makespan_ns > 0);
+        assert!(base.timeline.is_some(), "baselines are generated with tracing on");
+
+        let same = compare(&base, &base, 0.05);
+        assert!(same.passed(), "self-comparison regressed: {:?}", same.regressions);
+
+        let worse = BenchReport { makespan_ns: base.makespan_ns * 11 / 10, ..base.clone() };
+        let gate = compare(&base, &worse, 0.05);
+        assert!(!gate.passed(), "a 10% makespan regression must fail the 5% gate");
+        assert!(gate.regressions[0].contains("makespan"));
+        checked += 1;
+    }
+    assert_eq!(checked, 3);
+}

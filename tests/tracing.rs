@@ -5,7 +5,7 @@
 use samhita_repro::core::{Samhita, SamhitaConfig};
 use samhita_repro::kernels::{run_jacobi, run_micro, AllocMode, JacobiParams, MicroParams};
 use samhita_repro::rt::SamhitaRt;
-use samhita_repro::trace::{validate_json, TrackId};
+use samhita_repro::trace::{validate_json, HotspotMap, MetricsTimeline, TrackId};
 
 fn traced_cfg() -> SamhitaConfig {
     SamhitaConfig { tracing: true, ..SamhitaConfig::small_for_tests() }
@@ -103,6 +103,54 @@ fn report_surfaces_latency_histograms_and_ratios() {
     let f = report.sync_fraction();
     assert!(f > 0.0 && f < 1.0, "sync fraction {f} out of range");
     assert!(report.compute_imbalance() >= 1.0, "max/mean is at least 1");
+}
+
+/// The metrics layer inherits tracing's bit-identity guarantee: the
+/// timeline and hotspot map are derived *after the fact* from the event
+/// stream and the always-on counters, so enabling them (= enabling tracing)
+/// must not move any virtual clock, and the derived views must agree
+/// exactly with the run's own statistics.
+#[test]
+fn metrics_derivation_is_observational_and_conserves_counters() {
+    let run = |tracing: bool| {
+        let rt = SamhitaRt::new(SamhitaConfig { tracing, ..SamhitaConfig::default() });
+        let report = run_micro(&rt, &MicroParams::paper(5, 2, AllocMode::Global, 1)).report;
+        (report, rt.take_trace())
+    };
+    let (plain, no_trace) = run(false);
+    assert!(no_trace.is_none());
+    let (traced, trace) = run(true);
+    let trace = trace.expect("tracing enabled");
+
+    // P=1 bit-identity with metrics enabled vs. disabled.
+    assert_eq!(plain.makespan, traced.makespan, "metrics collection moved the virtual clock");
+    assert_eq!(plain.hotspots(), traced.hotspots(), "always-on hotspot counters diverged");
+    assert_eq!(plain.mgr_busy_ns, traced.mgr_busy_ns);
+    assert_eq!(plain.server_busy_ns, traced.server_busy_ns);
+
+    // Conservation: the timeline's bucket totals equal the run's counters.
+    let cfg = SamhitaConfig::default();
+    let width = MetricsTimeline::bucket_width_for(traced.makespan.as_ns(), 16);
+    let timeline = MetricsTimeline::from_trace(&trace, width, &cfg.service_costs());
+    let totals = timeline.totals();
+    assert_eq!(totals.misses, traced.total_of(|t| t.line_misses));
+    assert_eq!(totals.refetches, traced.total_of(|t| t.page_refetches));
+    assert_eq!(totals.invalidations, traced.total_of(|t| t.invalidations));
+    assert_eq!(totals.diff_bytes, traced.total_of(|t| t.diff_bytes_flushed));
+    assert_eq!(totals.fine_bytes, traced.total_of(|t| t.fine_bytes_flushed));
+    // The fabric track also covers pre-run control traffic (registration,
+    // allocation), so it bounds the run's own traffic from above.
+    assert!(totals.fabric_bytes >= traced.fabric.total_bytes());
+    // Same for service busy time: event-derived busy covers host setup too.
+    assert!(totals.mgr_busy_ns >= traced.mgr_busy_ns);
+    assert!(totals.server_busy_ns >= traced.server_busy_ns.iter().sum::<u64>());
+
+    // The trace-derived hotspot map agrees with the always-on counters.
+    assert_eq!(HotspotMap::from_trace(&trace), traced.hotspots());
+
+    // And the timeline exports valid JSON with a human summary.
+    validate_json(&timeline.to_json()).expect("timeline JSON must validate");
+    assert!(timeline.summary().contains("intervals"));
 }
 
 #[test]
