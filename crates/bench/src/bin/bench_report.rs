@@ -7,7 +7,7 @@
 //!
 //! Runs the three kernels (micro / jacobi / md) single-threaded at the
 //! quick (CI) scale with event tracing on, and writes one
-//! [`BenchReport`](samhita_bench::BenchReport) per kernel. Single-threaded
+//! [`BenchReport`] per kernel. Single-threaded
 //! runs are fully deterministic (DESIGN.md §2), so the committed baselines
 //! can be compared exactly by `bench-diff` — the CI tolerance exists for
 //! future configurations, not for noise.

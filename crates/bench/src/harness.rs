@@ -18,6 +18,18 @@ pub fn run_summary(report: &RunReport) -> String {
     out.push_str(&format!("  fetch stalls      {}\n", report.fetch_latency().summary()));
     out.push_str(&format!("  lock waits        {}\n", report.lock_wait().summary()));
     out.push_str(&format!("  barrier waits     {}\n", report.barrier_wait().summary()));
+    // Per-class fabric traffic plus the per-sync-op message rate — the
+    // flush-batching signal (O(servers) batched, O(dirty pages) not).
+    let cells: Vec<String> = samhita_scl::MsgClass::ALL
+        .iter()
+        .map(|&c| format!("{} {}/{}B", c.label(), report.fabric.msgs(c), report.fabric.bytes(c)))
+        .collect();
+    out.push_str(&format!("  fabric msgs       {}\n", cells.join(", ")));
+    out.push_str(&format!(
+        "  msgs per sync op  {:.2}  ({} sync ops)\n",
+        report.msgs_per_sync_op(),
+        report.sync_ops()
+    ));
     // Service-side utilization rides on the always-on busy accounting; a
     // native (non-DSM) run has no services and skips the lines entirely.
     if report.layout.is_some() {

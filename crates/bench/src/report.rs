@@ -16,12 +16,15 @@
 //! itself a failure that says "regenerate the baseline".
 
 use samhita_core::{RunReport, SamhitaConfig};
+use samhita_scl::MsgClass;
 use samhita_trace::{
     json::escape, JsonValue, LatencyHistogram, MetricsTimeline, PageCounters, RunTrace,
 };
 
 /// Schema tag written into every report, bumped on breaking changes.
-pub const SCHEMA: &str = "samhita-bench-report-v1";
+/// v2 adds the per-class traffic section (`traffic`) with message and byte
+/// counts plus the `msgs_per_sync_op` rate the batching gate watches.
+pub const SCHEMA: &str = "samhita-bench-report-v2";
 
 /// Number of timeline intervals summarized into a report.
 const TIMELINE_BUCKETS: u64 = 20;
@@ -88,6 +91,54 @@ impl TimelineSummary {
     }
 }
 
+/// Message and byte counts of one traffic class over a run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ClassTraffic {
+    /// Class label (`data`, `update`, `sync`, `control`).
+    pub class: String,
+    pub msgs: u64,
+    pub bytes: u64,
+}
+
+/// Per-class fabric traffic plus the sync-op-normalized message rate.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TrafficSummary {
+    pub total_msgs: u64,
+    pub total_bytes: u64,
+    /// Lock acquisitions + barrier episodes across all threads.
+    pub sync_ops: u64,
+    /// Update-class messages per sync op — O(servers) with batched flushes,
+    /// O(dirty pages) without.
+    pub msgs_per_sync_op: f64,
+    /// One entry per [`MsgClass`], in `MsgClass::ALL` order.
+    pub classes: Vec<ClassTraffic>,
+}
+
+impl TrafficSummary {
+    /// Digest a run's fabric counters.
+    pub fn of(report: &RunReport) -> Self {
+        TrafficSummary {
+            total_msgs: report.fabric.total_msgs(),
+            total_bytes: report.fabric.total_bytes(),
+            sync_ops: report.sync_ops(),
+            msgs_per_sync_op: report.msgs_per_sync_op(),
+            classes: MsgClass::ALL
+                .iter()
+                .map(|&c| ClassTraffic {
+                    class: c.label().to_string(),
+                    msgs: report.fabric.msgs(c),
+                    bytes: report.fabric.bytes(c),
+                })
+                .collect(),
+        }
+    }
+
+    /// Message count of the class labelled `label`, 0 when absent.
+    pub fn msgs_of(&self, label: &str) -> u64 {
+        self.classes.iter().find(|c| c.class == label).map_or(0, |c| c.msgs)
+    }
+}
+
 /// One hotspot page with its allocation site and protocol counters.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct HotspotEntry {
@@ -120,6 +171,8 @@ pub struct BenchReport {
     pub barrier: HistogramSummary,
     /// Present when the run recorded an event trace.
     pub timeline: Option<TimelineSummary>,
+    /// Per-class fabric traffic and the per-sync-op message rate.
+    pub traffic: TrafficSummary,
     /// Top pages by coherence churn, with allocation sites.
     pub hotspots: Vec<HotspotEntry>,
 }
@@ -181,6 +234,7 @@ impl BenchReport {
             lock: HistogramSummary::of(&report.lock_wait()),
             barrier: HistogramSummary::of(&report.barrier_wait()),
             timeline,
+            traffic: TrafficSummary::of(report),
             hotspots,
         }
     }
@@ -234,6 +288,24 @@ impl BenchReport {
                 t.peak_server_busy_ns
             )),
         }
+        let t = &self.traffic;
+        out.push_str(&format!(
+            "\"traffic\":{{\"total_msgs\":{},\"total_bytes\":{},\"sync_ops\":{},\
+             \"msgs_per_sync_op\":{},\"classes\":[",
+            t.total_msgs, t.total_bytes, t.sync_ops, t.msgs_per_sync_op
+        ));
+        for (i, c) in t.classes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"class\":\"{}\",\"msgs\":{},\"bytes\":{}}}",
+                escape(&c.class),
+                c.msgs,
+                c.bytes
+            ));
+        }
+        out.push_str("]},");
         out.push_str("\"hotspots\":[");
         for (i, h) in self.hotspots.iter().enumerate() {
             if i > 0 {
@@ -287,6 +359,26 @@ impl BenchReport {
                 peak_server_busy_ns: req_u64(t, "peak_server_busy_ns")?,
             }),
         };
+        let traffic = {
+            let t = v.get("traffic").ok_or("missing traffic section")?;
+            let mut classes = Vec::new();
+            for c in
+                t.get("classes").and_then(|c| c.as_array()).ok_or("missing or non-array classes")?
+            {
+                classes.push(ClassTraffic {
+                    class: req_str(c, "class")?.to_string(),
+                    msgs: req_u64(c, "msgs")?,
+                    bytes: req_u64(c, "bytes")?,
+                });
+            }
+            TrafficSummary {
+                total_msgs: req_u64(t, "total_msgs")?,
+                total_bytes: req_u64(t, "total_bytes")?,
+                sync_ops: req_u64(t, "sync_ops")?,
+                msgs_per_sync_op: req_f64(t, "msgs_per_sync_op")?,
+                classes,
+            }
+        };
         let mut hotspots = Vec::new();
         for h in
             v.get("hotspots").and_then(|h| h.as_array()).ok_or("missing or non-array hotspots")?
@@ -325,6 +417,7 @@ impl BenchReport {
             lock: histogram("lock")?,
             barrier: histogram("barrier")?,
             timeline,
+            traffic,
             hotspots,
         })
     }
@@ -364,7 +457,7 @@ const SYNC_FRACTION_SLACK: f64 = 0.005;
 
 /// Compare `fresh` against `base`: makespan and sync fraction may grow by at
 /// most `tolerance` (relative, e.g. `0.05` for 5%; sync fraction gets an
-/// extra [`SYNC_FRACTION_SLACK`] absolute allowance). `git_rev` is ignored;
+/// extra `SYNC_FRACTION_SLACK` absolute allowance). `git_rev` is ignored;
 /// a `config_fingerprint` mismatch is always a failure because the numbers
 /// are not comparable — regenerate the baseline instead.
 pub fn compare(base: &BenchReport, fresh: &BenchReport, tolerance: f64) -> Comparison {
@@ -413,6 +506,35 @@ pub fn compare(base: &BenchReport, fresh: &BenchReport, tolerance: f64) -> Compa
             SYNC_FRACTION_SLACK * 100.0
         ));
     }
+
+    // Message-count gates: a regression here means the protocol started
+    // chattering — e.g. the flush batcher fell back to per-page messages.
+    // Counts are deterministic, but a small absolute allowance keeps
+    // near-zero baselines from failing on a handful of messages.
+    const MSG_SLACK: u64 = 16;
+    for (label, b, f) in [
+        ("total msgs", base.traffic.total_msgs, fresh.traffic.total_msgs),
+        ("update msgs", base.traffic.msgs_of("update"), fresh.traffic.msgs_of("update")),
+    ] {
+        cmp.lines.push(format!(
+            "{:>10}  {label:<13} {:>14} -> {:>14}  ({:+.2}%)",
+            fresh.kernel,
+            b,
+            f,
+            pct(b as f64, f as f64)
+        ));
+        if f as f64 > b as f64 * (1.0 + tolerance) + MSG_SLACK as f64 {
+            cmp.regressions.push(format!(
+                "{}: {label} regressed {b} -> {f} (tolerance {:.1}% + {MSG_SLACK})",
+                fresh.kernel,
+                tolerance * 100.0
+            ));
+        }
+    }
+    cmp.lines.push(format!(
+        "{:>10}  msgs/sync op  {:>14.2} -> {:>14.2}",
+        fresh.kernel, base.traffic.msgs_per_sync_op, fresh.traffic.msgs_per_sync_op
+    ));
     cmp
 }
 
@@ -449,6 +571,18 @@ mod tests {
                 peak_server_bucket: 4,
                 peak_server_busy_ns: 30_000,
             }),
+            traffic: TrafficSummary {
+                total_msgs: 1000,
+                total_bytes: 500_000,
+                sync_ops: 40,
+                msgs_per_sync_op: 5.0,
+                classes: vec![
+                    ClassTraffic { class: "data".into(), msgs: 500, bytes: 400_000 },
+                    ClassTraffic { class: "update".into(), msgs: 200, bytes: 80_000 },
+                    ClassTraffic { class: "sync".into(), msgs: 200, bytes: 15_000 },
+                    ClassTraffic { class: "control".into(), msgs: 100, bytes: 5_000 },
+                ],
+            },
             hotspots: vec![HotspotEntry {
                 page: 65538,
                 site: "shared".into(),
@@ -482,7 +616,31 @@ mod tests {
         let r = sample();
         let cmp = compare(&r, &r, 0.05);
         assert!(cmp.passed(), "self-comparison regressed: {:?}", cmp.regressions);
-        assert_eq!(cmp.lines.len(), 2);
+        assert_eq!(cmp.lines.len(), 5);
+    }
+
+    #[test]
+    fn message_count_regression_fails() {
+        let base = sample();
+        // Update-class chatter doubled: the flush batcher broke.
+        let mut fresh = base.clone();
+        fresh.traffic.classes[1].msgs = 400;
+        fresh.traffic.total_msgs = 1200;
+        let cmp = compare(&base, &fresh, 0.05);
+        assert!(!cmp.passed());
+        assert!(cmp.regressions.iter().any(|r| r.contains("update msgs")), "{:?}", cmp.regressions);
+        assert!(cmp.regressions.iter().any(|r| r.contains("total msgs")), "{:?}", cmp.regressions);
+        // A few extra messages inside the absolute slack pass.
+        let mut ok = base.clone();
+        ok.traffic.classes[1].msgs += 10;
+        ok.traffic.total_msgs += 10;
+        assert!(compare(&base, &ok, 0.0).passed());
+        // Fewer messages are never a regression.
+        let mut fewer = base.clone();
+        fewer.traffic.classes[1].msgs = 20;
+        fewer.traffic.total_msgs = 820;
+        fewer.traffic.msgs_per_sync_op = 0.5;
+        assert!(compare(&base, &fewer, 0.05).passed());
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub mod layout;
 pub mod localsync;
 pub mod manager;
 pub mod msg;
+pub mod proto;
 pub mod stats;
 pub mod system;
 pub mod thread;
@@ -65,6 +66,7 @@ pub use config::{
     PartitionSpec, RetryConfig, SamhitaConfig, TopologyKind,
 };
 pub use layout::{AddressLayout, Placement, Region};
+pub use msg::MgrError;
 pub use stats::{RunReport, ThreadStats};
 pub use system::{Samhita, SystemStats};
 pub use thread::ThreadCtx;

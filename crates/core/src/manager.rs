@@ -20,7 +20,7 @@ use serde::{Deserialize, Serialize};
 use crate::config::SamhitaConfig;
 use crate::freelist::FreeListAlloc;
 use crate::layout::{AddressLayout, Region};
-use crate::msg::{MgrRequest, MgrResponse};
+use crate::msg::{MgrError, MgrRequest, MgrResponse};
 
 /// Size cap of the striped region (virtual space, not memory).
 const STRIPED_REGION_BYTES: u64 = 1 << 40;
@@ -180,7 +180,7 @@ impl ManagerEngine {
                 self.stats.allocs += 1;
                 let resp = match self.shared.alloc(size, align.max(8)) {
                     Some(addr) => MgrResponse::Addr(addr),
-                    None => MgrResponse::Err(format!("shared zone exhausted ({size} bytes)")),
+                    None => MgrResponse::Err(MgrError::SharedExhausted { size }),
                 };
                 vec![Outgoing { dst: src, token, at: done, resp }]
             }
@@ -190,7 +190,7 @@ impl ManagerEngine {
                 // across memory servers from its first byte.
                 let resp = match self.striped.alloc(size, self.layout.line_bytes) {
                     Some(addr) => MgrResponse::Addr(addr),
-                    None => MgrResponse::Err(format!("striped region exhausted ({size} bytes)")),
+                    None => MgrResponse::Err(MgrError::StripedExhausted { size }),
                 };
                 vec![Outgoing { dst: src, token, at: done, resp }]
             }
@@ -205,9 +205,7 @@ impl ManagerEngine {
                         self.striped.free(addr);
                         MgrResponse::Ok
                     }
-                    region => MgrResponse::Err(format!(
-                        "free of {addr:#x} in {region:?}: not a live manager allocation"
-                    )),
+                    region => MgrResponse::Err(MgrError::BadFree { addr, region }),
                 };
                 vec![Outgoing { dst: src, token, at: done, resp }]
             }

@@ -6,8 +6,12 @@
 //! a private counter, so responses can arrive out of order (prefetches,
 //! eviction acks) and still be matched.
 
+use std::fmt;
+
 use samhita_mem::{MemRequest, MemResponse};
 use samhita_regc::{FineUpdate, WriteNotice};
+
+use crate::layout::Region;
 
 /// Everything that travels on the fabric.
 #[derive(Clone, Debug)]
@@ -87,9 +91,51 @@ pub enum MgrResponse {
     Granted { notices: Vec<WriteNotice>, watermark: u64 },
     /// Barrier released: unseen write notices plus the new watermark.
     BarrierReleased { notices: Vec<WriteNotice>, watermark: u64 },
-    /// Request failed (diagnostic string).
-    Err(String),
+    /// Request failed.
+    Err(MgrError),
 }
+
+/// Typed manager-side failures. Fixed-size and `Copy`, so the happy path
+/// never allocates a diagnostic string; `Display` renders the full
+/// diagnostic only when someone actually reports the error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MgrError {
+    /// The shared zone could not satisfy an allocation of `size` bytes.
+    SharedExhausted {
+        /// Requested allocation size.
+        size: u64,
+    },
+    /// The striped region could not satisfy an allocation of `size` bytes.
+    StripedExhausted {
+        /// Requested allocation size.
+        size: u64,
+    },
+    /// `addr` does not name a live manager-mediated allocation.
+    BadFree {
+        /// The freed address.
+        addr: u64,
+        /// The address-space region `addr` falls in.
+        region: Region,
+    },
+}
+
+impl fmt::Display for MgrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MgrError::SharedExhausted { size } => {
+                write!(f, "shared zone exhausted ({size} bytes)")
+            }
+            MgrError::StripedExhausted { size } => {
+                write!(f, "striped region exhausted ({size} bytes)")
+            }
+            MgrError::BadFree { addr, region } => {
+                write!(f, "free of {addr:#x} in {region:?}: not a live manager allocation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MgrError {}
 
 impl MgrRequest {
     /// Short operation label, for trace events.
@@ -146,7 +192,7 @@ impl MgrResponse {
             | MgrResponse::BarrierReleased { notices, watermark: _ } => {
                 16 + notices.iter().map(WriteNotice::wire_bytes).sum::<usize>()
             }
-            MgrResponse::Err(s) => 16 + s.len(),
+            MgrResponse::Err(_) => 16,
         }
     }
 }
@@ -184,6 +230,21 @@ mod tests {
             watermark: 1,
         };
         assert_eq!(loaded.wire_bytes() - empty.wire_bytes(), 16 + 24);
+    }
+
+    #[test]
+    fn mgr_errors_are_fixed_size_with_full_diagnostics() {
+        // The error payload is a fixed-size Copy value on the wire…
+        let e = MgrError::SharedExhausted { size: 4096 };
+        assert_eq!(MgrResponse::Err(e).wire_bytes(), 16);
+        // …but still renders the complete diagnostic on demand.
+        assert_eq!(e.to_string(), "shared zone exhausted (4096 bytes)");
+        assert_eq!(
+            MgrError::StripedExhausted { size: 99 }.to_string(),
+            "striped region exhausted (99 bytes)"
+        );
+        let bad = MgrError::BadFree { addr: 0x1000, region: Region::Reserved };
+        assert_eq!(bad.to_string(), "free of 0x1000 in Reserved: not a live manager allocation");
     }
 
     #[test]

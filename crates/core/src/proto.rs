@@ -1,0 +1,737 @@
+//! The typed RPC transport layer.
+//!
+//! Everything about *getting a request answered over a lossy fabric* lives
+//! here, in one place, instead of being hand-rolled at each call site:
+//!
+//! * **token correlation** — every request carries a token from a private
+//!   per-channel counter, so responses (acks, prefetch data) may arrive out
+//!   of order and still be matched;
+//! * **retry / timeout / backoff** — send-time drops are retried eagerly
+//!   with capped exponential backoff; in-flight losses surface as the lost
+//!   copy's arrival (the deterministic analogue of a retransmission timeout);
+//! * **idempotent request tokens** — manager retransmissions reuse their
+//!   token so the manager's replay cache answers them; memory-server
+//!   retransmissions resend the identical request so the server's dedup
+//!   cache re-acks without re-applying;
+//! * **replica failover** — when a memory server exhausts its retry budget
+//!   the channel re-homes its traffic to the write-through replica, stickily;
+//! * **per-class cost accounting** — every send charges the configured send
+//!   cost against the channel's virtual clock and tags the message with its
+//!   [`MsgClass`] for the fabric's per-class counters;
+//! * **trace emission** — `Retry` / `Failover` events are recorded here;
+//!   `FaultInjected` events are recorded by the fabric observer at the
+//!   moment the fate is decided.
+//!
+//! [`Channel`] is the compute-thread transport (owned by
+//! [`crate::thread::ThreadCtx`]); [`HostChannel`] is the host control
+//! client's reliable, fault-exempt variant. Both speak [`Msg`].
+
+use std::collections::{HashMap, HashSet};
+
+use samhita_mem::{HomeMap, MemRequest, MemResponse};
+use samhita_scl::{Endpoint, EndpointId, Envelope, MsgClass, RetryPolicy, SimTime};
+use samhita_trace::{EventKind, TraceBuf};
+
+use crate::msg::{MgrRequest, MgrResponse, Msg};
+
+/// An asynchronous update (batched flush or eviction diff) whose
+/// acknowledgement is still outstanding. Kept so a lost ack can be answered
+/// by retransmitting the identical request (the server's idempotency cache
+/// re-acks without re-applying), and so ack-path exhaustion can fail over
+/// knowing which server and copy (primary or write-through shadow) the
+/// update targeted.
+struct PendingAck {
+    server: u32,
+    class: MsgClass,
+    req: MemRequest,
+    shadow: bool,
+    attempts: u32,
+}
+
+/// A compute thread's typed transport channel: virtual clock, token counter,
+/// retry/failover state, outstanding-ack ledger, and prefetch correlation.
+pub struct Channel {
+    ep: Endpoint<Msg>,
+    mgr_ep: EndpointId,
+    mem_eps: Vec<EndpointId>,
+    tid: u32,
+    /// Per-send fixed cost, ns (from the configured cost model).
+    send_ns: f64,
+    replica_offset: u32,
+    home_map: HomeMap,
+
+    clock: SimTime,
+    /// Sub-nanosecond cost accumulator (keeps tiny per-op charges exact).
+    frac_ns: f64,
+
+    next_token: u64,
+    retry: RetryPolicy,
+    /// Memory servers this channel has given up on (sticky: once a server
+    /// is declared dead, all its traffic is re-homed to the replica).
+    failed_servers: HashSet<u32>,
+    outstanding_acks: HashMap<u64, PendingAck>,
+    ack_horizon: SimTime,
+    prefetch_tokens: HashMap<u64, u64>,   // token -> line
+    prefetch_inflight: HashMap<u64, u64>, // line -> token
+    prefetch_ready: HashMap<u64, (SimTime, Vec<u8>, Vec<u64>)>,
+    /// Prefetch tokens whose line was invalidated while the fetch was in
+    /// flight: the response must be discarded, not installed.
+    poisoned_prefetches: HashSet<u64>,
+
+    retries: u64,
+    failovers: u64,
+    /// Event ring for this channel's thread track; `None` when tracing is
+    /// off. Strictly observational — never read back, never advances the
+    /// clock.
+    trace: Option<TraceBuf>,
+}
+
+impl Channel {
+    /// Build a channel for thread `tid` over endpoint `ep`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        tid: u32,
+        ep: Endpoint<Msg>,
+        mgr_ep: EndpointId,
+        mem_eps: Vec<EndpointId>,
+        send_ns: f64,
+        replica_offset: u32,
+        home_map: HomeMap,
+        retry: RetryPolicy,
+    ) -> Self {
+        Channel {
+            ep,
+            mgr_ep,
+            mem_eps,
+            tid,
+            send_ns,
+            replica_offset,
+            home_map,
+            clock: SimTime::ZERO,
+            frac_ns: 0.0,
+            next_token: 1,
+            retry,
+            failed_servers: HashSet::new(),
+            outstanding_acks: HashMap::new(),
+            ack_horizon: SimTime::ZERO,
+            prefetch_tokens: HashMap::new(),
+            prefetch_inflight: HashMap::new(),
+            prefetch_ready: HashMap::new(),
+            poisoned_prefetches: HashSet::new(),
+            retries: 0,
+            failovers: 0,
+            trace: None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Clock, trace, counters
+    // ------------------------------------------------------------------
+
+    /// The channel's virtual clock (the owning thread's timeline).
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Advance the clock to at least `t` (message deliveries, grants).
+    pub(crate) fn advance_to(&mut self, t: SimTime) {
+        self.clock = self.clock.max(t);
+    }
+
+    /// Charge `ns` (possibly fractional) of virtual time.
+    pub(crate) fn charge(&mut self, ns: f64) {
+        self.frac_ns += ns;
+        if self.frac_ns >= 1.0 {
+            let whole = self.frac_ns.floor();
+            self.clock += SimTime::from_ns(whole as u64);
+            self.frac_ns -= whole;
+        }
+    }
+
+    /// Zero the clock (registration is setup, not application time). The
+    /// fractional accumulator intentionally carries over: it is a cost
+    /// remainder, not a timestamp.
+    pub(crate) fn reset_clock(&mut self) {
+        self.clock = SimTime::ZERO;
+    }
+
+    /// Record one protocol event at the current virtual time, if tracing.
+    #[inline]
+    pub(crate) fn trace(&mut self, kind: EventKind) {
+        if let Some(buf) = self.trace.as_mut() {
+            buf.push(self.clock, kind);
+        }
+    }
+
+    pub(crate) fn attach_trace(&mut self, buf: TraceBuf) {
+        self.trace = Some(buf);
+    }
+
+    pub(crate) fn take_trace(&mut self) -> Option<TraceBuf> {
+        self.trace.take()
+    }
+
+    /// Retransmissions performed so far.
+    pub(crate) fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Server failovers performed so far.
+    pub(crate) fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    fn fresh_token(&mut self) -> u64 {
+        let t = self.next_token;
+        self.next_token += 1;
+        t
+    }
+
+    fn token_of(env: &Envelope<Msg>) -> u64 {
+        match &env.msg {
+            Msg::MemResp { token, .. } | Msg::MgrResp { token, .. } => *token,
+            other => panic!("compute thread received non-response message: {other:?}"),
+        }
+    }
+
+    /// Record one retransmission: bump the counter, advance the clock to the
+    /// backoff deadline (or the virtual-timeout instant), trace it.
+    fn note_retry(&mut self, op: &'static str, attempt: u32, resume_at: SimTime) {
+        self.retries += 1;
+        self.clock = self.clock.max(resume_at);
+        self.trace(EventKind::Retry { op, attempt });
+    }
+
+    // ------------------------------------------------------------------
+    // Failover topology
+    // ------------------------------------------------------------------
+
+    fn replica_of(&self, server: u32) -> Option<u32> {
+        self.home_map.replica_of_server(server, self.replica_offset)
+    }
+
+    fn live_replica_of(&self, server: u32) -> Option<u32> {
+        self.replica_of(server).filter(|r| !self.failed_servers.contains(r))
+    }
+
+    /// Where traffic homed on `home` actually goes: the primary while it is
+    /// believed alive, its replica after a failover.
+    pub(crate) fn effective_server(&self, home: u32) -> u32 {
+        if self.failed_servers.contains(&home) {
+            self.live_replica_of(home)
+                .unwrap_or_else(|| panic!("memory server {home} failed with no live replica"))
+        } else {
+            home
+        }
+    }
+
+    /// Declare `from` dead and re-home its traffic to the replica.
+    fn fail_over(&mut self, from: u32) -> u32 {
+        let to = self
+            .live_replica_of(from)
+            .unwrap_or_else(|| panic!("memory server {from} unreachable and no live replica"));
+        if self.failed_servers.insert(from) {
+            self.failovers += 1;
+            self.trace(EventKind::Failover { from, to });
+        }
+        to
+    }
+
+    // ------------------------------------------------------------------
+    // Manager RPC
+    // ------------------------------------------------------------------
+
+    /// Synchronous manager RPC with retry and backoff. Every retransmission
+    /// reuses the request's token, so the manager's replay cache makes the
+    /// request idempotent (a retried `Acquire` can never double-acquire).
+    /// The manager has no replica: exhaustion is fatal.
+    pub(crate) fn rpc_mgr(&mut self, req: MgrRequest, class: MsgClass) -> MgrResponse {
+        let op = req.label();
+        let wire = req.wire_bytes();
+        let token = self.fresh_token();
+        let mut attempt = 0u32;
+        loop {
+            let sent_at = self.clock;
+            let (_, fate) = self
+                .ep
+                .send_faulted(
+                    self.mgr_ep,
+                    self.clock,
+                    wire,
+                    class,
+                    Msg::MgrReq { token, tid: self.tid, req: req.clone() },
+                )
+                .expect("manager endpoint closed");
+            self.charge(self.send_ns);
+            if fate.is_dropped() {
+                attempt += 1;
+                assert!(
+                    attempt < self.retry.max_attempts,
+                    "manager unreachable: {op} request dropped {attempt} times"
+                );
+                self.note_retry(op, attempt, sent_at + self.retry.delay(attempt));
+                continue;
+            }
+            // Block for the matching reply. A *lost* matching reply arriving
+            // is the deterministic analogue of a retransmission timeout
+            // firing; requests whose grant is legitimately deferred (queued
+            // acquires, condition waits) just keep blocking.
+            loop {
+                let env = self.ep.recv().expect("fabric closed while awaiting response");
+                let t = Self::token_of(&env);
+                if t != token {
+                    self.absorb(t, env);
+                    continue;
+                }
+                self.clock = self.clock.max(env.deliver_at);
+                if env.lost {
+                    attempt += 1;
+                    assert!(
+                        attempt < self.retry.max_attempts,
+                        "manager unreachable: {op} reply lost {attempt} times"
+                    );
+                    self.note_retry(op, attempt, env.deliver_at);
+                    break;
+                }
+                match env.msg {
+                    Msg::MgrResp { resp, .. } => return resp,
+                    other => panic!("unexpected manager response: {other:?}"),
+                }
+            }
+        }
+    }
+
+    /// Fire-and-forget manager send (lock releases): the manager orders the
+    /// request before any subsequent grant; the sender only pays the send
+    /// cost, plus backoff for retransmissions after send-time drops.
+    pub(crate) fn send_mgr_oneway(&mut self, req: MgrRequest, class: MsgClass) {
+        let op = req.label();
+        let wire = req.wire_bytes();
+        let token = self.fresh_token();
+        let mut attempt = 0u32;
+        loop {
+            let sent_at = self.clock;
+            let (_, fate) = self
+                .ep
+                .send_faulted(
+                    self.mgr_ep,
+                    self.clock,
+                    wire,
+                    class,
+                    Msg::MgrReq { token, tid: self.tid, req: req.clone() },
+                )
+                .expect("manager endpoint closed");
+            self.charge(self.send_ns);
+            if !fate.is_dropped() {
+                return;
+            }
+            attempt += 1;
+            assert!(
+                attempt < self.retry.max_attempts,
+                "manager unreachable: {op} request dropped {attempt} times"
+            );
+            self.note_retry(op, attempt, sent_at + self.retry.delay(attempt));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Memory-server RPC
+    // ------------------------------------------------------------------
+
+    /// Synchronous memory-server RPC with retry, timeout (played by the lost
+    /// copy's arrival), backoff, and failover to the replica on exhaustion.
+    pub(crate) fn rpc_mem(
+        &mut self,
+        home: u32,
+        req: MemRequest,
+        class: MsgClass,
+    ) -> (MemResponse, SimTime) {
+        let op = req.label();
+        let wire = req.wire_bytes();
+        let mut server = self.effective_server(home);
+        'fresh: loop {
+            // A fresh token per target server: a late reply from an
+            // abandoned primary must never pass for the replica's answer.
+            let token = self.fresh_token();
+            let mut attempt = 0u32;
+            loop {
+                let sent_at = self.clock;
+                let (_, fate) = self
+                    .ep
+                    .send_faulted(
+                        self.mem_eps[server as usize],
+                        self.clock,
+                        wire,
+                        class,
+                        Msg::MemReq { token, shadow: false, req: req.clone() },
+                    )
+                    .expect("memory server endpoint closed");
+                self.charge(self.send_ns);
+                if fate.is_dropped() {
+                    attempt += 1;
+                    if attempt >= self.retry.max_attempts {
+                        server = self.fail_over(server);
+                        continue 'fresh;
+                    }
+                    self.note_retry(op, attempt, sent_at + self.retry.delay(attempt));
+                    continue;
+                }
+                loop {
+                    let env = self.ep.recv().expect("fabric closed while awaiting response");
+                    let t = Self::token_of(&env);
+                    if t != token {
+                        self.absorb(t, env);
+                        continue;
+                    }
+                    self.clock = self.clock.max(env.deliver_at);
+                    if env.lost {
+                        attempt += 1;
+                        if attempt >= self.retry.max_attempts {
+                            server = self.fail_over(server);
+                            continue 'fresh;
+                        }
+                        self.note_retry(op, attempt, env.deliver_at);
+                        break;
+                    }
+                    match env.msg {
+                        Msg::MemResp { resp, .. } => return (resp, env.deliver_at),
+                        other => panic!("unexpected memory response: {other:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Ship one asynchronous update to its home, write-through to the
+    /// replica when one is configured and the home is still the live
+    /// primary. Acks for every copy are awaited at the next fence, so at a
+    /// fence the replica is byte-identical to the primary — the property
+    /// that makes post-failover reads bit-exact.
+    pub(crate) fn send_update(&mut self, home: u32, class: MsgClass, req: MemRequest) {
+        let primary = self.effective_server(home);
+        if self.replica_offset == 0 {
+            self.post_update(primary, class, req, false);
+            return;
+        }
+        self.post_update(primary, class, req.clone(), false);
+        // Re-check after the primary send: if it exhausted its retries and
+        // failed over, the replica already received the (sole) live copy.
+        if !self.failed_servers.contains(&home) {
+            if let Some(r) = self.live_replica_of(home) {
+                self.post_update(r, class, req, true);
+            }
+        }
+    }
+
+    /// Transmit one update copy, eagerly riding out send-time drops with
+    /// capped backoff; registers the ack obligation on success.
+    fn post_update(&mut self, mut server: u32, class: MsgClass, req: MemRequest, shadow: bool) {
+        let op = req.label();
+        let wire = req.wire_bytes();
+        let token = self.fresh_token();
+        let mut attempt = 0u32;
+        loop {
+            let sent_at = self.clock;
+            let (_, fate) = self
+                .ep
+                .send_faulted(
+                    self.mem_eps[server as usize],
+                    self.clock,
+                    wire,
+                    class,
+                    Msg::MemReq { token, shadow, req: req.clone() },
+                )
+                .expect("memory server endpoint closed");
+            self.charge(self.send_ns);
+            if !fate.is_dropped() {
+                break;
+            }
+            attempt += 1;
+            if attempt >= self.retry.max_attempts {
+                if shadow {
+                    // The replica is unreachable: abandon write-through to
+                    // it; the already-posted primary copy stands alone.
+                    self.failed_servers.insert(server);
+                    return;
+                }
+                server = self.fail_over(server);
+                attempt = 0;
+                continue;
+            }
+            self.note_retry(op, attempt, sent_at + self.retry.delay(attempt));
+        }
+        self.outstanding_acks.insert(token, PendingAck { server, class, req, shadow, attempts: 0 });
+    }
+
+    /// Block until every outstanding update has been acknowledged (the
+    /// fence half of a flush), then advance the clock past the latest ack.
+    pub(crate) fn drain_acks(&mut self) {
+        while !self.outstanding_acks.is_empty() {
+            let env = self.ep.recv().expect("fabric closed while draining acks");
+            let token = Self::token_of(&env);
+            self.absorb(token, env);
+        }
+        self.clock = self.clock.max(self.ack_horizon);
+    }
+
+    /// File an out-of-band message: prefetch data, a flush ack, a lost copy
+    /// signalling a retransmission timeout, or a suppressed duplicate of an
+    /// already-handled reply (silently dropped — that is the idempotent-token
+    /// half of duplicate suppression).
+    fn absorb(&mut self, token: u64, env: Envelope<Msg>) {
+        if self.poisoned_prefetches.remove(&token) {
+            // Stale prefetch overtaken by an invalidation: drop it (lost or
+            // not — nobody waits on it).
+        } else if let Some(line) = self.prefetch_tokens.remove(&token) {
+            self.prefetch_inflight.remove(&line);
+            if env.lost {
+                // Lost prefetch response: forget the prefetch entirely; a
+                // later miss will demand-fetch the line.
+                return;
+            }
+            match env.msg {
+                Msg::MemResp { resp: MemResponse::Line { data, versions, .. }, .. } => {
+                    self.prefetch_ready.insert(line, (env.deliver_at, data, versions));
+                }
+                other => panic!("unexpected prefetch response: {other:?}"),
+            }
+        } else if self.outstanding_acks.contains_key(&token) {
+            if env.lost {
+                self.retransmit_update(token, env.deliver_at);
+            } else {
+                self.outstanding_acks.remove(&token);
+                self.ack_horizon = self.ack_horizon.max(env.deliver_at);
+            }
+        }
+    }
+
+    /// A flush ack was lost. The server *has* applied the update (only the
+    /// acknowledgement is missing), so retransmit the identical request —
+    /// the server's idempotency cache re-acks without re-applying — until an
+    /// ack survives the wire, or give up and lean on the replica copy.
+    fn retransmit_update(&mut self, token: u64, observed_at: SimTime) {
+        let mut pa = self.outstanding_acks.remove(&token).expect("pending ack");
+        let give_up = |me: &mut Self, pa: &PendingAck| {
+            // The path to this server is dead, but the data was applied
+            // there. Drop the ack obligation; for a primary copy, re-home
+            // future traffic to the replica carrying the write-through copy.
+            if pa.shadow {
+                me.failed_servers.insert(pa.server);
+            } else {
+                me.fail_over(pa.server);
+            }
+        };
+        pa.attempts += 1;
+        if pa.attempts >= self.retry.max_attempts {
+            give_up(self, &pa);
+            self.ack_horizon = self.ack_horizon.max(observed_at);
+            return;
+        }
+        self.note_retry(pa.req.label(), pa.attempts, observed_at);
+        loop {
+            let sent_at = self.clock;
+            let (_, fate) = self
+                .ep
+                .send_faulted(
+                    self.mem_eps[pa.server as usize],
+                    self.clock,
+                    pa.req.wire_bytes(),
+                    pa.class,
+                    Msg::MemReq { token, shadow: pa.shadow, req: pa.req.clone() },
+                )
+                .expect("memory server endpoint closed");
+            self.charge(self.send_ns);
+            if !fate.is_dropped() {
+                self.outstanding_acks.insert(token, pa);
+                return;
+            }
+            pa.attempts += 1;
+            if pa.attempts >= self.retry.max_attempts {
+                give_up(self, &pa);
+                return;
+            }
+            self.note_retry(pa.req.label(), pa.attempts, sent_at + self.retry.delay(pa.attempts));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Prefetch correlation
+    // ------------------------------------------------------------------
+
+    /// Issue an asynchronous line prefetch towards `home`'s effective
+    /// server. Returns `false` when the send was dropped — prefetch is
+    /// opportunistic and never retried; a later demand miss fetches the
+    /// line for real.
+    pub(crate) fn try_prefetch(&mut self, home: u32, line: u64, req: MemRequest) -> bool {
+        let server = self.effective_server(home);
+        let wire = req.wire_bytes();
+        let token = self.fresh_token();
+        let (_, fate) = self
+            .ep
+            .send_faulted(
+                self.mem_eps[server as usize],
+                self.clock,
+                wire,
+                MsgClass::Data,
+                Msg::MemReq { token, shadow: false, req },
+            )
+            .expect("memory server endpoint closed");
+        self.charge(self.send_ns);
+        if fate.is_dropped() {
+            return false;
+        }
+        self.prefetch_tokens.insert(token, line);
+        self.prefetch_inflight.insert(line, token);
+        true
+    }
+
+    /// Take a completed prefetch for `line`, if one has arrived.
+    pub(crate) fn take_ready_prefetch(
+        &mut self,
+        line: u64,
+    ) -> Option<(SimTime, Vec<u8>, Vec<u64>)> {
+        self.prefetch_ready.remove(&line)
+    }
+
+    /// Take the token of an in-flight prefetch for `line` (deregistering
+    /// it), so the caller can [`Channel::await_prefetch`] it.
+    pub(crate) fn take_inflight_prefetch(&mut self, line: u64) -> Option<u64> {
+        let token = self.prefetch_inflight.remove(&line)?;
+        self.prefetch_tokens.remove(&token);
+        Some(token)
+    }
+
+    /// True when a prefetch covering `line` is in flight or completed.
+    pub(crate) fn prefetch_pending_for(&self, line: u64) -> bool {
+        self.prefetch_inflight.contains_key(&line) || self.prefetch_ready.contains_key(&line)
+    }
+
+    /// Block for an in-flight prefetch response. Returns `None` when the
+    /// response was lost on the wire — the lost copy's arrival plays the
+    /// retransmission timeout, and the caller demand-fetches instead.
+    pub(crate) fn await_prefetch(&mut self, token: u64) -> Option<(Vec<u8>, Vec<u64>)> {
+        loop {
+            let env = self.ep.recv().expect("fabric closed while awaiting response");
+            let t = Self::token_of(&env);
+            if t != token {
+                self.absorb(t, env);
+                continue;
+            }
+            self.clock = self.clock.max(env.deliver_at);
+            if env.lost {
+                return None;
+            }
+            match env.msg {
+                Msg::MemResp { resp: MemResponse::Line { data, versions, .. }, .. } => {
+                    return Some((data, versions));
+                }
+                other => panic!("unexpected prefetch response: {other:?}"),
+            }
+        }
+    }
+
+    /// Drop a completed and poison an in-flight prefetch covering `line`.
+    pub(crate) fn poison_prefetch_line(&mut self, line: u64) {
+        self.prefetch_ready.remove(&line);
+        if let Some(token) = self.prefetch_inflight.remove(&line) {
+            self.prefetch_tokens.remove(&token);
+            self.poisoned_prefetches.insert(token);
+        }
+    }
+
+    /// Settle all in-flight prefetch traffic (thread teardown): receiving
+    /// each response proves its server already processed the request, so
+    /// run-level busy counters read after join are race-free.
+    pub(crate) fn settle_prefetches(&mut self) {
+        while !self.prefetch_tokens.is_empty() || !self.poisoned_prefetches.is_empty() {
+            let env = self.ep.recv().expect("fabric closed while settling prefetches");
+            let token = Self::token_of(&env);
+            self.absorb(token, env);
+        }
+    }
+}
+
+/// The host control client's channel: reliable (fault-exempt — it models
+/// the experimenter's out-of-band access), strictly request/response, with
+/// its own token stream and virtual clock.
+pub struct HostChannel {
+    ep: Endpoint<Msg>,
+    clock: SimTime,
+    next_token: u64,
+}
+
+impl HostChannel {
+    pub(crate) fn new(ep: Endpoint<Msg>) -> Self {
+        HostChannel { ep, clock: SimTime::ZERO, next_token: 1 }
+    }
+
+    fn fresh_token(&mut self) -> u64 {
+        let t = self.next_token;
+        self.next_token += 1;
+        t
+    }
+
+    /// Reliable manager RPC on behalf of host tid `tid`.
+    pub(crate) fn rpc_mgr(
+        &mut self,
+        mgr: EndpointId,
+        tid: u32,
+        req: MgrRequest,
+        class: MsgClass,
+    ) -> MgrResponse {
+        let wire = req.wire_bytes();
+        let token = self.fresh_token();
+        self.ep
+            .send_reliable(mgr, self.clock, wire, class, Msg::MgrReq { token, tid, req })
+            .expect("manager endpoint closed");
+        let env = self.wait_for(token);
+        self.clock = self.clock.max(env.deliver_at);
+        match env.msg {
+            Msg::MgrResp { resp, .. } => resp,
+            other => panic!("unexpected manager response: {other:?}"),
+        }
+    }
+
+    /// Reliable memory-server RPC (control-plane reads and writes; `shadow`
+    /// marks replica write-through copies, kept off the event trace).
+    pub(crate) fn rpc_mem(
+        &mut self,
+        server: EndpointId,
+        shadow: bool,
+        req: MemRequest,
+    ) -> MemResponse {
+        let wire = req.wire_bytes();
+        let token = self.fresh_token();
+        self.ep
+            .send_reliable(
+                server,
+                self.clock,
+                wire,
+                MsgClass::Control,
+                Msg::MemReq { token, shadow, req },
+            )
+            .expect("memory server endpoint closed");
+        let env = self.wait_for(token);
+        self.clock = self.clock.max(env.deliver_at);
+        match env.msg {
+            Msg::MemResp { resp, .. } => resp,
+            other => panic!("unexpected memory response: {other:?}"),
+        }
+    }
+
+    /// Reliable teardown signal: a crashed (or partitioned) service must
+    /// still receive its shutdown message, or the join would hang.
+    pub(crate) fn send_shutdown(&self, dst: EndpointId) {
+        let _ = self.ep.send_reliable(dst, self.clock, 8, MsgClass::Control, Msg::Shutdown);
+    }
+
+    fn wait_for(&mut self, token: u64) -> Envelope<Msg> {
+        // The control client is strictly request/response: the next message
+        // must be the matching reply.
+        let env = self.ep.recv().expect("fabric closed");
+        match &env.msg {
+            Msg::MemResp { token: t, .. } | Msg::MgrResp { token: t, .. } if *t == token => env,
+            other => panic!("control client got unexpected message: {other:?}"),
+        }
+    }
+}

@@ -9,7 +9,7 @@
 //! invalidation refetches during computation, which is where false sharing
 //! hurts) is compute time.
 
-use samhita_scl::{FabricStatsSnapshot, SimTime};
+use samhita_scl::{FabricStatsSnapshot, MsgClass, SimTime};
 use samhita_trace::{HotspotMap, LatencyHistogram};
 use serde::{Deserialize, Serialize};
 
@@ -145,6 +145,22 @@ impl RunReport {
         sync as f64 / total as f64
     }
 
+    /// Total synchronization operations across all threads: lock
+    /// acquisitions plus barrier episodes. Each one triggers a full flush,
+    /// so it is the natural denominator for per-sync-op message rates.
+    pub fn sync_ops(&self) -> u64 {
+        self.total_of(|t| t.locks_acquired) + self.total_of(|t| t.barriers)
+    }
+
+    /// Update-class messages sent per synchronization operation. With
+    /// batched flushes this is bounded by the number of destination memory
+    /// servers (plus acks and replica copies) instead of the number of
+    /// dirty pages; a rise signals a flush-path regression. Runs with no
+    /// sync ops report their raw update-message count.
+    pub fn msgs_per_sync_op(&self) -> f64 {
+        self.fabric.msgs(MsgClass::Update) as f64 / self.sync_ops().max(1) as f64
+    }
+
     /// Compute-time skew across threads: `max(compute) / mean(compute)`.
     /// 1.0 means perfectly balanced; 0 for an empty report or when no
     /// thread accumulated compute time.
@@ -227,6 +243,8 @@ impl RunReport {
 
 #[cfg(test)]
 mod tests {
+    use samhita_scl::FabricStats;
+
     use super::*;
 
     fn t(tid: u32, total_ns: u64, sync_ns: u64) -> ThreadStats {
@@ -339,6 +357,27 @@ mod tests {
         assert_eq!(r.site_label(layout.arena_base / layout.page_size), "arena(0)");
         assert_eq!(r.site_label(layout.shared_base / layout.page_size), "shared");
         assert_eq!(r.site_label(layout.striped_base / layout.page_size + 100), "striped");
+    }
+
+    #[test]
+    fn sync_ops_and_message_rate() {
+        let mut a = t(0, 10, 0);
+        a.locks_acquired = 3;
+        a.barriers = 2;
+        let mut b = t(1, 10, 0);
+        b.locks_acquired = 1;
+        let stats = FabricStats::default();
+        for _ in 0..12 {
+            stats.record(MsgClass::Update, 64);
+        }
+        stats.record(MsgClass::Data, 4096);
+        let r = RunReport::new(vec![a, b], stats.snapshot());
+        assert_eq!(r.sync_ops(), 6);
+        assert!((r.msgs_per_sync_op() - 2.0).abs() < 1e-12, "12 update msgs over 6 sync ops");
+        // No sync ops: the raw update count, not a division by zero.
+        let empty = RunReport::new(vec![t(0, 10, 0)], stats.snapshot());
+        assert_eq!(empty.sync_ops(), 0);
+        assert!((empty.msgs_per_sync_op() - 12.0).abs() < 1e-12);
     }
 
     #[test]

@@ -20,6 +20,7 @@ use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
 use samhita_mem::{HomeMap, MemRequest, MemResponse, MemoryServer, PageId, ServerStats};
+use samhita_regc::UpdatePart;
 use samhita_scl::{Endpoint, EndpointId, Fabric, MsgClass, SimTime};
 use samhita_trace::{EventKind, RunTrace, SharedTrack, Tracer, TrackId};
 use serde::{Deserialize, Serialize};
@@ -29,6 +30,7 @@ use crate::layout::{AddressLayout, Placement};
 use crate::localsync::LocalSync;
 use crate::manager::{ManagerEngine, ManagerStats};
 use crate::msg::{MgrRequest, MgrResponse, Msg};
+use crate::proto::HostChannel;
 use crate::stats::RunReport;
 use crate::thread::ThreadCtx;
 
@@ -44,12 +46,6 @@ pub struct SystemStats {
     pub servers: Vec<ServerStats>,
 }
 
-struct CtlClient {
-    ep: Endpoint<Msg>,
-    clock: SimTime,
-    next_token: u64,
-}
-
 /// A running Samhita system.
 pub struct Samhita {
     cfg: Arc<SamhitaConfig>,
@@ -60,7 +56,7 @@ pub struct Samhita {
     mgr_ep: EndpointId,
     mem_eps: Vec<EndpointId>,
     local_sync: Option<Arc<LocalSync>>,
-    ctl: Mutex<CtlClient>,
+    ctl: Mutex<HostChannel>,
     mgr_handle: Option<JoinHandle<ManagerStats>>,
     mem_handles: Vec<JoinHandle<ServerStats>>,
     tracer: Option<Arc<Tracer>>,
@@ -177,9 +173,13 @@ impl Samhita {
         }));
 
         // Host control client (registers like a thread, but never syncs).
-        let mut ctl = CtlClient { ep: ctl_endpoint, clock: SimTime::ZERO, next_token: 1 };
-        let resp =
-            ctl.rpc(mgr_ep, HOST_TID, MgrRequest::Register { observer: true }, MsgClass::Control);
+        let mut ctl = HostChannel::new(ctl_endpoint);
+        let resp = ctl.rpc_mgr(
+            mgr_ep,
+            HOST_TID,
+            MgrRequest::Register { observer: true },
+            MsgClass::Control,
+        );
         assert!(matches!(resp, MgrResponse::Registered { .. }), "host registration failed");
 
         let local_sync =
@@ -246,7 +246,7 @@ impl Samhita {
 
     fn ctl_sync_id(&self, req: MgrRequest) -> u32 {
         let mut ctl = self.ctl.lock();
-        match ctl.rpc(self.mgr_ep, HOST_TID, req, MsgClass::Control) {
+        match ctl.rpc_mgr(self.mgr_ep, HOST_TID, req, MsgClass::Control) {
             MgrResponse::SyncId(id) => id,
             other => panic!("unexpected create response: {other:?}"),
         }
@@ -261,7 +261,7 @@ impl Samhita {
             MgrRequest::AllocShared { size, align: 8 }
         };
         let mut ctl = self.ctl.lock();
-        match ctl.rpc(self.mgr_ep, HOST_TID, req, MsgClass::Control) {
+        match ctl.rpc_mgr(self.mgr_ep, HOST_TID, req, MsgClass::Control) {
             MgrResponse::Addr(a) => a,
             MgrResponse::Err(e) => panic!("host allocation failed: {e}"),
             other => panic!("unexpected allocation response: {other:?}"),
@@ -271,7 +271,7 @@ impl Samhita {
     /// Free a host allocation.
     pub fn free_global(&self, addr: u64) {
         let mut ctl = self.ctl.lock();
-        match ctl.rpc(self.mgr_ep, HOST_TID, MgrRequest::Free { addr }, MsgClass::Control) {
+        match ctl.rpc_mgr(self.mgr_ep, HOST_TID, MgrRequest::Free { addr }, MsgClass::Control) {
             MgrResponse::Ok => {}
             MgrResponse::Err(e) => panic!("host free failed: {e}"),
             other => panic!("unexpected free response: {other:?}"),
@@ -457,10 +457,9 @@ impl Samhita {
             // receive its shutdown message, or the join below would hang.
             let ctl = self.ctl.lock();
             for &ep in &self.mem_eps {
-                let _ = ctl.ep.send_reliable(ep, ctl.clock, 8, MsgClass::Control, Msg::Shutdown);
+                ctl.send_shutdown(ep);
             }
-            let _ =
-                ctl.ep.send_reliable(self.mgr_ep, ctl.clock, 8, MsgClass::Control, Msg::Shutdown);
+            ctl.send_shutdown(self.mgr_ep);
         }
         for h in self.mem_handles.drain(..) {
             stats.servers.push(h.join().expect("memory server panicked"));
@@ -480,80 +479,42 @@ impl Drop for Samhita {
     }
 }
 
-impl CtlClient {
-    fn fresh_token(&mut self) -> u64 {
-        let t = self.next_token;
-        self.next_token += 1;
-        t
-    }
-
-    fn rpc(&mut self, mgr: EndpointId, tid: u32, req: MgrRequest, class: MsgClass) -> MgrResponse {
-        let wire = req.wire_bytes();
-        let token = self.fresh_token();
-        self.ep
-            .send_reliable(mgr, self.clock, wire, class, Msg::MgrReq { token, tid, req })
-            .expect("manager endpoint closed");
-        let env = self.wait_for(token);
-        self.clock = self.clock.max(env.deliver_at);
-        match env.msg {
-            Msg::MgrResp { resp, .. } => resp,
-            other => panic!("unexpected manager response: {other:?}"),
-        }
-    }
-
-    fn rpc_mem(&mut self, server: EndpointId, shadow: bool, req: MemRequest) -> MemResponse {
-        let wire = req.wire_bytes();
-        let token = self.fresh_token();
-        self.ep
-            .send_reliable(
-                server,
-                self.clock,
-                wire,
-                MsgClass::Control,
-                Msg::MemReq { token, shadow, req },
-            )
-            .expect("memory server endpoint closed");
-        let env = self.wait_for(token);
-        self.clock = self.clock.max(env.deliver_at);
-        match env.msg {
-            Msg::MemResp { resp, .. } => resp,
-            other => panic!("unexpected memory response: {other:?}"),
-        }
-    }
-
-    fn wait_for(&mut self, token: u64) -> samhita_scl::Envelope<Msg> {
-        // The control client is strictly request/response: the next message
-        // must be the matching reply.
-        let env = self.ep.recv().expect("fabric closed");
-        match &env.msg {
-            Msg::MemResp { token: t, .. } | Msg::MgrResp { token: t, .. } if *t == token => env,
-            other => panic!("control client got unexpected message: {other:?}"),
-        }
-    }
-}
-
-/// Summarize a memory request as a trace event (stamped later, at the
-/// server's service-completion time).
-fn mem_event(req: &MemRequest) -> EventKind {
+/// Summarize a memory request as trace events (stamped later, at the
+/// server's service-completion time). A batched update expands into one
+/// event per component part, so byte-conservation checks over the server
+/// track see exactly the same `ApplyDiff`/`ApplyFine` totals whether or not
+/// the flushes travelled coalesced.
+fn mem_events(req: &MemRequest) -> Vec<EventKind> {
     match req {
         MemRequest::FetchLine { first, pages } => {
-            EventKind::ServeFetch { page: first.0, pages: *pages }
+            vec![EventKind::ServeFetch { page: first.0, pages: *pages }]
         }
-        MemRequest::FetchPage { page } => EventKind::ServeFetch { page: page.0, pages: 1 },
+        MemRequest::FetchPage { page } => vec![EventKind::ServeFetch { page: page.0, pages: 1 }],
         MemRequest::ApplyDiff { page, diff } => {
-            EventKind::ApplyDiff { page: page.0, bytes: diff.payload_bytes() as u64 }
+            vec![EventKind::ApplyDiff { page: page.0, bytes: diff.payload_bytes() as u64 }]
         }
         MemRequest::ApplyFine { page, bytes, .. } => {
-            EventKind::ApplyFine { page: page.0, bytes: bytes.len() as u64 }
+            vec![EventKind::ApplyFine { page: page.0, bytes: bytes.len() as u64 }]
         }
-        MemRequest::WritePage { page, .. } => EventKind::ServeWrite { page: page.0 },
+        MemRequest::WritePage { page, .. } => vec![EventKind::ServeWrite { page: page.0 }],
+        MemRequest::UpdateBatch { batch } => batch
+            .parts()
+            .map(|part| match part {
+                UpdatePart::Diff { page, diff } => {
+                    EventKind::ApplyDiff { page: *page, bytes: diff.payload_bytes() as u64 }
+                }
+                UpdatePart::Fine { page, bytes, .. } => {
+                    EventKind::ApplyFine { page: *page, bytes: bytes.len() as u64 }
+                }
+            })
+            .collect(),
     }
 }
 
 fn mem_resp_class(resp: &MemResponse) -> MsgClass {
     match resp {
         MemResponse::Line { .. } | MemResponse::Page { .. } => MsgClass::Data,
-        MemResponse::Ack { .. } => MsgClass::Update,
+        MemResponse::Ack { .. } | MemResponse::BatchAck { .. } => MsgClass::Update,
     }
 }
 
@@ -598,13 +559,15 @@ fn mem_server_loop(
                 // Shadow (replica write-through) copies are applied and
                 // counted, but kept off the event trace so replication does
                 // not disturb the observable protocol timeline.
-                let event = if shadow { None } else { track.as_ref().map(|_| mem_event(&req)) };
+                let events = if shadow { None } else { track.as_ref().map(|_| mem_events(&req)) };
                 let (resp, done) = server.handle(req, env.deliver_at);
                 // Publish virtual busy time before the response leaves: the
                 // requester's receipt then proves the new value is visible.
                 busy.store(server.stats().busy_ns, Ordering::Relaxed);
-                if let (Some(track), Some(event)) = (&track, event) {
-                    track.push(done, event);
+                if let (Some(track), Some(events)) = (&track, events) {
+                    for event in events {
+                        track.push(done, event);
+                    }
                 }
                 if dedup {
                     seen.insert((env.src, token), (done, resp.clone()));

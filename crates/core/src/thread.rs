@@ -2,11 +2,13 @@
 //!
 //! A [`ThreadCtx`] is handed to each compute thread by
 //! [`crate::system::Samhita::run`]. It owns the thread's software cache,
-//! region state, fine-grain write set, virtual clock, and fabric endpoint,
-//! and exposes the programming interface the paper describes as
-//! "very similar to that presented by Pthreads": allocation, typed loads
-//! and stores into the shared global address space, mutual-exclusion locks,
-//! condition variables and barriers.
+//! region state, fine-grain write set, and virtual clock, and exposes the
+//! programming interface the paper describes as "very similar to that
+//! presented by Pthreads": allocation, typed loads and stores into the
+//! shared global address space, mutual-exclusion locks, condition variables
+//! and barriers. All fabric traffic goes through a typed transport
+//! [`crate::proto::Channel`], which owns token correlation, retry/backoff,
+//! failover, and cost accounting.
 //!
 //! ## Time accounting
 //!
@@ -24,12 +26,14 @@
 //! notice is published through the manager, and incoming notices invalidate
 //! stale cached pages.
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use samhita_mem::{HomeMap, MemRequest, MemResponse, PageId};
-use samhita_regc::{FineUpdate, PageState, RegionKind, RegionState, WriteNotice, WriteSet};
-use samhita_scl::{Endpoint, EndpointId, Envelope, MsgClass, RetryPolicy, SimTime};
+use samhita_regc::{
+    FineUpdate, PageState, RegionKind, RegionState, UpdateBatch, UpdatePart, WriteNotice, WriteSet,
+};
+use samhita_scl::{Endpoint, EndpointId, MsgClass, RetryPolicy, SimTime};
 use samhita_trace::{EventKind, FetchKind, TraceBuf};
 
 use crate::cache::SoftCache;
@@ -38,20 +42,8 @@ use crate::freelist::FreeListAlloc;
 use crate::layout::{AddressLayout, Region};
 use crate::localsync::LocalSync;
 use crate::msg::{MgrRequest, MgrResponse, Msg};
+use crate::proto::Channel;
 use crate::stats::ThreadStats;
-
-/// An asynchronous update (diff or fine-grain flush) whose acknowledgement
-/// is still outstanding. Kept so a lost ack can be answered by retransmitting
-/// the identical request (the server's idempotency cache re-acks without
-/// re-applying), and so ack-path exhaustion can fail over knowing which
-/// server and copy (primary or write-through shadow) the update targeted.
-struct PendingAck {
-    server: u32,
-    class: MsgClass,
-    req: MemRequest,
-    shadow: bool,
-    attempts: u32,
-}
 
 /// The per-thread handle to the shared global address space.
 pub struct ThreadCtx {
@@ -61,14 +53,10 @@ pub struct ThreadCtx {
     layout: AddressLayout,
     home_map: HomeMap,
 
-    ep: Endpoint<Msg>,
-    mgr_ep: EndpointId,
-    mem_eps: Vec<EndpointId>,
+    /// The thread's typed transport: clock, tokens, retries, failover.
+    chan: Channel,
     local_sync: Option<Arc<LocalSync>>,
 
-    clock: SimTime,
-    /// Sub-nanosecond cost accumulator (keeps tiny per-op charges exact).
-    frac_ns: f64,
     sync_time: SimTime,
     /// Timing epoch (see [`ThreadCtx::start_timing`]).
     epoch_clock: SimTime,
@@ -83,24 +71,7 @@ pub struct ThreadCtx {
 
     arena: FreeListAlloc,
 
-    next_token: u64,
-    retry: RetryPolicy,
-    /// Memory servers this thread has given up on (sticky: once a server is
-    /// declared dead, all its traffic is re-homed to the replica).
-    failed_servers: HashSet<u32>,
-    outstanding_acks: HashMap<u64, PendingAck>,
-    ack_horizon: SimTime,
-    prefetch_tokens: HashMap<u64, u64>,   // token -> line
-    prefetch_inflight: HashMap<u64, u64>, // line -> token
-    prefetch_ready: HashMap<u64, (SimTime, Vec<u8>, Vec<u64>)>,
-    /// Prefetch tokens whose line was invalidated while the fetch was in
-    /// flight: the response must be discarded, not installed.
-    poisoned_prefetches: HashSet<u64>,
-
     stats: ThreadStats,
-    /// Event ring for this thread's track; `None` when tracing is off.
-    /// Strictly observational — never read back, never advances the clock.
-    trace: Option<TraceBuf>,
 }
 
 impl ThreadCtx {
@@ -133,18 +104,24 @@ impl ThreadCtx {
             max_attempts: cfg.retry.max_attempts,
             seed: cfg.faults.seed ^ (u64::from(tid) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
         };
+        let chan = Channel::new(
+            tid,
+            ep,
+            mgr_ep,
+            mem_eps,
+            cfg.costs.send_ns as f64,
+            cfg.replica_offset,
+            home_map,
+            retry,
+        );
         let mut ctx = ThreadCtx {
             tid,
             nthreads,
             cfg,
             layout,
             home_map,
-            ep,
-            mgr_ep,
-            mem_eps,
+            chan,
             local_sync,
-            clock: SimTime::ZERO,
-            frac_ns: 0.0,
             sync_time: SimTime::ZERO,
             epoch_clock: SimTime::ZERO,
             epoch_sync: SimTime::ZERO,
@@ -154,24 +131,14 @@ impl ThreadCtx {
             pending_pages: BTreeSet::new(),
             last_seen: 0,
             arena: FreeListAlloc::new(arena_lo, arena_hi),
-            next_token: 1,
-            retry,
-            failed_servers: HashSet::new(),
-            outstanding_acks: HashMap::new(),
-            ack_horizon: SimTime::ZERO,
-            prefetch_tokens: HashMap::new(),
-            prefetch_inflight: HashMap::new(),
-            prefetch_ready: HashMap::new(),
-            poisoned_prefetches: HashSet::new(),
             stats: ThreadStats { tid, ..ThreadStats::default() },
-            trace: None,
         };
-        match ctx.rpc_mgr(MgrRequest::Register { observer: false }, MsgClass::Control) {
+        match ctx.chan.rpc_mgr(MgrRequest::Register { observer: false }, MsgClass::Control) {
             MgrResponse::Registered { watermark } => ctx.last_seen = watermark,
             other => panic!("registration failed: {other:?}"),
         }
         // Registration is setup, not application time.
-        ctx.clock = SimTime::ZERO;
+        ctx.chan.reset_clock();
         ctx
     }
 
@@ -179,21 +146,19 @@ impl ThreadCtx {
     /// construction (registration is setup, not a traced protocol event), so
     /// every stamp in the buffer is on the post-reset application timeline.
     pub(crate) fn attach_trace(&mut self, buf: TraceBuf) {
-        self.trace = Some(buf);
+        self.chan.attach_trace(buf);
     }
 
     /// Record one protocol event at the current virtual time, if tracing.
     #[inline]
     fn trace(&mut self, kind: EventKind) {
-        if let Some(buf) = self.trace.as_mut() {
-            buf.push(self.clock, kind);
-        }
+        self.chan.trace(kind);
     }
 
     /// Close a fetch stall that started at `t0`: feed the latency histogram
     /// (always on) and the event trace (when enabled).
     fn record_fetch(&mut self, page: u64, pages: u32, kind: FetchKind, t0: SimTime) {
-        let wait_ns = (self.clock - t0).as_ns();
+        let wait_ns = (self.chan.now() - t0).as_ns();
         self.stats.fetch_latency.record(wait_ns);
         self.trace(EventKind::Fetch { page, pages, kind, wait_ns });
     }
@@ -214,7 +179,7 @@ impl ThreadCtx {
 
     /// The thread's virtual clock.
     pub fn now(&self) -> SimTime {
-        self.clock
+        self.chan.now()
     }
 
     /// Time spent in synchronization operations so far.
@@ -227,27 +192,18 @@ impl ThreadCtx {
     /// initialization/warm-up phase, exactly where a wall-clock benchmark
     /// would start its timer.
     pub fn start_timing(&mut self) {
-        self.epoch_clock = self.clock;
+        self.epoch_clock = self.chan.now();
         self.epoch_sync = self.sync_time;
     }
 
     /// Charge `flops` floating-point operations of pure computation.
     pub fn compute(&mut self, flops: u64) {
-        self.charge(flops as f64 * self.cfg.costs.flop_ns);
-    }
-
-    fn charge(&mut self, ns: f64) {
-        self.frac_ns += ns;
-        if self.frac_ns >= 1.0 {
-            let whole = self.frac_ns.floor();
-            self.clock += SimTime::from_ns(whole as u64);
-            self.frac_ns -= whole;
-        }
+        self.chan.charge(flops as f64 * self.cfg.costs.flop_ns);
     }
 
     fn charge_mem_ops(&mut self, bytes: usize) {
         let ops = bytes.div_ceil(8) as f64;
-        self.charge(ops * self.cfg.costs.mem_op_ns);
+        self.chan.charge(ops * self.cfg.costs.mem_op_ns);
     }
 
     // ------------------------------------------------------------------
@@ -452,17 +408,17 @@ impl ThreadCtx {
 
     /// Acquire a mutual-exclusion lock, entering a consistency region.
     pub fn lock(&mut self, lock: u32) {
-        let t0 = self.clock;
+        let t0 = self.chan.now();
         let (pages, updates) = self.flush_all();
-        let req_at = self.clock;
+        let req_at = self.chan.now();
         self.trace(EventKind::LockRequest { lock });
         let (notices, wm) = if let Some(ls) = self.local_sync.clone() {
             let (at, notices, wm) =
-                ls.acquire(lock, self.tid, self.clock, pages, updates, self.last_seen);
-            self.clock = self.clock.max(at);
+                ls.acquire(lock, self.tid, self.chan.now(), pages, updates, self.last_seen);
+            self.chan.advance_to(at);
             (notices, wm)
         } else {
-            match self.rpc_mgr(
+            match self.chan.rpc_mgr(
                 MgrRequest::Acquire { lock, pages, updates, last_seen: self.last_seen },
                 MsgClass::Sync,
             ) {
@@ -470,19 +426,19 @@ impl ThreadCtx {
                 other => panic!("unexpected acquire response: {other:?}"),
             }
         };
-        let wait_ns = (self.clock - req_at).as_ns();
+        let wait_ns = (self.chan.now() - req_at).as_ns();
         self.stats.lock_wait.record(wait_ns);
         self.trace(EventKind::LockAcquire { lock, wait_ns });
         self.apply_notices(&notices);
         self.last_seen = wm;
         self.region.enter();
         self.stats.locks_acquired += 1;
-        self.sync_time += self.clock - t0;
+        self.sync_time += self.chan.now() - t0;
     }
 
     /// Release a lock, flushing consistency-region updates at fine grain.
     pub fn unlock(&mut self, lock: u32) {
-        let t0 = self.clock;
+        let t0 = self.chan.now();
         self.region.exit();
         let (pages, updates) = self.flush_all();
         // Stamped after the flush and before the wire send: on a correct run
@@ -490,56 +446,31 @@ impl ThreadCtx {
         // lets the trace checker treat [acquire, release] as the hold.
         self.trace(EventKind::LockRelease { lock });
         if let Some(ls) = self.local_sync.clone() {
-            ls.release(lock, self.tid, self.clock, pages, updates);
-            self.charge(self.cfg.costs.local_sync_ns as f64);
+            ls.release(lock, self.tid, self.chan.now(), pages, updates);
+            self.chan.charge(self.cfg.costs.local_sync_ns as f64);
         } else {
             // Fire-and-forget: the manager orders the release before any
             // subsequent grant; the releaser only pays the send cost (plus
             // backoff for any retransmission after a send-time drop).
             let req = MgrRequest::Release { lock, pages, updates, last_seen: self.last_seen };
-            let wire = req.wire_bytes();
-            let token = self.fresh_token();
-            let mut attempt = 0u32;
-            loop {
-                let sent_at = self.clock;
-                let (_, fate) = self
-                    .ep
-                    .send_faulted(
-                        self.mgr_ep,
-                        self.clock,
-                        wire,
-                        MsgClass::Sync,
-                        Msg::MgrReq { token, tid: self.tid, req: req.clone() },
-                    )
-                    .expect("manager endpoint closed");
-                self.charge(self.cfg.costs.send_ns as f64);
-                if !fate.is_dropped() {
-                    break;
-                }
-                attempt += 1;
-                assert!(
-                    attempt < self.retry.max_attempts,
-                    "manager unreachable: release of lock {lock} dropped {attempt} times"
-                );
-                self.note_retry("release", attempt, sent_at + self.retry.delay(attempt));
-            }
+            self.chan.send_mgr_oneway(req, MsgClass::Sync);
         }
-        self.sync_time += self.clock - t0;
+        self.sync_time += self.chan.now() - t0;
     }
 
     /// Wait at a barrier.
     pub fn barrier(&mut self, barrier: u32) {
-        let t0 = self.clock;
+        let t0 = self.chan.now();
         let (pages, updates) = self.flush_all();
-        let arrive_at = self.clock;
+        let arrive_at = self.chan.now();
         self.trace(EventKind::BarrierArrive { barrier });
         let (notices, wm) = if let Some(ls) = self.local_sync.clone() {
             let (at, notices, wm) =
-                ls.barrier_wait(barrier, self.tid, self.clock, pages, updates, self.last_seen);
-            self.clock = self.clock.max(at);
+                ls.barrier_wait(barrier, self.tid, self.chan.now(), pages, updates, self.last_seen);
+            self.chan.advance_to(at);
             (notices, wm)
         } else {
-            match self.rpc_mgr(
+            match self.chan.rpc_mgr(
                 MgrRequest::BarrierWait { barrier, pages, updates, last_seen: self.last_seen },
                 MsgClass::Sync,
             ) {
@@ -547,58 +478,58 @@ impl ThreadCtx {
                 other => panic!("unexpected barrier response: {other:?}"),
             }
         };
-        let wait_ns = (self.clock - arrive_at).as_ns();
+        let wait_ns = (self.chan.now() - arrive_at).as_ns();
         self.stats.barrier_wait.record(wait_ns);
         self.trace(EventKind::BarrierRelease { barrier, wait_ns });
         self.apply_notices(&notices);
         self.last_seen = wm;
         self.stats.barriers += 1;
-        self.sync_time += self.clock - t0;
+        self.sync_time += self.chan.now() - t0;
     }
 
     /// Atomically release `lock` and wait on condition variable `cond`;
     /// re-acquires the lock before returning. Must be called while holding
     /// `lock` (as with Pthreads, that is a caller obligation).
     pub fn cond_wait(&mut self, cond: u32, lock: u32) {
-        let t0 = self.clock;
+        let t0 = self.chan.now();
         let (pages, updates) = self.flush_all();
         // On the trace, a cond wait is a lock release (the atomic handoff to
         // the manager) followed by a re-acquire at wake-up.
         self.trace(EventKind::LockRelease { lock });
-        let req_at = self.clock;
-        match self.rpc_mgr(
+        let req_at = self.chan.now();
+        match self.chan.rpc_mgr(
             MgrRequest::CondWait { cond, lock, pages, updates, last_seen: self.last_seen },
             MsgClass::Sync,
         ) {
             MgrResponse::Granted { notices, watermark } => {
-                let wait_ns = (self.clock - req_at).as_ns();
+                let wait_ns = (self.chan.now() - req_at).as_ns();
                 self.trace(EventKind::LockAcquire { lock, wait_ns });
                 self.apply_notices(&notices);
                 self.last_seen = watermark;
             }
             other => panic!("unexpected cond-wait response: {other:?}"),
         }
-        self.sync_time += self.clock - t0;
+        self.sync_time += self.chan.now() - t0;
     }
 
     /// Wake one waiter of `cond`.
     pub fn cond_signal(&mut self, cond: u32) {
-        let t0 = self.clock;
+        let t0 = self.chan.now();
         match self.rpc_mgr_traced(MgrRequest::CondSignal { cond }, MsgClass::Sync) {
             MgrResponse::Ok => {}
             other => panic!("unexpected signal response: {other:?}"),
         }
-        self.sync_time += self.clock - t0;
+        self.sync_time += self.chan.now() - t0;
     }
 
     /// Wake all waiters of `cond`.
     pub fn cond_broadcast(&mut self, cond: u32) {
-        let t0 = self.clock;
+        let t0 = self.chan.now();
         match self.rpc_mgr_traced(MgrRequest::CondBroadcast { cond }, MsgClass::Sync) {
             MgrResponse::Ok => {}
             other => panic!("unexpected broadcast response: {other:?}"),
         }
-        self.sync_time += self.clock - t0;
+        self.sync_time += self.chan.now() - t0;
     }
 
     /// Create a lock from a running thread (locks are more typically created
@@ -611,7 +542,7 @@ impl ThreadCtx {
     }
 
     // ------------------------------------------------------------------
-    // Internals: fault handling, flushing, RPC
+    // Internals: residency, flushing
     // ------------------------------------------------------------------
 
     /// Make `page` resident and valid, faulting (and prefetching) as needed.
@@ -620,21 +551,21 @@ impl ThreadCtx {
         let line_pages = self.cache.line_pages() as u32;
         if self.cache.contains_line(line) {
             if self.cache.page_state(page) == Some(PageState::Invalid) {
-                let t0 = self.clock;
+                let t0 = self.chan.now();
                 // Revalidation after invalidation notices: false-sharing
                 // refetch traffic. When several pages of the line were
                 // invalidated, one line fetch amortizes the round-trip.
                 let fetched_pages = if self.cache.invalid_pages_in_line(line) > 1 {
                     let first = PageId(line * self.cache.line_pages() as u64);
                     let server = self.home_map.home_of_line(line);
-                    let (resp, _) = self.rpc_mem(
+                    let (resp, _) = self.chan.rpc_mem(
                         server,
                         MemRequest::FetchLine { first, pages: self.cache.line_pages() as u32 },
                         MsgClass::Data,
                     );
                     match resp {
                         MemResponse::Line { data, versions, .. } => {
-                            self.charge(
+                            self.chan.charge(
                                 (data.len() as u64 / 1024 * self.cfg.costs.cache_fill_per_kib_ns)
                                     as f64,
                             );
@@ -645,7 +576,7 @@ impl ThreadCtx {
                     line_pages
                 } else {
                     let server = self.home_map.home_of_page(PageId(page));
-                    let (resp, _) = self.rpc_mem(
+                    let (resp, _) = self.chan.rpc_mem(
                         server,
                         MemRequest::FetchPage { page: PageId(page) },
                         MsgClass::Data,
@@ -653,7 +584,7 @@ impl ThreadCtx {
                     match resp {
                         MemResponse::Page { data, version, .. } => {
                             self.cache.install_page(page, &data, version);
-                            self.charge(
+                            self.chan.charge(
                                 (data.len() as u64 / 1024 * self.cfg.costs.cache_fill_per_kib_ns)
                                     as f64,
                             );
@@ -671,17 +602,16 @@ impl ThreadCtx {
         }
 
         let first_page = line * self.cache.line_pages() as u64;
-        let t0 = self.clock;
-        if let Some((deliver, data, versions)) = self.prefetch_ready.remove(&line) {
+        let t0 = self.chan.now();
+        if let Some((deliver, data, versions)) = self.chan.take_ready_prefetch(line) {
             // A completed prefetch: free unless we outran it.
-            self.clock = self.clock.max(deliver);
+            self.chan.advance_to(deliver);
             self.stats.prefetch_hits += 1;
             self.install_line(line, data, versions);
             self.record_fetch(first_page, line_pages, FetchKind::PrefetchHit, t0);
-        } else if let Some(token) = self.prefetch_inflight.remove(&line) {
+        } else if let Some(token) = self.chan.take_inflight_prefetch(line) {
             // Prefetch still in flight: wait for it.
-            self.prefetch_tokens.remove(&token);
-            match self.await_prefetch(token) {
+            match self.chan.await_prefetch(token) {
                 Some((data, versions)) => {
                     self.stats.prefetch_late += 1;
                     self.install_line(line, data, versions);
@@ -715,7 +645,7 @@ impl ThreadCtx {
     fn demand_fetch_line(&mut self, line: u64) {
         let first = PageId(line * self.cache.line_pages() as u64);
         let server = self.home_map.home_of_line(line);
-        let (resp, _) = self.rpc_mem(
+        let (resp, _) = self.chan.rpc_mem(
             server,
             MemRequest::FetchLine { first, pages: self.cache.line_pages() as u32 },
             MsgClass::Data,
@@ -726,172 +656,92 @@ impl ThreadCtx {
         }
     }
 
-    /// Block for an in-flight prefetch response. Returns `None` when the
-    /// response was lost on the wire — the lost copy's arrival plays the
-    /// retransmission timeout, and the caller demand-fetches instead.
-    fn await_prefetch(&mut self, token: u64) -> Option<(Vec<u8>, Vec<u64>)> {
-        loop {
-            let env = self.ep.recv().expect("fabric closed while awaiting response");
-            let t = Self::token_of(&env);
-            if t != token {
-                self.absorb(t, env);
-                continue;
-            }
-            self.clock = self.clock.max(env.deliver_at);
-            if env.lost {
-                return None;
-            }
-            match env.msg {
-                Msg::MemResp { resp: MemResponse::Line { data, versions, .. }, .. } => {
-                    return Some((data, versions));
-                }
-                other => panic!("unexpected prefetch response: {other:?}"),
-            }
-        }
-    }
-
     fn install_line(&mut self, line: u64, data: Vec<u8>, versions: Vec<u64>) {
         self.make_room();
-        self.charge((data.len() as u64 / 1024 * self.cfg.costs.cache_fill_per_kib_ns) as f64);
+        self.chan.charge((data.len() as u64 / 1024 * self.cfg.costs.cache_fill_per_kib_ns) as f64);
         self.cache.install_line(line, data, versions);
     }
 
-    /// Evict until a new line fits, flushing dirty victims home.
+    /// Evict until a new line fits, flushing dirty victims home. Each
+    /// evicted line's diffs travel as one batch per destination server
+    /// (acks awaited at the next flush fence).
     fn make_room(&mut self) {
         while self.cache.is_full() {
             let (line, victim) = self.cache.pop_victim().expect("full cache has lines");
             self.stats.evictions += 1;
             let diffs = self.cache.diffs_of_evicted(victim);
             self.trace(EventKind::Evict { line, dirty_pages: diffs.len() as u32 });
+            let mut batches = BTreeMap::new();
             for (page, diff) in diffs {
-                self.send_diff(page, diff);
+                self.stage_diff(&mut batches, page, diff);
             }
+            self.flush_batches(batches);
         }
     }
 
     fn maybe_prefetch(&mut self, line: u64) {
-        if self.cache.contains_line(line)
-            || self.prefetch_inflight.contains_key(&line)
-            || self.prefetch_ready.contains_key(&line)
-        {
+        if self.cache.contains_line(line) || self.chan.prefetch_pending_for(line) {
             return;
         }
         let first = PageId(line * self.cache.line_pages() as u64);
-        let server = self.effective_server(self.home_map.home_of_line(line));
+        let home = self.home_map.home_of_line(line);
         let req = MemRequest::FetchLine { first, pages: self.cache.line_pages() as u32 };
-        let wire = req.wire_bytes();
-        let token = self.fresh_token();
-        let (_, fate) = self
-            .ep
-            .send_faulted(
-                self.mem_eps[server as usize],
-                self.clock,
-                wire,
-                MsgClass::Data,
-                Msg::MemReq { token, shadow: false, req },
-            )
-            .expect("memory server endpoint closed");
-        self.charge(self.cfg.costs.send_ns as f64);
-        if fate.is_dropped() {
-            // Prefetch is opportunistic: never retried; a later demand miss
-            // fetches the line for real.
-            return;
+        if self.chan.try_prefetch(home, line, req) {
+            self.trace(EventKind::PrefetchIssue {
+                page: first.0,
+                pages: self.cache.line_pages() as u32,
+            });
         }
-        self.prefetch_tokens.insert(token, line);
-        self.prefetch_inflight.insert(line, token);
-        self.trace(EventKind::PrefetchIssue {
-            page: first.0,
-            pages: self.cache.line_pages() as u32,
-        });
     }
 
-    /// Ship one page diff home asynchronously (ack awaited at the next
-    /// flush fence).
-    fn send_diff(&mut self, page: u64, diff: samhita_regc::Diff) {
+    /// Stage one page diff into the per-server batch map, recording the
+    /// per-page accounting (stats, hotspots, trace, pending notice) that is
+    /// unchanged by batching.
+    fn stage_diff(
+        &mut self,
+        batches: &mut BTreeMap<u32, UpdateBatch>,
+        page: u64,
+        diff: samhita_regc::Diff,
+    ) {
         let bytes = diff.payload_bytes() as u64;
         self.stats.diff_bytes_flushed += bytes;
         self.stats.hot.record_diff(page, bytes);
         self.trace(EventKind::DiffFlush { page, bytes });
         self.pending_pages.insert(page);
         let home = self.home_map.home_of_page(PageId(page));
-        self.send_update(
-            home,
-            MsgClass::Update,
-            MemRequest::ApplyDiff { page: PageId(page), diff },
-        );
+        batches.entry(home).or_default().push(UpdatePart::Diff { page, diff });
     }
 
-    /// Ship one asynchronous update to its home, write-through to the
-    /// replica when one is configured and the home is still the live
-    /// primary. Acks for every copy are awaited at the next fence, so at a
-    /// fence the replica is byte-identical to the primary — the property
-    /// that makes post-failover reads bit-exact.
-    fn send_update(&mut self, home: u32, class: MsgClass, req: MemRequest) {
-        let primary = self.effective_server(home);
-        if self.cfg.replica_offset == 0 {
-            self.post_update(primary, class, req, false);
-            return;
+    /// Ship the staged batches: one update message per destination server,
+    /// each acknowledged as a single unit (acks awaited at the next flush
+    /// fence). Iteration over the `BTreeMap` keeps the send order
+    /// deterministic.
+    fn flush_batches(&mut self, batches: BTreeMap<u32, UpdateBatch>) {
+        for (server, batch) in batches {
+            self.trace(EventKind::BatchFlush {
+                server,
+                parts: batch.len() as u32,
+                bytes: batch.wire_bytes() as u64,
+            });
+            self.chan.send_update(server, MsgClass::Update, MemRequest::UpdateBatch { batch });
         }
-        self.post_update(primary, class, req.clone(), false);
-        // Re-check after the primary send: if it exhausted its retries and
-        // failed over, the replica already received the (sole) live copy.
-        if !self.failed_servers.contains(&home) {
-            if let Some(r) = self.live_replica_of(home) {
-                self.post_update(r, class, req, true);
-            }
-        }
-    }
-
-    /// Transmit one update copy, eagerly riding out send-time drops with
-    /// capped backoff; registers the ack obligation on success.
-    fn post_update(&mut self, mut server: u32, class: MsgClass, req: MemRequest, shadow: bool) {
-        let op = req.label();
-        let wire = req.wire_bytes();
-        let token = self.fresh_token();
-        let mut attempt = 0u32;
-        loop {
-            let sent_at = self.clock;
-            let (_, fate) = self
-                .ep
-                .send_faulted(
-                    self.mem_eps[server as usize],
-                    self.clock,
-                    wire,
-                    class,
-                    Msg::MemReq { token, shadow, req: req.clone() },
-                )
-                .expect("memory server endpoint closed");
-            self.charge(self.cfg.costs.send_ns as f64);
-            if !fate.is_dropped() {
-                break;
-            }
-            attempt += 1;
-            if attempt >= self.retry.max_attempts {
-                if shadow {
-                    // The replica is unreachable: abandon write-through to
-                    // it; the already-posted primary copy stands alone.
-                    self.failed_servers.insert(server);
-                    return;
-                }
-                server = self.fail_over(server);
-                attempt = 0;
-                continue;
-            }
-            self.note_retry(op, attempt, sent_at + self.retry.delay(attempt));
-        }
-        self.outstanding_acks.insert(token, PendingAck { server, class, req, shadow, attempts: 0 });
     }
 
     /// Flush all local modifications home. Returns the interval to publish:
     /// page-granularity write notices (receivers invalidate) and fine-grain
     /// updates (receivers apply in place) — the consistency half of every
     /// synchronization operation.
+    ///
+    /// Everything bound for the same memory server travels as one
+    /// [`UpdateBatch`] with one ack, so the message count per sync operation
+    /// is O(servers), not O(dirty pages).
     fn flush_all(&mut self) -> (Vec<u64>, Vec<FineUpdate>) {
+        let mut batches: BTreeMap<u32, UpdateBatch> = BTreeMap::new();
         // Ordinary-region pages: twin diffs (multiple-writer protocol).
         for page in self.cache.dirty_pages() {
             if let Some(diff) = self.cache.flush_page(page) {
                 if !diff.is_empty() {
-                    self.send_diff(page, diff);
+                    self.stage_diff(&mut batches, page, diff);
                 }
             }
         }
@@ -905,27 +755,19 @@ impl ThreadCtx {
             self.stats.hot.record_fine(page, bytes.len() as u64);
             self.trace(EventKind::FineFlush { page, bytes: bytes.len() as u64 });
             let home = self.home_map.home_of_page(PageId(page));
-            self.send_update(
-                home,
-                MsgClass::Update,
-                MemRequest::ApplyFine { page: PageId(page), offset, bytes: bytes.clone() },
-            );
+            batches.entry(home).or_default().push(UpdatePart::Fine {
+                page,
+                offset,
+                bytes: bytes.clone(),
+            });
             updates.push(FineUpdate { page, offset, bytes });
         }
+        self.flush_batches(batches);
         // Fence: all updates must be applied at their homes before the sync
         // operation publishes them.
-        self.drain_acks();
+        self.chan.drain_acks();
         let pages: Vec<u64> = std::mem::take(&mut self.pending_pages).into_iter().collect();
         (pages, updates)
-    }
-
-    fn drain_acks(&mut self) {
-        while !self.outstanding_acks.is_empty() {
-            let env = self.ep.recv().expect("fabric closed while draining acks");
-            let token = Self::token_of(&env);
-            self.absorb(token, env);
-        }
-        self.clock = self.clock.max(self.ack_horizon);
     }
 
     /// Invalidate cached pages named by other threads' write notices.
@@ -965,274 +807,20 @@ impl ThreadCtx {
     /// Drop completed and poison in-flight prefetches covering `page`.
     fn poison_prefetch(&mut self, page: u64) {
         let line = self.cache.line_of(page);
-        self.prefetch_ready.remove(&line);
-        if let Some(token) = self.prefetch_inflight.remove(&line) {
-            self.prefetch_tokens.remove(&token);
-            self.poisoned_prefetches.insert(token);
-        }
+        self.chan.poison_prefetch_line(line);
     }
 
-    fn fresh_token(&mut self) -> u64 {
-        let t = self.next_token;
-        self.next_token += 1;
-        t
-    }
-
-    fn token_of(env: &Envelope<Msg>) -> u64 {
-        match &env.msg {
-            Msg::MemResp { token, .. } | Msg::MgrResp { token, .. } => *token,
-            other => panic!("compute thread received non-response message: {other:?}"),
-        }
-    }
-
-    /// File an out-of-band message: prefetch data, a flush ack, a lost copy
-    /// signalling a retransmission timeout, or a suppressed duplicate of an
-    /// already-handled reply (silently dropped — that is the idempotent-token
-    /// half of duplicate suppression).
-    fn absorb(&mut self, token: u64, env: Envelope<Msg>) {
-        if self.poisoned_prefetches.remove(&token) {
-            // Stale prefetch overtaken by an invalidation: drop it (lost or
-            // not — nobody waits on it).
-        } else if let Some(line) = self.prefetch_tokens.remove(&token) {
-            self.prefetch_inflight.remove(&line);
-            if env.lost {
-                // Lost prefetch response: forget the prefetch entirely; a
-                // later miss will demand-fetch the line.
-                return;
-            }
-            match env.msg {
-                Msg::MemResp { resp: MemResponse::Line { data, versions, .. }, .. } => {
-                    self.prefetch_ready.insert(line, (env.deliver_at, data, versions));
-                }
-                other => panic!("unexpected prefetch response: {other:?}"),
-            }
-        } else if self.outstanding_acks.contains_key(&token) {
-            if env.lost {
-                self.retransmit_update(token, env.deliver_at);
-            } else {
-                self.outstanding_acks.remove(&token);
-                self.ack_horizon = self.ack_horizon.max(env.deliver_at);
-            }
-        }
-    }
-
-    /// A flush ack was lost. The server *has* applied the update (only the
-    /// acknowledgement is missing), so retransmit the identical request —
-    /// the server's idempotency cache re-acks without re-applying — until an
-    /// ack survives the wire, or give up and lean on the replica copy.
-    fn retransmit_update(&mut self, token: u64, observed_at: SimTime) {
-        let mut pa = self.outstanding_acks.remove(&token).expect("pending ack");
-        let give_up = |me: &mut Self, pa: &PendingAck| {
-            // The path to this server is dead, but the data was applied
-            // there. Drop the ack obligation; for a primary copy, re-home
-            // future traffic to the replica carrying the write-through copy.
-            if pa.shadow {
-                me.failed_servers.insert(pa.server);
-            } else {
-                me.fail_over(pa.server);
-            }
-        };
-        pa.attempts += 1;
-        if pa.attempts >= self.retry.max_attempts {
-            give_up(self, &pa);
-            self.ack_horizon = self.ack_horizon.max(observed_at);
-            return;
-        }
-        self.note_retry(pa.req.label(), pa.attempts, observed_at);
-        loop {
-            let sent_at = self.clock;
-            let (_, fate) = self
-                .ep
-                .send_faulted(
-                    self.mem_eps[pa.server as usize],
-                    self.clock,
-                    pa.req.wire_bytes(),
-                    pa.class,
-                    Msg::MemReq { token, shadow: pa.shadow, req: pa.req.clone() },
-                )
-                .expect("memory server endpoint closed");
-            self.charge(self.cfg.costs.send_ns as f64);
-            if !fate.is_dropped() {
-                self.outstanding_acks.insert(token, pa);
-                return;
-            }
-            pa.attempts += 1;
-            if pa.attempts >= self.retry.max_attempts {
-                give_up(self, &pa);
-                return;
-            }
-            self.note_retry(pa.req.label(), pa.attempts, sent_at + self.retry.delay(pa.attempts));
-        }
-    }
-
-    /// Record one retransmission: bump the counter, advance the clock to the
-    /// backoff deadline (or the virtual-timeout instant), trace it.
-    fn note_retry(&mut self, op: &'static str, attempt: u32, resume_at: SimTime) {
-        self.stats.retries += 1;
-        self.clock = self.clock.max(resume_at);
-        self.trace(EventKind::Retry { op, attempt });
-    }
-
-    fn replica_of(&self, server: u32) -> Option<u32> {
-        self.home_map.replica_of_server(server, self.cfg.replica_offset)
-    }
-
-    fn live_replica_of(&self, server: u32) -> Option<u32> {
-        self.replica_of(server).filter(|r| !self.failed_servers.contains(r))
-    }
-
-    /// Where traffic homed on `home` actually goes: the primary while it is
-    /// believed alive, its replica after a failover.
-    fn effective_server(&self, home: u32) -> u32 {
-        if self.failed_servers.contains(&home) {
-            self.live_replica_of(home)
-                .unwrap_or_else(|| panic!("memory server {home} failed with no live replica"))
-        } else {
-            home
-        }
-    }
-
-    /// Declare `from` dead and re-home its traffic to the replica.
-    fn fail_over(&mut self, from: u32) -> u32 {
-        let to = self
-            .live_replica_of(from)
-            .unwrap_or_else(|| panic!("memory server {from} unreachable and no live replica"));
-        if self.failed_servers.insert(from) {
-            self.stats.failovers += 1;
-            self.trace(EventKind::Failover { from, to });
-        }
-        to
-    }
-
-    /// Synchronous memory-server RPC with retry, timeout (played by the lost
-    /// copy's arrival), backoff, and failover to the replica on exhaustion.
-    fn rpc_mem(&mut self, home: u32, req: MemRequest, class: MsgClass) -> (MemResponse, SimTime) {
-        let op = req.label();
-        let wire = req.wire_bytes();
-        let mut server = self.effective_server(home);
-        'fresh: loop {
-            // A fresh token per target server: a late reply from an
-            // abandoned primary must never pass for the replica's answer.
-            let token = self.fresh_token();
-            let mut attempt = 0u32;
-            loop {
-                let sent_at = self.clock;
-                let (_, fate) = self
-                    .ep
-                    .send_faulted(
-                        self.mem_eps[server as usize],
-                        self.clock,
-                        wire,
-                        class,
-                        Msg::MemReq { token, shadow: false, req: req.clone() },
-                    )
-                    .expect("memory server endpoint closed");
-                self.charge(self.cfg.costs.send_ns as f64);
-                if fate.is_dropped() {
-                    attempt += 1;
-                    if attempt >= self.retry.max_attempts {
-                        server = self.fail_over(server);
-                        continue 'fresh;
-                    }
-                    self.note_retry(op, attempt, sent_at + self.retry.delay(attempt));
-                    continue;
-                }
-                loop {
-                    let env = self.ep.recv().expect("fabric closed while awaiting response");
-                    let t = Self::token_of(&env);
-                    if t != token {
-                        self.absorb(t, env);
-                        continue;
-                    }
-                    self.clock = self.clock.max(env.deliver_at);
-                    if env.lost {
-                        attempt += 1;
-                        if attempt >= self.retry.max_attempts {
-                            server = self.fail_over(server);
-                            continue 'fresh;
-                        }
-                        self.note_retry(op, attempt, env.deliver_at);
-                        break;
-                    }
-                    match env.msg {
-                        Msg::MemResp { resp, .. } => return (resp, env.deliver_at),
-                        other => panic!("unexpected memory response: {other:?}"),
-                    }
-                }
-            }
-        }
-    }
-
-    /// [`ThreadCtx::rpc_mgr`] plus a `MgrRpc` trace event covering the
-    /// request→response stall. Used by the non-sync paths (allocation,
-    /// creation, signals); lock/barrier paths have dedicated events.
+    /// [`crate::proto::Channel::rpc_mgr`] plus a `MgrRpc` trace event
+    /// covering the request→response stall. Used by the non-sync paths
+    /// (allocation, creation, signals); lock/barrier paths have dedicated
+    /// events.
     fn rpc_mgr_traced(&mut self, req: MgrRequest, class: MsgClass) -> MgrResponse {
         let op = req.label();
-        let t0 = self.clock;
-        let resp = self.rpc_mgr(req, class);
-        let wait_ns = (self.clock - t0).as_ns();
+        let t0 = self.chan.now();
+        let resp = self.chan.rpc_mgr(req, class);
+        let wait_ns = (self.chan.now() - t0).as_ns();
         self.trace(EventKind::MgrRpc { op, wait_ns });
         resp
-    }
-
-    /// Synchronous manager RPC with retry and backoff. Every retransmission
-    /// reuses the request's token, so the manager's replay cache makes the
-    /// request idempotent (a retried `Acquire` can never double-acquire).
-    /// The manager has no replica: exhaustion is fatal.
-    fn rpc_mgr(&mut self, req: MgrRequest, class: MsgClass) -> MgrResponse {
-        let op = req.label();
-        let wire = req.wire_bytes();
-        let token = self.fresh_token();
-        let mut attempt = 0u32;
-        loop {
-            let sent_at = self.clock;
-            let (_, fate) = self
-                .ep
-                .send_faulted(
-                    self.mgr_ep,
-                    self.clock,
-                    wire,
-                    class,
-                    Msg::MgrReq { token, tid: self.tid, req: req.clone() },
-                )
-                .expect("manager endpoint closed");
-            self.charge(self.cfg.costs.send_ns as f64);
-            if fate.is_dropped() {
-                attempt += 1;
-                assert!(
-                    attempt < self.retry.max_attempts,
-                    "manager unreachable: {op} request dropped {attempt} times"
-                );
-                self.note_retry(op, attempt, sent_at + self.retry.delay(attempt));
-                continue;
-            }
-            // Block for the matching reply. A *lost* matching reply arriving
-            // is the deterministic analogue of a retransmission timeout
-            // firing; requests whose grant is legitimately deferred (queued
-            // acquires, condition waits) just keep blocking.
-            loop {
-                let env = self.ep.recv().expect("fabric closed while awaiting response");
-                let t = Self::token_of(&env);
-                if t != token {
-                    self.absorb(t, env);
-                    continue;
-                }
-                self.clock = self.clock.max(env.deliver_at);
-                if env.lost {
-                    attempt += 1;
-                    assert!(
-                        attempt < self.retry.max_attempts,
-                        "manager unreachable: {op} reply lost {attempt} times"
-                    );
-                    self.note_retry(op, attempt, env.deliver_at);
-                    break;
-                }
-                match env.msg {
-                    Msg::MgrResp { resp, .. } => return resp,
-                    other => panic!("unexpected manager response: {other:?}"),
-                }
-            }
-        }
     }
 
     /// Final flush + departure. Returns the thread's statistics and its
@@ -1241,7 +829,7 @@ impl ThreadCtx {
         // The measurement stops here: the final flush and departure RPC are
         // teardown, not application time (a wall-clock benchmark's timer
         // stops before join/teardown too).
-        let end_clock = self.clock;
+        let end_clock = self.chan.now();
         let end_sync = self.sync_time;
         let (pages, updates) = self.flush_all();
         // Settle in-flight prefetch traffic: receiving each response proves
@@ -1250,28 +838,26 @@ impl ThreadCtx {
         // accounted for — the run-level busy-time counters read after join
         // would otherwise race straggler prefetches. Stats were snapshotted
         // above; draining is teardown and cannot affect the report.
-        while !self.prefetch_tokens.is_empty() || !self.poisoned_prefetches.is_empty() {
-            let env = self.ep.recv().expect("fabric closed while settling prefetches");
-            let token = Self::token_of(&env);
-            self.absorb(token, env);
-        }
+        self.chan.settle_prefetches();
         if let Some(ls) = self.local_sync.clone() {
             ls.publish_final(self.tid, pages, updates);
             let req = MgrRequest::Exit { pages: Vec::new(), updates: Vec::new() };
-            match self.rpc_mgr(req, MsgClass::Control) {
+            match self.chan.rpc_mgr(req, MsgClass::Control) {
                 MgrResponse::Ok => {}
                 other => panic!("unexpected exit response: {other:?}"),
             }
         } else {
-            match self.rpc_mgr(MgrRequest::Exit { pages, updates }, MsgClass::Control) {
+            match self.chan.rpc_mgr(MgrRequest::Exit { pages, updates }, MsgClass::Control) {
                 MgrResponse::Ok => {}
                 other => panic!("unexpected exit response: {other:?}"),
             }
         }
         let mut stats = self.stats;
+        stats.retries = self.chan.retries();
+        stats.failovers = self.chan.failovers();
         stats.total = end_clock.saturating_sub(self.epoch_clock);
         stats.sync = end_sync.saturating_sub(self.epoch_sync);
         stats.compute = stats.total.saturating_sub(stats.sync);
-        (stats, self.trace.take())
+        (stats, self.chan.take_trace())
     }
 }

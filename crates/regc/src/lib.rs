@@ -29,12 +29,14 @@
 //! The [`protocol`] module captures the per-page state machine these rules
 //! induce, in a pure, exhaustively-testable form.
 
+pub mod batch;
 pub mod diff;
 pub mod interval;
 pub mod protocol;
 pub mod region;
 pub mod writeset;
 
+pub use batch::{UpdateBatch, UpdatePart};
 pub use diff::Diff;
 pub use interval::{FineUpdate, IntervalLog, WriteNotice};
 pub use protocol::{PageState, WriteEffect};

@@ -124,6 +124,11 @@ pub enum EventKind {
     /// A thread gave up on memory server `from` and re-homed its traffic to
     /// the replica `to` (thread track).
     Failover { from: u32, to: u32 },
+    /// A sync-time flush coalesced `parts` diff/fine updates bound for
+    /// memory server `server` into one batched message of `bytes` wire
+    /// bytes (thread track). The per-page `DiffFlush`/`FineFlush` events
+    /// still precede this one, so byte-conservation checks are unchanged.
+    BatchFlush { server: u32, parts: u32, bytes: u64 },
 }
 
 impl EventKind {
@@ -152,6 +157,7 @@ impl EventKind {
             EventKind::FaultInjected { .. } => "fault-injected",
             EventKind::Retry { .. } => "retry",
             EventKind::Failover { .. } => "failover",
+            EventKind::BatchFlush { .. } => "batch-flush",
         }
     }
 

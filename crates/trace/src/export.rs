@@ -79,6 +79,11 @@ fn args_of(kind: &EventKind) -> Vec<(&'static str, String)> {
         EventKind::Failover { from, to } => {
             vec![("from", from.to_string()), ("to", to.to_string())]
         }
+        EventKind::BatchFlush { server, parts, bytes } => vec![
+            ("server", server.to_string()),
+            ("parts", parts.to_string()),
+            ("bytes", bytes.to_string()),
+        ],
     }
 }
 
@@ -95,7 +100,8 @@ fn category(kind: &EventKind) -> &'static str {
         | EventKind::FineFlush { .. }
         | EventKind::Invalidate { .. }
         | EventKind::ApplyDiff { .. }
-        | EventKind::ApplyFine { .. } => "regc",
+        | EventKind::ApplyFine { .. }
+        | EventKind::BatchFlush { .. } => "regc",
         EventKind::LockRequest { .. }
         | EventKind::LockAcquire { .. }
         | EventKind::LockRelease { .. }

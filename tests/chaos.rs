@@ -156,6 +156,77 @@ fn traced_faulty_run_passes_the_invariant_checker() {
     assert!(summary.diff_bytes > 0, "the run must have flushed (and conserved) diffs");
 }
 
+/// Batched-path plans. Sync-time flushes travel as one `UpdateBatch` per
+/// destination memory server, so these seeds stress exactly that message
+/// class: losing a whole batch, replaying one, delaying one past the
+/// retransmission window, and crashing a server while batches are bound
+/// for it. The dedup cache must treat a batch as one idempotent unit — a
+/// replayed batch re-acks without re-applying *any* of its parts.
+fn batch_plans() -> Vec<(&'static str, FaultConfig)> {
+    vec![
+        ("batch-drop", FaultConfig::lossy(0xB1, 0.15, 0.0, 0.0, 0)),
+        ("batch-dup", FaultConfig::lossy(0xB2, 0.0, 0.20, 0.0, 0)),
+        ("batch-delay", FaultConfig::lossy(0xB3, 0.0, 0.0, 0.25, 8_000)),
+        (
+            // Crash memory server 1 (Jacobi's home) mid-run, with losses on
+            // top, so in-flight batches die with it and must re-home.
+            "batch-crash",
+            FaultConfig {
+                crash: Some((1, 60_000)),
+                ..FaultConfig::lossy(0xB4, 0.12, 0.10, 0.0, 0)
+            },
+        ),
+    ]
+}
+
+#[test]
+fn batched_flushes_survive_batch_level_faults() {
+    let micro_base = run_micro(&SamhitaRt::new(replicated_cluster()), &micro_params()).gsum;
+    let jacobi_base = run_jacobi(&SamhitaRt::new(replicated_cluster()), &JACOBI).grid;
+    for (name, faults) in batch_plans() {
+        let cfg = SamhitaConfig { faults, ..replicated_cluster() };
+        let m = run_micro(&SamhitaRt::new(cfg.clone()), &micro_params());
+        assert_eq!(
+            m.gsum.to_bits(),
+            micro_base.to_bits(),
+            "plan {name}: micro gsum diverged under batch-level faults"
+        );
+        let j = run_jacobi(&SamhitaRt::new(cfg), &JACOBI);
+        assert_eq!(j.grid, jacobi_base, "plan {name} perturbed the Jacobi grid");
+        assert!(j.report.fabric.total_faults() > 0, "plan {name} injected nothing");
+    }
+}
+
+#[test]
+fn duplicated_batches_are_one_idempotent_unit() {
+    // A 20% duplicate rate replays whole batches. The server must re-ack a
+    // replay without re-applying any part — and the trace checker verifies
+    // exactly that: a double-applied batch would double its server-side
+    // ApplyDiff/ApplyFine bytes and break diff-byte conservation.
+    let (_, faults) = batch_plans().remove(1);
+    let cfg = SamhitaConfig { tracing: true, faults, ..replicated_cluster() };
+    let rt = SamhitaRt::new(cfg);
+    let r = run_jacobi(&rt, &JACOBI);
+    assert!(r.report.fabric.total_dups() > 0, "the duplicate plan injected nothing");
+    let trace = rt.take_trace().expect("tracing was enabled");
+    let summary = trace.check_invariants().expect("a replayed batch must not re-apply its parts");
+    assert!(summary.diff_bytes > 0, "the run must have flushed (and conserved) diffs");
+}
+
+#[test]
+fn server_crash_mid_batch_fails_over_and_keeps_invariants() {
+    let (_, faults) = batch_plans().remove(3);
+    let cfg = SamhitaConfig { tracing: true, faults, ..replicated_cluster() };
+    let rt = SamhitaRt::new(cfg);
+    let r = run_jacobi(&rt, &JACOBI);
+    assert!(
+        r.report.total_of(|t| t.failovers) > 0,
+        "crashing server 1 must re-home its batches to the replica"
+    );
+    let trace = rt.take_trace().expect("tracing was enabled");
+    trace.check_invariants().expect("batched failover must preserve every RegC invariant");
+}
+
 #[test]
 fn inactive_fault_schedule_stays_bit_deterministic() {
     // FaultConfig::default() must leave the virtual-time simulation exactly
