@@ -1,16 +1,19 @@
-//! Emit machine-readable performance reports (`BENCH_<kernel>.json`).
+//! Emit machine-readable performance reports (`BENCH_<kernel>_p<P>.json`).
 //!
 //! ```text
-//! bench-report [--out DIR]          # default DIR: results
+//! bench-report [--out DIR] [--threads 1,8,64] [--kernel NAME]
 //! bench-report --out results/baselines   # regenerate the committed baselines
 //! ```
 //!
-//! Runs the three kernels (micro / jacobi / md) single-threaded at the
-//! quick (CI) scale with event tracing on, and writes one
-//! [`BenchReport`] per kernel. Single-threaded
-//! runs are fully deterministic (DESIGN.md §2), so the committed baselines
-//! can be compared exactly by `bench-diff` — the CI tolerance exists for
-//! future configurations, not for noise.
+//! Runs the kernels (micro / jacobi / md) at each requested thread count at
+//! the quick (CI) scale with event tracing on, and writes one
+//! [`BenchReport`] per (kernel, P) point. Under the deterministic
+//! virtual-time runtime (the default) every point — including P > 1 — is
+//! bit-reproducible run to run, so the committed baselines can be compared
+//! exactly by `bench-diff`; the CI tolerance exists for future
+//! configurations, not for noise. The per-point configuration fingerprint
+//! covers the thread count (it is part of the kernel params), so a P=8
+//! report can never silently gate against a P=64 baseline.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -24,6 +27,8 @@ use samhita_rt::SamhitaRt;
 
 fn main() -> ExitCode {
     let mut out_dir = PathBuf::from("results");
+    let mut threads: Vec<u32> = vec![1, 8, 64];
+    let mut only_kernel: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -31,8 +36,17 @@ fn main() -> ExitCode {
                 Some(v) => out_dir = PathBuf::from(v),
                 None => return usage("--out needs a directory"),
             },
+            "--threads" => match it.next().map(|v| parse_threads(&v)) {
+                Some(Ok(list)) => threads = list,
+                Some(Err(e)) => return usage(&e),
+                None => return usage("--threads needs a comma-separated list (e.g. 1,8,64)"),
+            },
+            "--kernel" => match it.next() {
+                Some(v) => only_kernel = Some(v),
+                None => return usage("--kernel needs a kernel name (micro, jacobi, md)"),
+            },
             "--help" | "-h" => {
-                println!("usage: bench-report [--out DIR]");
+                println!("usage: bench-report [--out DIR] [--threads 1,8,64] [--kernel NAME]");
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument '{other}'")),
@@ -41,53 +55,82 @@ fn main() -> ExitCode {
     std::fs::create_dir_all(&out_dir).expect("create output directory");
 
     let q = HarnessConfig::quick();
-    let cfg = SamhitaConfig { tracing: true, ..q.base.clone() };
+    // Provision enough per-thread arenas for the largest requested run;
+    // the default (64) covers the committed baselines, so regenerating them
+    // never changes the fingerprint.
+    let max_p = threads.iter().copied().max().expect("non-empty thread list");
+    let cfg = SamhitaConfig {
+        tracing: true,
+        max_threads: q.base.max_threads.max(max_p),
+        ..q.base.clone()
+    };
 
+    let mut wrote = 0usize;
     for (kernel, run) in kernels(&q) {
-        let rt = SamhitaRt::new(cfg.clone());
-        let (params, report) = run(&rt);
-        let trace = rt.take_trace().expect("tracing was enabled");
-        let bench = BenchReport::from_run(kernel, &params, &cfg, 1, &report, Some(&trace));
-        let path = out_dir.join(format!("BENCH_{kernel}.json"));
-        std::fs::write(&path, bench.to_json()).expect("write report");
-        println!("wrote {} ({})", path.display(), params);
-        println!("{}", run_summary(&report));
+        if only_kernel.as_deref().is_some_and(|k| k != kernel) {
+            continue;
+        }
+        for &p in &threads {
+            let rt = SamhitaRt::new(cfg.clone());
+            let (params, report) = run(&rt, p);
+            let trace = rt.take_trace().expect("tracing was enabled");
+            let bench = BenchReport::from_run(kernel, &params, &cfg, p, &report, Some(&trace));
+            let path = out_dir.join(format!("BENCH_{kernel}_p{p}.json"));
+            std::fs::write(&path, bench.to_json()).expect("write report");
+            println!("wrote {} ({})", path.display(), params);
+            println!("{}", run_summary(&report));
+            wrote += 1;
+        }
+    }
+    if wrote == 0 {
+        return usage("no kernel matched --kernel (want micro, jacobi, or md)");
     }
     ExitCode::SUCCESS
 }
 
-/// The three reported kernels, each at the deterministic single-threaded
-/// quick scale.
+fn parse_threads(list: &str) -> Result<Vec<u32>, String> {
+    let parsed: Result<Vec<u32>, _> = list.split(',').map(|t| t.trim().parse::<u32>()).collect();
+    match parsed {
+        Ok(v) if !v.is_empty() && v.iter().all(|&p| p >= 1) => Ok(v),
+        _ => Err(format!("bad --threads list '{list}' (want e.g. 1,8,64)")),
+    }
+}
+
+/// The reported kernels, each parameterized by thread count at the quick
+/// scale. Jacobi and MD require at least one row / particle per thread, so
+/// their problem sizes grow with P when P exceeds the quick scale.
 #[allow(clippy::type_complexity)]
 fn kernels(
     q: &HarnessConfig,
-) -> Vec<(&'static str, Box<dyn Fn(&SamhitaRt) -> (String, RunReport) + '_>)> {
+) -> Vec<(&'static str, Box<dyn Fn(&SamhitaRt, u32) -> (String, RunReport) + '_>)> {
     vec![
         (
             "micro",
-            Box::new(|rt| {
+            Box::new(|rt, threads| {
                 let p = MicroParams {
                     n_outer: q.n_outer,
                     m_inner: q.m_fixed,
                     s_rows: q.s_fixed,
                     b_cols: q.b_cols,
                     mode: AllocMode::Global,
-                    threads: 1,
+                    threads,
                 };
                 (format!("{p:?}"), run_micro(rt, &p).report)
             }),
         ),
         (
             "jacobi",
-            Box::new(|rt| {
-                let p = JacobiParams { n: q.jacobi_n, iters: q.jacobi_iters, threads: 1 };
+            Box::new(|rt, threads| {
+                let n = q.jacobi_n.max(threads as usize);
+                let p = JacobiParams { n, iters: q.jacobi_iters, threads };
                 (format!("{p:?}"), run_jacobi(rt, &p).report)
             }),
         ),
         (
             "md",
-            Box::new(|rt| {
-                let p = MdParams { n: q.md_n, steps: q.md_steps, dt: 1e-3, threads: 1, seed: 42 };
+            Box::new(|rt, threads| {
+                let n = q.md_n.max(threads as usize);
+                let p = MdParams { n, steps: q.md_steps, dt: 1e-3, threads, seed: 42 };
                 (format!("{p:?}"), run_md(rt, &p).report)
             }),
         ),
@@ -95,6 +138,6 @@ fn kernels(
 }
 
 fn usage(err: &str) -> ExitCode {
-    eprintln!("error: {err}\nusage: bench-report [--out DIR]");
+    eprintln!("error: {err}\nusage: bench-report [--out DIR] [--threads 1,8,64] [--kernel NAME]");
     ExitCode::FAILURE
 }

@@ -4,7 +4,7 @@
 //! regression gate needs: virtual makespan, sync fraction, stall-latency
 //! percentiles, manager / memory-server utilization, a trace-derived
 //! timeline summary, and the top hotspot pages with their allocation sites.
-//! Reports serialize to `BENCH_<kernel>.json` (the vendored serde is a
+//! Reports serialize to `BENCH_<kernel>_p<threads>.json` (the vendored serde is a
 //! no-op shim, so JSON is written by hand and read back through
 //! [`samhita_trace::JsonValue`]) and are compared against committed
 //! baselines by the `bench-diff` binary; [`compare`] is the pure decision
@@ -470,6 +470,18 @@ pub fn compare(base: &BenchReport, fresh: &BenchReport, tolerance: f64) -> Compa
         ));
         return cmp;
     }
+    // Thread counts are part of the fingerprinted params, but check them
+    // explicitly too: a P=8 report gating against a P=64 baseline is never
+    // a meaningful comparison, and this error message says why directly.
+    if base.threads != fresh.threads {
+        cmp.regressions.push(format!(
+            "{}: thread count {} != baseline {} — not comparable; regenerate the baseline \
+             (bench-report --threads)",
+            fresh.kernel, fresh.threads, base.threads
+        ));
+        return cmp;
+    }
+    cmp.lines.push(format!("{:>10}  threads       {:>14}", fresh.kernel, fresh.threads));
     let pct = |b: f64, f: f64| if b == 0.0 { 0.0 } else { (f - b) / b * 100.0 };
 
     let makespan_delta = pct(base.makespan_ns as f64, fresh.makespan_ns as f64);
@@ -616,7 +628,16 @@ mod tests {
         let r = sample();
         let cmp = compare(&r, &r, 0.05);
         assert!(cmp.passed(), "self-comparison regressed: {:?}", cmp.regressions);
-        assert_eq!(cmp.lines.len(), 5);
+        assert_eq!(cmp.lines.len(), 6);
+    }
+
+    #[test]
+    fn thread_count_mismatch_is_always_a_failure() {
+        let base = sample();
+        let fresh = BenchReport { threads: 8, ..base.clone() };
+        let cmp = compare(&base, &fresh, 0.05);
+        assert!(!cmp.passed());
+        assert!(cmp.regressions[0].contains("thread count"));
     }
 
     #[test]

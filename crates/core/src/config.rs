@@ -13,6 +13,20 @@ use samhita_mem::ServiceModel;
 use samhita_scl::{profiles, LinkModel, Topology};
 use serde::{Deserialize, Serialize};
 
+/// How simulated threads are interleaved.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RuntimeKind {
+    /// Free-running OS threads with per-thread virtual clocks: maximal host
+    /// parallelism, but at P>1 virtual times are only *stable*, not
+    /// bit-reproducible (server queueing depends on host scheduling).
+    Os,
+    /// The deterministic virtual-time scheduler (`samhita-sched`): all
+    /// simulated threads are cooperatively interleaved by ascending
+    /// `(virtual_time, seeded tie-break)`, making every clock, trace, and
+    /// report bit-identical run-to-run at any thread count.
+    Det,
+}
+
 /// Which line the eviction policy prefers to push out.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum EvictionPolicy {
@@ -319,6 +333,14 @@ pub struct SamhitaConfig {
     /// to that replica when the primary stops responding. `0` disables
     /// replication (the paper's baseline).
     pub replica_offset: u32,
+    /// Thread interleaving model. The default is [`RuntimeKind::Det`]: P>1
+    /// runs are bit-reproducible and everything (chaos suite, invariant
+    /// checker, bench gates) gates at multi-core.
+    pub runtime: RuntimeKind,
+    /// Seed for the deterministic scheduler's tie-break (ignored under
+    /// [`RuntimeKind::Os`]). Different seeds explore different legal
+    /// interleavings of virtual-time ties.
+    pub sched_seed: u64,
 }
 
 impl Default for SamhitaConfig {
@@ -348,6 +370,8 @@ impl Default for SamhitaConfig {
             faults: FaultConfig::default(),
             retry: RetryConfig::default(),
             replica_offset: 0,
+            runtime: RuntimeKind::Det,
+            sched_seed: 0,
         }
     }
 }

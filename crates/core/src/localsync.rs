@@ -20,11 +20,16 @@
 
 use parking_lot::{Condvar, Mutex};
 use samhita_regc::{FineUpdate, IntervalLog, WriteNotice};
+use samhita_sched::{Scheduler, TaskRef};
 use samhita_scl::SimTime;
 
 struct LocalLock {
     held: bool,
     free_at: SimTime,
+    /// Deterministic-scheduler tasks blocked on this lock. The releaser
+    /// wakes all of them at `free_at`; the scheduler's seeded virtual-time
+    /// tie-break then decides the (reproducible) grant order.
+    det_waiters: Vec<TaskRef>,
 }
 
 struct LocalBarrier {
@@ -33,6 +38,9 @@ struct LocalBarrier {
     epoch: u64,
     max_clock: SimTime,
     release_at: SimTime,
+    /// Deterministic-scheduler tasks blocked on this episode; the last
+    /// arrival wakes all of them at the release time.
+    det_waiters: Vec<TaskRef>,
 }
 
 struct Inner {
@@ -68,7 +76,7 @@ impl LocalSync {
     /// both places so handles stay interchangeable.
     pub fn create_lock(&self) -> u32 {
         let mut g = self.inner.lock();
-        g.locks.push(LocalLock { held: false, free_at: SimTime::ZERO });
+        g.locks.push(LocalLock { held: false, free_at: SimTime::ZERO, det_waiters: Vec::new() });
         (g.locks.len() - 1) as u32
     }
 
@@ -82,6 +90,7 @@ impl LocalSync {
             epoch: 0,
             max_clock: SimTime::ZERO,
             release_at: SimTime::ZERO,
+            det_waiters: Vec::new(),
         });
         (g.barriers.len() - 1) as u32
     }
@@ -100,8 +109,22 @@ impl LocalSync {
     ) -> (SimTime, Vec<WriteNotice>, u64) {
         let mut g = self.inner.lock();
         g.intervals.publish(tid, pages, updates);
-        while g.locks[lock as usize].held {
-            self.cv.wait(&mut g);
+        if let Some(task) = Scheduler::current() {
+            // Deterministic path: park instead of condvar-waiting; the
+            // releaser wakes every waiter at its free_at, and the seeded
+            // virtual-time tie-break decides who re-acquires first. Losers
+            // (and barging fresh arrivals that run earlier in virtual time)
+            // simply re-register and park again.
+            while g.locks[lock as usize].held {
+                g.locks[lock as usize].det_waiters.push(task.clone());
+                drop(g);
+                task.park();
+                g = self.inner.lock();
+            }
+        } else {
+            while g.locks[lock as usize].held {
+                self.cv.wait(&mut g);
+            }
         }
         let l = &mut g.locks[lock as usize];
         l.held = true;
@@ -126,7 +149,12 @@ impl LocalSync {
         assert!(l.held, "release of an unheld lock");
         l.held = false;
         l.free_at = now + self.cost;
+        let free_at = l.free_at;
+        let waiters = std::mem::take(&mut l.det_waiters);
         drop(g);
+        for w in waiters {
+            w.wake_at(free_at.as_ns());
+        }
         self.cv.notify_all();
     }
 
@@ -152,6 +180,7 @@ impl LocalSync {
         g.intervals.publish(tid, pages, updates);
         let idx = barrier as usize;
         let my_epoch = g.barriers[idx].epoch;
+        let mut released = Vec::new();
         {
             let b = &mut g.barriers[idx];
             b.max_clock = b.max_clock.max(now);
@@ -161,15 +190,33 @@ impl LocalSync {
                 b.epoch += 1;
                 b.arrived = 0;
                 b.max_clock = SimTime::ZERO;
+                released = std::mem::take(&mut b.det_waiters);
             }
         }
         if g.barriers[idx].epoch == my_epoch {
             // Not released yet: wait for the epoch to advance.
-            while g.barriers[idx].epoch == my_epoch {
-                self.cv.wait(&mut g);
+            if let Some(task) = Scheduler::current() {
+                // The epoch re-check absorbs spurious wake-ups (a fabric
+                // delivery targeting this task while it waits here).
+                while g.barriers[idx].epoch == my_epoch {
+                    g.barriers[idx].det_waiters.push(task.clone());
+                    drop(g);
+                    task.park();
+                    g = self.inner.lock();
+                }
+            } else {
+                while g.barriers[idx].epoch == my_epoch {
+                    self.cv.wait(&mut g);
+                }
             }
         } else {
+            // Last arrival: release everyone and continue without yielding
+            // (its own return time is the release time anyway).
+            let release_ns = g.barriers[idx].release_at.as_ns();
             drop(g);
+            for w in released {
+                w.wake_at(release_ns);
+            }
             self.cv.notify_all();
             g = self.inner.lock();
         }

@@ -21,11 +21,12 @@ use std::thread::JoinHandle;
 use parking_lot::Mutex;
 use samhita_mem::{HomeMap, MemRequest, MemResponse, MemoryServer, PageId, ServerStats};
 use samhita_regc::UpdatePart;
+use samhita_sched::{Scheduler, TaskRef};
 use samhita_scl::{Endpoint, EndpointId, Fabric, MsgClass, SimTime};
 use samhita_trace::{EventKind, RunTrace, SharedTrack, Tracer, TrackId};
 use serde::{Deserialize, Serialize};
 
-use crate::config::SamhitaConfig;
+use crate::config::{RuntimeKind, SamhitaConfig};
 use crate::layout::{AddressLayout, Placement};
 use crate::localsync::LocalSync;
 use crate::manager::{ManagerEngine, ManagerStats};
@@ -68,6 +69,13 @@ pub struct Samhita {
     // these from the host is race-free and deterministic.
     mgr_busy: Arc<AtomicU64>,
     mem_busy: Vec<Arc<AtomicU64>>,
+    // Deterministic runtime (RuntimeKind::Det): the scheduler serializing
+    // every simulated thread, and the host's own task. The host holds the
+    // baton whenever it is between runs; `run` suspends it while compute
+    // tasks execute and resumes (draining all pending service work) before
+    // reading any results.
+    sched: Option<Arc<Scheduler>>,
+    host_task: Option<TaskRef>,
 }
 
 impl Samhita {
@@ -112,10 +120,20 @@ impl Samhita {
             })));
         }
 
+        // Deterministic runtime: one scheduler per system, the host
+        // registered as the task initially holding the baton. Every service
+        // endpoint is bound to a (parked) scheduler task before its loop
+        // spawns, so all receives follow the virtual-time-ordered discipline.
+        let sched = (cfg.runtime == RuntimeKind::Det).then(|| Scheduler::new(cfg.sched_seed));
+        let host_task = sched.as_ref().map(|s| s.register_running());
+
         // Host control endpoint, created first so the service loops know it:
         // the host control plane models the experimenter's out-of-band access
         // and is exempt from fault injection (replies to it go reliably).
         let ctl_endpoint = fabric.add_endpoint(placement.manager);
+        if let Some(host) = &host_task {
+            ctl_endpoint.bind_task(host);
+        }
         let ctl_id = ctl_endpoint.id();
         let dedup = cfg.faults.is_active();
 
@@ -126,6 +144,9 @@ impl Samhita {
         for i in 0..cfg.mem_servers {
             let ep = fabric.add_endpoint(placement.mem_servers[i as usize]);
             mem_eps.push(ep.id());
+            if let Some(s) = &sched {
+                ep.bind_task(&s.register_parked());
+            }
             let server = MemoryServer::new(cfg.page_size, cfg.service);
             let track = tracer.as_ref().map(|t| t.shared_track(TrackId::MemServer(i)));
             let busy = Arc::new(AtomicU64::new(0));
@@ -163,6 +184,9 @@ impl Samhita {
 
         // Manager.
         let mgr_endpoint = fabric.add_endpoint(placement.manager);
+        if let Some(s) = &sched {
+            mgr_endpoint.bind_task(&s.register_parked());
+        }
         let mgr_ep = mgr_endpoint.id();
         let engine = ManagerEngine::new(&cfg);
         let mgr_track = tracer.as_ref().map(|t| t.shared_track(TrackId::Manager));
@@ -200,6 +224,8 @@ impl Samhita {
             tracer,
             mgr_busy,
             mem_busy,
+            sched,
+            host_task,
         }
     }
 
@@ -385,6 +411,21 @@ impl Samhita {
         let endpoints: Vec<Endpoint<Msg>> = (0..nthreads)
             .map(|t| self.fabric.add_endpoint(self.placement.compute_node(t)))
             .collect();
+        // Deterministic runtime: one scheduler task per compute thread, all
+        // ready at virtual time zero (the seeded tie-break orders their first
+        // steps), each bound to its endpoint before any traffic can target
+        // it. Registration happens host-side, in tid order, so task ids (the
+        // final tie-break key) are reproducible.
+        let det_tasks: Option<Vec<TaskRef>> = self.sched.as_ref().map(|sched| {
+            endpoints
+                .iter()
+                .map(|ep| {
+                    let task = sched.register_ready(0);
+                    ep.bind_task(&task);
+                    task
+                })
+                .collect()
+        });
         let body = &body;
         let stats = std::thread::scope(|s| {
             let handles: Vec<_> = endpoints
@@ -396,22 +437,44 @@ impl Samhita {
                     let local_sync = self.local_sync.clone();
                     let mgr_ep = self.mgr_ep;
                     let tracer = self.tracer.clone();
+                    let task = det_tasks.as_ref().map(|ts| ts[t].clone());
                     s.spawn(move || {
-                        let mut ctx = ThreadCtx::new(
-                            t as u32, nthreads, cfg, ep, mgr_ep, mem_eps, local_sync,
-                        );
-                        if let Some(tr) = &tracer {
-                            ctx.attach_trace(tr.buf(TrackId::Thread(t as u32)));
+                        if let Some(task) = &task {
+                            task.start();
                         }
-                        body(&mut ctx);
-                        let (stats, buf) = ctx.finish();
-                        if let (Some(tr), Some(buf)) = (&tracer, buf) {
-                            tr.submit(buf);
+                        // Catch panics so a failing body still retires its
+                        // scheduler task: otherwise sibling tasks blocked on
+                        // the baton would hang forever instead of unwinding.
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            let mut ctx = ThreadCtx::new(
+                                t as u32, nthreads, cfg, ep, mgr_ep, mem_eps, local_sync,
+                            );
+                            if let Some(tr) = &tracer {
+                                ctx.attach_trace(tr.buf(TrackId::Thread(t as u32)));
+                            }
+                            body(&mut ctx);
+                            ctx.finish()
+                        }));
+                        if let Some(task) = &task {
+                            task.exit();
                         }
-                        stats
+                        match result {
+                            Ok((stats, buf)) => {
+                                if let (Some(tr), Some(buf)) = (&tracer, buf) {
+                                    tr.submit(buf);
+                                }
+                                stats
+                            }
+                            Err(payload) => std::panic::resume_unwind(payload),
+                        }
                     })
                 })
                 .collect();
+            // Hand the baton to the compute tasks for the whole run; the
+            // host does not touch the fabric until it resumes below.
+            if let Some(host) = &self.host_task {
+                host.suspend();
+            }
             handles
                 .into_iter()
                 .map(|h| match h.join() {
@@ -422,6 +485,11 @@ impl Samhita {
                 })
                 .collect::<Vec<_>>()
         });
+        // Re-acquire the baton, draining every pending service event (oneway
+        // releases, late acks) so the busy mirrors below are final.
+        if let Some(host) = &self.host_task {
+            host.resume();
+        }
         let mut report = RunReport::new(stats, self.fabric.stats().delta(&fabric_before));
         // Every thread settled its outstanding traffic before joining
         // (synchronous Exit RPC to the manager, ack/prefetch drains to the
@@ -452,6 +520,12 @@ impl Samhita {
 
     fn shutdown_inner(&mut self) -> SystemStats {
         let mut stats = SystemStats::default();
+        // If a compute body panicked mid-run the host may still be
+        // suspended; re-acquire the baton first (idempotent when already
+        // running) so the shutdown sends happen from a Running task.
+        if let Some(host) = &self.host_task {
+            host.resume();
+        }
         {
             // Reliable sends: a crashed (or partitioned) server must still
             // receive its shutdown message, or the join below would hang.
@@ -461,11 +535,19 @@ impl Samhita {
             }
             ctl.send_shutdown(self.mgr_ep);
         }
+        // Hand the baton over so the service tasks can run their loops to
+        // the shutdown message and retire; take it back once they joined.
+        if let Some(host) = &self.host_task {
+            host.suspend();
+        }
         for h in self.mem_handles.drain(..) {
             stats.servers.push(h.join().expect("memory server panicked"));
         }
         if let Some(h) = self.mgr_handle.take() {
             stats.manager = h.join().expect("manager panicked");
+        }
+        if let Some(host) = &self.host_task {
+            host.resume();
         }
         stats
     }
@@ -592,6 +674,9 @@ fn mem_server_loop(
             other => panic!("memory server received unexpected message: {other:?}"),
         }
     }
+    // Retire this loop's scheduler task (no-op on unbound endpoints) so the
+    // deterministic scheduler never waits on a loop that has returned.
+    ep.exit_task();
     server.stats()
 }
 
@@ -666,6 +751,7 @@ fn manager_loop(
             other => panic!("manager received unexpected message: {other:?}"),
         }
     }
+    ep.exit_task();
     engine.stats()
 }
 

@@ -22,7 +22,8 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 use samhita_core::localsync::LocalSync;
-use samhita_core::{RunReport, ThreadStats};
+use samhita_core::{RunReport, RuntimeKind, ThreadStats};
+use samhita_sched::Scheduler;
 use samhita_scl::{FabricStatsSnapshot, SimTime};
 use samhita_trace::LatencyHistogram;
 use serde::{Deserialize, Serialize};
@@ -60,6 +61,8 @@ impl NativeCosts {
 /// The native backend.
 pub struct NativeRt {
     costs: NativeCosts,
+    runtime: RuntimeKind,
+    sched_seed: u64,
     arrays: RwLock<Vec<Arc<Vec<AtomicU64>>>>,
     locks: LocalSync,
     barriers: LocalSync,
@@ -72,10 +75,19 @@ impl Default for NativeRt {
 }
 
 impl NativeRt {
-    /// A backend with the given cost constants.
+    /// A backend with the given cost constants, running under the
+    /// deterministic virtual-time scheduler (the default, matching
+    /// [`samhita_core::SamhitaConfig`]).
     pub fn new(costs: NativeCosts) -> Self {
+        NativeRt::with_runtime(costs, RuntimeKind::Det, 0)
+    }
+
+    /// A backend with an explicit runtime kind and scheduler tie-break seed.
+    pub fn with_runtime(costs: NativeCosts, runtime: RuntimeKind, sched_seed: u64) -> Self {
         NativeRt {
             costs,
+            runtime,
+            sched_seed,
             arrays: RwLock::new(Vec::new()),
             locks: LocalSync::new(costs.mutex_ns),
             barriers: LocalSync::new(costs.barrier_ns),
@@ -124,44 +136,71 @@ impl KernelRt for NativeRt {
 
     fn run(&self, nthreads: u32, body: &(dyn Fn(&mut dyn KernelCtx) + Sync)) -> RunReport {
         assert!(nthreads >= 1);
+        // Deterministic mode: a fresh per-run scheduler; the host holds the
+        // baton while spawning so every compute task is registered (in tid
+        // order) before any of them runs, then parks for the joins. The
+        // LocalSync lock/barrier blocking points pick up the scheduler
+        // through `Scheduler::current()`.
+        let sched = (self.runtime == RuntimeKind::Det).then(|| Scheduler::new(self.sched_seed));
+        let host = sched.as_ref().map(|s| s.register_running());
         let stats = std::thread::scope(|s| {
             let handles: Vec<_> = (0..nthreads)
                 .map(|tid| {
+                    let task = sched.as_ref().map(|sched| sched.register_ready(0));
                     s.spawn(move || {
-                        let mut ctx = NativeCtx {
-                            rt: self,
-                            tid,
-                            nthreads,
-                            clock: SimTime::ZERO,
-                            frac_ns: 0.0,
-                            sync: SimTime::ZERO,
-                            epoch_clock: SimTime::ZERO,
-                            epoch_sync: SimTime::ZERO,
-                            lock_wait: LatencyHistogram::new(),
-                            barrier_wait: LatencyHistogram::new(),
-                        };
-                        body(&mut ctx);
-                        let total = ctx.clock.saturating_sub(ctx.epoch_clock);
-                        let sync = ctx.sync.saturating_sub(ctx.epoch_sync);
-                        ThreadStats {
-                            tid,
-                            total,
-                            sync,
-                            compute: total.saturating_sub(sync),
-                            lock_wait: ctx.lock_wait,
-                            barrier_wait: ctx.barrier_wait,
-                            ..ThreadStats::default()
+                        if let Some(task) = &task {
+                            task.start();
+                        }
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            let mut ctx = NativeCtx {
+                                rt: self,
+                                tid,
+                                nthreads,
+                                clock: SimTime::ZERO,
+                                frac_ns: 0.0,
+                                sync: SimTime::ZERO,
+                                epoch_clock: SimTime::ZERO,
+                                epoch_sync: SimTime::ZERO,
+                                lock_wait: LatencyHistogram::new(),
+                                barrier_wait: LatencyHistogram::new(),
+                            };
+                            body(&mut ctx);
+                            let total = ctx.clock.saturating_sub(ctx.epoch_clock);
+                            let sync = ctx.sync.saturating_sub(ctx.epoch_sync);
+                            ThreadStats {
+                                tid,
+                                total,
+                                sync,
+                                compute: total.saturating_sub(sync),
+                                lock_wait: ctx.lock_wait,
+                                barrier_wait: ctx.barrier_wait,
+                                ..ThreadStats::default()
+                            }
+                        }));
+                        if let Some(task) = &task {
+                            task.exit();
+                        }
+                        match result {
+                            Ok(stats) => stats,
+                            Err(payload) => std::panic::resume_unwind(payload),
                         }
                     })
                 })
                 .collect();
-            handles
+            if let Some(host) = &host {
+                host.suspend();
+            }
+            let stats = handles
                 .into_iter()
                 .map(|h| match h.join() {
                     Ok(stats) => stats,
                     Err(payload) => std::panic::resume_unwind(payload),
                 })
-                .collect::<Vec<_>>()
+                .collect::<Vec<_>>();
+            if let Some(host) = &host {
+                host.resume();
+            }
+            stats
         });
         RunReport::new(stats, FabricStatsSnapshot::default())
     }

@@ -1,0 +1,570 @@
+//! Deterministic virtual-time scheduler.
+//!
+//! The simulator's compute and service threads are real OS threads, but
+//! under this scheduler **exactly one of them runs at a time**: every task
+//! is gated by a per-task *baton* (a condvar-protected slot), and the
+//! scheduler hands the baton to the unique task with the globally minimal
+//! `(virtual_time, tie_break, task_id)` key among those ready to run. The
+//! tie-break is a seeded `splitmix64` hash of the task id, so ties at equal
+//! virtual time resolve the same way in every run with the same seed —
+//! and differently across seeds, which is what makes schedule-sensitivity
+//! testable.
+//!
+//! This is a *conservative* discrete-event design: a task yields with a
+//! candidate virtual time (the earliest instant at which it could next
+//! act), and the scheduler only grants the baton to the minimal candidate.
+//! Because a task granted at time `g` holds the smallest candidate, every
+//! message any other task may later send is stamped `>= g`; the granted
+//! task can therefore safely consume anything with effective time `<= g`.
+//! Candidates may be *under*-estimates (that only changes which
+//! deterministic order is picked, never causality); they must never be
+//! over-estimates.
+//!
+//! Service threads (memory servers, the manager) are born *free-running*:
+//! until their first baton grant they may drain their channels concurrently
+//! with the host's setup sends. Determinism across that window is the
+//! receiver's responsibility (see the deterministic receive path in the
+//! fabric crate, which keys ordering off per-sender-monotone effective
+//! times and channel order, both of which are stable under partial drains).
+
+#![warn(missing_docs)]
+
+use parking_lot::{Condvar, Mutex};
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::Arc;
+
+/// `splitmix64` — the canonical 64-bit finalizer used to derive a
+/// reproducible per-task tie-break from the scheduler seed.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The per-task hand-off gate. The slot carries the grant's virtual-time
+/// candidate, so a resuming task learns *when* it was scheduled without a
+/// second rendezvous with the scheduler lock.
+struct Baton {
+    slot: Mutex<Option<u64>>,
+    cv: Condvar,
+}
+
+impl Baton {
+    fn new() -> Self {
+        Baton { slot: Mutex::new(None), cv: Condvar::new() }
+    }
+
+    /// Hand the baton over, carrying the grant's candidate time.
+    fn grant(&self, at: u64) {
+        let mut slot = self.slot.lock();
+        debug_assert!(slot.is_none(), "baton granted twice without an intervening block");
+        *slot = Some(at);
+        self.cv.notify_one();
+    }
+
+    /// Wait for the baton and take it; returns the grant's candidate time.
+    fn block(&self) -> u64 {
+        let mut slot = self.slot.lock();
+        loop {
+            if let Some(at) = slot.take() {
+                return at;
+            }
+            self.cv.wait(&mut slot);
+        }
+    }
+
+    /// Discard an unconsumed grant. A task can be granted while still
+    /// free-running its birth window (the grant sits in the slot, untaken);
+    /// when that task then re-announces its state (yield/park/suspend/exit)
+    /// the pending grant is stale and must not be mistaken for a fresh one
+    /// by the next `block`.
+    fn clear(&self) {
+        let _ = self.slot.lock().take();
+    }
+}
+
+/// Where a task stands with respect to the baton.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TaskState {
+    /// Holds (or has been granted and will imminently take) the baton.
+    Running,
+    /// Wants the baton no earlier than the contained virtual time.
+    Ready(u64),
+    /// Blocked with no wake-up scheduled; some other task must `wake_at` it.
+    Parked,
+    /// Finished; never schedulable again.
+    Done,
+}
+
+struct Task {
+    state: TaskState,
+    /// Seeded tie-break, fixed at registration.
+    tie: u64,
+    baton: Arc<Baton>,
+}
+
+struct Inner {
+    tasks: Vec<Task>,
+    /// The task currently holding (or granted) the baton, if any.
+    running: Option<usize>,
+}
+
+/// The deterministic scheduler: a shared registry of tasks plus the single
+/// global pick policy. Create one per simulated run via [`Scheduler::new`].
+pub struct Scheduler {
+    seed: u64,
+    inner: Mutex<Inner>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<TaskRef>> = const { RefCell::new(None) };
+}
+
+impl Scheduler {
+    /// A fresh scheduler whose tie-breaks derive from `seed`.
+    pub fn new(seed: u64) -> Arc<Scheduler> {
+        Arc::new(Scheduler { seed, inner: Mutex::new(Inner { tasks: Vec::new(), running: None }) })
+    }
+
+    /// The seed the tie-breaks derive from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The task bound to the calling OS thread, if it was started through
+    /// this scheduler family ([`TaskRef::start`] binds, task exit unbinds).
+    /// Plain threads (unit tests, the OS-thread runtime) see `None`, which
+    /// is how dual-mode code keys off the deterministic path.
+    pub fn current() -> Option<TaskRef> {
+        CURRENT.with(|c| c.borrow().clone())
+    }
+
+    fn register(self: &Arc<Self>, state: TaskState) -> TaskRef {
+        let baton = Arc::new(Baton::new());
+        let mut inner = self.inner.lock();
+        let id = inner.tasks.len();
+        let tie = splitmix64(self.seed ^ (id as u64 + 1));
+        if state == TaskState::Running {
+            assert!(inner.running.is_none(), "two tasks registered Running");
+            inner.running = Some(id);
+        }
+        inner.tasks.push(Task { state, tie, baton: baton.clone() });
+        TaskRef { sched: self.clone(), id, baton }
+    }
+
+    /// Register the calling context as the task that currently holds the
+    /// baton (the host). Exactly one task may be Running at registration.
+    pub fn register_running(self: &Arc<Self>) -> TaskRef {
+        self.register(TaskState::Running)
+    }
+
+    /// Register a task ready to run no earlier than virtual time `at`.
+    pub fn register_ready(self: &Arc<Self>, at: u64) -> TaskRef {
+        self.register(TaskState::Ready(at))
+    }
+
+    /// Register a task blocked until somebody wakes it.
+    pub fn register_parked(self: &Arc<Self>) -> TaskRef {
+        self.register(TaskState::Parked)
+    }
+
+    /// Grant the baton to the Ready task with the minimal
+    /// `(candidate, tie, id)` key, if any. Caller holds the inner lock and
+    /// must have cleared `running` (or be about to re-grant to itself — the
+    /// pick may select the caller; the hand-off is uniform either way).
+    fn pick(&self, inner: &mut Inner) {
+        debug_assert!(inner.running.is_none());
+        let mut best: Option<(u64, u64, usize)> = None;
+        for (id, t) in inner.tasks.iter().enumerate() {
+            if let TaskState::Ready(at) = t.state {
+                let key = (at, t.tie, id);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+        }
+        if let Some((at, _, id)) = best {
+            inner.tasks[id].state = TaskState::Running;
+            inner.running = Some(id);
+            inner.tasks[id].baton.grant(at);
+        }
+        // No Ready task: the machine quiesces until the (suspended) host
+        // resumes, or a free-running newborn parks and later gets woken.
+    }
+}
+
+impl fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Scheduler")
+            .field("seed", &self.seed)
+            .field("tasks", &inner.tasks.len())
+            .field("running", &inner.running)
+            .finish()
+    }
+}
+
+/// A handle on one registered task. Clonable and sharable: wake-ups arrive
+/// from whichever task is currently running.
+pub struct TaskRef {
+    sched: Arc<Scheduler>,
+    id: usize,
+    baton: Arc<Baton>,
+}
+
+impl Clone for TaskRef {
+    fn clone(&self) -> Self {
+        TaskRef { sched: self.sched.clone(), id: self.id, baton: self.baton.clone() }
+    }
+}
+
+impl fmt::Debug for TaskRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TaskRef").field("id", &self.id).finish()
+    }
+}
+
+impl TaskRef {
+    /// This task's registration index (also the final tie-break key).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// First block of a newly spawned OS thread: wait for the first baton
+    /// grant, bind this task to the calling thread (so [`Scheduler::current`]
+    /// finds it), and return the grant's virtual-time candidate.
+    pub fn start(&self) -> u64 {
+        let at = self.baton.block();
+        CURRENT.with(|c| *c.borrow_mut() = Some(self.clone()));
+        at
+    }
+
+    /// Make this task schedulable no earlier than virtual time `t`. Merging
+    /// is by minimum: an already-Ready task keeps the earlier of the two
+    /// candidates; Running and Done tasks ignore wakes (a Running task will
+    /// re-announce its own candidate when it next yields). Never hands the
+    /// baton directly — only the scheduler pick does that.
+    pub fn wake_at(&self, t: u64) {
+        let mut inner = self.sched.inner.lock();
+        let task = &mut inner.tasks[self.id];
+        match task.state {
+            TaskState::Parked => task.state = TaskState::Ready(t),
+            TaskState::Ready(c) => task.state = TaskState::Ready(c.min(t)),
+            TaskState::Running | TaskState::Done => {}
+        }
+    }
+
+    /// Give up the baton until virtual time `t` (merged by minimum with any
+    /// pending wake), let the minimal-candidate task run, and block until
+    /// re-granted. Returns the grant's candidate: the caller may consume
+    /// anything with effective time `<=` that value.
+    pub fn yield_until(&self, t: u64) -> u64 {
+        {
+            let mut inner = self.sched.inner.lock();
+            let task = &mut inner.tasks[self.id];
+            match task.state {
+                TaskState::Running => task.state = TaskState::Ready(t),
+                TaskState::Ready(c) => task.state = TaskState::Ready(c.min(t)),
+                // Still in the birth free-run window (never granted): keep
+                // whatever a racing wake recorded, add our own candidate.
+                TaskState::Parked => task.state = TaskState::Ready(t),
+                TaskState::Done => unreachable!("yield after exit"),
+            }
+            if inner.running == Some(self.id) {
+                self.baton.clear();
+                inner.running = None;
+                self.sched.pick(&mut inner);
+            }
+        }
+        self.baton.block()
+    }
+
+    /// Block with no wake-up scheduled; some other task must [`wake_at`]
+    /// this one. Returns the grant's candidate time once re-granted.
+    ///
+    /// In the birth free-run window (thread spawned but never granted) the
+    /// task keeps a racing wake's Ready state rather than downgrading it.
+    ///
+    /// [`wake_at`]: TaskRef::wake_at
+    pub fn park(&self) -> u64 {
+        {
+            let mut inner = self.sched.inner.lock();
+            if inner.running == Some(self.id) {
+                self.baton.clear();
+                inner.tasks[self.id].state = TaskState::Parked;
+                inner.running = None;
+                self.sched.pick(&mut inner);
+            }
+            // else: birth window — leave Parked/Ready(racing wake) alone.
+        }
+        self.baton.block()
+    }
+
+    /// Release the baton *without blocking*: the host calls this before
+    /// joining worker threads so the workers can be scheduled while the
+    /// host is off doing real (non-simulated) work. Pair with [`resume`].
+    ///
+    /// Between `suspend` and `resume` the host must not send or receive on
+    /// the simulated fabric.
+    ///
+    /// [`resume`]: TaskRef::resume
+    pub fn suspend(&self) {
+        let mut inner = self.sched.inner.lock();
+        if inner.running == Some(self.id) {
+            self.baton.clear();
+            inner.tasks[self.id].state = TaskState::Parked;
+            inner.running = None;
+            self.sched.pick(&mut inner);
+        } else {
+            inner.tasks[self.id].state = TaskState::Parked;
+        }
+    }
+
+    /// Re-acquire the baton after a [`suspend`]. Idempotent: a no-op if
+    /// this task already runs. If the machine is quiescent (nothing Ready,
+    /// nothing Running) the baton is taken immediately; otherwise the task
+    /// queues at `u64::MAX` so every pending finite-candidate event drains
+    /// before the host proceeds.
+    ///
+    /// [`suspend`]: TaskRef::suspend
+    pub fn resume(&self) {
+        {
+            let mut inner = self.sched.inner.lock();
+            if inner.running == Some(self.id) {
+                // Discard a grant issued while this task was briefly parked
+                // by `suspend`: it is already running again.
+                self.baton.clear();
+                return;
+            }
+            if inner.running.is_none() {
+                let any_ready = inner.tasks.iter().any(|t| matches!(t.state, TaskState::Ready(_)));
+                if !any_ready {
+                    // Quiescent: nothing can be in flight (wakes only come
+                    // from running tasks), so take the baton directly.
+                    inner.tasks[self.id].state = TaskState::Running;
+                    inner.running = Some(self.id);
+                    return;
+                }
+                inner.tasks[self.id].state = TaskState::Ready(u64::MAX);
+                self.sched.pick(&mut inner);
+            } else {
+                inner.tasks[self.id].state = TaskState::Ready(u64::MAX);
+            }
+        }
+        self.baton.block();
+    }
+
+    /// Retire this task. If it held the baton the next minimal candidate is
+    /// granted. Unbinds [`Scheduler::current`] when called on the calling
+    /// thread's own task. Safe to call for a task that never started.
+    pub fn exit(&self) {
+        let mut inner = self.sched.inner.lock();
+        inner.tasks[self.id].state = TaskState::Done;
+        if inner.running == Some(self.id) {
+            self.baton.clear();
+            inner.running = None;
+            self.sched.pick(&mut inner);
+        }
+        drop(inner);
+        CURRENT.with(|c| {
+            let mut cur = c.borrow_mut();
+            if cur.as_ref().is_some_and(|t| t.id == self.id) {
+                *cur = None;
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread;
+
+    /// Workers yield at distinct virtual times; the recorded order must be
+    /// exactly ascending-by-candidate regardless of spawn order.
+    #[test]
+    fn grants_follow_virtual_time_order() {
+        let sched = Scheduler::new(1);
+        let host = sched.register_running();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        // Register in reverse so registration order != virtual-time order.
+        let tasks: Vec<TaskRef> = (0..4).map(|i| sched.register_ready(100 - i * 10)).collect();
+        let mut joins = Vec::new();
+        for (i, task) in tasks.iter().enumerate() {
+            let task = task.clone();
+            let order = order.clone();
+            joins.push(thread::spawn(move || {
+                let granted = task.start();
+                order.lock().push((i, granted));
+                task.exit();
+            }));
+        }
+        host.suspend();
+        for j in joins {
+            j.join().unwrap();
+        }
+        host.resume();
+        assert_eq!(*order.lock(), vec![(3, 70), (2, 80), (1, 90), (0, 100)]);
+    }
+
+    /// Equal candidates: order is fixed per seed, and some seed pair orders
+    /// them differently (the tie-break is really seeded, not id order).
+    #[test]
+    fn ties_break_by_seed_reproducibly() {
+        let run = |seed: u64| {
+            let sched = Scheduler::new(seed);
+            let host = sched.register_running();
+            let order = Arc::new(Mutex::new(Vec::new()));
+            let tasks: Vec<TaskRef> = (0..6).map(|_| sched.register_ready(42)).collect();
+            let mut joins = Vec::new();
+            for (i, task) in tasks.iter().enumerate() {
+                let task = task.clone();
+                let order = order.clone();
+                joins.push(thread::spawn(move || {
+                    task.start();
+                    order.lock().push(i);
+                    task.exit();
+                }));
+            }
+            host.suspend();
+            for j in joins {
+                j.join().unwrap();
+            }
+            host.resume();
+            let o = order.lock().clone();
+            o
+        };
+        assert_eq!(run(7), run(7), "same seed must give the same tie order");
+        assert!(
+            (0..32u64).any(|s| run(s) != run(s + 32)),
+            "some seed pair must order ties differently"
+        );
+    }
+
+    /// A parked task woken by a running one resumes at the wake's time; the
+    /// waker keeps running until it yields past that time.
+    #[test]
+    fn park_wake_handoff_carries_virtual_time() {
+        let sched = Scheduler::new(3);
+        let host = sched.register_running();
+        let a = sched.register_ready(0);
+        let b = sched.register_parked();
+        let log = Arc::new(Mutex::new(Vec::new()));
+
+        let (la, lb) = (log.clone(), log.clone());
+        let (a2, b2) = (a.clone(), b.clone());
+        let ta = thread::spawn(move || {
+            let g = a2.start();
+            la.lock().push(("a-start", g));
+            b2.wake_at(500);
+            let g = a2.yield_until(900);
+            la.lock().push(("a-resume", g));
+            a2.exit();
+        });
+        let tb = thread::spawn(move || {
+            let g = b.start();
+            lb.lock().push(("b-start", g));
+            b.exit();
+        });
+        host.suspend();
+        ta.join().unwrap();
+        tb.join().unwrap();
+        host.resume();
+        assert_eq!(
+            *log.lock(),
+            vec![("a-start", 0), ("b-start", 500), ("a-resume", 900)],
+            "the wake must run at 500, before a's 900 candidate"
+        );
+    }
+
+    /// yield_until may re-grant the caller when it stays minimal.
+    #[test]
+    fn yield_can_regrant_self() {
+        let sched = Scheduler::new(9);
+        let host = sched.register_running();
+        let a = sched.register_ready(0);
+        let _parked = sched.register_parked();
+        let t = thread::spawn(move || {
+            let g0 = a.start();
+            let g1 = a.yield_until(10);
+            a.exit();
+            (g0, g1)
+        });
+        host.suspend();
+        let (g0, g1) = t.join().unwrap();
+        host.resume();
+        assert_eq!((g0, g1), (0, 10));
+    }
+
+    /// resume() is idempotent and drains pending work first.
+    #[test]
+    fn resume_waits_for_ready_tasks_and_is_idempotent() {
+        let sched = Scheduler::new(11);
+        let host = sched.register_running();
+        let done = Arc::new(AtomicUsize::new(0));
+        let workers: Vec<TaskRef> = (0..3).map(|i| sched.register_ready(i * 5)).collect();
+        let mut joins = Vec::new();
+        for w in &workers {
+            let w = w.clone();
+            let done = done.clone();
+            joins.push(thread::spawn(move || {
+                w.start();
+                done.fetch_add(1, Ordering::SeqCst);
+                w.exit();
+            }));
+        }
+        host.suspend();
+        host.resume(); // must wait for (or outlast) the three workers
+        assert_eq!(done.load(Ordering::SeqCst), 3, "resume must drain finite candidates first");
+        host.resume(); // idempotent: already running
+        for j in joins {
+            j.join().unwrap();
+        }
+    }
+
+    /// current() binds on start and unbinds on exit; alien threads see None.
+    #[test]
+    fn current_is_bound_per_thread() {
+        assert!(Scheduler::current().is_none());
+        let sched = Scheduler::new(5);
+        let host = sched.register_running();
+        let a = sched.register_ready(0);
+        let t = thread::spawn(move || {
+            assert!(Scheduler::current().is_none());
+            a.start();
+            let cur = Scheduler::current().expect("bound after start");
+            assert_eq!(cur.id(), a.id());
+            a.exit();
+            assert!(Scheduler::current().is_none(), "unbound after exit");
+        });
+        host.suspend();
+        t.join().unwrap();
+        host.resume();
+        assert!(Scheduler::current().is_none(), "host thread never bound");
+    }
+
+    /// A wake targeting a Running or Done task is ignored; a second wake at
+    /// an earlier time lowers a Ready candidate.
+    #[test]
+    fn wake_merging_rules() {
+        let sched = Scheduler::new(13);
+        let host = sched.register_running();
+        let a = sched.register_parked();
+        a.wake_at(100);
+        a.wake_at(40); // earlier wake wins
+        a.wake_at(70); // later wake ignored
+        let a2 = a.clone();
+        let t = thread::spawn(move || {
+            let g = a2.start();
+            a2.exit();
+            g
+        });
+        host.suspend();
+        assert_eq!(t.join().unwrap(), 40);
+        host.resume();
+        a.wake_at(0); // Done: ignored, must not panic or grant
+    }
+}

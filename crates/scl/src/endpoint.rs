@@ -1,9 +1,24 @@
 //! Endpoints: the receiving half of a fabric attachment.
+//!
+//! An endpoint has two receive disciplines. Unbound (the default), `recv`
+//! blocks on the physical channel and yields messages in arrival order —
+//! correct for single-threaded runs and plain-thread tests. Bound to a
+//! deterministic-scheduler task (see [`Endpoint::bind_task`]), `recv`
+//! instead delivers messages in **virtual-time order**: arrivals are staged
+//! in a min-heap keyed by per-sender-monotone effective delivery time, and
+//! the owning task yields to the scheduler until the earliest staged message
+//! is provably final (no lower-keyed message can still be sent). That makes
+//! multi-sender receive order a pure function of virtual time + seed, never
+//! of OS scheduling.
 
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::channel::{Receiver, RecvTimeoutError, TryRecvError};
+use parking_lot::Mutex;
+use samhita_sched::TaskRef;
 
 use crate::error::SclError;
 use crate::fabric::Fabric;
@@ -11,6 +26,71 @@ use crate::fault::SendFate;
 use crate::stats::MsgClass;
 use crate::time::SimTime;
 use crate::topology::{EndpointId, NodeId};
+
+/// A staged message on the deterministic receive path, ordered by
+/// `(effective_time, arrival_seq)`. The effective time is the envelope's
+/// delivery time made monotone per sender, so per-sender FIFO order (which
+/// the protocol's idempotency machinery relies on) survives reordering.
+struct DetItem<M> {
+    eff: u64,
+    seq: u64,
+    env: Envelope<M>,
+}
+
+impl<M> PartialEq for DetItem<M> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.eff, self.seq) == (other.eff, other.seq)
+    }
+}
+impl<M> Eq for DetItem<M> {}
+impl<M> PartialOrd for DetItem<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for DetItem<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.eff, self.seq).cmp(&(other.eff, other.seq))
+    }
+}
+
+/// Deterministic receive state, present only on bound endpoints.
+struct DetState<M> {
+    task: TaskRef,
+    heap: BinaryHeap<Reverse<DetItem<M>>>,
+    /// Last effective time handed out per sender; effective times are
+    /// `max(deliver_at, last_eff[src])` so one sender's messages never
+    /// reorder against each other (an ordering key only — the envelope
+    /// keeps its true delivery time).
+    last_eff: HashMap<EndpointId, u64>,
+    /// Arrival counter: ties at equal effective time resolve in physical
+    /// channel order, which is deterministic under serialized execution.
+    seq: u64,
+    closed: bool,
+}
+
+impl<M> DetState<M> {
+    /// Pull everything physically available into the staging heap.
+    fn drain(&mut self, rx: &Receiver<Envelope<M>>) {
+        loop {
+            match rx.try_recv() {
+                Ok(env) => {
+                    let last = self.last_eff.entry(env.src).or_insert(0);
+                    let eff = env.deliver_at.as_ns().max(*last);
+                    *last = eff;
+                    let seq = self.seq;
+                    self.seq += 1;
+                    self.heap.push(Reverse(DetItem { eff, seq, env }));
+                }
+                Err(TryRecvError::Empty) => return,
+                Err(TryRecvError::Disconnected) => {
+                    self.closed = true;
+                    return;
+                }
+            }
+        }
+    }
+}
 
 /// A message in flight (or just delivered).
 #[derive(Debug, Clone)]
@@ -38,6 +118,7 @@ pub struct Endpoint<M> {
     node: NodeId,
     rx: Receiver<Envelope<M>>,
     fabric: Arc<Fabric<M>>,
+    det: Mutex<Option<DetState<M>>>,
 }
 
 impl<M: Send + Clone + 'static> Endpoint<M> {
@@ -47,7 +128,32 @@ impl<M: Send + Clone + 'static> Endpoint<M> {
         rx: Receiver<Envelope<M>>,
         fabric: Arc<Fabric<M>>,
     ) -> Self {
-        Endpoint { id, node, rx, fabric }
+        Endpoint { id, node, rx, fabric, det: Mutex::new(None) }
+    }
+
+    /// Switch this endpoint to the deterministic receive discipline, owned
+    /// by scheduler task `task`: subsequent deliveries post virtual wake-ups
+    /// to the task and [`Endpoint::recv`] returns messages in effective
+    /// virtual-time order. Call once at bring-up, before any traffic
+    /// targets this endpoint.
+    pub fn bind_task(&self, task: &TaskRef) {
+        *self.det.lock() = Some(DetState {
+            task: task.clone(),
+            heap: BinaryHeap::new(),
+            last_eff: HashMap::new(),
+            seq: 0,
+            closed: false,
+        });
+        self.fabric.bind_task(self.id, task.clone());
+    }
+
+    /// Retire the scheduler task bound to this endpoint (no-op when
+    /// unbound). Service loops call this on the way out so the scheduler
+    /// never waits on a task whose loop has returned.
+    pub fn exit_task(&self) {
+        if let Some(st) = self.det.lock().as_ref() {
+            st.task.exit();
+        }
     }
 
     /// This endpoint's fabric id.
@@ -103,13 +209,54 @@ impl<M: Send + Clone + 'static> Endpoint<M> {
         self.fabric.send_reliable(self.id, dst, now, wire_bytes, class, msg)
     }
 
-    /// Block until a message arrives (physically).
+    /// Block until a message arrives. Unbound: physical arrival order.
+    /// Bound to a scheduler task: messages are delivered in effective
+    /// virtual-time order, and blocking is a scheduler yield, not an OS
+    /// block — the wait ends when the earliest staged message is *final*,
+    /// i.e. the task was granted at a virtual time `g` with the heap
+    /// minimum's effective time `<= g`, so no yet-unsent message can ever
+    /// sort in front of it.
     pub fn recv(&self) -> Result<Envelope<M>, SclError> {
-        self.rx.recv().map_err(|_| SclError::ChannelClosed)
+        let mut det = self.det.lock();
+        let Some(st) = det.as_mut() else {
+            drop(det);
+            return self.rx.recv().map_err(|_| SclError::ChannelClosed);
+        };
+        // Holding `det` across yields/parks is deadlock-free: senders touch
+        // only the fabric slot (wake hook) and the physical channel, never
+        // this mutex.
+        loop {
+            st.drain(&self.rx);
+            if let Some(Reverse(top)) = st.heap.peek() {
+                let eff = top.eff;
+                let granted = st.task.yield_until(eff);
+                st.drain(&self.rx);
+                if let Some(Reverse(top2)) = st.heap.peek() {
+                    if top2.eff <= granted {
+                        return Ok(st.heap.pop().expect("peeked").0.env);
+                    }
+                }
+                // Granted below the minimum (an earlier wake-up raced in and
+                // then monotonization lifted it, or a lower-keyed message
+                // arrived meanwhile): loop and re-announce the new minimum.
+            } else if st.closed {
+                return Err(SclError::ChannelClosed);
+            } else {
+                st.task.park();
+            }
+        }
     }
 
-    /// Non-blocking receive.
+    /// Non-blocking receive. On a bound endpoint this returns the staged
+    /// minimum by effective time without any finality wait — callers that
+    /// mix it with deterministic `recv` must tolerate tentative order.
     pub fn try_recv(&self) -> Option<Envelope<M>> {
+        let mut det = self.det.lock();
+        if let Some(st) = det.as_mut() {
+            st.drain(&self.rx);
+            return st.heap.pop().map(|Reverse(item)| item.env);
+        }
+        drop(det);
         match self.rx.try_recv() {
             Ok(env) => Some(env),
             Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,

@@ -12,6 +12,7 @@ use std::sync::Arc;
 
 use crossbeam::channel::{self, Sender};
 use parking_lot::RwLock;
+use samhita_sched::TaskRef;
 
 use crate::endpoint::{Endpoint, Envelope};
 use crate::error::SclError;
@@ -27,6 +28,10 @@ struct Slot<M> {
     /// Each endpoint is owned by exactly one component thread, so this
     /// sequence is deterministic across runs.
     seq: AtomicU64,
+    /// Deterministic-scheduler task behind this endpoint, if its owner is
+    /// cooperatively scheduled: every physical delivery then also posts a
+    /// virtual wake-up at the envelope's delivery time.
+    det_task: Option<TaskRef>,
 }
 
 /// Callback invoked on every [`Fabric::send`], for tracing. The final
@@ -66,7 +71,7 @@ impl<M: Send + Clone + 'static> Fabric<M> {
         let (tx, rx) = channel::unbounded();
         let mut slots = self.slots.write();
         let id = EndpointId(slots.len() as u32);
-        slots.push(Slot { tx, node, seq: AtomicU64::new(0) });
+        slots.push(Slot { tx, node, seq: AtomicU64::new(0), det_task: None });
         drop(slots);
         Endpoint::new(id, node, rx, Arc::clone(self))
     }
@@ -133,7 +138,13 @@ impl<M: Send + Clone + 'static> Fabric<M> {
         }
         let post = |deliver_at: SimTime, lost: bool, msg: M| {
             let env = Envelope { src, sent_at: now, deliver_at, lost, msg };
-            dst_slot.tx.send(env).map_err(|_| SclError::Disconnected(dst))
+            dst_slot.tx.send(env).map_err(|_| SclError::Disconnected(dst))?;
+            // Lost envelopes wake the receiver too: that is how its virtual
+            // retransmission timeout fires without a wall-clock timer.
+            if let Some(task) = &dst_slot.det_task {
+                task.wake_at(deliver_at.as_ns());
+            }
+            Ok(())
         };
         match fate {
             SendFate::Delivered => post(deliver_at, false, msg)?,
@@ -174,7 +185,20 @@ impl<M: Send + Clone + 'static> Fabric<M> {
         }
         let env = Envelope { src, sent_at: now, deliver_at, lost: false, msg };
         dst_slot.tx.send(env).map_err(|_| SclError::Disconnected(dst))?;
+        if let Some(task) = &dst_slot.det_task {
+            task.wake_at(deliver_at.as_ns());
+        }
         Ok(deliver_at)
+    }
+
+    /// Bind the deterministic-scheduler task that owns endpoint `ep`: every
+    /// subsequent delivery to `ep` also posts a [`TaskRef::wake_at`] at the
+    /// envelope's virtual delivery time. Installed once at bring-up, before
+    /// any traffic targets the endpoint.
+    pub fn bind_task(&self, ep: EndpointId, task: TaskRef) {
+        let mut slots = self.slots.write();
+        let slot = slots.get_mut(ep.0 as usize).expect("bind_task on unknown endpoint");
+        slot.det_task = Some(task);
     }
 
     /// Install the fault plan consulted on every subsequent send. The

@@ -227,6 +227,64 @@ fn server_crash_mid_batch_fails_over_and_keeps_invariants() {
     trace.check_invariants().expect("batched failover must preserve every RegC invariant");
 }
 
+/// P=8 fault plans for the deterministic-scheduler suite: a heavy drop
+/// plan and a mid-run crash of memory server 1 (Jacobi's home, so the
+/// crash forces failovers even at higher thread counts).
+fn p8_plans() -> Vec<(&'static str, FaultConfig)> {
+    vec![
+        ("p8-drop", FaultConfig::lossy(0xC1, 0.08, 0.0, 0.0, 0)),
+        (
+            "p8-crash",
+            FaultConfig { crash: Some((1, 70_000)), ..FaultConfig::lossy(0xC2, 0.03, 0.0, 0.0, 0) },
+        ),
+    ]
+}
+
+const JACOBI_P8: JacobiParams = JacobiParams { n: 16, iters: 4, threads: 8 };
+
+#[test]
+fn p8_faulty_runs_match_fault_free_results_and_reproduce_bit_identically() {
+    // Eight compute threads under the deterministic scheduler: every seeded
+    // fault plan must (a) leave the computed grid bit-identical to the
+    // fault-free run — applications cannot tell recovery happened — and
+    // (b) itself be bit-reproducible: two runs of the same plan produce
+    // byte-identical reports, virtual timing and fabric counters included.
+    let baseline = run_jacobi(&SamhitaRt::new(replicated_cluster()), &JACOBI_P8);
+    assert_eq!(baseline.grid, serial_reference_jacobi(JACOBI_P8.n, JACOBI_P8.iters));
+    for (name, faults) in p8_plans() {
+        let cfg = SamhitaConfig { faults, ..replicated_cluster() };
+        let a = run_jacobi(&SamhitaRt::new(cfg.clone()), &JACOBI_P8);
+        assert_eq!(a.grid, baseline.grid, "plan {name} perturbed the Jacobi grid at P=8");
+        assert!(a.report.fabric.total_faults() > 0, "plan {name} injected nothing");
+        let b = run_jacobi(&SamhitaRt::new(cfg), &JACOBI_P8);
+        assert_eq!(
+            format!("{:?}", a.report),
+            format!("{:?}", b.report),
+            "plan {name}: a seeded faulty P=8 run must reproduce bit-identically"
+        );
+    }
+}
+
+#[test]
+fn p8_faulty_runs_pass_the_invariant_checker() {
+    for (name, faults) in p8_plans() {
+        let cfg = SamhitaConfig { tracing: true, faults, ..replicated_cluster() };
+        let rt = SamhitaRt::new(cfg);
+        let r = run_jacobi(&rt, &JACOBI_P8);
+        if name == "p8-crash" {
+            assert!(
+                r.report.total_of(|t| t.failovers) > 0,
+                "crashing server 1 mid-run must drive failovers at P=8"
+            );
+        }
+        let trace = rt.take_trace().expect("tracing was enabled");
+        let summary = trace
+            .check_invariants()
+            .unwrap_or_else(|e| panic!("plan {name} broke a RegC invariant at P=8: {e:?}"));
+        assert!(summary.diff_bytes > 0, "plan {name}: the run must have flushed diffs");
+    }
+}
+
 #[test]
 fn inactive_fault_schedule_stays_bit_deterministic() {
     // FaultConfig::default() must leave the virtual-time simulation exactly

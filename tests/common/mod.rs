@@ -1,0 +1,130 @@
+//! Shared random-program machinery for the integration suites.
+//!
+//! Program shape (per seed): `phases` rounds, each consisting of per-thread
+//! ordinary writes to thread-owned slots, a round of lock-protected
+//! read-modify-writes on shared accumulators, and a barrier. Ownership makes
+//! the ordinary writes race-free; the lock serializes the accumulator
+//! updates; commutative updates keep the expected state independent of
+//! acquisition order — so the final memory is fully predictable and every
+//! protocol path (twins, diffs, fine-grain updates, notices, invalidations,
+//! refetches) is exercised on the way. `tests/random_programs.rs` checks the
+//! final memory against [`interpret`]; `tests/determinism_scale.rs` checks
+//! that repeated runs are bit-identical in time as well as value.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use samhita_repro::core::{RunReport, Samhita, SamhitaConfig};
+
+/// Thread-owned slots per thread (ordinary, race-free writes).
+pub const SLOTS_PER_THREAD: u64 = 24;
+/// Shared lock-protected accumulators.
+pub const ACCUMULATORS: u64 = 3;
+
+/// One barrier-delimited round of a generated program.
+#[derive(Clone)]
+pub struct Phase {
+    /// Per thread: (slot index within its block, value) ordinary writes.
+    pub writes: Vec<Vec<(u64, u64)>>,
+    /// Per thread: (accumulator, delta) lock-protected updates.
+    pub adds: Vec<Vec<(u64, u64)>>,
+}
+
+/// Generate a random `phases`-round program over `threads` threads.
+pub fn generate(seed: u64, threads: u32, phases: usize) -> Vec<Phase> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..phases)
+        .map(|_| Phase {
+            writes: (0..threads)
+                .map(|_| {
+                    (0..rng.gen_range(0..12))
+                        .map(|_| (rng.gen_range(0..SLOTS_PER_THREAD), rng.gen::<u64>() >> 1))
+                        .collect()
+                })
+                .collect(),
+            adds: (0..threads)
+                .map(|_| {
+                    (0..rng.gen_range(0..4))
+                        .map(|_| (rng.gen_range(0..ACCUMULATORS), rng.gen_range(1..1000)))
+                        .collect()
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Sequential interpretation: the final expected memory.
+pub fn interpret(phases: &[Phase], threads: u32) -> (Vec<u64>, Vec<u64>) {
+    let mut slots = vec![0u64; (threads as u64 * SLOTS_PER_THREAD) as usize];
+    let mut accs = vec![0u64; ACCUMULATORS as usize];
+    for phase in phases {
+        for (tid, writes) in phase.writes.iter().enumerate() {
+            for &(slot, value) in writes {
+                slots[tid * SLOTS_PER_THREAD as usize + slot as usize] = value;
+            }
+        }
+        for adds in &phase.adds {
+            for &(acc, delta) in adds {
+                accs[acc as usize] += delta;
+            }
+        }
+    }
+    (slots, accs)
+}
+
+/// Run a generated program on the full DSM and read back the final memory.
+/// Returns the slot values, accumulator values, and the run's report; the
+/// caller keeps the `Samhita` handle (passed in) for trace extraction.
+pub fn run_on_dsm(
+    sys: &Samhita,
+    phases: &[Phase],
+    threads: u32,
+) -> (Vec<u64>, Vec<u64>, RunReport) {
+    let slots = sys.alloc_global(threads as u64 * SLOTS_PER_THREAD * 8);
+    let accs = sys.alloc_global(ACCUMULATORS * 8);
+    let lock = sys.create_mutex();
+    let barrier = sys.create_barrier(threads);
+    let phases = phases.to_vec();
+    let report = sys.run(threads, move |ctx| {
+        let tid = ctx.tid() as usize;
+        let base = slots + ctx.tid() as u64 * SLOTS_PER_THREAD * 8;
+        for phase in &phases {
+            for &(slot, value) in &phase.writes[tid] {
+                ctx.write_u64(base + slot * 8, value);
+            }
+            ctx.lock(lock);
+            for &(acc, delta) in &phase.adds[tid] {
+                let v = ctx.read_u64(accs + acc * 8);
+                ctx.write_u64(accs + acc * 8, v + delta);
+            }
+            ctx.unlock(lock);
+            ctx.barrier(barrier);
+            // Mid-program check: accumulators are already coherent here, but
+            // their values depend on phase interleaving only through the
+            // (commutative) sums — spot-check reads do not disturb the
+            // protocol.
+            let _ = ctx.read_u64(accs);
+        }
+    });
+    let mut slot_bytes = vec![0u8; (threads as u64 * SLOTS_PER_THREAD * 8) as usize];
+    sys.read_global(slots, &mut slot_bytes);
+    let got_slots =
+        slot_bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect();
+    let mut acc_bytes = vec![0u8; (ACCUMULATORS * 8) as usize];
+    sys.read_global(accs, &mut acc_bytes);
+    let got_accs =
+        acc_bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect();
+    (got_slots, got_accs, report)
+}
+
+/// Convenience: build a system from `cfg`, run, and return final memory.
+/// (Not every test binary that compiles this shared module uses it.)
+#[allow(dead_code)]
+pub fn run_on_fresh_dsm(
+    cfg: SamhitaConfig,
+    phases: &[Phase],
+    threads: u32,
+) -> (Vec<u64>, Vec<u64>) {
+    let sys = Samhita::new(cfg);
+    let (slots, accs, _) = run_on_dsm(&sys, phases, threads);
+    (slots, accs)
+}

@@ -256,7 +256,11 @@ fn condvar_handoff_with_waiting_consumer() {
             assert_eq!(ctx.read_u64(value), 99);
             ctx.unlock(lock);
         } else {
-            // Producer, delayed so the consumer actually waits.
+            // Producer, delayed so the consumer actually waits: the compute
+            // charge pushes its lock acquisition later in *virtual* time
+            // (what the deterministic runtime orders by), and the physical
+            // sleep does the same in wall time for the OS runtime.
+            ctx.compute(100_000);
             std::thread::sleep(std::time::Duration::from_millis(20));
             ctx.lock(lock);
             ctx.write_u64(value, 99);

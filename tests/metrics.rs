@@ -85,23 +85,26 @@ fn committed_baselines_gate_synthetic_regressions() {
     let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/results/baselines");
     let mut checked = 0;
     for kernel in ["micro", "jacobi", "md"] {
-        let path = format!("{dir}/BENCH_{kernel}.json");
-        let text = std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("baseline {path} unreadable: {e}"));
-        let base = BenchReport::from_json(&text)
-            .unwrap_or_else(|e| panic!("baseline {path} unparsable: {e}"));
-        assert_eq!(base.kernel, kernel);
-        assert!(base.makespan_ns > 0);
-        assert!(base.timeline.is_some(), "baselines are generated with tracing on");
+        for p in [1u32, 8, 64] {
+            let path = format!("{dir}/BENCH_{kernel}_p{p}.json");
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("baseline {path} unreadable: {e}"));
+            let base = BenchReport::from_json(&text)
+                .unwrap_or_else(|e| panic!("baseline {path} unparsable: {e}"));
+            assert_eq!(base.kernel, kernel);
+            assert_eq!(base.threads, p, "{path} carries its thread count");
+            assert!(base.makespan_ns > 0);
+            assert!(base.timeline.is_some(), "baselines are generated with tracing on");
 
-        let same = compare(&base, &base, 0.05);
-        assert!(same.passed(), "self-comparison regressed: {:?}", same.regressions);
+            let same = compare(&base, &base, 0.05);
+            assert!(same.passed(), "self-comparison regressed: {:?}", same.regressions);
 
-        let worse = BenchReport { makespan_ns: base.makespan_ns * 11 / 10, ..base.clone() };
-        let gate = compare(&base, &worse, 0.05);
-        assert!(!gate.passed(), "a 10% makespan regression must fail the 5% gate");
-        assert!(gate.regressions[0].contains("makespan"));
-        checked += 1;
+            let worse = BenchReport { makespan_ns: base.makespan_ns * 11 / 10, ..base.clone() };
+            let gate = compare(&base, &worse, 0.05);
+            assert!(!gate.passed(), "a 10% makespan regression must fail the 5% gate");
+            assert!(gate.regressions.iter().any(|r| r.contains("makespan")));
+            checked += 1;
+        }
     }
-    assert_eq!(checked, 3);
+    assert_eq!(checked, 9);
 }

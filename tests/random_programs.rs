@@ -2,118 +2,25 @@
 //! programs executed on the full DSM must leave the shared memory in
 //! exactly the state a sequential interpretation predicts.
 //!
-//! Program shape (per seed): `PHASES` rounds, each consisting of
-//! per-thread ordinary writes to thread-owned slots, a round of
-//! lock-protected read-modify-writes on shared accumulators, and a barrier.
-//! Ownership makes the ordinary writes race-free; the lock serializes the
-//! accumulator updates; commutative updates keep the expected state
-//! independent of acquisition order — so the final memory is fully
-//! predictable and every protocol path (twins, diffs, fine-grain updates,
-//! notices, invalidations, refetches) is exercised on the way.
+//! The generator, interpreter, and DSM runner live in `tests/common` (see
+//! its module docs for the program shape) and are shared with the
+//! determinism-at-scale suite.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use samhita_repro::core::{Samhita, SamhitaConfig};
+mod common;
+
+use common::{generate, interpret, run_on_fresh_dsm};
+use samhita_repro::core::SamhitaConfig;
 
 const THREADS: u32 = 4;
-const SLOTS_PER_THREAD: u64 = 24;
-const ACCUMULATORS: u64 = 3;
 const PHASES: usize = 6;
-
-#[derive(Clone)]
-struct Phase {
-    /// Per thread: (slot index within its block, value) ordinary writes.
-    writes: Vec<Vec<(u64, u64)>>,
-    /// Per thread: (accumulator, delta) lock-protected updates.
-    adds: Vec<Vec<(u64, u64)>>,
-}
-
-fn generate(seed: u64) -> Vec<Phase> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..PHASES)
-        .map(|_| Phase {
-            writes: (0..THREADS)
-                .map(|_| {
-                    (0..rng.gen_range(0..12))
-                        .map(|_| (rng.gen_range(0..SLOTS_PER_THREAD), rng.gen::<u64>() >> 1))
-                        .collect()
-                })
-                .collect(),
-            adds: (0..THREADS)
-                .map(|_| {
-                    (0..rng.gen_range(0..4))
-                        .map(|_| (rng.gen_range(0..ACCUMULATORS), rng.gen_range(1..1000)))
-                        .collect()
-                })
-                .collect(),
-        })
-        .collect()
-}
-
-/// Sequential interpretation: the final expected memory.
-fn interpret(phases: &[Phase]) -> (Vec<u64>, Vec<u64>) {
-    let mut slots = vec![0u64; (THREADS as u64 * SLOTS_PER_THREAD) as usize];
-    let mut accs = vec![0u64; ACCUMULATORS as usize];
-    for phase in phases {
-        for (tid, writes) in phase.writes.iter().enumerate() {
-            for &(slot, value) in writes {
-                slots[tid * SLOTS_PER_THREAD as usize + slot as usize] = value;
-            }
-        }
-        for adds in &phase.adds {
-            for &(acc, delta) in adds {
-                accs[acc as usize] += delta;
-            }
-        }
-    }
-    (slots, accs)
-}
-
-fn run_on_dsm(cfg: SamhitaConfig, phases: &[Phase]) -> (Vec<u64>, Vec<u64>) {
-    let sys = Samhita::new(cfg);
-    let slots = sys.alloc_global(THREADS as u64 * SLOTS_PER_THREAD * 8);
-    let accs = sys.alloc_global(ACCUMULATORS * 8);
-    let lock = sys.create_mutex();
-    let barrier = sys.create_barrier(THREADS);
-    let phases = phases.to_vec();
-    sys.run(THREADS, move |ctx| {
-        let tid = ctx.tid() as usize;
-        let base = slots + ctx.tid() as u64 * SLOTS_PER_THREAD * 8;
-        for phase in &phases {
-            for &(slot, value) in &phase.writes[tid] {
-                ctx.write_u64(base + slot * 8, value);
-            }
-            ctx.lock(lock);
-            for &(acc, delta) in &phase.adds[tid] {
-                let v = ctx.read_u64(accs + acc * 8);
-                ctx.write_u64(accs + acc * 8, v + delta);
-            }
-            ctx.unlock(lock);
-            ctx.barrier(barrier);
-            // Mid-program check: accumulators are already coherent here,
-            // but their values depend on phase interleaving only through
-            // the (commutative) sums — spot-check reads do not disturb
-            // the protocol.
-            let _ = ctx.read_u64(accs);
-        }
-    });
-    let mut slot_bytes = vec![0u8; (THREADS as u64 * SLOTS_PER_THREAD * 8) as usize];
-    sys.read_global(slots, &mut slot_bytes);
-    let got_slots =
-        slot_bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect();
-    let mut acc_bytes = vec![0u8; (ACCUMULATORS * 8) as usize];
-    sys.read_global(accs, &mut acc_bytes);
-    let got_accs =
-        acc_bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect();
-    (got_slots, got_accs)
-}
 
 #[test]
 fn random_programs_match_sequential_interpretation() {
     for seed in 0..12u64 {
-        let phases = generate(seed);
-        let (want_slots, want_accs) = interpret(&phases);
-        let (got_slots, got_accs) = run_on_dsm(SamhitaConfig::small_for_tests(), &phases);
+        let phases = generate(seed, THREADS, PHASES);
+        let (want_slots, want_accs) = interpret(&phases, THREADS);
+        let (got_slots, got_accs) =
+            run_on_fresh_dsm(SamhitaConfig::small_for_tests(), &phases, THREADS);
         assert_eq!(got_slots, want_slots, "seed {seed}: slot state diverged");
         assert_eq!(got_accs, want_accs, "seed {seed}: accumulators diverged");
     }
@@ -136,9 +43,9 @@ fn random_programs_match_under_stressful_configurations() {
     ];
     for (ci, cfg) in configs.into_iter().enumerate() {
         for seed in 100..106u64 {
-            let phases = generate(seed);
-            let (want_slots, want_accs) = interpret(&phases);
-            let (got_slots, got_accs) = run_on_dsm(cfg.clone(), &phases);
+            let phases = generate(seed, THREADS, PHASES);
+            let (want_slots, want_accs) = interpret(&phases, THREADS);
+            let (got_slots, got_accs) = run_on_fresh_dsm(cfg.clone(), &phases, THREADS);
             assert_eq!(got_slots, want_slots, "config {ci} seed {seed}: slots diverged");
             assert_eq!(got_accs, want_accs, "config {ci} seed {seed}: accumulators diverged");
         }
