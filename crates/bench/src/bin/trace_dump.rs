@@ -18,22 +18,28 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use samhita_bench::run_summary;
+use samhita_bench::{run_summary, thread_windows};
 use samhita_core::SamhitaConfig;
 use samhita_kernels::{run_jacobi, run_micro, AllocMode, JacobiParams, MicroParams};
 use samhita_rt::SamhitaRt;
-use samhita_trace::validate_json;
+use samhita_trace::{critical_path, validate_json};
 
 struct Args {
     kernel: String,
     threads: u32,
     out: PathBuf,
     jsonl: Option<PathBuf>,
+    critpath: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args =
-        Args { kernel: "micro".into(), threads: 4, out: PathBuf::from("trace.json"), jsonl: None };
+    let mut args = Args {
+        kernel: "micro".into(),
+        threads: 4,
+        out: PathBuf::from("trace.json"),
+        jsonl: None,
+        critpath: false,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -56,10 +62,11 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--jsonl needs a path")?;
                 args.jsonl = Some(PathBuf::from(v));
             }
+            "--critical-path" => args.critpath = true,
             "--help" | "-h" => {
                 println!(
                     "usage: trace-dump [--kernel micro|jacobi] [--threads N] \
-                     [--out trace.json] [--jsonl trace.jsonl]"
+                     [--out trace.json] [--jsonl trace.jsonl] [--critical-path]"
                 );
                 std::process::exit(0);
             }
@@ -79,6 +86,7 @@ fn main() -> ExitCode {
     };
 
     let cfg = SamhitaConfig { tracing: true, ..SamhitaConfig::default() };
+    let costs = cfg.service_costs();
     let rt = SamhitaRt::new(cfg);
     println!("# tracing {} kernel, {} threads", args.kernel, args.threads);
     let report = match args.kernel.as_str() {
@@ -110,7 +118,10 @@ fn main() -> ExitCode {
         }
     };
 
-    let chrome = trace.to_chrome_json();
+    // The causal export: thread tracks fully tiled, service spans on the
+    // manager/server tracks, flow arrows for RPC pairs and lock handoffs.
+    let windows = thread_windows(&report);
+    let chrome = trace.to_chrome_json_with(&windows, &costs);
     validate_json(&chrome).expect("exporter produced invalid JSON");
     std::fs::write(&args.out, &chrome).expect("write trace file");
     println!(
@@ -121,6 +132,20 @@ fn main() -> ExitCode {
     if let Some(path) = &args.jsonl {
         std::fs::write(path, trace.to_jsonl()).expect("write JSONL file");
         println!("# wrote {}", path.display());
+    }
+
+    if args.critpath {
+        let cp = critical_path(&trace, &windows, &costs);
+        println!("\ncritical path:\n  {}", cp.summary());
+        for s in cp.top_segments(10) {
+            println!(
+                "  {:>12} ns  tid {:<3} {:<16} {}",
+                s.len_ns(),
+                s.tid,
+                s.class.label(),
+                s.detail
+            );
+        }
     }
 
     println!("\nrun summary:\n{}", run_summary(&report));

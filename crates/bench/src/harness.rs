@@ -37,6 +37,42 @@ pub fn run_summary(report: &RunReport) -> String {
         let per_server: Vec<String> =
             report.server_utilization().iter().map(|u| format!("{:.1}%", u * 100.0)).collect();
         out.push_str(&format!("  mem-server util   {}\n", per_server.join(" ")));
+        // Where all thread-time went: the five disjoint measured wait
+        // classes plus derived compute and idle — sums to threads×makespan
+        // exactly (the conservation identity the accounting tests pin).
+        let b = report.wait_breakdown();
+        if b.total_ns > 0 {
+            let pct = |ns: u64| ns as f64 * 100.0 / b.total_ns as f64;
+            out.push_str(&format!(
+                "  time breakdown    compute {:.1}% / fetch {:.1}% / lock {:.1}% / \
+                 barrier {:.1}% / mgr {:.1}% / flush {:.1}% / idle {:.1}%\n",
+                pct(b.compute_ns),
+                pct(b.fetch_ns),
+                pct(b.lock_ns),
+                pct(b.barrier_ns),
+                pct(b.mgr_ns),
+                pct(b.flush_ns),
+                pct(b.idle_ns)
+            ));
+        }
+        // Manager queue pressure — "the manager is the wall", measured.
+        if report.mgr_requests > 0 {
+            out.push_str(&format!(
+                "  mgr queue         wait {:.2}% of thread-time, mean depth {:.2}, \
+                 peak {}, {} requests\n",
+                report.mgr_queue_wait_fraction() * 100.0,
+                report.mgr_mean_queue_depth(),
+                report.mgr_peak_queue_depth,
+                report.mgr_requests
+            ));
+        }
+        let server_qwait: u64 = report.server_queue_wait_ns.iter().sum();
+        if server_qwait > 0 {
+            out.push_str(&format!(
+                "  server queues     wait {server_qwait}ns total, peak depth {}\n",
+                report.server_peak_queue_depth.iter().copied().max().unwrap_or(0)
+            ));
+        }
     }
     // Top pages by coherence churn, with their allocation sites — the
     // false-sharing culprits, printed without any flag.

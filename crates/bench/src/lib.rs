@@ -17,4 +17,7 @@ pub mod report;
 
 pub use cli::ExampleArgs;
 pub use harness::{run_summary, FigureData, HarnessConfig, Series};
-pub use report::{compare, BenchReport, Comparison};
+pub use report::{
+    compare, thread_windows, BenchReport, BreakdownSummary, Comparison, CritPathSummary,
+    QueueSummary,
+};

@@ -18,13 +18,18 @@
 use samhita_core::{RunReport, SamhitaConfig};
 use samhita_scl::MsgClass;
 use samhita_trace::{
-    json::escape, JsonValue, LatencyHistogram, MetricsTimeline, PageCounters, RunTrace,
+    critical_path, json::escape, JsonValue, LatencyHistogram, MetricsTimeline, PageCounters,
+    PathClass, RunTrace, ThreadWindow,
 };
 
 /// Schema tag written into every report, bumped on breaking changes.
 /// v2 adds the per-class traffic section (`traffic`) with message and byte
 /// counts plus the `msgs_per_sync_op` rate the batching gate watches.
-pub const SCHEMA: &str = "samhita-bench-report-v2";
+/// v3 adds the per-thread time-conservation breakdown (`breakdown`), the
+/// manager/server queue-wait section (`queue`) with the
+/// `mgr_queue_wait_fraction` the gate watches, and the trace-derived
+/// critical-path composition (`critical_path`).
+pub const SCHEMA: &str = "samhita-bench-report-v3";
 
 /// Number of timeline intervals summarized into a report.
 const TIMELINE_BUCKETS: u64 = 20;
@@ -139,6 +144,127 @@ impl TrafficSummary {
     }
 }
 
+/// Aggregate per-thread time conservation: the five pairwise-disjoint
+/// measured wait classes plus derived compute and idle, summed over all
+/// threads. `compute + fetch + lock + barrier + mgr + flush + idle ==
+/// threads × makespan` exactly (asserted by the core's accounting tests).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BreakdownSummary {
+    pub compute_ns: u64,
+    pub fetch_ns: u64,
+    pub lock_ns: u64,
+    pub barrier_ns: u64,
+    pub mgr_ns: u64,
+    pub flush_ns: u64,
+    pub idle_ns: u64,
+    /// Sum of all thread timelines (`threads × makespan`).
+    pub total_ns: u64,
+}
+
+impl BreakdownSummary {
+    /// Digest a run's wait-state accounting.
+    pub fn of(report: &RunReport) -> Self {
+        let b = report.wait_breakdown();
+        BreakdownSummary {
+            compute_ns: b.compute_ns,
+            fetch_ns: b.fetch_ns,
+            lock_ns: b.lock_ns,
+            barrier_ns: b.barrier_ns,
+            mgr_ns: b.mgr_ns,
+            flush_ns: b.flush_ns,
+            idle_ns: b.idle_ns,
+            total_ns: b.total_ns,
+        }
+    }
+}
+
+/// Manager and memory-server queue-pressure digest. All numbers come from
+/// counters published outside the virtual clock, so recording them cannot
+/// move any timestamp.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct QueueSummary {
+    /// Total time manager requests spent queued behind other requests (ns).
+    pub mgr_queue_wait_ns: u64,
+    /// `mgr_queue_wait_ns / (threads × makespan)` — the "manager is the
+    /// wall" fraction the regression gate watches.
+    pub mgr_queue_wait_fraction: f64,
+    /// Deepest manager queue observed (requests).
+    pub mgr_peak_queue_depth: u64,
+    /// Mean queue depth seen by arriving manager requests.
+    pub mgr_mean_queue_depth: f64,
+    /// Manager requests served.
+    pub mgr_requests: u64,
+    /// Total memory-server queue wait, summed over servers (ns).
+    pub server_queue_wait_ns: u64,
+    /// Deepest memory-server queue observed, across servers (requests).
+    pub server_peak_queue_depth: u64,
+}
+
+impl QueueSummary {
+    /// Digest a run's queue counters.
+    pub fn of(report: &RunReport) -> Self {
+        QueueSummary {
+            mgr_queue_wait_ns: report.mgr_queue_wait_ns,
+            mgr_queue_wait_fraction: report.mgr_queue_wait_fraction(),
+            mgr_peak_queue_depth: report.mgr_peak_queue_depth,
+            mgr_mean_queue_depth: report.mgr_mean_queue_depth(),
+            mgr_requests: report.mgr_requests,
+            server_queue_wait_ns: report.server_queue_wait_ns.iter().sum(),
+            server_peak_queue_depth: report
+                .server_peak_queue_depth
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or(0),
+        }
+    }
+}
+
+/// Composition of the virtual-time critical path, from the trace-derived
+/// backward walk ([`samhita_trace::critical_path`]). The eight classes sum
+/// to `makespan_ns` exactly.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CritPathSummary {
+    pub makespan_ns: u64,
+    pub compute_ns: u64,
+    pub fetch_ns: u64,
+    pub lock_wait_ns: u64,
+    pub barrier_wait_ns: u64,
+    pub mgr_wait_ns: u64,
+    pub mgr_service_ns: u64,
+    pub server_service_ns: u64,
+    pub queue_wait_ns: u64,
+    /// Path length in segments.
+    pub n_segments: u64,
+}
+
+impl CritPathSummary {
+    /// Digest an extracted critical path.
+    pub fn of(r: &samhita_trace::CriticalPathReport) -> Self {
+        CritPathSummary {
+            makespan_ns: r.makespan_ns,
+            compute_ns: r.class_total(PathClass::Compute),
+            fetch_ns: r.class_total(PathClass::Fetch),
+            lock_wait_ns: r.class_total(PathClass::LockWait),
+            barrier_wait_ns: r.class_total(PathClass::BarrierWait),
+            mgr_wait_ns: r.class_total(PathClass::MgrWait),
+            mgr_service_ns: r.class_total(PathClass::MgrService),
+            server_service_ns: r.class_total(PathClass::ServerService),
+            queue_wait_ns: r.class_total(PathClass::QueueWait),
+            n_segments: r.segments.len() as u64,
+        }
+    }
+}
+
+/// The run's per-thread windows, as the span/critical-path layer wants them.
+pub fn thread_windows(report: &RunReport) -> Vec<ThreadWindow> {
+    report
+        .threads
+        .iter()
+        .map(|t| ThreadWindow { tid: t.tid, epoch_ns: t.epoch_ns, end_ns: t.end_ns })
+        .collect()
+}
+
 /// One hotspot page with its allocation site and protocol counters.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct HotspotEntry {
@@ -173,6 +299,13 @@ pub struct BenchReport {
     pub timeline: Option<TimelineSummary>,
     /// Per-class fabric traffic and the per-sync-op message rate.
     pub traffic: TrafficSummary,
+    /// Aggregate per-thread time conservation (always present; zeros on
+    /// native runs with no DSM waits).
+    pub breakdown: BreakdownSummary,
+    /// Manager / memory-server queue pressure.
+    pub queue: QueueSummary,
+    /// Critical-path composition; present when the run recorded a trace.
+    pub critical_path: Option<CritPathSummary>,
     /// Top pages by coherence churn, with allocation sites.
     pub hotspots: Vec<HotspotEntry>,
 }
@@ -212,7 +345,15 @@ impl BenchReport {
         let timeline = trace.map(|t| {
             let width =
                 MetricsTimeline::bucket_width_for(report.makespan.as_ns(), TIMELINE_BUCKETS);
-            TimelineSummary::of(&MetricsTimeline::from_trace(t, width, &cfg.service_costs()))
+            let mut tl = MetricsTimeline::from_trace(t, width, &cfg.service_costs());
+            tl.absorb_queue_samples(&report.mgr_queue_samples);
+            for s in &report.server_queue_samples {
+                tl.absorb_queue_samples(s);
+            }
+            TimelineSummary::of(&tl)
+        });
+        let critical = trace.map(|t| {
+            CritPathSummary::of(&critical_path(t, &thread_windows(report), &cfg.service_costs()))
         });
         let hot = report.hotspots();
         let hotspots = hot
@@ -235,6 +376,9 @@ impl BenchReport {
             barrier: HistogramSummary::of(&report.barrier_wait()),
             timeline,
             traffic: TrafficSummary::of(report),
+            breakdown: BreakdownSummary::of(report),
+            queue: QueueSummary::of(report),
+            critical_path: critical,
             hotspots,
         }
     }
@@ -306,6 +450,52 @@ impl BenchReport {
             ));
         }
         out.push_str("]},");
+        let b = &self.breakdown;
+        out.push_str(&format!(
+            "\"breakdown\":{{\"compute_ns\":{},\"fetch_ns\":{},\"lock_ns\":{},\
+             \"barrier_ns\":{},\"mgr_ns\":{},\"flush_ns\":{},\"idle_ns\":{},\
+             \"total_ns\":{}}},",
+            b.compute_ns,
+            b.fetch_ns,
+            b.lock_ns,
+            b.barrier_ns,
+            b.mgr_ns,
+            b.flush_ns,
+            b.idle_ns,
+            b.total_ns
+        ));
+        let q = &self.queue;
+        out.push_str(&format!(
+            "\"queue\":{{\"mgr_queue_wait_ns\":{},\"mgr_queue_wait_fraction\":{},\
+             \"mgr_peak_queue_depth\":{},\"mgr_mean_queue_depth\":{},\"mgr_requests\":{},\
+             \"server_queue_wait_ns\":{},\"server_peak_queue_depth\":{}}},",
+            q.mgr_queue_wait_ns,
+            q.mgr_queue_wait_fraction,
+            q.mgr_peak_queue_depth,
+            q.mgr_mean_queue_depth,
+            q.mgr_requests,
+            q.server_queue_wait_ns,
+            q.server_peak_queue_depth
+        ));
+        match &self.critical_path {
+            None => out.push_str("\"critical_path\":null,"),
+            Some(c) => out.push_str(&format!(
+                "\"critical_path\":{{\"makespan_ns\":{},\"compute_ns\":{},\"fetch_ns\":{},\
+                 \"lock_wait_ns\":{},\"barrier_wait_ns\":{},\"mgr_wait_ns\":{},\
+                 \"mgr_service_ns\":{},\"server_service_ns\":{},\"queue_wait_ns\":{},\
+                 \"n_segments\":{}}},",
+                c.makespan_ns,
+                c.compute_ns,
+                c.fetch_ns,
+                c.lock_wait_ns,
+                c.barrier_wait_ns,
+                c.mgr_wait_ns,
+                c.mgr_service_ns,
+                c.server_service_ns,
+                c.queue_wait_ns,
+                c.n_segments
+            )),
+        }
         out.push_str("\"hotspots\":[");
         for (i, h) in self.hotspots.iter().enumerate() {
             if i > 0 {
@@ -379,6 +569,46 @@ impl BenchReport {
                 classes,
             }
         };
+        let breakdown = {
+            let b = v.get("breakdown").ok_or("missing breakdown section")?;
+            BreakdownSummary {
+                compute_ns: req_u64(b, "compute_ns")?,
+                fetch_ns: req_u64(b, "fetch_ns")?,
+                lock_ns: req_u64(b, "lock_ns")?,
+                barrier_ns: req_u64(b, "barrier_ns")?,
+                mgr_ns: req_u64(b, "mgr_ns")?,
+                flush_ns: req_u64(b, "flush_ns")?,
+                idle_ns: req_u64(b, "idle_ns")?,
+                total_ns: req_u64(b, "total_ns")?,
+            }
+        };
+        let queue = {
+            let q = v.get("queue").ok_or("missing queue section")?;
+            QueueSummary {
+                mgr_queue_wait_ns: req_u64(q, "mgr_queue_wait_ns")?,
+                mgr_queue_wait_fraction: req_f64(q, "mgr_queue_wait_fraction")?,
+                mgr_peak_queue_depth: req_u64(q, "mgr_peak_queue_depth")?,
+                mgr_mean_queue_depth: req_f64(q, "mgr_mean_queue_depth")?,
+                mgr_requests: req_u64(q, "mgr_requests")?,
+                server_queue_wait_ns: req_u64(q, "server_queue_wait_ns")?,
+                server_peak_queue_depth: req_u64(q, "server_peak_queue_depth")?,
+            }
+        };
+        let critical_path = match v.get("critical_path") {
+            None | Some(JsonValue::Null) => None,
+            Some(c) => Some(CritPathSummary {
+                makespan_ns: req_u64(c, "makespan_ns")?,
+                compute_ns: req_u64(c, "compute_ns")?,
+                fetch_ns: req_u64(c, "fetch_ns")?,
+                lock_wait_ns: req_u64(c, "lock_wait_ns")?,
+                barrier_wait_ns: req_u64(c, "barrier_wait_ns")?,
+                mgr_wait_ns: req_u64(c, "mgr_wait_ns")?,
+                mgr_service_ns: req_u64(c, "mgr_service_ns")?,
+                server_service_ns: req_u64(c, "server_service_ns")?,
+                queue_wait_ns: req_u64(c, "queue_wait_ns")?,
+                n_segments: req_u64(c, "n_segments")?,
+            }),
+        };
         let mut hotspots = Vec::new();
         for h in
             v.get("hotspots").and_then(|h| h.as_array()).ok_or("missing or non-array hotspots")?
@@ -418,6 +648,9 @@ impl BenchReport {
             barrier: histogram("barrier")?,
             timeline,
             traffic,
+            breakdown,
+            queue,
+            critical_path,
             hotspots,
         })
     }
@@ -454,6 +687,9 @@ impl Comparison {
 /// Absolute slack added to the sync-fraction bound so near-zero baselines
 /// (where a relative tolerance is meaninglessly tight) don't flap.
 const SYNC_FRACTION_SLACK: f64 = 0.005;
+
+/// Absolute slack for the manager queue-wait fraction gate, same rationale.
+const QUEUE_WAIT_SLACK: f64 = 0.005;
 
 /// Compare `fresh` against `base`: makespan and sync fraction may grow by at
 /// most `tolerance` (relative, e.g. `0.05` for 5%; sync fraction gets an
@@ -547,6 +783,34 @@ pub fn compare(base: &BenchReport, fresh: &BenchReport, tolerance: f64) -> Compa
         "{:>10}  msgs/sync op  {:>14.2} -> {:>14.2}",
         fresh.kernel, base.traffic.msgs_per_sync_op, fresh.traffic.msgs_per_sync_op
     ));
+
+    // Manager queue pressure: the fraction of all thread-time spent queued
+    // at the manager. Gated like sync fraction — relative tolerance plus an
+    // absolute slack so near-zero baselines don't flap.
+    let qw_delta = fresh.queue.mgr_queue_wait_fraction - base.queue.mgr_queue_wait_fraction;
+    cmp.lines.push(format!(
+        "{:>10}  mgr queue wait{:>13.2}% -> {:>13.2}%  ({:+.2} pts)",
+        fresh.kernel,
+        base.queue.mgr_queue_wait_fraction * 100.0,
+        fresh.queue.mgr_queue_wait_fraction * 100.0,
+        qw_delta * 100.0
+    ));
+    if fresh.queue.mgr_queue_wait_fraction
+        > base.queue.mgr_queue_wait_fraction * (1.0 + tolerance) + QUEUE_WAIT_SLACK
+    {
+        cmp.regressions.push(format!(
+            "{}: mgr queue-wait fraction regressed {:.2}% -> {:.2}% (tolerance {:.1}% + {:.1} pts)",
+            fresh.kernel,
+            base.queue.mgr_queue_wait_fraction * 100.0,
+            fresh.queue.mgr_queue_wait_fraction * 100.0,
+            tolerance * 100.0,
+            QUEUE_WAIT_SLACK * 100.0
+        ));
+    }
+    cmp.lines.push(format!(
+        "{:>10}  mgr peak queue{:>14} -> {:>14}",
+        fresh.kernel, base.queue.mgr_peak_queue_depth, fresh.queue.mgr_peak_queue_depth
+    ));
     cmp
 }
 
@@ -595,6 +859,37 @@ mod tests {
                     ClassTraffic { class: "control".into(), msgs: 100, bytes: 5_000 },
                 ],
             },
+            breakdown: BreakdownSummary {
+                compute_ns: 700_000,
+                fetch_ns: 100_000,
+                lock_ns: 50_000,
+                barrier_ns: 50_000,
+                mgr_ns: 40_000,
+                flush_ns: 10_000,
+                idle_ns: 50_000,
+                total_ns: 1_000_000,
+            },
+            queue: QueueSummary {
+                mgr_queue_wait_ns: 30_000,
+                mgr_queue_wait_fraction: 0.03,
+                mgr_peak_queue_depth: 5,
+                mgr_mean_queue_depth: 1.25,
+                mgr_requests: 160,
+                server_queue_wait_ns: 12_000,
+                server_peak_queue_depth: 3,
+            },
+            critical_path: Some(CritPathSummary {
+                makespan_ns: 1_000_000,
+                compute_ns: 600_000,
+                fetch_ns: 150_000,
+                lock_wait_ns: 80_000,
+                barrier_wait_ns: 70_000,
+                mgr_wait_ns: 30_000,
+                mgr_service_ns: 25_000,
+                server_service_ns: 25_000,
+                queue_wait_ns: 20_000,
+                n_segments: 42,
+            }),
             hotspots: vec![HotspotEntry {
                 page: 65538,
                 site: "shared".into(),
@@ -610,8 +905,8 @@ mod tests {
         samhita_trace::validate_json(&json).expect("valid JSON");
         assert_eq!(BenchReport::from_json(&json).expect("parses"), r);
 
-        // Without a timeline section, too.
-        let bare = BenchReport { timeline: None, hotspots: Vec::new(), ..r };
+        // Without the trace-derived sections, too.
+        let bare = BenchReport { timeline: None, critical_path: None, hotspots: Vec::new(), ..r };
         assert_eq!(BenchReport::from_json(&bare.to_json()).expect("parses"), bare);
     }
 
@@ -628,7 +923,29 @@ mod tests {
         let r = sample();
         let cmp = compare(&r, &r, 0.05);
         assert!(cmp.passed(), "self-comparison regressed: {:?}", cmp.regressions);
-        assert_eq!(cmp.lines.len(), 6);
+        assert_eq!(cmp.lines.len(), 8);
+    }
+
+    #[test]
+    fn queue_wait_fraction_regression_fails() {
+        let base = sample();
+        let mut fresh = base.clone();
+        fresh.queue.mgr_queue_wait_fraction = 0.12; // 3% -> 12%
+        let cmp = compare(&base, &fresh, 0.05);
+        assert!(!cmp.passed());
+        assert!(cmp.regressions.iter().any(|r| r.contains("queue-wait")), "{:?}", cmp.regressions);
+        // Movement inside relative tolerance + absolute slack passes.
+        let mut ok = base.clone();
+        ok.queue.mgr_queue_wait_fraction = 0.034;
+        assert!(compare(&base, &ok, 0.05).passed());
+        // A near-zero baseline only trips past the absolute slack.
+        let mut quiet_base = base.clone();
+        quiet_base.queue.mgr_queue_wait_fraction = 0.0;
+        let mut quiet_fresh = base.clone();
+        quiet_fresh.queue.mgr_queue_wait_fraction = 0.004;
+        assert!(compare(&quiet_base, &quiet_fresh, 0.05).passed());
+        quiet_fresh.queue.mgr_queue_wait_fraction = 0.02;
+        assert!(!compare(&quiet_base, &quiet_fresh, 0.05).passed());
     }
 
     #[test]

@@ -66,7 +66,8 @@ pub use config::{
     PartitionSpec, RetryConfig, RuntimeKind, SamhitaConfig, TopologyKind,
 };
 pub use layout::{AddressLayout, Placement, Region};
+pub use localsync::LocalSyncStats;
 pub use msg::MgrError;
-pub use stats::{RunReport, ThreadStats};
+pub use stats::{RunReport, ThreadStats, TimeBreakdown};
 pub use system::{Samhita, SystemStats};
 pub use thread::ThreadCtx;

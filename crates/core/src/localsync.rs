@@ -47,6 +47,22 @@ struct Inner {
     intervals: IntervalLog,
     locks: Vec<LocalLock>,
     barriers: Vec<LocalBarrier>,
+    stats: LocalSyncStats,
+}
+
+/// Handoff accounting for the local synchronization core — the bypass-mode
+/// analogue of the manager's queue-wait counters. Purely observational:
+/// reading or resetting it never moves a virtual clock.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct LocalSyncStats {
+    /// Lock grants handed out.
+    pub acquires: u64,
+    /// Grants that had to wait for the previous holder (`free_at > now`).
+    pub contended_acquires: u64,
+    /// Σ virtual time grants waited behind the previous holder's release
+    /// (`free_at − now` over contended grants) — the local-sync equivalent
+    /// of manager queue wait.
+    pub handoff_wait_ns: u64,
 }
 
 /// Process-local synchronization core (one per system when
@@ -66,6 +82,7 @@ impl LocalSync {
                 intervals: IntervalLog::new(),
                 locks: Vec::new(),
                 barriers: Vec::new(),
+                stats: LocalSyncStats::default(),
             }),
             cv: Condvar::new(),
         }
@@ -129,9 +146,25 @@ impl LocalSync {
         let l = &mut g.locks[lock as usize];
         l.held = true;
         let at = now.max(l.free_at) + self.cost;
+        let free_at = l.free_at;
+        g.stats.acquires += 1;
+        if free_at > now {
+            g.stats.contended_acquires += 1;
+            g.stats.handoff_wait_ns += (free_at - now).as_ns();
+        }
         let notices = g.intervals.since(last_seen);
         let watermark = g.intervals.watermark();
         (at, notices, watermark)
+    }
+
+    /// Handoff accounting so far.
+    pub fn stats(&self) -> LocalSyncStats {
+        self.inner.lock().stats
+    }
+
+    /// Reset the handoff accounting between runs.
+    pub fn reset_stats(&self) {
+        self.inner.lock().stats = LocalSyncStats::default();
     }
 
     /// Release `lock` at virtual time `now`, publishing `pages`.

@@ -102,6 +102,12 @@ pub struct ManagerStats {
     pub notices_published: u64,
     /// Virtual busy time of the manager's service resource.
     pub busy_ns: u64,
+    /// Total virtual time requests queued before manager service began.
+    pub queue_wait_ns: u64,
+    /// Peak system occupancy observed at any arrival (1 = uncontended).
+    pub peak_queue_depth: u64,
+    /// Sum of arrival-sampled occupancies (mean = sum / requests).
+    pub queue_depth_sum: u64,
 }
 
 /// The manager's request-processing engine.
@@ -391,8 +397,23 @@ impl ManagerEngine {
     /// Activity counters.
     pub fn stats(&self) -> ManagerStats {
         let mut s = self.stats;
-        s.busy_ns = self.resource.stats().busy_ns;
+        let r = self.resource.stats();
+        s.busy_ns = r.busy_ns;
+        s.queue_wait_ns = r.queue_wait_ns;
+        s.peak_queue_depth = r.peak_depth;
+        s.queue_depth_sum = r.depth_sum;
         s
+    }
+
+    /// Drain the manager resource's queue-occupancy samples (see
+    /// [`samhita_scl::VirtualResource::take_samples`]).
+    pub fn take_queue_samples(&self) -> (Vec<samhita_scl::QueueSample>, u64) {
+        self.resource.take_samples()
+    }
+
+    /// Reset the manager resource's queue accounting between runs.
+    pub fn reset_queue_accounting(&self) {
+        self.resource.reset_queue_accounting();
     }
 
     /// Notice-log watermark (tests / diagnostics).

@@ -9,7 +9,7 @@
 //! invalidation refetches during computation, which is where false sharing
 //! hurts) is compute time.
 
-use samhita_scl::{FabricStatsSnapshot, MsgClass, SimTime};
+use samhita_scl::{FabricStatsSnapshot, MsgClass, QueueSample, SimTime};
 use samhita_trace::{HotspotMap, LatencyHistogram};
 use serde::{Deserialize, Serialize};
 
@@ -65,6 +65,108 @@ pub struct ThreadStats {
     /// flushed bytes). Always on, like the histograms: part of the report,
     /// not of the (optional) event trace.
     pub hot: HotspotMap,
+    /// Virtual clock at the timing epoch (where `total` starts counting).
+    pub epoch_ns: u64,
+    /// Virtual clock when the thread body finished (`epoch_ns + total`).
+    pub end_ns: u64,
+    /// Σ synchronous fetch-stall waits (demand misses, refetches, late
+    /// prefetch waits). Sum of exactly the intervals `fetch_latency` buckets.
+    pub fetch_wait_ns: u64,
+    /// Σ lock waits: acquire request → grant observed, including condition
+    /// re-acquires. Sum of exactly the intervals `lock_wait` buckets.
+    pub lock_wait_ns: u64,
+    /// Σ barrier waits: arrival → release observed.
+    pub barrier_wait_ns: u64,
+    /// Σ non-sync manager RPC waits (alloc, free, create, signal…).
+    pub mgr_wait_ns: u64,
+    /// Σ time inside sync-time consistency flushes (twin diffing, staging,
+    /// batched sends, the ack-horizon fence). Measured *around* the whole
+    /// flush, and the lock/barrier waits are measured *after* the flush
+    /// returns, so the five wait classes are pairwise disjoint by
+    /// construction (the conservation audit, DESIGN.md §13).
+    pub flush_wait_ns: u64,
+}
+
+/// Where one thread's share of the run went: the five measured wait classes,
+/// the compute remainder, and scheduler idle (the gap between this thread's
+/// finish and the run makespan). Sums to the makespan exactly — see
+/// [`ThreadStats::breakdown`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimeBreakdown {
+    /// Compute remainder: `total` minus every measured wait.
+    pub compute_ns: u64,
+    /// Synchronous fetch stalls.
+    pub fetch_ns: u64,
+    /// Lock waits (request → grant).
+    pub lock_ns: u64,
+    /// Barrier waits (arrival → release).
+    pub barrier_ns: u64,
+    /// Non-sync manager RPC waits.
+    pub mgr_ns: u64,
+    /// Sync-time consistency flushes.
+    pub flush_ns: u64,
+    /// Time after this thread finished while the run was still going.
+    pub idle_ns: u64,
+    /// The thread's own measured time (`compute + waits`).
+    pub total_ns: u64,
+}
+
+impl TimeBreakdown {
+    /// Sum of every class including idle; equals the makespan it was built
+    /// against (the conservation identity).
+    pub fn sum_ns(&self) -> u64 {
+        self.compute_ns
+            + self.fetch_ns
+            + self.lock_ns
+            + self.barrier_ns
+            + self.mgr_ns
+            + self.flush_ns
+            + self.idle_ns
+    }
+
+    /// Sum of the five measured wait classes.
+    pub fn wait_ns(&self) -> u64 {
+        self.fetch_ns + self.lock_ns + self.barrier_ns + self.mgr_ns + self.flush_ns
+    }
+
+    fn add(&mut self, other: &TimeBreakdown) {
+        self.compute_ns += other.compute_ns;
+        self.fetch_ns += other.fetch_ns;
+        self.lock_ns += other.lock_ns;
+        self.barrier_ns += other.barrier_ns;
+        self.mgr_ns += other.mgr_ns;
+        self.flush_ns += other.flush_ns;
+        self.idle_ns += other.idle_ns;
+        self.total_ns += other.total_ns;
+    }
+}
+
+impl ThreadStats {
+    /// Time-conservation breakdown of this thread against the run makespan:
+    /// `compute + fetch + lock + barrier + mgr + flush + idle == makespan`,
+    /// exactly, in integer nanoseconds. The wait classes are measured as
+    /// pairwise-disjoint intervals of this thread's virtual clock, so the
+    /// compute remainder never underflows on a well-formed report (asserted
+    /// by the conservation property tests).
+    pub fn breakdown(&self, makespan: SimTime) -> TimeBreakdown {
+        let total = self.total.as_ns();
+        let waits = self.fetch_wait_ns
+            + self.lock_wait_ns
+            + self.barrier_wait_ns
+            + self.mgr_wait_ns
+            + self.flush_wait_ns;
+        debug_assert!(waits <= total, "wait classes overlap: {waits} > {total}");
+        TimeBreakdown {
+            compute_ns: total.saturating_sub(waits),
+            fetch_ns: self.fetch_wait_ns,
+            lock_ns: self.lock_wait_ns,
+            barrier_ns: self.barrier_wait_ns,
+            mgr_ns: self.mgr_wait_ns,
+            flush_ns: self.flush_wait_ns,
+            idle_ns: makespan.as_ns().saturating_sub(total),
+            total_ns: total,
+        }
+    }
 }
 
 /// The result of one `Samhita::run` (or one native-baseline run).
@@ -83,6 +185,41 @@ pub struct RunReport {
     /// The run's address-space layout, for attributing hotspot pages to
     /// allocation sites. `None` for native-baseline runs (no DSM layout).
     pub layout: Option<AddressLayout>,
+    /// Total virtual time this run's requests queued at the manager before
+    /// service began (queue wait, not service time).
+    pub mgr_queue_wait_ns: u64,
+    /// Peak manager queue occupancy observed at any arrival this run
+    /// (1 = never contended).
+    pub mgr_peak_queue_depth: u64,
+    /// Sum of arrival-sampled manager queue depths; divide by
+    /// `mgr_requests` for the mean.
+    pub mgr_queue_depth_sum: u64,
+    /// Manager requests this run.
+    pub mgr_requests: u64,
+    /// Per-server queue wait, in server order.
+    pub server_queue_wait_ns: Vec<u64>,
+    /// Per-server peak queue occupancy, in server order.
+    pub server_peak_queue_depth: Vec<u64>,
+    /// Per-server sum of arrival-sampled queue depths, in server order.
+    pub server_queue_depth_sum: Vec<u64>,
+    /// Peak staged backlog observed at the manager's fabric endpoint.
+    pub mgr_endpoint_backlog_peak: u64,
+    /// Peak staged backlog per memory-server endpoint, in server order.
+    pub server_endpoint_backlog_peak: Vec<u64>,
+    /// Per-request manager queue-occupancy samples `(arrival, depth,
+    /// queue_wait)`, bounded at the source; feed the metrics timeline.
+    pub mgr_queue_samples: Vec<QueueSample>,
+    /// Per-server queue-occupancy samples, in server order.
+    pub server_queue_samples: Vec<Vec<QueueSample>>,
+    /// Baton grants the deterministic scheduler issued during this run
+    /// (0 under the OS runtime).
+    pub sched_grants: u64,
+    /// Bypass-mode (local-sync) lock grants that waited behind the previous
+    /// holder this run (0 when the manager arbitrates locks).
+    pub local_contended_acquires: u64,
+    /// Total virtual time bypass-mode lock grants spent waiting behind the
+    /// previous holder — the local-sync analogue of manager queue wait.
+    pub local_handoff_wait_ns: u64,
 }
 
 impl RunReport {
@@ -91,14 +228,39 @@ impl RunReport {
     /// leave them at their defaults.
     pub fn new(threads: Vec<ThreadStats>, fabric: FabricStatsSnapshot) -> Self {
         let makespan = threads.iter().map(|t| t.total).fold(SimTime::ZERO, SimTime::max);
-        RunReport {
-            threads,
-            fabric,
-            makespan,
-            mgr_busy_ns: 0,
-            server_busy_ns: Vec::new(),
-            layout: None,
+        RunReport { threads, fabric, makespan, ..RunReport::default() }
+    }
+
+    /// Aggregate time-conservation breakdown: every thread's
+    /// [`ThreadStats::breakdown`] summed, so
+    /// `sum_ns() == threads × makespan` exactly.
+    pub fn wait_breakdown(&self) -> TimeBreakdown {
+        let mut out = TimeBreakdown::default();
+        for t in &self.threads {
+            out.add(&t.breakdown(self.makespan));
         }
+        out
+    }
+
+    /// Fraction of total available thread-time (threads × makespan) that
+    /// this run's requests spent queued at the manager. This is the
+    /// headline "manager is the wall" number: it grows with P while
+    /// `mgr_utilization` saturates at 1.
+    pub fn mgr_queue_wait_fraction(&self) -> f64 {
+        let denom = self.threads.len() as u64 * self.makespan.as_ns();
+        if denom == 0 {
+            return 0.0;
+        }
+        self.mgr_queue_wait_ns as f64 / denom as f64
+    }
+
+    /// Mean manager queue occupancy over this run's arrivals
+    /// (1.0 = never contended; 0 with no requests).
+    pub fn mgr_mean_queue_depth(&self) -> f64 {
+        if self.mgr_requests == 0 {
+            return 0.0;
+        }
+        self.mgr_queue_depth_sum as f64 / self.mgr_requests as f64
     }
 
     /// Mean compute time across threads.
@@ -378,6 +540,42 @@ mod tests {
         let empty = RunReport::new(vec![t(0, 10, 0)], stats.snapshot());
         assert_eq!(empty.sync_ops(), 0);
         assert!((empty.msgs_per_sync_op() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_conserves_time_exactly() {
+        let mut a = t(0, 1_000, 300);
+        a.fetch_wait_ns = 100;
+        a.lock_wait_ns = 150;
+        a.barrier_wait_ns = 50;
+        a.mgr_wait_ns = 25;
+        a.flush_wait_ns = 75;
+        let b = t(1, 1_600, 0); // the makespan thread, all compute
+        let r = RunReport::new(vec![a, b], FabricStatsSnapshot::default());
+        assert_eq!(r.makespan.as_ns(), 1_600);
+        let ba = r.threads[0].breakdown(r.makespan);
+        assert_eq!(ba.compute_ns, 1_000 - 400);
+        assert_eq!(ba.wait_ns(), 400);
+        assert_eq!(ba.idle_ns, 600);
+        assert_eq!(ba.sum_ns(), 1_600, "per-thread identity: classes sum to makespan");
+        let bb = r.threads[1].breakdown(r.makespan);
+        assert_eq!((bb.compute_ns, bb.idle_ns, bb.sum_ns()), (1_600, 0, 1_600));
+        let agg = r.wait_breakdown();
+        assert_eq!(agg.sum_ns(), 2 * 1_600, "aggregate identity: threads × makespan");
+        assert_eq!(agg.total_ns, 2_600);
+    }
+
+    #[test]
+    fn queue_fractions_are_normalized() {
+        let mut r = RunReport::new(vec![t(0, 1_000, 0), t(1, 1_000, 0)], Default::default());
+        r.mgr_queue_wait_ns = 500;
+        r.mgr_requests = 10;
+        r.mgr_queue_depth_sum = 25;
+        assert!((r.mgr_queue_wait_fraction() - 500.0 / 2_000.0).abs() < 1e-12);
+        assert!((r.mgr_mean_queue_depth() - 2.5).abs() < 1e-12);
+        let empty = RunReport::new(vec![], FabricStatsSnapshot::default());
+        assert_eq!(empty.mgr_queue_wait_fraction(), 0.0);
+        assert_eq!(empty.mgr_mean_queue_depth(), 0.0);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use parking_lot::Mutex;
 use samhita_mem::{HomeMap, MemRequest, MemResponse, MemoryServer, PageId, ServerStats};
 use samhita_regc::UpdatePart;
 use samhita_sched::{Scheduler, TaskRef};
-use samhita_scl::{Endpoint, EndpointId, Fabric, MsgClass, SimTime};
+use samhita_scl::{DepthGauge, Endpoint, EndpointId, Fabric, MsgClass, QueueSample, SimTime};
 use samhita_trace::{EventKind, RunTrace, SharedTrack, Tracer, TrackId};
 use serde::{Deserialize, Serialize};
 
@@ -37,6 +37,54 @@ use crate::thread::ThreadCtx;
 
 /// The manager tid reserved for the host control client.
 const HOST_TID: u32 = u32::MAX;
+
+/// Bound on host-side queue-occupancy samples retained per service per run.
+const QUEUE_SAMPLE_CAP: usize = 65_536;
+
+/// Live mirror of one service loop's queue accounting, published by the loop
+/// after each request is handled and *before* its response is sent — the
+/// same visibility discipline as the busy mirrors, so once every outstanding
+/// request has been answered the host reads race-free, deterministic values.
+/// Counters are cumulative (the host subtracts run-start snapshots); the
+/// peak and the sample list are per-run (the host clears them at run start,
+/// while it holds the baton and the loops are quiescent).
+#[derive(Default)]
+struct QueueMirror {
+    /// Cumulative queue wait (virtual ns) at this service.
+    wait_ns: u64,
+    /// Per-run peak arrival-sampled queue occupancy.
+    peak_depth: u64,
+    /// Cumulative sum of arrival-sampled occupancies.
+    depth_sum: u64,
+    /// Cumulative requests handled.
+    requests: u64,
+    /// Per-run occupancy samples, bounded by [`QUEUE_SAMPLE_CAP`].
+    samples: Vec<QueueSample>,
+}
+
+impl QueueMirror {
+    /// Publish the loop's latest cumulative counters plus freshly drained
+    /// samples (called with the loop's own service stats after each request).
+    fn publish(&mut self, wait_ns: u64, depth_sum: u64, requests: u64, new: Vec<QueueSample>) {
+        self.wait_ns = wait_ns;
+        self.depth_sum = depth_sum;
+        self.requests = requests;
+        for s in new {
+            self.peak_depth = self.peak_depth.max(s.depth);
+            if self.samples.len() < QUEUE_SAMPLE_CAP {
+                self.samples.push(s);
+            }
+        }
+    }
+
+    /// Run-start snapshot: returns the cumulative counters and clears the
+    /// per-run peak and sample list.
+    fn begin_run(&mut self) -> (u64, u64, u64) {
+        self.peak_depth = 0;
+        self.samples.clear();
+        (self.wait_ns, self.depth_sum, self.requests)
+    }
+}
 
 /// Post-shutdown server-side statistics.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
@@ -69,6 +117,13 @@ pub struct Samhita {
     // these from the host is race-free and deterministic.
     mgr_busy: Arc<AtomicU64>,
     mem_busy: Vec<Arc<AtomicU64>>,
+    // Queue-wait / queue-depth mirrors of the service loops (same publish
+    // discipline as the busy mirrors) and endpoint backlog gauges, all
+    // strictly observational: none of them is read on any timed path.
+    mgr_queue: Arc<Mutex<QueueMirror>>,
+    mem_queues: Vec<Arc<Mutex<QueueMirror>>>,
+    mgr_gauge: Arc<DepthGauge>,
+    mem_gauges: Vec<Arc<DepthGauge>>,
     // Deterministic runtime (RuntimeKind::Det): the scheduler serializing
     // every simulated thread, and the host's own task. The host holds the
     // baton whenever it is between runs; `run` suspends it while compute
@@ -141,18 +196,25 @@ impl Samhita {
         let mut mem_eps = Vec::new();
         let mut mem_handles = Vec::new();
         let mut mem_busy = Vec::new();
+        let mut mem_queues = Vec::new();
+        let mut mem_gauges = Vec::new();
         for i in 0..cfg.mem_servers {
             let ep = fabric.add_endpoint(placement.mem_servers[i as usize]);
             mem_eps.push(ep.id());
             if let Some(s) = &sched {
                 ep.bind_task(&s.register_parked());
             }
+            let gauge = Arc::new(DepthGauge::new());
+            ep.set_depth_gauge(Arc::clone(&gauge));
+            mem_gauges.push(gauge);
             let server = MemoryServer::new(cfg.page_size, cfg.service);
             let track = tracer.as_ref().map(|t| t.shared_track(TrackId::MemServer(i)));
             let busy = Arc::new(AtomicU64::new(0));
             mem_busy.push(Arc::clone(&busy));
+            let queue = Arc::new(Mutex::new(QueueMirror::default()));
+            mem_queues.push(Arc::clone(&queue));
             mem_handles.push(std::thread::spawn(move || {
-                mem_server_loop(ep, server, track, ctl_id, dedup, busy)
+                mem_server_loop(ep, server, track, ctl_id, dedup, busy, queue)
             }));
         }
 
@@ -187,13 +249,25 @@ impl Samhita {
         if let Some(s) = &sched {
             mgr_endpoint.bind_task(&s.register_parked());
         }
+        let mgr_gauge = Arc::new(DepthGauge::new());
+        mgr_endpoint.set_depth_gauge(Arc::clone(&mgr_gauge));
         let mgr_ep = mgr_endpoint.id();
         let engine = ManagerEngine::new(&cfg);
         let mgr_track = tracer.as_ref().map(|t| t.shared_track(TrackId::Manager));
         let mgr_busy = Arc::new(AtomicU64::new(0));
         let mgr_busy_loop = Arc::clone(&mgr_busy);
+        let mgr_queue = Arc::new(Mutex::new(QueueMirror::default()));
+        let mgr_queue_loop = Arc::clone(&mgr_queue);
         let mgr_handle = Some(std::thread::spawn(move || {
-            manager_loop(mgr_endpoint, engine, mgr_track, ctl_id, dedup, mgr_busy_loop)
+            manager_loop(
+                mgr_endpoint,
+                engine,
+                mgr_track,
+                ctl_id,
+                dedup,
+                mgr_busy_loop,
+                mgr_queue_loop,
+            )
         }));
 
         // Host control client (registers like a thread, but never syncs).
@@ -224,6 +298,10 @@ impl Samhita {
             tracer,
             mgr_busy,
             mem_busy,
+            mgr_queue,
+            mem_queues,
+            mgr_gauge,
+            mem_gauges,
             sched,
             host_task,
         }
@@ -408,6 +486,19 @@ impl Samhita {
         let mgr_busy_before = self.mgr_busy.load(Ordering::Relaxed);
         let mem_busy_before: Vec<u64> =
             self.mem_busy.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        // Queue-accounting run-start snapshots. The host holds the baton (or,
+        // under the OS runtime, the fabric is quiescent between runs), so the
+        // mirrors are stable: counters are snapshotted for end-of-run deltas,
+        // peaks and sample lists reset so they come out per-run exact.
+        let mgr_queue_before = self.mgr_queue.lock().begin_run();
+        let mem_queue_before: Vec<(u64, u64, u64)> =
+            self.mem_queues.iter().map(|q| q.lock().begin_run()).collect();
+        self.mgr_gauge.reset();
+        for g in &self.mem_gauges {
+            g.reset();
+        }
+        let sched_grants_before = self.sched.as_ref().map_or(0, |s| s.grants());
+        let local_before = self.local_sync.as_ref().map(|ls| ls.stats()).unwrap_or_default();
         let endpoints: Vec<Endpoint<Msg>> = (0..nthreads)
             .map(|t| self.fabric.add_endpoint(self.placement.compute_node(t)))
             .collect();
@@ -501,6 +592,33 @@ impl Samhita {
             .zip(&mem_busy_before)
             .map(|(b, &before)| b.load(Ordering::Relaxed) - before)
             .collect();
+        // Queue accounting: same finality argument as the busy mirrors —
+        // every request this run issued has been answered, and each answer
+        // was preceded by a mirror publish.
+        {
+            let mut q = self.mgr_queue.lock();
+            report.mgr_queue_wait_ns = q.wait_ns - mgr_queue_before.0;
+            report.mgr_queue_depth_sum = q.depth_sum - mgr_queue_before.1;
+            report.mgr_requests = q.requests - mgr_queue_before.2;
+            report.mgr_peak_queue_depth = q.peak_depth;
+            report.mgr_queue_samples = std::mem::take(&mut q.samples);
+        }
+        for (q, &(wait0, sum0, _req0)) in self.mem_queues.iter().zip(&mem_queue_before) {
+            let mut q = q.lock();
+            report.server_queue_wait_ns.push(q.wait_ns - wait0);
+            report.server_queue_depth_sum.push(q.depth_sum - sum0);
+            report.server_peak_queue_depth.push(q.peak_depth);
+            report.server_queue_samples.push(std::mem::take(&mut q.samples));
+        }
+        report.mgr_endpoint_backlog_peak = self.mgr_gauge.peak();
+        report.server_endpoint_backlog_peak = self.mem_gauges.iter().map(|g| g.peak()).collect();
+        report.sched_grants = self.sched.as_ref().map_or(0, |s| s.grants()) - sched_grants_before;
+        if let Some(ls) = &self.local_sync {
+            let st = ls.stats();
+            report.local_contended_acquires =
+                st.contended_acquires - local_before.contended_acquires;
+            report.local_handoff_wait_ns = st.handoff_wait_ns - local_before.handoff_wait_ns;
+        }
         report.layout = Some(self.layout);
         report
     }
@@ -612,6 +730,7 @@ fn mem_server_loop(
     ctl: EndpointId,
     dedup: bool,
     busy: Arc<AtomicU64>,
+    queue: Arc<Mutex<QueueMirror>>,
 ) -> ServerStats {
     // Idempotency cache: (requester, token) → completed response. A replayed
     // request is re-acknowledged without re-applying, re-charging the service
@@ -645,7 +764,17 @@ fn mem_server_loop(
                 let (resp, done) = server.handle(req, env.deliver_at);
                 // Publish virtual busy time before the response leaves: the
                 // requester's receipt then proves the new value is visible.
-                busy.store(server.stats().busy_ns, Ordering::Relaxed);
+                // The queue mirror rides the same window, so it inherits the
+                // same determinism argument.
+                let st = server.stats();
+                busy.store(st.busy_ns, Ordering::Relaxed);
+                let (new_samples, _dropped) = server.take_queue_samples();
+                queue.lock().publish(
+                    st.queue_wait_ns,
+                    st.queue_depth_sum,
+                    st.requests,
+                    new_samples,
+                );
                 if let (Some(track), Some(events)) = (&track, events) {
                     for event in events {
                         track.push(done, event);
@@ -687,6 +816,7 @@ fn manager_loop(
     ctl: EndpointId,
     dedup: bool,
     busy: Arc<AtomicU64>,
+    queue: Arc<Mutex<QueueMirror>>,
 ) -> ManagerStats {
     // Replay protection. Each client's tokens arrive monotonically (its
     // requests are serialized and the fabric preserves per-sender order), so
@@ -729,8 +859,17 @@ fn manager_loop(
                 let op = track.as_ref().map(|_| req.label());
                 let outgoing = engine.handle(env.src, tid, token, req, env.deliver_at);
                 // Publish virtual busy time before any response leaves (see
-                // mem_server_loop for the visibility argument).
-                busy.store(engine.stats().busy_ns, Ordering::Relaxed);
+                // mem_server_loop for the visibility argument). The queue
+                // mirror rides the same window.
+                let st = engine.stats();
+                busy.store(st.busy_ns, Ordering::Relaxed);
+                let (new_samples, _dropped) = engine.take_queue_samples();
+                queue.lock().publish(
+                    st.queue_wait_ns,
+                    st.queue_depth_sum,
+                    st.requests,
+                    new_samples,
+                );
                 for out in outgoing {
                     let wire = out.resp.wire_bytes();
                     if dedup {

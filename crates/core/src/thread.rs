@@ -45,6 +45,20 @@ use crate::msg::{MgrRequest, MgrResponse, Msg};
 use crate::proto::Channel;
 use crate::stats::ThreadStats;
 
+/// Running totals of the five measured wait classes, in virtual ns. Kept
+/// separately from [`ThreadStats`] so [`ThreadCtx::start_timing`] can
+/// snapshot a baseline and the reported counters stay epoch-relative —
+/// otherwise pre-warm-up waits would break the per-thread conservation
+/// identity `compute + waits + idle == makespan`.
+#[derive(Copy, Clone, Debug, Default)]
+struct WaitAcc {
+    fetch: u64,
+    lock: u64,
+    barrier: u64,
+    mgr: u64,
+    flush: u64,
+}
+
 /// The per-thread handle to the shared global address space.
 pub struct ThreadCtx {
     tid: u32,
@@ -61,6 +75,9 @@ pub struct ThreadCtx {
     /// Timing epoch (see [`ThreadCtx::start_timing`]).
     epoch_clock: SimTime,
     epoch_sync: SimTime,
+    /// Wait-class totals since thread start / since the epoch snapshot.
+    waits: WaitAcc,
+    epoch_waits: WaitAcc,
 
     cache: SoftCache,
     region: RegionState,
@@ -125,6 +142,8 @@ impl ThreadCtx {
             sync_time: SimTime::ZERO,
             epoch_clock: SimTime::ZERO,
             epoch_sync: SimTime::ZERO,
+            waits: WaitAcc::default(),
+            epoch_waits: WaitAcc::default(),
             cache,
             region: RegionState::new(),
             writeset: WriteSet::new(),
@@ -160,6 +179,7 @@ impl ThreadCtx {
     fn record_fetch(&mut self, page: u64, pages: u32, kind: FetchKind, t0: SimTime) {
         let wait_ns = (self.chan.now() - t0).as_ns();
         self.stats.fetch_latency.record(wait_ns);
+        self.waits.fetch += wait_ns;
         self.trace(EventKind::Fetch { page, pages, kind, wait_ns });
     }
 
@@ -194,6 +214,7 @@ impl ThreadCtx {
     pub fn start_timing(&mut self) {
         self.epoch_clock = self.chan.now();
         self.epoch_sync = self.sync_time;
+        self.epoch_waits = self.waits;
     }
 
     /// Charge `flops` floating-point operations of pure computation.
@@ -428,6 +449,7 @@ impl ThreadCtx {
         };
         let wait_ns = (self.chan.now() - req_at).as_ns();
         self.stats.lock_wait.record(wait_ns);
+        self.waits.lock += wait_ns;
         self.trace(EventKind::LockAcquire { lock, wait_ns });
         self.apply_notices(&notices);
         self.last_seen = wm;
@@ -480,6 +502,7 @@ impl ThreadCtx {
         };
         let wait_ns = (self.chan.now() - arrive_at).as_ns();
         self.stats.barrier_wait.record(wait_ns);
+        self.waits.barrier += wait_ns;
         self.trace(EventKind::BarrierRelease { barrier, wait_ns });
         self.apply_notices(&notices);
         self.last_seen = wm;
@@ -503,6 +526,13 @@ impl ThreadCtx {
         ) {
             MgrResponse::Granted { notices, watermark } => {
                 let wait_ns = (self.chan.now() - req_at).as_ns();
+                // The conservation audit's consistency fix: a condition wait
+                // is a lock wait on the trace and must be one in the report
+                // too — it previously skipped the histogram and would have
+                // been double-counted as compute by any remainder-based
+                // breakdown.
+                self.stats.lock_wait.record(wait_ns);
+                self.waits.lock += wait_ns;
                 self.trace(EventKind::LockAcquire { lock, wait_ns });
                 self.apply_notices(&notices);
                 self.last_seen = watermark;
@@ -736,6 +766,7 @@ impl ThreadCtx {
     /// [`UpdateBatch`] with one ack, so the message count per sync operation
     /// is O(servers), not O(dirty pages).
     fn flush_all(&mut self) -> (Vec<u64>, Vec<FineUpdate>) {
+        let flush_t0 = self.chan.now();
         let mut batches: BTreeMap<u32, UpdateBatch> = BTreeMap::new();
         // Ordinary-region pages: twin diffs (multiple-writer protocol).
         for page in self.cache.dirty_pages() {
@@ -766,6 +797,10 @@ impl ThreadCtx {
         // Fence: all updates must be applied at their homes before the sync
         // operation publishes them.
         self.chan.drain_acks();
+        // The whole flush — twin diffing, staging, batched sends, the ack
+        // fence — is one measured interval. Lock/barrier waits start only
+        // after this returns, so the wait classes stay pairwise disjoint.
+        self.waits.flush += (self.chan.now() - flush_t0).as_ns();
         let pages: Vec<u64> = std::mem::take(&mut self.pending_pages).into_iter().collect();
         (pages, updates)
     }
@@ -819,6 +854,7 @@ impl ThreadCtx {
         let t0 = self.chan.now();
         let resp = self.chan.rpc_mgr(req, class);
         let wait_ns = (self.chan.now() - t0).as_ns();
+        self.waits.mgr += wait_ns;
         self.trace(EventKind::MgrRpc { op, wait_ns });
         resp
     }
@@ -831,6 +867,7 @@ impl ThreadCtx {
         // stops before join/teardown too).
         let end_clock = self.chan.now();
         let end_sync = self.sync_time;
+        let end_waits = self.waits;
         let (pages, updates) = self.flush_all();
         // Settle in-flight prefetch traffic: receiving each response proves
         // its server already processed the request, so by the time all
@@ -858,6 +895,13 @@ impl ThreadCtx {
         stats.total = end_clock.saturating_sub(self.epoch_clock);
         stats.sync = end_sync.saturating_sub(self.epoch_sync);
         stats.compute = stats.total.saturating_sub(stats.sync);
+        stats.epoch_ns = self.epoch_clock.as_ns();
+        stats.end_ns = end_clock.as_ns();
+        stats.fetch_wait_ns = end_waits.fetch - self.epoch_waits.fetch;
+        stats.lock_wait_ns = end_waits.lock - self.epoch_waits.lock;
+        stats.barrier_wait_ns = end_waits.barrier - self.epoch_waits.barrier;
+        stats.mgr_wait_ns = end_waits.mgr - self.epoch_waits.mgr;
+        stats.flush_wait_ns = end_waits.flush - self.epoch_waits.flush;
         (stats, self.chan.take_trace())
     }
 }

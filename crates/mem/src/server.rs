@@ -8,7 +8,7 @@
 //! this engine lives in `samhita-core`.
 
 use samhita_regc::{Diff, UpdateBatch, UpdatePart};
-use samhita_scl::{SimTime, VirtualResource};
+use samhita_scl::{QueueSample, SimTime, VirtualResource};
 use serde::{Deserialize, Serialize};
 
 use crate::page::PageId;
@@ -155,6 +155,14 @@ pub struct ServerStats {
     pub whole_page_writes: u64,
     /// Virtual busy time of the service resource.
     pub busy_ns: u64,
+    /// Requests served by the service resource.
+    pub requests: u64,
+    /// Total virtual time requests queued before service began.
+    pub queue_wait_ns: u64,
+    /// Peak system occupancy observed at any arrival (1 = uncontended).
+    pub peak_queue_depth: u64,
+    /// Sum of arrival-sampled occupancies (mean = sum / requests).
+    pub queue_depth_sum: u64,
 }
 
 /// One memory server: page store + queueing resource + counters.
@@ -249,11 +257,27 @@ impl MemoryServer {
         self.store.apply_fine(page, offset, bytes)
     }
 
-    /// Usage counters (busy time read from the live resource).
+    /// Usage counters (busy + queue accounting read from the live resource).
     pub fn stats(&self) -> ServerStats {
         let mut s = self.stats;
-        s.busy_ns = self.resource.stats().busy_ns;
+        let r = self.resource.stats();
+        s.busy_ns = r.busy_ns;
+        s.requests = r.requests;
+        s.queue_wait_ns = r.queue_wait_ns;
+        s.peak_queue_depth = r.peak_depth;
+        s.queue_depth_sum = r.depth_sum;
         s
+    }
+
+    /// Drain the service resource's queue-occupancy samples (see
+    /// [`samhita_scl::VirtualResource::take_samples`]).
+    pub fn take_queue_samples(&self) -> (Vec<QueueSample>, u64) {
+        self.resource.take_samples()
+    }
+
+    /// Reset the service resource's queue accounting between runs.
+    pub fn reset_queue_accounting(&self) {
+        self.resource.reset_queue_accounting();
     }
 
     /// Direct access to the page store (tests, verification).

@@ -174,6 +174,8 @@ impl KernelRt for NativeRt {
                                 compute: total.saturating_sub(sync),
                                 lock_wait: ctx.lock_wait,
                                 barrier_wait: ctx.barrier_wait,
+                                epoch_ns: ctx.epoch_clock.as_ns(),
+                                end_ns: ctx.clock.as_ns(),
                                 ..ThreadStats::default()
                             }
                         }));

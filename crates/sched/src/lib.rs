@@ -109,6 +109,9 @@ struct Inner {
     tasks: Vec<Task>,
     /// The task currently holding (or granted) the baton, if any.
     running: Option<usize>,
+    /// Baton grants issued so far (picks plus quiescent resume takes).
+    /// Observability only: never consulted by the pick policy.
+    grants: u64,
 }
 
 /// The deterministic scheduler: a shared registry of tasks plus the single
@@ -125,12 +128,21 @@ thread_local! {
 impl Scheduler {
     /// A fresh scheduler whose tie-breaks derive from `seed`.
     pub fn new(seed: u64) -> Arc<Scheduler> {
-        Arc::new(Scheduler { seed, inner: Mutex::new(Inner { tasks: Vec::new(), running: None }) })
+        Arc::new(Scheduler {
+            seed,
+            inner: Mutex::new(Inner { tasks: Vec::new(), running: None, grants: 0 }),
+        })
     }
 
     /// The seed the tie-breaks derive from.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// Total baton grants issued so far — a measure of how often the
+    /// machine context-switched in virtual time. Purely observational.
+    pub fn grants(&self) -> u64 {
+        self.inner.lock().grants
     }
 
     /// The task bound to the calling OS thread, if it was started through
@@ -188,6 +200,7 @@ impl Scheduler {
         if let Some((at, _, id)) = best {
             inner.tasks[id].state = TaskState::Running;
             inner.running = Some(id);
+            inner.grants += 1;
             inner.tasks[id].baton.grant(at);
         }
         // No Ready task: the machine quiesces until the (suspended) host
@@ -345,6 +358,7 @@ impl TaskRef {
                     // from running tasks), so take the baton directly.
                     inner.tasks[self.id].state = TaskState::Running;
                     inner.running = Some(self.id);
+                    inner.grants += 1;
                     return;
                 }
                 inner.tasks[self.id].state = TaskState::Ready(u64::MAX);

@@ -23,6 +23,7 @@ use samhita_sched::TaskRef;
 use crate::error::SclError;
 use crate::fabric::Fabric;
 use crate::fault::SendFate;
+use crate::resource::DepthGauge;
 use crate::stats::MsgClass;
 use crate::time::SimTime;
 use crate::topology::{EndpointId, NodeId};
@@ -119,6 +120,7 @@ pub struct Endpoint<M> {
     rx: Receiver<Envelope<M>>,
     fabric: Arc<Fabric<M>>,
     det: Mutex<Option<DetState<M>>>,
+    depth_gauge: Mutex<Option<Arc<DepthGauge>>>,
 }
 
 impl<M: Send + Clone + 'static> Endpoint<M> {
@@ -128,7 +130,21 @@ impl<M: Send + Clone + 'static> Endpoint<M> {
         rx: Receiver<Envelope<M>>,
         fabric: Arc<Fabric<M>>,
     ) -> Self {
-        Endpoint { id, node, rx, fabric, det: Mutex::new(None) }
+        Endpoint { id, node, rx, fabric, det: Mutex::new(None), depth_gauge: Mutex::new(None) }
+    }
+
+    /// Attach a backlog gauge: every successful [`Endpoint::recv`] samples
+    /// how many messages remained staged (deterministic heap) or pending
+    /// (physical channel) after one was taken. Sampling is observational —
+    /// it never touches a virtual clock or the receive order.
+    pub fn set_depth_gauge(&self, gauge: Arc<DepthGauge>) {
+        *self.depth_gauge.lock() = Some(gauge);
+    }
+
+    fn sample_backlog(&self, depth: u64) {
+        if let Some(g) = self.depth_gauge.lock().as_ref() {
+            g.sample(depth);
+        }
     }
 
     /// Switch this endpoint to the deterministic receive discipline, owned
@@ -220,6 +236,9 @@ impl<M: Send + Clone + 'static> Endpoint<M> {
         let mut det = self.det.lock();
         let Some(st) = det.as_mut() else {
             drop(det);
+            // Unbound (OS runtime): the physical channel exposes no stable
+            // occupancy to observe, so backlog gauges only report under the
+            // deterministic runtime's staged heap below.
             return self.rx.recv().map_err(|_| SclError::ChannelClosed);
         };
         // Holding `det` across yields/parks is deadlock-free: senders touch
@@ -233,7 +252,10 @@ impl<M: Send + Clone + 'static> Endpoint<M> {
                 st.drain(&self.rx);
                 if let Some(Reverse(top2)) = st.heap.peek() {
                     if top2.eff <= granted {
-                        return Ok(st.heap.pop().expect("peeked").0.env);
+                        let env = st.heap.pop().expect("peeked").0.env;
+                        let backlog = st.heap.len() as u64;
+                        self.sample_backlog(backlog);
+                        return Ok(env);
                     }
                 }
                 // Granted below the minimum (an earlier wake-up raced in and

@@ -14,6 +14,8 @@
 //! spans covering the wait; everything else is an `"i"` instant.
 
 use crate::event::{EventKind, TraceEvent};
+use crate::metrics::ServiceCosts;
+use crate::span::{EdgeKind, SpanClass, SpanDetail, SpanGraph, ThreadWindow};
 use crate::tracer::RunTrace;
 
 /// (key, already-valid-JSON-value) argument pairs for one event.
@@ -187,6 +189,96 @@ impl RunTrace {
                     ),
                 };
                 records.push(rec);
+            }
+        }
+        format!("{{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n{}\n]}}\n", records.join(",\n"))
+    }
+
+    /// Export as Chrome trace-event JSON **with causality**: the span graph
+    /// is built from the trace (plus the run's thread windows and service
+    /// costs), thread tracks are fully tiled with `"X"` slices (compute and
+    /// wait spans), manager/server service spans land as `"X"` slices on
+    /// *their own* tracks — not the requester's — and every causal edge
+    /// (lock handoffs, barrier releases, RPC request/response pairs, fetch
+    /// serves) becomes a Perfetto flow arrow (`"ph":"s"` / `"ph":"f"`,
+    /// `id` = edge index). Non-wait events remain `"i"` instants.
+    ///
+    /// [`RunTrace::to_jsonl`] (the checksum basis) is untouched by this
+    /// richer export.
+    pub fn to_chrome_json_with(&self, windows: &[ThreadWindow], costs: &ServiceCosts) -> String {
+        let graph = SpanGraph::build(self, windows, costs);
+        let mut records: Vec<String> =
+            Vec::with_capacity(graph.spans.len() + 2 * graph.edges.len() + self.len());
+        records.push(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+             \"args\":{\"name\":\"samhita\"}}"
+                .to_string(),
+        );
+        for (track, _) in &self.tracks {
+            records.push(format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                track.chrome_tid(),
+                track.label()
+            ));
+        }
+        for span in &graph.spans {
+            let args = match span.detail {
+                SpanDetail::None => String::new(),
+                SpanDetail::Page { page, pages } => format!("\"page\":{page},\"pages\":{pages}"),
+                SpanDetail::Lock(lock) => format!("\"lock\":{lock}"),
+                SpanDetail::Barrier(b) => format!("\"barrier\":{b}"),
+                SpanDetail::Op(op) => format!("\"op\":\"{op}\""),
+                SpanDetail::Serve { op, tid } => format!("\"op\":\"{op}\",\"tid\":{tid}"),
+            };
+            let cat = match span.class {
+                SpanClass::MgrService => "mgr",
+                SpanClass::ServerService => "mem",
+                _ => "thread",
+            };
+            records.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"{cat}\",\"ph\":\"X\",\"pid\":0,\
+                 \"tid\":{},\"ts\":{:.3},\"dur\":{:.3},\"args\":{{{args}}}}}",
+                span.class.label(),
+                span.track.chrome_tid(),
+                span.start.as_ns() as f64 / 1000.0,
+                (span.end.as_ns() - span.start.as_ns()) as f64 / 1000.0
+            ));
+        }
+        for (id, e) in graph.edges.iter().enumerate() {
+            if matches!(e.kind, EdgeKind::Program) {
+                continue; // implicit in track layout
+            }
+            let name = e.kind.label();
+            let src_tid = graph.spans[e.src].track.chrome_tid();
+            let dst_tid = graph.spans[e.dst].track.chrome_tid();
+            records.push(format!(
+                "{{\"name\":\"{name}\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":{id},\
+                 \"pid\":0,\"tid\":{src_tid},\"ts\":{:.3}}}",
+                e.src_at.as_ns() as f64 / 1000.0
+            ));
+            records.push(format!(
+                "{{\"name\":\"{name}\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\
+                 \"id\":{id},\"pid\":0,\"tid\":{dst_tid},\"ts\":{:.3}}}",
+                e.dst_at.as_ns() as f64 / 1000.0
+            ));
+        }
+        // Non-wait events stay as instants; wait-closing events are already
+        // rendered as graph wait spans with identical geometry.
+        for (track, events) in &self.tracks {
+            let tid = track.chrome_tid();
+            for TraceEvent { at, kind } in events {
+                if matches!(kind.wait_ns(), Some(w) if w > 0) {
+                    continue;
+                }
+                records.push(format!(
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"pid\":0,\
+                     \"tid\":{tid},\"ts\":{:.3},\"s\":\"t\",\"args\":{}}}",
+                    kind.name(),
+                    category(kind),
+                    at.as_ns() as f64 / 1000.0,
+                    args_json(kind)
+                ));
             }
         }
         format!("{{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n{}\n]}}\n", records.join(",\n"))
@@ -416,6 +508,64 @@ mod tests {
         assert!(out.contains("\"dur\":0.800"));
         // Instants carry a scope.
         assert!(out.contains("\"ph\":\"i\""));
+    }
+
+    #[test]
+    fn chrome_export_with_flows_binds_services_to_their_tracks() {
+        let ns = SimTime::from_ns;
+        let trace = RunTrace::from_tracks(vec![
+            (
+                TrackId::Thread(0),
+                vec![
+                    TraceEvent {
+                        at: ns(2_000),
+                        kind: EventKind::LockAcquire { lock: 0, wait_ns: 500 },
+                    },
+                    TraceEvent { at: ns(3_000), kind: EventKind::LockRelease { lock: 0 } },
+                ],
+            ),
+            (
+                TrackId::Thread(1),
+                vec![TraceEvent {
+                    at: ns(3_400),
+                    kind: EventKind::LockAcquire { lock: 0, wait_ns: 1_000 },
+                }],
+            ),
+            (
+                TrackId::Manager,
+                vec![TraceEvent {
+                    at: ns(1_900),
+                    kind: EventKind::MgrServe { op: "acquire", tid: 0 },
+                }],
+            ),
+        ]);
+        let windows = [
+            ThreadWindow { tid: 0, epoch_ns: 0, end_ns: 4_000 },
+            ThreadWindow { tid: 1, epoch_ns: 0, end_ns: 4_000 },
+        ];
+        let costs = ServiceCosts {
+            mgr_service_ns: 300,
+            fetch_base_ns: 400,
+            apply_base_ns: 150,
+            per_kib_ns: 100,
+            page_size: 1024,
+        };
+        let out = trace.to_chrome_json_with(&windows, &costs);
+        validate_json(&out).expect("valid chrome json");
+        // Flow arrows come in begin/end pairs with matching ids.
+        assert!(out.contains("\"ph\":\"s\""));
+        assert!(out.contains("\"ph\":\"f\""));
+        assert!(out.contains("\"name\":\"lock-handoff\""));
+        // The manager service span renders on the manager's track (tid
+        // 1000), not the requester's: [1600, 1900] -> ts 1.600 dur 0.300.
+        assert!(out.contains(
+            "\"name\":\"mgr-service\",\"cat\":\"mgr\",\"ph\":\"X\",\"pid\":0,\
+             \"tid\":1000,\"ts\":1.600,\"dur\":0.300"
+        ));
+        // Thread tracks are tiled: compute slices exist.
+        assert!(out.contains("\"name\":\"compute\""));
+        // The plain export is untouched by the richer one.
+        assert_eq!(trace.to_chrome_json(), trace.to_chrome_json());
     }
 
     #[test]

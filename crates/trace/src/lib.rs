@@ -28,19 +28,23 @@
 //!   episode alignment.
 
 pub mod check;
+pub mod critpath;
 pub mod event;
 pub mod export;
 pub mod hist;
 pub mod hotspot;
 pub mod json;
 pub mod metrics;
+pub mod span;
 pub mod tracer;
 
 pub use check::{CheckSummary, Violation};
+pub use critpath::{critical_path, CriticalPathReport, PathClass, PathSegment};
 pub use event::{EventKind, FetchKind, TraceEvent, TrackId};
 pub use export::validate_json;
 pub use hist::LatencyHistogram;
 pub use hotspot::{HotspotMap, PageCounters};
 pub use json::JsonValue;
 pub use metrics::{MetricsTimeline, ServiceCosts, TimelineBucket};
+pub use span::{Edge, EdgeKind, Span, SpanClass, SpanDetail, SpanGraph, ThreadWindow};
 pub use tracer::{RunTrace, SharedTrack, TraceBuf, Tracer};

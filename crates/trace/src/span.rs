@@ -1,0 +1,770 @@
+//! Causal span graph, reconstructed post-hoc from a recorded [`RunTrace`].
+//!
+//! The raw trace is a set of per-track event streams; this module lifts it
+//! into a graph of **spans** (intervals of virtual time during which one
+//! actor was doing one class of thing) connected by **causal edges**
+//! (lock handoffs, barrier releases, RPC request/service/response pairs,
+//! fetch serves). Thread tracks are tiled completely: every instant of a
+//! thread's measured window `[epoch, end]` lies in exactly one span, wait
+//! spans coming verbatim from the trace's `wait_ns` intervals and the gaps
+//! between them classified as compute. Manager and memory-server spans are
+//! reconstructed from serve events and the deterministic service-cost
+//! model ([`ServiceCosts`]), exactly as the metrics timeline does.
+//!
+//! Construction is strictly observational — it reads a finished trace and
+//! the run report's per-thread windows, so building (or not building) the
+//! graph cannot perturb any virtual clock. Determinism of the trace
+//! therefore carries over: the same run produces the same graph,
+//! byte-for-byte in any serialized form.
+//!
+//! Every edge is stamped at both ends (`src_at`, `dst_at`) and is
+//! virtual-time monotone (`src_at <= dst_at`); candidate edges that would
+//! violate monotonicity (possible only under fault-injection reordering)
+//! are dropped and counted in [`SpanGraph::skipped_edges`]. Monotone edges
+//! over monotone tracks make the graph acyclic by construction, which
+//! [`SpanGraph::is_acyclic`] verifies independently (Kahn's algorithm).
+
+use std::collections::HashMap;
+
+use samhita_scl::SimTime;
+
+use crate::event::{EventKind, TraceEvent, TrackId};
+use crate::metrics::ServiceCosts;
+use crate::tracer::RunTrace;
+
+/// What a span's interval was spent on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SpanClass {
+    /// Thread-local work (includes flush assembly; threads only).
+    Compute,
+    /// Stalled on a line fetch / refetch (threads only).
+    Fetch,
+    /// Stalled on a lock acquire (threads only).
+    LockWait,
+    /// Stalled at a barrier (threads only).
+    BarrierWait,
+    /// Stalled on a non-sync manager RPC (threads only).
+    MgrWait,
+    /// The manager serving one request (manager track only).
+    MgrService,
+    /// A memory server serving one request (server tracks only).
+    ServerService,
+}
+
+impl SpanClass {
+    /// Stable lowercase label used by exporters and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SpanClass::Compute => "compute",
+            SpanClass::Fetch => "fetch",
+            SpanClass::LockWait => "lock-wait",
+            SpanClass::BarrierWait => "barrier-wait",
+            SpanClass::MgrWait => "mgr-wait",
+            SpanClass::MgrService => "mgr-service",
+            SpanClass::ServerService => "server-service",
+        }
+    }
+}
+
+/// Attribution payload of a span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpanDetail {
+    /// Nothing specific (compute spans).
+    None,
+    /// A page range (fetch waits, server fetch serves).
+    Page {
+        /// First page of the range.
+        page: u64,
+        /// Pages in the range.
+        pages: u32,
+    },
+    /// A lock id.
+    Lock(u32),
+    /// A barrier id.
+    Barrier(u32),
+    /// A manager RPC op label.
+    Op(&'static str),
+    /// A manager serve: which op, for which thread.
+    Serve {
+        /// The request's op label.
+        op: &'static str,
+        /// The requesting thread.
+        tid: u32,
+    },
+}
+
+/// One interval of one track.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// The track the span lives on.
+    pub track: TrackId,
+    /// Interval start (virtual time).
+    pub start: SimTime,
+    /// Interval end (virtual time, `>= start`).
+    pub end: SimTime,
+    /// What the interval was spent on.
+    pub class: SpanClass,
+    /// Attribution payload.
+    pub detail: SpanDetail,
+}
+
+impl Span {
+    /// The span's length in virtual ns.
+    pub fn len_ns(&self) -> u64 {
+        self.end.as_ns() - self.start.as_ns()
+    }
+}
+
+/// Why an edge exists.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Consecutive spans of one track (same actor, time order).
+    Program,
+    /// A lock release enabling the next acquire of the same lock.
+    LockHandoff {
+        /// The lock id.
+        lock: u32,
+    },
+    /// A barrier arrival enabling a release. `last_arrival` marks the edge
+    /// from the episode's final arrival — the causally binding one.
+    Barrier {
+        /// The barrier id.
+        barrier: u32,
+        /// Whether this edge leaves the episode's last arrival.
+        last_arrival: bool,
+    },
+    /// A request leaving a stalled thread for a service span.
+    RpcRequest,
+    /// A response returning from a service span to the stalled thread.
+    RpcResponse,
+    /// A served fetch returning data to the faulting thread.
+    FetchServe {
+        /// First page of the served range.
+        page: u64,
+    },
+}
+
+impl EdgeKind {
+    /// Stable lowercase label used by exporters.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EdgeKind::Program => "program",
+            EdgeKind::LockHandoff { .. } => "lock-handoff",
+            EdgeKind::Barrier { .. } => "barrier",
+            EdgeKind::RpcRequest => "rpc-request",
+            EdgeKind::RpcResponse => "rpc-response",
+            EdgeKind::FetchServe { .. } => "fetch-serve",
+        }
+    }
+}
+
+/// A causal edge between two spans, stamped at both ends.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Edge {
+    /// Index of the source span in [`SpanGraph::spans`].
+    pub src: usize,
+    /// Index of the destination span.
+    pub dst: usize,
+    /// Virtual time the causal influence leaves the source.
+    pub src_at: SimTime,
+    /// Virtual time it reaches the destination (`>= src_at`).
+    pub dst_at: SimTime,
+    /// Why the edge exists.
+    pub kind: EdgeKind,
+}
+
+/// One thread's measured window, from the run report
+/// (`ThreadStats::{epoch_ns, end_ns}`). The span graph needs it because
+/// compute spans are *gaps* — only the report knows where a thread's
+/// timeline begins and ends.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ThreadWindow {
+    /// The thread id (matching `TrackId::Thread`).
+    pub tid: u32,
+    /// Virtual time the thread's measured interval began.
+    pub epoch_ns: u64,
+    /// Virtual time the thread's measured interval ended.
+    pub end_ns: u64,
+}
+
+/// The causal span graph of one run.
+#[derive(Clone, Debug, Default)]
+pub struct SpanGraph {
+    /// All spans, grouped by track in track order, time order within.
+    pub spans: Vec<Span>,
+    /// All causal edges, each virtual-time monotone.
+    pub edges: Vec<Edge>,
+    /// Candidate edges dropped for violating time monotonicity (nonzero
+    /// only under fault-injection reordering).
+    pub skipped_edges: u64,
+}
+
+/// Service span length for one stamp-group of server events.
+fn server_group_service(events: &[&TraceEvent], costs: &ServiceCosts) -> u64 {
+    events
+        .iter()
+        .map(|e| match &e.kind {
+            EventKind::ServeFetch { pages, .. } => {
+                costs.fetch_ns(u64::from(*pages) * costs.page_size)
+            }
+            EventKind::ApplyDiff { bytes, .. } | EventKind::ApplyFine { bytes, .. } => {
+                costs.apply_ns(*bytes)
+            }
+            EventKind::ServeWrite { .. } => costs.apply_ns(costs.page_size),
+            _ => 0,
+        })
+        .sum()
+}
+
+/// The wait class a thread-track event closes, if any.
+fn wait_class(kind: &EventKind) -> Option<(SpanClass, SpanDetail)> {
+    match kind {
+        EventKind::Fetch { page, pages, .. } => {
+            Some((SpanClass::Fetch, SpanDetail::Page { page: *page, pages: *pages }))
+        }
+        EventKind::LockAcquire { lock, .. } => Some((SpanClass::LockWait, SpanDetail::Lock(*lock))),
+        EventKind::BarrierRelease { barrier, .. } => {
+            Some((SpanClass::BarrierWait, SpanDetail::Barrier(*barrier)))
+        }
+        EventKind::MgrRpc { op, .. } => Some((SpanClass::MgrWait, SpanDetail::Op(op))),
+        _ => None,
+    }
+}
+
+impl SpanGraph {
+    /// Build the graph from a recorded trace, the run's per-thread windows,
+    /// and the deterministic service-cost model.
+    pub fn build(trace: &RunTrace, windows: &[ThreadWindow], costs: &ServiceCosts) -> SpanGraph {
+        let mut g = SpanGraph::default();
+        let window_of: HashMap<u32, ThreadWindow> = windows.iter().map(|w| (w.tid, *w)).collect();
+
+        // ---- Spans -------------------------------------------------------
+        // Per-track first/last span indices, for program-order edges and
+        // the lookups below.
+        let mut track_ranges: Vec<(TrackId, usize, usize)> = Vec::new();
+        for (track, events) in &trace.tracks {
+            let first = g.spans.len();
+            match track {
+                TrackId::Thread(tid) => {
+                    let w = window_of.get(tid).copied().unwrap_or(ThreadWindow {
+                        tid: *tid,
+                        epoch_ns: 0,
+                        end_ns: events.last().map_or(0, |e| e.at.as_ns()),
+                    });
+                    g.build_thread_spans(*track, events, &w);
+                }
+                TrackId::Manager => {
+                    for e in events {
+                        if let EventKind::MgrServe { op, tid } = e.kind {
+                            let start = e.at.as_ns().saturating_sub(costs.mgr_service_ns);
+                            g.spans.push(Span {
+                                track: *track,
+                                start: SimTime::from_ns(start),
+                                end: e.at,
+                                class: SpanClass::MgrService,
+                                detail: SpanDetail::Serve { op, tid },
+                            });
+                        }
+                    }
+                }
+                TrackId::MemServer(_) => {
+                    // Events of one request share a completion stamp; each
+                    // stamp-group is one service span.
+                    let mut i = 0;
+                    while i < events.len() {
+                        let mut j = i;
+                        while j < events.len() && events[j].at == events[i].at {
+                            j += 1;
+                        }
+                        let group: Vec<&TraceEvent> = events[i..j].iter().collect();
+                        let svc = server_group_service(&group, costs);
+                        let detail = group
+                            .iter()
+                            .find_map(|e| match &e.kind {
+                                EventKind::ServeFetch { page, pages } => {
+                                    Some(SpanDetail::Page { page: *page, pages: *pages })
+                                }
+                                _ => None,
+                            })
+                            .unwrap_or(SpanDetail::None);
+                        let start = events[i].at.as_ns().saturating_sub(svc);
+                        g.spans.push(Span {
+                            track: *track,
+                            start: SimTime::from_ns(start),
+                            end: events[i].at,
+                            class: SpanClass::ServerService,
+                            detail,
+                        });
+                        i = j;
+                    }
+                }
+                TrackId::Fabric => {}
+            }
+            track_ranges.push((*track, first, g.spans.len()));
+        }
+
+        // ---- Program-order edges ----------------------------------------
+        for &(_, first, last) in &track_ranges {
+            for i in first..last.saturating_sub(1) {
+                let (a, b) = (g.spans[i], g.spans[i + 1]);
+                g.push_edge(i, i + 1, a.end, b.start.max(a.end), EdgeKind::Program);
+            }
+        }
+
+        // ---- Causal edges ------------------------------------------------
+        g.build_lock_edges(trace);
+        g.build_barrier_edges(trace);
+        g.build_rpc_edges();
+        g.build_fetch_edges();
+        g
+    }
+
+    /// Tile one thread's window `[epoch, end]` with wait spans (from the
+    /// trace's `wait_ns` intervals) and compute gaps.
+    fn build_thread_spans(&mut self, track: TrackId, events: &[TraceEvent], w: &ThreadWindow) {
+        let mut cursor = w.epoch_ns;
+        for e in events {
+            let Some(wait) = e.kind.wait_ns() else { continue };
+            if wait == 0 {
+                continue;
+            }
+            let Some((class, detail)) = wait_class(&e.kind) else { continue };
+            let end = e.at.as_ns();
+            let start = end.saturating_sub(wait).max(cursor);
+            if end <= cursor || start >= end {
+                continue; // fully clamped away (overlap or pre-epoch)
+            }
+            if start > cursor {
+                self.spans.push(Span {
+                    track,
+                    start: SimTime::from_ns(cursor),
+                    end: SimTime::from_ns(start),
+                    class: SpanClass::Compute,
+                    detail: SpanDetail::None,
+                });
+            }
+            self.spans.push(Span {
+                track,
+                start: SimTime::from_ns(start),
+                end: SimTime::from_ns(end),
+                class,
+                detail,
+            });
+            cursor = end;
+        }
+        if cursor < w.end_ns {
+            self.spans.push(Span {
+                track,
+                start: SimTime::from_ns(cursor),
+                end: SimTime::from_ns(w.end_ns),
+                class: SpanClass::Compute,
+                detail: SpanDetail::None,
+            });
+        }
+    }
+
+    fn push_edge(
+        &mut self,
+        src: usize,
+        dst: usize,
+        src_at: SimTime,
+        dst_at: SimTime,
+        kind: EdgeKind,
+    ) {
+        if src_at <= dst_at {
+            self.edges.push(Edge { src, dst, src_at, dst_at, kind });
+        } else {
+            self.skipped_edges += 1;
+        }
+    }
+
+    /// The index of the span on `track` covering instant `at` (preferring
+    /// the span *ending* at `at` when `at` is a boundary).
+    fn span_covering(&self, track: TrackId, at: SimTime) -> Option<usize> {
+        // Spans are grouped by track and time-ordered; a linear scan per
+        // lookup would be quadratic, so binary-search within the track.
+        let lo = self.spans.partition_point(|s| s.track < track);
+        let hi = self.spans.partition_point(|s| s.track <= track);
+        let spans = &self.spans[lo..hi];
+        let idx = spans.partition_point(|s| s.end < at);
+        if idx < spans.len() && spans[idx].start <= at {
+            Some(lo + idx)
+        } else {
+            None
+        }
+    }
+
+    /// Lock-handoff edges: each acquire's grant is enabled by the latest
+    /// release of the same lock at or before the grant instant.
+    fn build_lock_edges(&mut self, trace: &RunTrace) {
+        // All releases per lock, time-sorted: (at, releaser-track).
+        let mut releases: HashMap<u32, Vec<(SimTime, TrackId)>> = HashMap::new();
+        for (track, events) in &trace.tracks {
+            if !matches!(track, TrackId::Thread(_)) {
+                continue;
+            }
+            for e in events {
+                if let EventKind::LockRelease { lock } = e.kind {
+                    releases.entry(lock).or_default().push((e.at, *track));
+                }
+            }
+        }
+        for v in releases.values_mut() {
+            v.sort();
+        }
+        // Each LockWait span is one acquire ending at the grant.
+        for i in 0..self.spans.len() {
+            let s = self.spans[i];
+            let (SpanClass::LockWait, SpanDetail::Lock(lock)) = (s.class, s.detail) else {
+                continue;
+            };
+            let Some(rels) = releases.get(&lock) else { continue };
+            let idx = rels.partition_point(|(at, _)| *at <= s.end);
+            if idx == 0 {
+                continue; // first acquire: no prior release
+            }
+            let (rel_at, rel_track) = rels[idx - 1];
+            if let Some(src) = self.span_covering(rel_track, rel_at) {
+                if src != i {
+                    self.push_edge(src, i, rel_at, s.end, EdgeKind::LockHandoff { lock });
+                }
+            }
+        }
+    }
+
+    /// Barrier edges: per episode, the last arrival causally releases every
+    /// waiter — one edge per waiter (O(parties), not O(parties²)), with the
+    /// last arrival's own edge flagged.
+    fn build_barrier_edges(&mut self, trace: &RunTrace) {
+        // Per barrier: arrivals and releases with per-thread occurrence
+        // index — the k-th episode of barrier b is the set of each thread's
+        // k-th (arrive, release) pair.
+        type Episode = (Vec<(SimTime, TrackId)>, Vec<usize>); // (arrivals, waitspans)
+        let mut episodes: HashMap<(u32, u64), Episode> = HashMap::new();
+        let mut arrive_count: HashMap<(TrackId, u32), u64> = HashMap::new();
+        for (track, events) in &trace.tracks {
+            if !matches!(track, TrackId::Thread(_)) {
+                continue;
+            }
+            for e in events {
+                if let EventKind::BarrierArrive { barrier } = e.kind {
+                    let k = arrive_count.entry((*track, barrier)).or_insert(0);
+                    episodes.entry((barrier, *k)).or_default().0.push((e.at, *track));
+                    *k += 1;
+                }
+            }
+        }
+        let mut release_count: HashMap<(TrackId, u32), u64> = HashMap::new();
+        for i in 0..self.spans.len() {
+            let s = self.spans[i];
+            let (SpanClass::BarrierWait, SpanDetail::Barrier(b)) = (s.class, s.detail) else {
+                continue;
+            };
+            let k = release_count.entry((s.track, b)).or_insert(0);
+            if let Some(ep) = episodes.get_mut(&(b, *k)) {
+                ep.1.push(i);
+            }
+            *k += 1;
+        }
+        let mut keys: Vec<(u32, u64)> = episodes.keys().copied().collect();
+        keys.sort();
+        for key in keys {
+            let (arrivals, waits) = episodes[&key].clone();
+            let Some(&(last_at, last_track)) = arrivals.iter().max_by_key(|(at, tr)| (*at, *tr))
+            else {
+                continue;
+            };
+            let Some(src) = self.span_covering(last_track, last_at) else { continue };
+            for dst in waits {
+                let flag = self.spans[dst].track == last_track;
+                if src == dst {
+                    continue;
+                }
+                self.push_edge(
+                    src,
+                    dst,
+                    last_at,
+                    self.spans[dst].end,
+                    EdgeKind::Barrier { barrier: key.0, last_arrival: flag },
+                );
+            }
+        }
+    }
+
+    /// RPC edges: thread wait spans paired with manager service spans by
+    /// `(tid, op)` in time order; request flows wait-start → service-start,
+    /// response service-end → wait-end.
+    fn build_rpc_edges(&mut self) {
+        // Manager spans per (tid, op), time-ordered (spans already are).
+        let mut serves: HashMap<(u32, &'static str), Vec<usize>> = HashMap::new();
+        for (i, s) in self.spans.iter().enumerate() {
+            if let (SpanClass::MgrService, SpanDetail::Serve { op, tid }) = (s.class, s.detail) {
+                serves.entry((tid, op)).or_default().push(i);
+            }
+        }
+        let mut next: HashMap<(u32, &'static str), usize> = HashMap::new();
+        for i in 0..self.spans.len() {
+            let s = self.spans[i];
+            let TrackId::Thread(tid) = s.track else { continue };
+            let op = match (s.class, s.detail) {
+                (SpanClass::MgrWait, SpanDetail::Op(op)) => op,
+                (SpanClass::LockWait, _) => "acquire",
+                (SpanClass::BarrierWait, _) => "barrier-wait",
+                _ => continue,
+            };
+            let Some(list) = serves.get(&(tid, op)) else { continue };
+            let cursor = next.entry((tid, op)).or_insert(0);
+            if *cursor >= list.len() {
+                continue;
+            }
+            let serve = list[*cursor];
+            *cursor += 1;
+            let sv = self.spans[serve];
+            self.push_edge(i, serve, s.start, sv.start, EdgeKind::RpcRequest);
+            self.push_edge(serve, i, sv.end, s.end, EdgeKind::RpcResponse);
+        }
+    }
+
+    /// Fetch edges: a thread's fetch stall is served by the server span
+    /// whose group fetched the same first page, latest completion at or
+    /// before the stall's end.
+    fn build_fetch_edges(&mut self) {
+        let mut serves: HashMap<u64, Vec<(SimTime, usize)>> = HashMap::new();
+        for (i, s) in self.spans.iter().enumerate() {
+            if let (SpanClass::ServerService, SpanDetail::Page { page, .. }) = (s.class, s.detail) {
+                serves.entry(page).or_default().push((s.end, i));
+            }
+        }
+        for v in serves.values_mut() {
+            v.sort();
+        }
+        for i in 0..self.spans.len() {
+            let s = self.spans[i];
+            if s.class != SpanClass::Fetch || !matches!(s.track, TrackId::Thread(_)) {
+                continue;
+            }
+            let SpanDetail::Page { page, .. } = s.detail else { continue };
+            let Some(list) = serves.get(&page) else { continue };
+            let idx = list.partition_point(|(end, _)| *end <= s.end);
+            if idx == 0 {
+                continue;
+            }
+            let (_, serve) = list[idx - 1];
+            let sv = self.spans[serve];
+            self.push_edge(i, serve, s.start, sv.start, EdgeKind::RpcRequest);
+            self.push_edge(serve, i, sv.end, s.end, EdgeKind::FetchServe { page });
+        }
+    }
+
+    /// Total spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the graph holds no spans.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Verify every edge is virtual-time monotone (`src_at <= dst_at`,
+    /// both stamps within their span's interval is not required — a
+    /// handoff can leave mid-span). Returns the first violation.
+    pub fn check_monotone(&self) -> Result<(), String> {
+        for (i, e) in self.edges.iter().enumerate() {
+            if e.src_at > e.dst_at {
+                return Err(format!(
+                    "edge {i} ({:?}) goes backwards: {} > {}",
+                    e.kind,
+                    e.src_at.as_ns(),
+                    e.dst_at.as_ns()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Acyclicity of the *temporal* causality graph. Edges connect stamped
+    /// instants, and a span may legitimately both cause and be caused by
+    /// another at different instants (an RPC wait span sends a request to
+    /// the service span and later receives its response), so whole-span
+    /// cycles are expected. A genuine causal cycle would need every edge
+    /// stamp around the loop equal (edges are monotone, `src_at <=
+    /// dst_at`), so it suffices to run Kahn's algorithm over the
+    /// **zero-delay** subgraph; combined with [`SpanGraph::check_monotone`]
+    /// this proves the instant-level graph is a DAG.
+    pub fn is_acyclic(&self) -> bool {
+        let n = self.spans.len();
+        let mut indeg = vec![0usize; n];
+        let mut out: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for e in &self.edges {
+            if e.src_at != e.dst_at {
+                continue;
+            }
+            if e.src == e.dst {
+                return false;
+            }
+            out[e.src].push(e.dst);
+            indeg[e.dst] += 1;
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0usize;
+        while let Some(i) = queue.pop() {
+            seen += 1;
+            for &j in &out[i] {
+                indeg[j] -= 1;
+                if indeg[j] == 0 {
+                    queue.push(j);
+                }
+            }
+        }
+        seen == n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use samhita_scl::SimTime;
+
+    fn costs() -> ServiceCosts {
+        ServiceCosts {
+            mgr_service_ns: 300,
+            fetch_base_ns: 400,
+            apply_base_ns: 150,
+            per_kib_ns: 100,
+            page_size: 1024,
+        }
+    }
+
+    fn ev(at_ns: u64, kind: EventKind) -> TraceEvent {
+        TraceEvent { at: SimTime::from_ns(at_ns), kind }
+    }
+
+    /// Two threads contend a lock; the graph must tile both windows and
+    /// produce a handoff edge from t0's release to t1's acquire.
+    #[test]
+    fn lock_handoff_edge_and_tiling() {
+        let trace = RunTrace::from_tracks(vec![
+            (
+                TrackId::Thread(0),
+                vec![
+                    ev(1_000, EventKind::LockAcquire { lock: 0, wait_ns: 200 }),
+                    ev(2_000, EventKind::LockRelease { lock: 0 }),
+                ],
+            ),
+            (
+                TrackId::Thread(1),
+                vec![ev(2_500, EventKind::LockAcquire { lock: 0, wait_ns: 1_500 })],
+            ),
+        ]);
+        let windows = [
+            ThreadWindow { tid: 0, epoch_ns: 0, end_ns: 3_000 },
+            ThreadWindow { tid: 1, epoch_ns: 0, end_ns: 3_000 },
+        ];
+        let g = SpanGraph::build(&trace, &windows, &costs());
+        // Thread 0: compute [0,800], lock-wait [800,1000], compute [1000,3000].
+        // Thread 1: lock-wait [1000,2500], compute [2500,3000].
+        for w in &windows {
+            let total: u64 = g
+                .spans
+                .iter()
+                .filter(|s| s.track == TrackId::Thread(w.tid))
+                .map(Span::len_ns)
+                .sum();
+            assert_eq!(total, w.end_ns - w.epoch_ns, "tid {} not tiled", w.tid);
+        }
+        let handoff: Vec<&Edge> = g
+            .edges
+            .iter()
+            .filter(|e| matches!(e.kind, EdgeKind::LockHandoff { lock: 0 }))
+            .collect();
+        assert_eq!(handoff.len(), 1);
+        let e = handoff[0];
+        assert_eq!(g.spans[e.src].track, TrackId::Thread(0));
+        assert_eq!(g.spans[e.dst].track, TrackId::Thread(1));
+        assert_eq!(e.src_at.as_ns(), 2_000);
+        assert_eq!(e.dst_at.as_ns(), 2_500);
+        assert!(g.is_acyclic());
+        g.check_monotone().unwrap();
+    }
+
+    /// A barrier episode links the last arrival to every waiter, flagging
+    /// its own edge.
+    #[test]
+    fn barrier_edges_leave_last_arrival() {
+        let trace = RunTrace::from_tracks(vec![
+            (
+                TrackId::Thread(0),
+                vec![
+                    ev(1_000, EventKind::BarrierArrive { barrier: 0 }),
+                    ev(3_000, EventKind::BarrierRelease { barrier: 0, wait_ns: 2_000 }),
+                ],
+            ),
+            (
+                TrackId::Thread(1),
+                vec![
+                    ev(2_500, EventKind::BarrierArrive { barrier: 0 }),
+                    ev(3_000, EventKind::BarrierRelease { barrier: 0, wait_ns: 500 }),
+                ],
+            ),
+        ]);
+        let windows = [
+            ThreadWindow { tid: 0, epoch_ns: 0, end_ns: 3_500 },
+            ThreadWindow { tid: 1, epoch_ns: 0, end_ns: 3_500 },
+        ];
+        let g = SpanGraph::build(&trace, &windows, &costs());
+        let barrier: Vec<&Edge> =
+            g.edges.iter().filter(|e| matches!(e.kind, EdgeKind::Barrier { .. })).collect();
+        assert_eq!(barrier.len(), 2, "one edge per waiter");
+        for e in &barrier {
+            assert_eq!(g.spans[e.src].track, TrackId::Thread(1), "last arrival is tid 1");
+            assert_eq!(e.src_at.as_ns(), 2_500);
+        }
+        let flagged = barrier
+            .iter()
+            .filter(|e| matches!(e.kind, EdgeKind::Barrier { last_arrival: true, .. }))
+            .count();
+        assert_eq!(flagged, 1);
+        assert!(g.is_acyclic());
+    }
+
+    /// An RPC pairs the thread's stall with the manager's service span in
+    /// both directions; a fetch pairs with the serving server span.
+    #[test]
+    fn rpc_and_fetch_edges_bind_to_service_spans() {
+        let trace = RunTrace::from_tracks(vec![
+            (
+                TrackId::Thread(0),
+                vec![
+                    ev(
+                        2_000,
+                        EventKind::Fetch {
+                            page: 7,
+                            pages: 1,
+                            kind: crate::event::FetchKind::Demand,
+                            wait_ns: 1_200,
+                        },
+                    ),
+                    ev(3_000, EventKind::MgrRpc { op: "alloc-shared", wait_ns: 600 }),
+                ],
+            ),
+            (TrackId::Manager, vec![ev(2_800, EventKind::MgrServe { op: "alloc-shared", tid: 0 })]),
+            (TrackId::MemServer(0), vec![ev(1_700, EventKind::ServeFetch { page: 7, pages: 1 })]),
+        ]);
+        let windows = [ThreadWindow { tid: 0, epoch_ns: 0, end_ns: 3_200 }];
+        let g = SpanGraph::build(&trace, &windows, &costs());
+        assert_eq!(g.skipped_edges, 0);
+        let kinds: Vec<&'static str> = g.edges.iter().map(|e| e.kind.label()).collect();
+        assert!(kinds.contains(&"rpc-request"));
+        assert!(kinds.contains(&"rpc-response"));
+        assert!(kinds.contains(&"fetch-serve"));
+        // The mgr service span is [2500, 2800] (300 ns service).
+        let mgr = g.spans.iter().find(|s| s.class == SpanClass::MgrService).unwrap();
+        assert_eq!((mgr.start.as_ns(), mgr.end.as_ns()), (2_500, 2_800));
+        // The server span is [1200, 1700]: 400 + 1024*100/1024 = 500 ns.
+        let srv = g.spans.iter().find(|s| s.class == SpanClass::ServerService).unwrap();
+        assert_eq!((srv.start.as_ns(), srv.end.as_ns()), (1_200, 1_700));
+        assert!(g.is_acyclic());
+        g.check_monotone().unwrap();
+    }
+}
