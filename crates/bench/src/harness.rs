@@ -106,6 +106,25 @@ pub fn run_summary(report: &RunReport) -> String {
         ));
         out.push_str(&format!("  recovery          {retries} retries, {failovers} failovers\n"));
     }
+    // Manager replication and crash recovery: shipped-log volume when a hot
+    // standby mirrors the primary, and the takeover story when it fired.
+    if report.log_records_shipped > 0 || report.takeover_ns > 0 {
+        out.push_str(&format!(
+            "  mgr replication   {} log records shipped\n",
+            report.log_records_shipped
+        ));
+    }
+    if report.takeover_ns > 0 {
+        out.push_str(&format!(
+            "  mgr failover      takeover at {}ns, {} threads re-homed, {} standby serves, \
+             {} leases reclaimed, {} stale releases\n",
+            report.takeover_ns,
+            report.mgr_failovers(),
+            report.standby_serves,
+            report.lease_reclaims,
+            report.stale_releases
+        ));
+    }
     out
 }
 

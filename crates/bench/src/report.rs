@@ -29,7 +29,12 @@ use samhita_trace::{
 /// manager/server queue-wait section (`queue`) with the
 /// `mgr_queue_wait_fraction` the gate watches, and the trace-derived
 /// critical-path composition (`critical_path`).
-pub const SCHEMA: &str = "samhita-bench-report-v3";
+/// v4 adds the manager-recovery section (`recovery`): failover count, log
+/// records shipped to the standby, lease reclaims, stale releases absorbed,
+/// standby serves, and the takeover instant. The gate requires it to stay
+/// all-quiet on fault-free runs — recovery machinery firing without an
+/// injected fault is itself a regression.
+pub const SCHEMA: &str = "samhita-bench-report-v4";
 
 /// Number of timeline intervals summarized into a report.
 const TIMELINE_BUCKETS: u64 = 20;
@@ -220,6 +225,50 @@ impl QueueSummary {
     }
 }
 
+/// Manager-recovery activity over the run. All six counters are zero on a
+/// fault-free run even with a hot standby configured (log shipping itself
+/// is counted, but the gate only requires the *takeover* side to stay
+/// quiet): the standby absorbs the log silently and never serves.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoverySummary {
+    /// Threads that re-homed from the crashed primary to the standby.
+    pub mgr_failovers: u64,
+    /// Log records the primary shipped to the standby (0 without one).
+    pub log_records_shipped: u64,
+    /// Expired lock leases the standby reclaimed after taking over.
+    pub lease_reclaims: u64,
+    /// Releases from deposed holders absorbed after a reclaim.
+    pub stale_releases: u64,
+    /// Requests the standby served after taking over.
+    pub standby_serves: u64,
+    /// Virtual instant the standby went active (0 = never).
+    pub takeover_ns: u64,
+}
+
+impl RecoverySummary {
+    /// Digest a run's recovery counters.
+    pub fn of(report: &RunReport) -> Self {
+        RecoverySummary {
+            mgr_failovers: report.mgr_failovers(),
+            log_records_shipped: report.log_records_shipped,
+            lease_reclaims: report.lease_reclaims,
+            stale_releases: report.stale_releases,
+            standby_serves: report.standby_serves,
+            takeover_ns: report.takeover_ns,
+        }
+    }
+
+    /// Whether any takeover-side machinery fired. Log shipping alone (a
+    /// standby passively mirroring a healthy primary) does not count.
+    pub fn took_over(&self) -> bool {
+        self.mgr_failovers > 0
+            || self.lease_reclaims > 0
+            || self.stale_releases > 0
+            || self.standby_serves > 0
+            || self.takeover_ns > 0
+    }
+}
+
 /// Composition of the virtual-time critical path, from the trace-derived
 /// backward walk ([`samhita_trace::critical_path`]). The eight classes sum
 /// to `makespan_ns` exactly.
@@ -304,6 +353,8 @@ pub struct BenchReport {
     pub breakdown: BreakdownSummary,
     /// Manager / memory-server queue pressure.
     pub queue: QueueSummary,
+    /// Manager crash-recovery activity; all-quiet on fault-free runs.
+    pub recovery: RecoverySummary,
     /// Critical-path composition; present when the run recorded a trace.
     pub critical_path: Option<CritPathSummary>,
     /// Top pages by coherence churn, with allocation sites.
@@ -378,6 +429,7 @@ impl BenchReport {
             traffic: TrafficSummary::of(report),
             breakdown: BreakdownSummary::of(report),
             queue: QueueSummary::of(report),
+            recovery: RecoverySummary::of(report),
             critical_path: critical,
             hotspots,
         }
@@ -476,6 +528,18 @@ impl BenchReport {
             q.mgr_requests,
             q.server_queue_wait_ns,
             q.server_peak_queue_depth
+        ));
+        let r = &self.recovery;
+        out.push_str(&format!(
+            "\"recovery\":{{\"mgr_failovers\":{},\"log_records_shipped\":{},\
+             \"lease_reclaims\":{},\"stale_releases\":{},\"standby_serves\":{},\
+             \"takeover_ns\":{}}},",
+            r.mgr_failovers,
+            r.log_records_shipped,
+            r.lease_reclaims,
+            r.stale_releases,
+            r.standby_serves,
+            r.takeover_ns
         ));
         match &self.critical_path {
             None => out.push_str("\"critical_path\":null,"),
@@ -594,6 +658,17 @@ impl BenchReport {
                 server_peak_queue_depth: req_u64(q, "server_peak_queue_depth")?,
             }
         };
+        let recovery = {
+            let r = v.get("recovery").ok_or("missing recovery section")?;
+            RecoverySummary {
+                mgr_failovers: req_u64(r, "mgr_failovers")?,
+                log_records_shipped: req_u64(r, "log_records_shipped")?,
+                lease_reclaims: req_u64(r, "lease_reclaims")?,
+                stale_releases: req_u64(r, "stale_releases")?,
+                standby_serves: req_u64(r, "standby_serves")?,
+                takeover_ns: req_u64(r, "takeover_ns")?,
+            }
+        };
         let critical_path = match v.get("critical_path") {
             None | Some(JsonValue::Null) => None,
             Some(c) => Some(CritPathSummary {
@@ -650,6 +725,7 @@ impl BenchReport {
             traffic,
             breakdown,
             queue,
+            recovery,
             critical_path,
             hotspots,
         })
@@ -811,6 +887,29 @@ pub fn compare(base: &BenchReport, fresh: &BenchReport, tolerance: f64) -> Compa
         "{:>10}  mgr peak queue{:>14} -> {:>14}",
         fresh.kernel, base.queue.mgr_peak_queue_depth, fresh.queue.mgr_peak_queue_depth
     ));
+
+    // Recovery gate: benchmark baselines are fault-free, so the crash-
+    // recovery machinery must never fire during a gated run. A spurious
+    // failover means the probe/retry path misfired — it would silently
+    // perturb every number above, so it is a hard failure, not a tolerance.
+    cmp.lines.push(format!(
+        "{:>10}  mgr failovers {:>14} -> {:>14}",
+        fresh.kernel, base.recovery.mgr_failovers, fresh.recovery.mgr_failovers
+    ));
+    if !base.recovery.took_over() && fresh.recovery.took_over() {
+        let r = &fresh.recovery;
+        cmp.regressions.push(format!(
+            "{}: recovery machinery fired on a fault-free run ({} failovers, {} lease \
+             reclaims, {} stale releases, {} standby serves, takeover at {} ns) — the \
+             failover path must stay quiet without an injected manager crash",
+            fresh.kernel,
+            r.mgr_failovers,
+            r.lease_reclaims,
+            r.stale_releases,
+            r.standby_serves,
+            r.takeover_ns
+        ));
+    }
     cmp
 }
 
@@ -878,6 +977,7 @@ mod tests {
                 server_queue_wait_ns: 12_000,
                 server_peak_queue_depth: 3,
             },
+            recovery: RecoverySummary { log_records_shipped: 320, ..RecoverySummary::default() },
             critical_path: Some(CritPathSummary {
                 makespan_ns: 1_000_000,
                 compute_ns: 600_000,
@@ -923,7 +1023,35 @@ mod tests {
         let r = sample();
         let cmp = compare(&r, &r, 0.05);
         assert!(cmp.passed(), "self-comparison regressed: {:?}", cmp.regressions);
-        assert_eq!(cmp.lines.len(), 8);
+        assert_eq!(cmp.lines.len(), 9);
+    }
+
+    #[test]
+    fn recovery_activity_on_a_fault_free_run_fails_the_gate() {
+        let base = sample();
+        // A passively mirroring standby (log shipping only) is fine.
+        let mut quiet = base.clone();
+        quiet.recovery.log_records_shipped = 9_999;
+        assert!(compare(&base, &quiet, 0.05).passed());
+        // Any takeover-side activity is a hard failure regardless of
+        // tolerance: the baseline run never crashed its manager.
+        for bump in [
+            |r: &mut RecoverySummary| r.mgr_failovers = 1,
+            |r: &mut RecoverySummary| r.lease_reclaims = 1,
+            |r: &mut RecoverySummary| r.stale_releases = 1,
+            |r: &mut RecoverySummary| r.standby_serves = 1,
+            |r: &mut RecoverySummary| r.takeover_ns = 60_000,
+        ] {
+            let mut fresh = base.clone();
+            bump(&mut fresh.recovery);
+            let cmp = compare(&base, &fresh, 0.5);
+            assert!(!cmp.passed(), "takeover activity must fail: {fresh:?}");
+            assert!(
+                cmp.regressions.iter().any(|r| r.contains("recovery machinery")),
+                "{:?}",
+                cmp.regressions
+            );
+        }
     }
 
     #[test]

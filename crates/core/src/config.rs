@@ -167,6 +167,11 @@ pub struct FaultConfig {
     /// on every message to or from it is lost and clients must fail over
     /// to the replica (requires `replica_offset > 0`).
     pub crash: Option<(u32, u64)>,
+    /// Crash the manager at a virtual instant: from then on every message
+    /// to or from the manager endpoint is lost and clients must fail over
+    /// to the hot standby (requires
+    /// [`SamhitaConfig::manager_standby`]).
+    pub mgr_crash: Option<u64>,
 }
 
 impl Default for FaultConfig {
@@ -179,6 +184,7 @@ impl Default for FaultConfig {
             delay_ns: 0,
             partitions: Vec::new(),
             crash: None,
+            mgr_crash: None,
         }
     }
 }
@@ -196,6 +202,7 @@ impl FaultConfig {
             || self.delay_p > 0.0
             || !self.partitions.is_empty()
             || self.crash.is_some()
+            || self.mgr_crash.is_some()
     }
 }
 
@@ -235,7 +242,9 @@ pub enum ConfigError {
     BadFaultProbabilities,
     CrashedServerOutOfRange,
     CrashWithoutReplica,
+    MgrCrashWithoutStandby,
     ZeroRetryAttempts,
+    ZeroLease,
 }
 
 impl fmt::Display for ConfigError {
@@ -268,7 +277,11 @@ impl fmt::Display for ConfigError {
             ConfigError::CrashWithoutReplica => {
                 "a server crash without a replica configured cannot be survived"
             }
+            ConfigError::MgrCrashWithoutStandby => {
+                "a manager crash without a hot standby configured cannot be survived"
+            }
             ConfigError::ZeroRetryAttempts => "retry policy needs at least one attempt",
+            ConfigError::ZeroLease => "lock leases need a positive expiry",
         };
         f.write_str(msg)
     }
@@ -333,6 +346,22 @@ pub struct SamhitaConfig {
     /// to that replica when the primary stops responding. `0` disables
     /// replication (the paper's baseline).
     pub replica_offset: u32,
+    /// Provision a hot-standby manager on another node: the primary ships
+    /// every state-machine log record to it (write-ahead, batched), lock
+    /// releases become acknowledged RPCs so no release can vanish in a
+    /// crash window, and clients whose retries exhaust against the primary
+    /// fail over to the standby. `false` (the default) compiles the
+    /// recovery machinery out of the message flow entirely, keeping the
+    /// baseline virtual timeline byte-identical.
+    pub manager_standby: bool,
+    /// Lock-lease length in virtual nanoseconds: a grant made at `t`
+    /// expires at `t + mgr_lease_ns`, after which a *standby* that has
+    /// taken over may reclaim the lock from a holder that never released
+    /// (its release died with the primary). Reclamation happens in virtual
+    /// time, so recovery stays bit-deterministic. The generous default
+    /// means ordinary failovers never reclaim — holders retry their
+    /// release against the standby first.
+    pub mgr_lease_ns: u64,
     /// Thread interleaving model. The default is [`RuntimeKind::Det`]: P>1
     /// runs are bit-reproducible and everything (chaos suite, invariant
     /// checker, bench gates) gates at multi-core.
@@ -370,6 +399,8 @@ impl Default for SamhitaConfig {
             faults: FaultConfig::default(),
             retry: RetryConfig::default(),
             replica_offset: 0,
+            manager_standby: false,
+            mgr_lease_ns: 10_000_000,
             runtime: RuntimeKind::Det,
             sched_seed: 0,
         }
@@ -486,8 +517,14 @@ impl SamhitaConfig {
                 return Err(ConfigError::CrashWithoutReplica);
             }
         }
+        if f.mgr_crash.is_some() && !self.manager_standby {
+            return Err(ConfigError::MgrCrashWithoutStandby);
+        }
         if self.retry.max_attempts < 1 {
             return Err(ConfigError::ZeroRetryAttempts);
+        }
+        if self.manager_standby && self.mgr_lease_ns == 0 {
+            return Err(ConfigError::ZeroLease);
         }
         Ok(())
     }
@@ -586,6 +623,18 @@ mod tests {
         assert_eq!(c.validate().unwrap_err(), ConfigError::CrashWithoutReplica);
         c.replica_offset = 1;
         c.validate().expect("a crash with a replica configured is survivable");
+    }
+
+    #[test]
+    fn manager_crash_needs_a_standby() {
+        let mut c = SamhitaConfig::default();
+        c.faults.mgr_crash = Some(50_000);
+        assert_eq!(c.validate().unwrap_err(), ConfigError::MgrCrashWithoutStandby);
+        assert!(c.faults.is_active(), "a pending manager crash is an active fault schedule");
+        c.manager_standby = true;
+        c.validate().expect("a manager crash with a standby configured is survivable");
+        c.mgr_lease_ns = 0;
+        assert_eq!(c.validate().unwrap_err(), ConfigError::ZeroLease);
     }
 
     #[test]

@@ -173,6 +173,14 @@ impl Placement {
     pub fn compute_cores(&self) -> u32 {
         self.compute_nodes.iter().map(|&(_, c)| c).sum()
     }
+
+    /// Node hosting the hot-standby manager, when one is configured: the
+    /// last compute node, which on any multi-node topology is distinct from
+    /// the manager's node, so a manager-node crash cannot take the standby
+    /// down with it.
+    pub fn standby_node(&self) -> NodeId {
+        self.compute_nodes.last().map_or(self.manager, |&(n, _)| n)
+    }
 }
 
 #[cfg(test)]

@@ -10,6 +10,18 @@
 //! flush-carrying request (`Acquire`, `Release`, `BarrierWait`, `CondWait`,
 //! `Exit`) publishes an interval, and every blocking grant (`Granted`,
 //! `BarrierReleased`) returns the notices the recipient has not yet seen.
+//!
+//! Since PR 8 the engine is a **write-ahead-logged state machine**: every
+//! mutation first becomes a typed [`MgrLogRecord`] (via [`record`]) and is
+//! then folded through the single [`apply`] entry point, so the whole
+//! manager state is a pure fold over the log. The event loop ships the log
+//! to a hot-standby engine on another node, which folds the identical
+//! records through the identical function and is therefore a bit-identical
+//! replica — including its [`VirtualResource`] clock, so post-failover
+//! service times match what the primary would have produced.
+//!
+//! [`record`]: ManagerEngine::record
+//! [`apply`]: ManagerEngine::apply
 
 use std::collections::{HashMap, VecDeque};
 
@@ -20,7 +32,7 @@ use serde::{Deserialize, Serialize};
 use crate::config::SamhitaConfig;
 use crate::freelist::FreeListAlloc;
 use crate::layout::{AddressLayout, Region};
-use crate::msg::{MgrError, MgrRequest, MgrResponse};
+use crate::msg::{MgrError, MgrLogOp, MgrLogRecord, MgrRequest, MgrResponse};
 
 /// Size cap of the striped region (virtual space, not memory).
 const STRIPED_REGION_BYTES: u64 = 1 << 40;
@@ -40,6 +52,10 @@ struct LockState {
     queue: VecDeque<Waiter>,
     /// Virtual time of the last release (a grant can never precede it).
     free_at: SimTime,
+    /// When the current holder's lease expires. A standby that has taken
+    /// over may reclaim the lock past this instant; the primary never
+    /// reclaims (holders it granted to can always reach it to release).
+    leased_until: SimTime,
 }
 
 #[derive(Clone, Debug)]
@@ -100,6 +116,14 @@ pub struct ManagerStats {
     pub frees: u64,
     /// Write-notice intervals published.
     pub notices_published: u64,
+    /// Locks reclaimed from expired leases (standby takeover only).
+    pub lease_reclaims: u64,
+    /// Late releases from lease-reclaimed holders, absorbed without
+    /// mutating lock state (their write notices still publish).
+    pub stale_releases: u64,
+    /// Write-ahead log records shipped to the hot standby (0 when no
+    /// standby is configured; counted by the event loop).
+    pub log_records_shipped: u64,
     /// Virtual busy time of the manager's service resource.
     pub busy_ns: u64,
     /// Total virtual time requests queued before manager service began.
@@ -126,6 +150,20 @@ pub struct ManagerEngine {
     stats: ManagerStats,
     /// Service-completion time of the most recent request (for tracing).
     last_done: SimTime,
+    /// Sequence number of the last log record folded in. `apply` refuses
+    /// gaps, so two engines with equal `applied_seq` have equal state.
+    applied_seq: u64,
+    /// Lease length added to every grant instant.
+    lease: SimTime,
+    /// Acknowledge `Release` requests with an `Ok` (standby mode): a
+    /// release may then never vanish silently in a crash window.
+    ack_releases: bool,
+    /// Lock → holder it was lease-reclaimed from; the holder's eventual
+    /// late release is absorbed instead of treated as a protocol error.
+    reclaimed: HashMap<u32, u32>,
+    /// (lock, old holder) pairs reclaimed by the latest sweep, for the
+    /// event loop to trace. Drained by [`ManagerEngine::take_reclaims`].
+    reclaims: Vec<(u32, u32)>,
 }
 
 impl ManagerEngine {
@@ -149,6 +187,11 @@ impl ManagerEngine {
             resource: VirtualResource::new(),
             stats: ManagerStats::default(),
             last_done: SimTime::ZERO,
+            applied_seq: 0,
+            lease: SimTime::from_ns(cfg.mgr_lease_ns),
+            ack_releases: cfg.manager_standby,
+            reclaimed: HashMap::new(),
+            reclaims: Vec::new(),
         }
     }
 
@@ -159,8 +202,75 @@ impl ManagerEngine {
     }
 
     /// Process one request. `src` is the requester's endpoint, `arrival` the
-    /// virtual delivery time of the request at the manager.
+    /// virtual delivery time of the request at the manager. Equivalent to
+    /// [`record`](Self::record) followed by [`apply`](Self::apply).
     pub fn handle(
+        &mut self,
+        src: EndpointId,
+        tid: u32,
+        token: u64,
+        req: MgrRequest,
+        arrival: SimTime,
+    ) -> Vec<Outgoing> {
+        let rec = self.record(src, tid, token, req, arrival);
+        self.apply(rec)
+    }
+
+    /// Stamp a client request as the next write-ahead log record. Does not
+    /// mutate any state: the record only takes effect (and the sequence
+    /// number is only consumed) when it is folded in by
+    /// [`apply`](Self::apply).
+    pub fn record(
+        &self,
+        src: EndpointId,
+        tid: u32,
+        token: u64,
+        req: MgrRequest,
+        arrival: SimTime,
+    ) -> MgrLogRecord {
+        MgrLogRecord {
+            seq: self.applied_seq + 1,
+            op: MgrLogOp::Request { src, tid, token, req, arrival },
+        }
+    }
+
+    /// Stamp a lease-expiry sweep as the next write-ahead log record
+    /// (generated only by an active standby after takeover).
+    pub fn record_reclaim(&self, now: SimTime) -> MgrLogRecord {
+        MgrLogRecord { seq: self.applied_seq + 1, op: MgrLogOp::ReclaimExpired { now } }
+    }
+
+    /// Sequence number of the last record folded in.
+    pub fn applied_seq(&self) -> u64 {
+        self.applied_seq
+    }
+
+    /// Fold one log record into the state machine — the **only** mutation
+    /// entry point. Primary and standby both call this, with the identical
+    /// record stream, which is the whole replication argument: state is a
+    /// pure fold of `apply` over the log.
+    ///
+    /// # Panics
+    /// If `rec.seq` is not exactly `applied_seq() + 1` (a log gap would
+    /// silently fork the replica).
+    pub fn apply(&mut self, rec: MgrLogRecord) -> Vec<Outgoing> {
+        assert_eq!(
+            rec.seq,
+            self.applied_seq + 1,
+            "manager log gap: applying record {} after {}",
+            rec.seq,
+            self.applied_seq
+        );
+        self.applied_seq = rec.seq;
+        match rec.op {
+            MgrLogOp::Request { src, tid, token, req, arrival } => {
+                self.serve(src, tid, token, req, arrival)
+            }
+            MgrLogOp::ReclaimExpired { now } => self.reclaim_expired(now),
+        }
+    }
+
+    fn serve(
         &mut self,
         src: EndpointId,
         tid: u32,
@@ -234,11 +344,20 @@ impl ManagerEngine {
             MgrRequest::Acquire { lock, pages, updates, last_seen } => {
                 self.stats.acquires += 1;
                 self.publish(tid, pages, updates);
+                if !self.threads.contains_key(&tid) {
+                    let resp = MgrResponse::Err(MgrError::Unregistered { tid });
+                    return vec![Outgoing { dst: src, token, at: done, resp }];
+                }
                 let waiter = Waiter { tid, token, ready: done, last_seen };
-                let state = self.locks.get_mut(lock as usize).expect("unknown lock id");
+                let lease = self.lease;
+                let Some(state) = self.locks.get_mut(lock as usize) else {
+                    let resp = MgrResponse::Err(MgrError::UnknownLock { lock });
+                    return vec![Outgoing { dst: src, token, at: done, resp }];
+                };
                 if state.holder.is_none() {
                     state.holder = Some(tid);
                     let at = done.max(state.free_at);
+                    state.leased_until = at + lease;
                     vec![self.grant(waiter, at)]
                 } else {
                     state.queue.push_back(waiter);
@@ -248,12 +367,27 @@ impl ManagerEngine {
             MgrRequest::Release { lock, pages, updates, last_seen: _ } => {
                 self.stats.releases += 1;
                 self.publish(tid, pages, updates);
-                self.release_lock(lock, tid, done)
+                let mut out = self.release_lock(lock, tid, done, src, token);
+                // In standby mode, releases are acknowledged so the client
+                // can retry (and fail over) one that vanished in a crash
+                // window. Skip the ack when the release itself already
+                // produced a response for the releaser.
+                if self.ack_releases && !out.iter().any(|o| o.dst == src && o.token == token) {
+                    out.push(Outgoing { dst: src, token, at: done, resp: MgrResponse::Ok });
+                }
+                out
             }
             MgrRequest::BarrierWait { barrier, pages, updates, last_seen } => {
                 self.stats.barrier_waits += 1;
                 self.publish(tid, pages, updates);
-                let state = self.barriers.get_mut(barrier as usize).expect("unknown barrier id");
+                if !self.threads.contains_key(&tid) {
+                    let resp = MgrResponse::Err(MgrError::Unregistered { tid });
+                    return vec![Outgoing { dst: src, token, at: done, resp }];
+                }
+                let Some(state) = self.barriers.get_mut(barrier as usize) else {
+                    let resp = MgrResponse::Err(MgrError::UnknownBarrier { barrier });
+                    return vec![Outgoing { dst: src, token, at: done, resp }];
+                };
                 state.waiting.push(Waiter { tid, token, ready: done, last_seen });
                 if state.waiting.len() as u32 == state.parties {
                     self.stats.barrier_releases += 1;
@@ -282,23 +416,39 @@ impl ManagerEngine {
             MgrRequest::CondWait { cond, lock, pages, updates, last_seen } => {
                 self.stats.cond_waits += 1;
                 self.publish(tid, pages, updates);
+                if !self.threads.contains_key(&tid) {
+                    let resp = MgrResponse::Err(MgrError::Unregistered { tid });
+                    return vec![Outgoing { dst: src, token, at: done, resp }];
+                }
+                if self.locks.get(lock as usize).is_none() {
+                    let resp = MgrResponse::Err(MgrError::UnknownLock { lock });
+                    return vec![Outgoing { dst: src, token, at: done, resp }];
+                }
                 let waiter = Waiter { tid, token, ready: done, last_seen };
-                self.conds
-                    .get_mut(cond as usize)
-                    .expect("unknown cond id")
-                    .waiters
-                    .push_back((waiter, lock));
+                let Some(state) = self.conds.get_mut(cond as usize) else {
+                    let resp = MgrResponse::Err(MgrError::UnknownCond { cond });
+                    return vec![Outgoing { dst: src, token, at: done, resp }];
+                };
+                state.waiters.push_back((waiter, lock));
                 // Atomically release the lock the caller held.
-                self.release_lock(lock, tid, done)
+                self.release_lock(lock, tid, done, src, token)
             }
             MgrRequest::CondSignal { cond } => {
                 self.stats.cond_signals += 1;
+                if self.conds.get(cond as usize).is_none() {
+                    let resp = MgrResponse::Err(MgrError::UnknownCond { cond });
+                    return vec![Outgoing { dst: src, token, at: done, resp }];
+                }
                 let mut out = self.wake_waiters(cond, done, 1);
                 out.push(Outgoing { dst: src, token, at: done, resp: MgrResponse::Ok });
                 out
             }
             MgrRequest::CondBroadcast { cond } => {
                 self.stats.cond_signals += 1;
+                if self.conds.get(cond as usize).is_none() {
+                    let resp = MgrResponse::Err(MgrError::UnknownCond { cond });
+                    return vec![Outgoing { dst: src, token, at: done, resp }];
+                }
                 let mut out = self.wake_waiters(cond, done, usize::MAX);
                 out.push(Outgoing { dst: src, token, at: done, resp: MgrResponse::Ok });
                 out
@@ -356,15 +506,39 @@ impl ManagerEngine {
     }
 
     /// Release `lock` held by `tid` at time `done`, granting to the next
-    /// queued waiter if any.
-    fn release_lock(&mut self, lock: u32, tid: u32, done: SimTime) -> Vec<Outgoing> {
-        let state = self.locks.get_mut(lock as usize).expect("unknown lock id");
-        assert_eq!(state.holder, Some(tid), "release of a lock not held by thread {tid}");
+    /// queued waiter if any. A release of a lock `tid` does not hold is a
+    /// typed error back to `src` — except when the lock was lease-reclaimed
+    /// from `tid`, in which case the late release is absorbed (its write
+    /// notices, published by the caller, stand).
+    fn release_lock(
+        &mut self,
+        lock: u32,
+        tid: u32,
+        done: SimTime,
+        src: EndpointId,
+        token: u64,
+    ) -> Vec<Outgoing> {
+        let lease = self.lease;
+        let Some(state) = self.locks.get_mut(lock as usize) else {
+            let resp = MgrResponse::Err(MgrError::UnknownLock { lock });
+            return vec![Outgoing { dst: src, token, at: done, resp }];
+        };
+        if state.holder != Some(tid) {
+            if self.reclaimed.get(&lock) == Some(&tid) {
+                self.reclaimed.remove(&lock);
+                self.stats.stale_releases += 1;
+                return Vec::new();
+            }
+            let resp = MgrResponse::Err(MgrError::NotHolder { lock, tid });
+            return vec![Outgoing { dst: src, token, at: done, resp }];
+        }
+        let state = self.locks.get_mut(lock as usize).expect("checked above");
         state.holder = None;
         state.free_at = done;
         if let Some(next) = state.queue.pop_front() {
             state.holder = Some(next.tid);
             let at = done.max(next.ready);
+            state.leased_until = at + lease;
             vec![self.grant(next, at)]
         } else {
             Vec::new()
@@ -372,26 +546,78 @@ impl ManagerEngine {
     }
 
     /// Move up to `n` condvar waiters onto their lock queues (or grant
-    /// directly when the lock is free).
+    /// directly when the lock is free). The caller has validated `cond`;
+    /// queued locks were validated when the waiter enqueued.
     fn wake_waiters(&mut self, cond: u32, now: SimTime, n: usize) -> Vec<Outgoing> {
+        let lease = self.lease;
         let mut out = Vec::new();
         for _ in 0..n {
-            let Some((mut waiter, lock)) =
-                self.conds.get_mut(cond as usize).expect("unknown cond id").waiters.pop_front()
+            let Some((mut waiter, lock)) = self
+                .conds
+                .get_mut(cond as usize)
+                .expect("caller validated cond")
+                .waiters
+                .pop_front()
             else {
                 break;
             };
             waiter.ready = waiter.ready.max(now);
-            let state = self.locks.get_mut(lock as usize).expect("unknown lock id");
+            let state = self.locks.get_mut(lock as usize).expect("validated at CondWait");
             if state.holder.is_none() {
                 state.holder = Some(waiter.tid);
                 let at = waiter.ready.max(state.free_at);
+                state.leased_until = at + lease;
                 out.push(self.grant(waiter, at));
             } else {
                 state.queue.push_back(waiter);
             }
         }
         out
+    }
+
+    /// Reclaim every lock whose lease expired before `now` (the
+    /// [`MgrLogOp::ReclaimExpired`] fold step): the holder is deposed, its
+    /// eventual late release will be absorbed, and the next queued waiter
+    /// (if any) is granted at `now`.
+    fn reclaim_expired(&mut self, now: SimTime) -> Vec<Outgoing> {
+        let lease = self.lease;
+        let mut out = Vec::new();
+        for lock in 0..self.locks.len() as u32 {
+            let state = &mut self.locks[lock as usize];
+            let Some(holder) = state.holder else { continue };
+            if state.leased_until > now {
+                continue;
+            }
+            state.holder = None;
+            state.free_at = state.free_at.max(state.leased_until);
+            let granted = if let Some(next) = state.queue.pop_front() {
+                state.holder = Some(next.tid);
+                let at = now.max(next.ready).max(state.free_at);
+                state.leased_until = at + lease;
+                Some((next, at))
+            } else {
+                None
+            };
+            self.stats.lease_reclaims += 1;
+            self.reclaimed.insert(lock, holder);
+            self.reclaims.push((lock, holder));
+            if let Some((next, at)) = granted {
+                out.push(self.grant(next, at));
+            }
+        }
+        out
+    }
+
+    /// Earliest lease expiry among currently held locks — the virtual
+    /// deadline an active standby sleeps until between requests.
+    pub fn next_lease_expiry(&self) -> Option<SimTime> {
+        self.locks.iter().filter(|s| s.holder.is_some()).map(|s| s.leased_until).min()
+    }
+
+    /// Drain the (lock, deposed holder) pairs reclaimed since the last
+    /// drain, for `LeaseReclaim` trace emission.
+    pub fn take_reclaims(&mut self) -> Vec<(u32, u32)> {
+        std::mem::take(&mut self.reclaims)
     }
 
     /// Activity counters.
@@ -516,8 +742,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not held by thread")]
-    fn foreign_release_panics() {
+    fn foreign_release_reports_a_typed_error() {
         let mut e = engine();
         let l = lock_id(&mut e);
         e.handle(
@@ -527,13 +752,241 @@ mod tests {
             MgrRequest::Acquire { lock: l, pages: vec![], updates: vec![], last_seen: 0 },
             SimTime::ZERO,
         );
-        e.handle(
+        let out = e.handle(
             EP1,
             T1,
             4,
             MgrRequest::Release { lock: l, pages: vec![], updates: vec![], last_seen: 0 },
             SimTime::ZERO,
         );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].dst, EP1);
+        assert!(
+            matches!(out[0].resp, MgrResponse::Err(MgrError::NotHolder { lock: 0, tid: 1 })),
+            "unexpected {:?}",
+            out[0].resp
+        );
+        // The rightful holder is undisturbed and can still release.
+        let out = e.handle(
+            EP0,
+            T0,
+            5,
+            MgrRequest::Release { lock: l, pages: vec![], updates: vec![], last_seen: 0 },
+            SimTime::ZERO,
+        );
+        assert!(out.is_empty(), "uncontended release sends nothing without ack mode");
+    }
+
+    #[test]
+    fn unknown_sync_ids_report_typed_errors() {
+        let mut e = engine();
+        let cases: Vec<(MgrRequest, MgrError)> = vec![
+            (
+                MgrRequest::Acquire { lock: 9, pages: vec![], updates: vec![], last_seen: 0 },
+                MgrError::UnknownLock { lock: 9 },
+            ),
+            (
+                MgrRequest::Release { lock: 9, pages: vec![], updates: vec![], last_seen: 0 },
+                MgrError::UnknownLock { lock: 9 },
+            ),
+            (
+                MgrRequest::BarrierWait {
+                    barrier: 7,
+                    pages: vec![],
+                    updates: vec![],
+                    last_seen: 0,
+                },
+                MgrError::UnknownBarrier { barrier: 7 },
+            ),
+            (
+                MgrRequest::CondWait {
+                    cond: 5,
+                    lock: 9,
+                    pages: vec![],
+                    updates: vec![],
+                    last_seen: 0,
+                },
+                MgrError::UnknownLock { lock: 9 },
+            ),
+            (MgrRequest::CondSignal { cond: 5 }, MgrError::UnknownCond { cond: 5 }),
+            (MgrRequest::CondBroadcast { cond: 5 }, MgrError::UnknownCond { cond: 5 }),
+        ];
+        for (i, (req, want)) in cases.into_iter().enumerate() {
+            let out = e.handle(EP0, T0, 10 + i as u64, req, SimTime::ZERO);
+            assert_eq!(out.len(), 1);
+            match &out[0].resp {
+                MgrResponse::Err(got) => assert_eq!(*got, want),
+                other => panic!("case {i}: unexpected {other:?}"),
+            }
+        }
+        // An unregistered thread gets a typed error instead of a panic.
+        let out = e.handle(
+            EndpointId(77),
+            42,
+            99,
+            MgrRequest::Acquire { lock: 0, pages: vec![], updates: vec![], last_seen: 0 },
+            SimTime::ZERO,
+        );
+        assert!(matches!(out[0].resp, MgrResponse::Err(MgrError::Unregistered { tid: 42 })));
+    }
+
+    /// Folding the identical record stream through `apply` on a second
+    /// engine reproduces the primary bit-for-bit — the replication
+    /// argument for the hot standby.
+    #[test]
+    fn log_replay_reproduces_state_and_responses() {
+        let cfg = SamhitaConfig::small_for_tests();
+        let mut primary = ManagerEngine::new(&cfg);
+        let mut standby = ManagerEngine::new(&cfg);
+        let script: Vec<(EndpointId, u32, u64, MgrRequest)> = vec![
+            (EP0, T0, 1, MgrRequest::Register { observer: false }),
+            (EP1, T1, 1, MgrRequest::Register { observer: false }),
+            (EP0, T0, 2, MgrRequest::CreateLock),
+            (EP0, T0, 3, MgrRequest::AllocShared { size: 4096, align: 8 }),
+            (
+                EP0,
+                T0,
+                4,
+                MgrRequest::Acquire { lock: 0, pages: vec![], updates: vec![], last_seen: 0 },
+            ),
+            (
+                EP1,
+                T1,
+                5,
+                MgrRequest::Acquire { lock: 0, pages: vec![], updates: vec![], last_seen: 0 },
+            ),
+            (
+                EP0,
+                T0,
+                6,
+                MgrRequest::Release { lock: 0, pages: vec![3], updates: vec![], last_seen: 0 },
+            ),
+        ];
+        for (i, (src, tid, token, req)) in script.into_iter().enumerate() {
+            let arrival = SimTime::from_ns(100 * i as u64);
+            let rec = primary.record(src, tid, token, req, arrival);
+            let shipped = rec.clone();
+            let a = primary.apply(rec);
+            let b = standby.apply(shipped);
+            assert_eq!(a.len(), b.len(), "record {i}: diverging fan-out");
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.dst, y.dst);
+                assert_eq!(x.token, y.token);
+                assert_eq!(x.at, y.at, "record {i}: service times diverge");
+                assert_eq!(format!("{:?}", x.resp), format!("{:?}", y.resp));
+            }
+        }
+        assert_eq!(primary.applied_seq(), standby.applied_seq());
+        assert_eq!(primary.notice_watermark(), standby.notice_watermark());
+        assert_eq!(primary.last_done(), standby.last_done());
+        assert_eq!(primary.stats(), standby.stats());
+    }
+
+    #[test]
+    #[should_panic(expected = "manager log gap")]
+    fn apply_refuses_log_gaps() {
+        let cfg = SamhitaConfig::small_for_tests();
+        let mut e = ManagerEngine::new(&cfg);
+        let rec = e.record(EP0, T0, 1, MgrRequest::Register { observer: false }, SimTime::ZERO);
+        let skipped = MgrLogRecord { seq: rec.seq + 1, op: rec.op };
+        e.apply(skipped);
+    }
+
+    fn leased_engine() -> ManagerEngine {
+        let cfg = SamhitaConfig {
+            manager_standby: true,
+            mgr_lease_ns: 1_000, // 1 µs leases so expiry is easy to reach
+            ..SamhitaConfig::small_for_tests()
+        };
+        let mut e = ManagerEngine::new(&cfg);
+        e.handle(EP0, T0, 1, MgrRequest::Register { observer: false }, SimTime::ZERO);
+        e.handle(EP1, T1, 1, MgrRequest::Register { observer: false }, SimTime::ZERO);
+        e.handle(EP0, T0, 2, MgrRequest::CreateLock, SimTime::ZERO);
+        e
+    }
+
+    #[test]
+    fn expired_leases_are_reclaimed_and_waiters_granted() {
+        let mut e = leased_engine();
+        let out = e.handle(
+            EP0,
+            T0,
+            3,
+            MgrRequest::Acquire { lock: 0, pages: vec![], updates: vec![], last_seen: 0 },
+            SimTime::ZERO,
+        );
+        let granted_at = out[0].at;
+        e.handle(
+            EP1,
+            T1,
+            4,
+            MgrRequest::Acquire { lock: 0, pages: vec![], updates: vec![], last_seen: 0 },
+            SimTime::from_ns(100),
+        );
+        let expiry = e.next_lease_expiry().expect("a held lock has a lease");
+        assert_eq!(expiry, granted_at + SimTime::from_ns(1_000));
+        // Before expiry a sweep reclaims nothing.
+        let rec = e.record_reclaim(SimTime::from_ns(1));
+        assert!(e.apply(rec).is_empty());
+        assert!(e.take_reclaims().is_empty());
+        // After expiry the sweep deposes T0 and grants the queued T1.
+        let sweep_at = expiry + SimTime::from_ns(1);
+        let rec = e.record_reclaim(sweep_at);
+        let out = e.apply(rec);
+        assert_eq!(e.take_reclaims(), vec![(0, T0)]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].dst, EP1);
+        assert!(matches!(out[0].resp, MgrResponse::Granted { .. }));
+        assert!(out[0].at >= sweep_at);
+        assert_eq!(e.stats().lease_reclaims, 1);
+        // The deposed holder's late release is absorbed: no error, its
+        // notices still publish, and the new holder keeps the lock.
+        let out = e.handle(
+            EP0,
+            T0,
+            5,
+            MgrRequest::Release { lock: 0, pages: vec![9], updates: vec![], last_seen: 0 },
+            sweep_at + SimTime::from_ns(50),
+        );
+        assert_eq!(out.len(), 1, "standby mode still acks the stale release");
+        assert_eq!(out[0].dst, EP0);
+        assert!(matches!(out[0].resp, MgrResponse::Ok));
+        let s = e.stats();
+        assert_eq!(s.stale_releases, 1);
+        assert_eq!(s.notices_published, 1, "the stale release's flush still published");
+        // T1 still holds: its own release must succeed.
+        let out = e.handle(
+            EP1,
+            T1,
+            6,
+            MgrRequest::Release { lock: 0, pages: vec![], updates: vec![], last_seen: 0 },
+            sweep_at + SimTime::from_ns(100),
+        );
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0].resp, MgrResponse::Ok), "ack mode acknowledges releases");
+    }
+
+    #[test]
+    fn releases_are_acknowledged_in_standby_mode() {
+        let mut e = leased_engine();
+        e.handle(
+            EP0,
+            T0,
+            3,
+            MgrRequest::Acquire { lock: 0, pages: vec![], updates: vec![], last_seen: 0 },
+            SimTime::ZERO,
+        );
+        let out = e.handle(
+            EP0,
+            T0,
+            4,
+            MgrRequest::Release { lock: 0, pages: vec![], updates: vec![], last_seen: 0 },
+            SimTime::from_ns(500),
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].dst, EP0);
+        assert_eq!(out[0].token, 4);
+        assert!(matches!(out[0].resp, MgrResponse::Ok));
     }
 
     #[test]

@@ -10,6 +10,7 @@ use std::fmt;
 
 use samhita_mem::{MemRequest, MemResponse};
 use samhita_regc::{FineUpdate, WriteNotice};
+use samhita_scl::{EndpointId, SimTime};
 
 use crate::layout::Region;
 
@@ -28,8 +29,67 @@ pub enum Msg {
     MgrReq { token: u64, tid: u32, req: MgrRequest },
     /// Manager → compute thread (or host control client).
     MgrResp { token: u64, resp: MgrResponse },
+    /// Primary manager → hot standby: the unacknowledged suffix of the
+    /// write-ahead log. Shipped after each serve; a batch always restarts
+    /// at the first unacknowledged record, so a lost batch is repaired by
+    /// the next one and the standby deduplicates by sequence number.
+    MgrLog { records: Vec<MgrLogRecord> },
+    /// Hot standby → primary manager: all records with `seq <= upto` have
+    /// been applied and need not be shipped again.
+    MgrLogAck { upto: u64 },
     /// System teardown.
     Shutdown,
+}
+
+/// One mutation of the manager state machine. Manager state is a pure fold
+/// of [`ManagerEngine::apply`](crate::manager::ManagerEngine) over the
+/// sequence of these records, which is what makes the hot standby's replica
+/// bit-identical: it folds the same records through the same function.
+#[derive(Clone, Debug)]
+pub struct MgrLogRecord {
+    /// Position in the log (1-based, dense). `apply` refuses gaps.
+    pub seq: u64,
+    /// The mutation itself.
+    pub op: MgrLogOp,
+}
+
+/// The mutation payload of a [`MgrLogRecord`].
+#[derive(Clone, Debug)]
+pub enum MgrLogOp {
+    /// A client request served by the manager: the full request tuple,
+    /// including its virtual arrival time, so replay reproduces service
+    /// timing exactly.
+    Request {
+        /// Requester's endpoint (where responses go).
+        src: EndpointId,
+        /// Requesting thread.
+        tid: u32,
+        /// Idempotency token of the request.
+        token: u64,
+        /// The request.
+        req: MgrRequest,
+        /// Virtual delivery time at the manager.
+        arrival: SimTime,
+    },
+    /// A standby-side lease sweep at virtual time `now`: every lock whose
+    /// lease expired before `now` is reclaimed from its holder and handed
+    /// to the next queued waiter. Only an *active* (post-takeover) standby
+    /// generates these.
+    ReclaimExpired {
+        /// Virtual time of the sweep.
+        now: SimTime,
+    },
+}
+
+impl MgrLogRecord {
+    /// Approximate wire payload for the cost model: a 16-byte record
+    /// header (seq + op discriminant) plus the embedded request.
+    pub fn wire_bytes(&self) -> usize {
+        16 + match &self.op {
+            MgrLogOp::Request { req, .. } => 16 + req.wire_bytes(),
+            MgrLogOp::ReclaimExpired { .. } => 8,
+        }
+    }
 }
 
 /// Requests the manager services: allocation, synchronization, membership.
@@ -117,6 +177,35 @@ pub enum MgrError {
         /// The address-space region `addr` falls in.
         region: Region,
     },
+    /// A request named a lock id that was never created.
+    UnknownLock {
+        /// The offending lock id.
+        lock: u32,
+    },
+    /// A request named a barrier id that was never created.
+    UnknownBarrier {
+        /// The offending barrier id.
+        barrier: u32,
+    },
+    /// A request named a condition variable that was never created.
+    UnknownCond {
+        /// The offending condition-variable id.
+        cond: u32,
+    },
+    /// A release of a lock the releasing thread does not hold (and that
+    /// was not lease-reclaimed from it — a reclaimed holder's late release
+    /// is absorbed silently).
+    NotHolder {
+        /// The lock id.
+        lock: u32,
+        /// The releasing thread.
+        tid: u32,
+    },
+    /// A request from a thread the manager has no registration for.
+    Unregistered {
+        /// The unknown thread.
+        tid: u32,
+    },
 }
 
 impl fmt::Display for MgrError {
@@ -131,6 +220,13 @@ impl fmt::Display for MgrError {
             MgrError::BadFree { addr, region } => {
                 write!(f, "free of {addr:#x} in {region:?}: not a live manager allocation")
             }
+            MgrError::UnknownLock { lock } => write!(f, "unknown lock id {lock}"),
+            MgrError::UnknownBarrier { barrier } => write!(f, "unknown barrier id {barrier}"),
+            MgrError::UnknownCond { cond } => write!(f, "unknown condition variable id {cond}"),
+            MgrError::NotHolder { lock, tid } => {
+                write!(f, "release of lock {lock} not held by thread {tid}")
+            }
+            MgrError::Unregistered { tid } => write!(f, "thread {tid} is not registered"),
         }
     }
 }
@@ -205,6 +301,10 @@ impl Msg {
             Msg::MemResp { resp, .. } => resp.wire_bytes(),
             Msg::MgrReq { req, .. } => req.wire_bytes(),
             Msg::MgrResp { resp, .. } => resp.wire_bytes(),
+            Msg::MgrLog { records } => {
+                16 + records.iter().map(MgrLogRecord::wire_bytes).sum::<usize>()
+            }
+            Msg::MgrLogAck { .. } => 16,
             Msg::Shutdown => 8,
         }
     }
@@ -245,6 +345,43 @@ mod tests {
         );
         let bad = MgrError::BadFree { addr: 0x1000, region: Region::Reserved };
         assert_eq!(bad.to_string(), "free of 0x1000 in Reserved: not a live manager allocation");
+    }
+
+    #[test]
+    fn log_records_charge_for_embedded_requests() {
+        let req =
+            MgrRequest::Acquire { lock: 0, pages: vec![0; 10], updates: vec![], last_seen: 0 };
+        let req_wire = req.wire_bytes();
+        let rec = MgrLogRecord {
+            seq: 1,
+            op: MgrLogOp::Request {
+                src: EndpointId(3),
+                tid: 0,
+                token: 7,
+                req,
+                arrival: SimTime::ZERO,
+            },
+        };
+        assert_eq!(rec.wire_bytes(), 32 + req_wire);
+        let sweep = MgrLogRecord { seq: 2, op: MgrLogOp::ReclaimExpired { now: SimTime::ZERO } };
+        assert_eq!(sweep.wire_bytes(), 24);
+        let batch_wire = Msg::MgrLog { records: vec![rec, sweep] }.wire_bytes();
+        assert_eq!(batch_wire, 16 + 32 + req_wire + 24);
+        assert_eq!(Msg::MgrLogAck { upto: 9 }.wire_bytes(), 16);
+    }
+
+    #[test]
+    fn new_mgr_errors_are_fixed_size_with_full_diagnostics() {
+        for (e, text) in [
+            (MgrError::UnknownLock { lock: 3 }, "unknown lock id 3"),
+            (MgrError::UnknownBarrier { barrier: 4 }, "unknown barrier id 4"),
+            (MgrError::UnknownCond { cond: 5 }, "unknown condition variable id 5"),
+            (MgrError::NotHolder { lock: 1, tid: 2 }, "release of lock 1 not held by thread 2"),
+            (MgrError::Unregistered { tid: 9 }, "thread 9 is not registered"),
+        ] {
+            assert_eq!(MgrResponse::Err(e).wire_bytes(), 16);
+            assert_eq!(e.to_string(), text);
+        }
     }
 
     #[test]

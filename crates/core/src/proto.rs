@@ -53,6 +53,21 @@ struct PendingAck {
 pub struct Channel {
     ep: Endpoint<Msg>,
     mgr_ep: EndpointId,
+    /// The hot-standby manager, when one is configured. Retry exhaustion
+    /// against the primary re-homes all manager traffic here instead of
+    /// panicking.
+    standby_ep: Option<EndpointId>,
+    /// Grant-liveness probe period (virtual ns), armed only with a standby
+    /// under the deterministic runtime. A *deferred* request (queued
+    /// acquire, barrier arrival, condition wait) is answered much later
+    /// than it is served, so a crash can destroy the only record of it:
+    /// the request reached the primary, but the log ship of its serve died
+    /// with the crash, and no response will ever come. A blocked client
+    /// therefore re-sends its (idempotent, same-token) request every probe
+    /// period: a live manager's replay cache ignores the duplicate, while
+    /// a dead one lets the resend escalate through the normal
+    /// retry/failover path and teach the standby about the queued request.
+    probe_ns: Option<u64>,
     mem_eps: Vec<EndpointId>,
     tid: u32,
     /// Per-send fixed cost, ns (from the configured cost model).
@@ -69,6 +84,9 @@ pub struct Channel {
     /// Memory servers this channel has given up on (sticky: once a server
     /// is declared dead, all its traffic is re-homed to the replica).
     failed_servers: HashSet<u32>,
+    /// Whether this channel has given up on the primary manager (sticky,
+    /// like `failed_servers`): all manager traffic goes to the standby.
+    mgr_failed: bool,
     outstanding_acks: HashMap<u64, PendingAck>,
     ack_horizon: SimTime,
     prefetch_tokens: HashMap<u64, u64>,   // token -> line
@@ -80,6 +98,7 @@ pub struct Channel {
 
     retries: u64,
     failovers: u64,
+    mgr_failovers: u64,
     /// Event ring for this channel's thread track; `None` when tracing is
     /// off. Strictly observational — never read back, never advances the
     /// clock.
@@ -93,6 +112,8 @@ impl Channel {
         tid: u32,
         ep: Endpoint<Msg>,
         mgr_ep: EndpointId,
+        standby_ep: Option<EndpointId>,
+        probe_ns: Option<u64>,
         mem_eps: Vec<EndpointId>,
         send_ns: f64,
         replica_offset: u32,
@@ -102,6 +123,8 @@ impl Channel {
         Channel {
             ep,
             mgr_ep,
+            standby_ep,
+            probe_ns,
             mem_eps,
             tid,
             send_ns,
@@ -112,6 +135,7 @@ impl Channel {
             next_token: 1,
             retry,
             failed_servers: HashSet::new(),
+            mgr_failed: false,
             outstanding_acks: HashMap::new(),
             ack_horizon: SimTime::ZERO,
             prefetch_tokens: HashMap::new(),
@@ -120,6 +144,7 @@ impl Channel {
             poisoned_prefetches: HashSet::new(),
             retries: 0,
             failovers: 0,
+            mgr_failovers: 0,
             trace: None,
         }
     }
@@ -181,6 +206,20 @@ impl Channel {
         self.failovers
     }
 
+    /// Manager failovers performed so far (0 or 1 — the re-home is sticky).
+    pub(crate) fn mgr_failovers(&self) -> u64 {
+        self.mgr_failovers
+    }
+
+    /// Whether lock releases must be acknowledged. With a standby configured
+    /// a fire-and-forget release could vanish with the crashed primary and
+    /// leave the lock held forever, so the release path upgrades to a full
+    /// RPC (whose retry/failover machinery lands it at whichever manager is
+    /// alive).
+    pub(crate) fn acked_releases(&self) -> bool {
+        self.standby_ep.is_some()
+    }
+
     fn fresh_token(&mut self) -> u64 {
         let t = self.next_token;
         self.next_token += 1;
@@ -237,6 +276,29 @@ impl Channel {
         to
     }
 
+    /// Where manager traffic goes: the primary while it is believed alive,
+    /// the standby after a manager failover.
+    fn mgr_target(&self) -> EndpointId {
+        if self.mgr_failed {
+            self.standby_ep.expect("mgr_failed set with no standby")
+        } else {
+            self.mgr_ep
+        }
+    }
+
+    /// Declare the primary manager dead and re-home all manager traffic to
+    /// the hot standby. With no standby (or with the standby also
+    /// unreachable) exhaustion stays fatal, exactly as before.
+    fn mgr_fail_over(&mut self, op: &'static str, what: &str, attempts: u32) {
+        assert!(
+            !self.mgr_failed && self.standby_ep.is_some(),
+            "manager unreachable: {op} {what} {attempts} times"
+        );
+        self.mgr_failed = true;
+        self.mgr_failovers += 1;
+        self.trace(EventKind::MgrFailover { op });
+    }
+
     // ------------------------------------------------------------------
     // Manager RPC
     // ------------------------------------------------------------------
@@ -244,7 +306,11 @@ impl Channel {
     /// Synchronous manager RPC with retry and backoff. Every retransmission
     /// reuses the request's token, so the manager's replay cache makes the
     /// request idempotent (a retried `Acquire` can never double-acquire).
-    /// The manager has no replica: exhaustion is fatal.
+    /// Retry exhaustion fails over to the hot standby when one is
+    /// configured (resending the SAME token — the standby's replayed log
+    /// reconstructed the primary's replay cache, so a request the primary
+    /// already served is re-answered, never re-applied); with no standby,
+    /// exhaustion is fatal.
     pub(crate) fn rpc_mgr(&mut self, req: MgrRequest, class: MsgClass) -> MgrResponse {
         let op = req.label();
         let wire = req.wire_bytes();
@@ -255,7 +321,7 @@ impl Channel {
             let (_, fate) = self
                 .ep
                 .send_faulted(
-                    self.mgr_ep,
+                    self.mgr_target(),
                     self.clock,
                     wire,
                     class,
@@ -265,19 +331,39 @@ impl Channel {
             self.charge(self.send_ns);
             if fate.is_dropped() {
                 attempt += 1;
-                assert!(
-                    attempt < self.retry.max_attempts,
-                    "manager unreachable: {op} request dropped {attempt} times"
-                );
+                if attempt >= self.retry.max_attempts {
+                    self.mgr_fail_over(op, "request dropped", attempt);
+                    attempt = 0;
+                    continue;
+                }
                 self.note_retry(op, attempt, sent_at + self.retry.delay(attempt));
                 continue;
             }
             // Block for the matching reply. A *lost* matching reply arriving
             // is the deterministic analogue of a retransmission timeout
-            // firing; requests whose grant is legitimately deferred (queued
-            // acquires, condition waits) just keep blocking.
-            loop {
-                let env = self.ep.recv().expect("fabric closed while awaiting response");
+            // firing. Requests whose grant is legitimately deferred (queued
+            // acquires, barrier arrivals, condition waits) keep blocking —
+            // but with a standby configured they re-send the same token
+            // every probe period (see `probe_ns`), so a grant that died
+            // with the primary cannot block the run forever.
+            let probe_at = self.probe_ns.map(|p| self.clock + SimTime::from_ns(p));
+            'await_reply: loop {
+                let env = match probe_at {
+                    Some(at) => {
+                        match self.ep.recv_deadline(at).expect("fabric closed awaiting response") {
+                            Some(env) => env,
+                            None => {
+                                // Probe deadline: no reply by `at`. Re-send
+                                // the same token via the outer loop; a live
+                                // manager's replay cache absorbs it.
+                                self.clock = self.clock.max(at);
+                                self.trace(EventKind::Retry { op, attempt });
+                                break 'await_reply;
+                            }
+                        }
+                    }
+                    None => self.ep.recv().expect("fabric closed while awaiting response"),
+                };
                 let t = Self::token_of(&env);
                 if t != token {
                     self.absorb(t, env);
@@ -286,11 +372,12 @@ impl Channel {
                 self.clock = self.clock.max(env.deliver_at);
                 if env.lost {
                     attempt += 1;
-                    assert!(
-                        attempt < self.retry.max_attempts,
-                        "manager unreachable: {op} reply lost {attempt} times"
-                    );
-                    self.note_retry(op, attempt, env.deliver_at);
+                    if attempt >= self.retry.max_attempts {
+                        self.mgr_fail_over(op, "reply lost", attempt);
+                        attempt = 0;
+                    } else {
+                        self.note_retry(op, attempt, env.deliver_at);
+                    }
                     break;
                 }
                 match env.msg {
@@ -314,7 +401,7 @@ impl Channel {
             let (_, fate) = self
                 .ep
                 .send_faulted(
-                    self.mgr_ep,
+                    self.mgr_target(),
                     self.clock,
                     wire,
                     class,
@@ -326,10 +413,11 @@ impl Channel {
                 return;
             }
             attempt += 1;
-            assert!(
-                attempt < self.retry.max_attempts,
-                "manager unreachable: {op} request dropped {attempt} times"
-            );
+            if attempt >= self.retry.max_attempts {
+                self.mgr_fail_over(op, "request dropped", attempt);
+                attempt = 0;
+                continue;
+            }
             self.note_retry(op, attempt, sent_at + self.retry.delay(attempt));
         }
     }
@@ -654,15 +742,27 @@ impl Channel {
 /// The host control client's channel: reliable (fault-exempt — it models
 /// the experimenter's out-of-band access), strictly request/response, with
 /// its own token stream and virtual clock.
+///
+/// Reliability does not survive a *structural* manager crash: a dead
+/// primary's replies come back marked lost (see `manager_loop`), and the
+/// host — which, like [`host_read_server`](crate::Samhita), knows the fault
+/// plan out-of-band — re-sends the same token to the hot standby and stays
+/// there. Without a standby a manager crash is rejected at config
+/// validation, so a lost reply always has somewhere to go.
 pub struct HostChannel {
     ep: Endpoint<Msg>,
     clock: SimTime,
     next_token: u64,
+    /// Hot-standby manager endpoint, when one is configured.
+    standby: Option<EndpointId>,
+    /// Sticky: once a manager reply is lost to the crash, every subsequent
+    /// manager RPC goes to the standby.
+    mgr_failed: bool,
 }
 
 impl HostChannel {
-    pub(crate) fn new(ep: Endpoint<Msg>) -> Self {
-        HostChannel { ep, clock: SimTime::ZERO, next_token: 1 }
+    pub(crate) fn new(ep: Endpoint<Msg>, standby: Option<EndpointId>) -> Self {
+        HostChannel { ep, clock: SimTime::ZERO, next_token: 1, standby, mgr_failed: false }
     }
 
     fn fresh_token(&mut self) -> u64 {
@@ -671,7 +771,11 @@ impl HostChannel {
         t
     }
 
-    /// Reliable manager RPC on behalf of host tid `tid`.
+    /// Reliable manager RPC on behalf of host tid `tid`. A reply marked
+    /// lost means the primary died mid-serve (ctl replies are otherwise
+    /// fault-exempt): fail over to the standby with the same token — its
+    /// replay cache, reconstructed from the shipped log, absorbs any
+    /// request the primary both served and shipped.
     pub(crate) fn rpc_mgr(
         &mut self,
         mgr: EndpointId,
@@ -681,14 +785,31 @@ impl HostChannel {
     ) -> MgrResponse {
         let wire = req.wire_bytes();
         let token = self.fresh_token();
-        self.ep
-            .send_reliable(mgr, self.clock, wire, class, Msg::MgrReq { token, tid, req })
-            .expect("manager endpoint closed");
-        let env = self.wait_for(token);
-        self.clock = self.clock.max(env.deliver_at);
-        match env.msg {
-            Msg::MgrResp { resp, .. } => resp,
-            other => panic!("unexpected manager response: {other:?}"),
+        loop {
+            let target = if self.mgr_failed { self.standby.expect("standby manager") } else { mgr };
+            self.ep
+                .send_reliable(
+                    target,
+                    self.clock,
+                    wire,
+                    class,
+                    Msg::MgrReq { token, tid, req: req.clone() },
+                )
+                .expect("manager endpoint closed");
+            let env = self.wait_for(token);
+            self.clock = self.clock.max(env.deliver_at);
+            if env.lost {
+                assert!(
+                    !self.mgr_failed && self.standby.is_some(),
+                    "host manager reply lost with no standby to fail over to"
+                );
+                self.mgr_failed = true;
+                continue;
+            }
+            match env.msg {
+                Msg::MgrResp { resp, .. } => return resp,
+                other => panic!("unexpected manager response: {other:?}"),
+            }
         }
     }
 

@@ -53,6 +53,10 @@ pub struct ThreadStats {
     /// Memory-server failovers: the thread gave up on a primary home and
     /// re-homed its traffic to the replica.
     pub failovers: u64,
+    /// Manager failovers: the thread exhausted its retry budget against the
+    /// primary manager and re-homed all manager traffic to the hot standby
+    /// (at most 1 per thread — the re-home is sticky).
+    pub mgr_failovers: u64,
     /// Latency of every synchronous fetch stall (demand misses, refetches,
     /// late prefetch waits). Recorded unconditionally — histograms are part
     /// of the report, not of the (optional) event trace.
@@ -220,6 +224,21 @@ pub struct RunReport {
     /// Total virtual time bypass-mode lock grants spent waiting behind the
     /// previous holder — the local-sync analogue of manager queue wait.
     pub local_handoff_wait_ns: u64,
+    /// Log records the primary manager shipped to the hot standby this run,
+    /// counting repair re-ships of the unacked suffix (0 with no standby).
+    pub log_records_shipped: u64,
+    /// Lock leases the standby reclaimed from dead or deposed holders after
+    /// taking over (0 on any fault-free run).
+    pub lease_reclaims: u64,
+    /// Stale releases the standby absorbed: a deposed holder released a
+    /// lock the standby had already reclaimed (0 on any fault-free run).
+    pub stale_releases: u64,
+    /// Requests the standby served after taking over (0 unless the primary
+    /// manager crashed mid-run).
+    pub standby_serves: u64,
+    /// Virtual instant the standby served its first post-takeover request
+    /// (0 = the primary survived the whole run).
+    pub takeover_ns: u64,
 }
 
 impl RunReport {
@@ -312,6 +331,13 @@ impl RunReport {
     /// so it is the natural denominator for per-sync-op message rates.
     pub fn sync_ops(&self) -> u64 {
         self.total_of(|t| t.locks_acquired) + self.total_of(|t| t.barriers)
+    }
+
+    /// Total manager failovers across threads. Each thread re-homes at most
+    /// once (the switch is sticky), so this is also the number of threads
+    /// that independently detected the primary manager's crash.
+    pub fn mgr_failovers(&self) -> u64 {
+        self.total_of(|t| t.mgr_failovers)
     }
 
     /// Update-class messages sent per synchronization operation. With

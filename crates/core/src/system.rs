@@ -30,7 +30,7 @@ use crate::config::{RuntimeKind, SamhitaConfig};
 use crate::layout::{AddressLayout, Placement};
 use crate::localsync::LocalSync;
 use crate::manager::{ManagerEngine, ManagerStats};
-use crate::msg::{MgrRequest, MgrResponse, Msg};
+use crate::msg::{MgrLogOp, MgrLogRecord, MgrRequest, MgrResponse, Msg};
 use crate::proto::HostChannel;
 use crate::stats::RunReport;
 use crate::thread::ThreadCtx;
@@ -93,6 +93,30 @@ pub struct SystemStats {
     pub manager: ManagerStats,
     /// Per-memory-server counters, in server-index order.
     pub servers: Vec<ServerStats>,
+    /// The hot-standby manager's counters, when one was configured. Its
+    /// `requests` count includes replayed log records (the replica's view of
+    /// the workload), not just post-takeover serves.
+    pub standby: Option<ManagerStats>,
+}
+
+/// Live mirrors of the crash-recovery machinery's counters, published by the
+/// primary's and standby's loops under the same before-the-response-leaves
+/// discipline as the busy mirrors (so end-of-run host reads are race-free
+/// and deterministic). All cumulative except `takeover_ns`, which is the
+/// absolute virtual instant of the standby's first post-takeover serve.
+#[derive(Default)]
+struct RecoveryMirror {
+    /// Log records the primary shipped (counting re-ships of the unacked
+    /// suffix — repair traffic is part of the cost story).
+    log_records_shipped: AtomicU64,
+    /// Lock leases the active standby reclaimed.
+    lease_reclaims: AtomicU64,
+    /// Stale releases (from deposed holders) the standby absorbed.
+    stale_releases: AtomicU64,
+    /// Requests the standby served after takeover.
+    standby_serves: AtomicU64,
+    /// Virtual ns of the first post-takeover serve (0 = no takeover).
+    takeover_ns: AtomicU64,
 }
 
 /// A running Samhita system.
@@ -103,11 +127,16 @@ pub struct Samhita {
     fabric: Arc<Fabric<Msg>>,
     placement: Placement,
     mgr_ep: EndpointId,
+    /// The hot-standby manager's endpoint, when `cfg.manager_standby` is on.
+    standby_ep: Option<EndpointId>,
     mem_eps: Vec<EndpointId>,
     local_sync: Option<Arc<LocalSync>>,
     ctl: Mutex<HostChannel>,
     mgr_handle: Option<JoinHandle<ManagerStats>>,
+    standby_handle: Option<JoinHandle<ManagerStats>>,
     mem_handles: Vec<JoinHandle<ServerStats>>,
+    /// Crash-recovery counter mirrors (see [`RecoveryMirror`]).
+    recovery: Arc<RecoveryMirror>,
     tracer: Option<Arc<Tracer>>,
     // Live virtual-busy-time mirrors of the service loops, published after
     // each request is handled and before its response is sent. A thread
@@ -218,9 +247,30 @@ impl Samhita {
             }));
         }
 
+        // Manager and (optional) hot-standby endpoints, created before the
+        // fault plan so a configured manager crash can name the primary's
+        // endpoint. No protocol traffic flows until the host Register RPC
+        // below, so the plan is still installed before any send it could
+        // affect.
+        let mgr_endpoint = fabric.add_endpoint(placement.manager);
+        if let Some(s) = &sched {
+            mgr_endpoint.bind_task(&s.register_parked());
+        }
+        let mgr_gauge = Arc::new(DepthGauge::new());
+        mgr_endpoint.set_depth_gauge(Arc::clone(&mgr_gauge));
+        let mgr_ep = mgr_endpoint.id();
+        let standby_endpoint = cfg.manager_standby.then(|| {
+            let ep = fabric.add_endpoint(placement.standby_node());
+            if let Some(s) = &sched {
+                ep.bind_task(&s.register_parked());
+            }
+            ep
+        });
+        let standby_ep = standby_endpoint.as_ref().map(|ep| ep.id());
+
         // Deterministic fault injection: structural faults (crash windows
-        // need the crashed server's endpoint id) are resolved here, then the
-        // plan is installed before any protocol traffic flows.
+        // need the crashed endpoint's id) are resolved here, then the plan
+        // is installed before any protocol traffic flows.
         if dedup {
             let f = &cfg.faults;
             let mut plan = samhita_scl::FaultPlan::lossy(
@@ -241,23 +291,22 @@ impl Samhita {
             if let Some((server, at_ns)) = f.crash {
                 plan.crashed.push((mem_eps[server as usize], SimTime::from_ns(at_ns)));
             }
+            if let Some(at_ns) = f.mgr_crash {
+                plan.crashed.push((mgr_ep, SimTime::from_ns(at_ns)));
+            }
             fabric.set_fault_plan(plan);
         }
 
-        // Manager.
-        let mgr_endpoint = fabric.add_endpoint(placement.manager);
-        if let Some(s) = &sched {
-            mgr_endpoint.bind_task(&s.register_parked());
-        }
-        let mgr_gauge = Arc::new(DepthGauge::new());
-        mgr_endpoint.set_depth_gauge(Arc::clone(&mgr_gauge));
-        let mgr_ep = mgr_endpoint.id();
+        // Manager (and standby) service loops.
+        let recovery = Arc::new(RecoveryMirror::default());
         let engine = ManagerEngine::new(&cfg);
         let mgr_track = tracer.as_ref().map(|t| t.shared_track(TrackId::Manager));
         let mgr_busy = Arc::new(AtomicU64::new(0));
         let mgr_busy_loop = Arc::clone(&mgr_busy);
         let mgr_queue = Arc::new(Mutex::new(QueueMirror::default()));
         let mgr_queue_loop = Arc::clone(&mgr_queue);
+        let mgr_recovery = Arc::clone(&recovery);
+        let mgr_died_at = dedup.then(|| cfg.faults.mgr_crash.map(SimTime::from_ns)).flatten();
         let mgr_handle = Some(std::thread::spawn(move || {
             manager_loop(
                 mgr_endpoint,
@@ -265,13 +314,25 @@ impl Samhita {
                 mgr_track,
                 ctl_id,
                 dedup,
+                standby_ep,
+                mgr_died_at,
+                mgr_recovery,
                 mgr_busy_loop,
                 mgr_queue_loop,
             )
         }));
+        let standby_handle = standby_endpoint.map(|ep| {
+            // The standby folds the same records through the same engine as
+            // the primary, starting from the same initial state — the whole
+            // replication argument.
+            let engine = ManagerEngine::new(&cfg);
+            let track = tracer.as_ref().map(|t| t.shared_track(TrackId::MgrStandby));
+            let rec = Arc::clone(&recovery);
+            std::thread::spawn(move || standby_loop(ep, engine, track, ctl_id, rec))
+        });
 
         // Host control client (registers like a thread, but never syncs).
-        let mut ctl = HostChannel::new(ctl_endpoint);
+        let mut ctl = HostChannel::new(ctl_endpoint, standby_ep);
         let resp = ctl.rpc_mgr(
             mgr_ep,
             HOST_TID,
@@ -290,11 +351,14 @@ impl Samhita {
             fabric,
             placement,
             mgr_ep,
+            standby_ep,
             mem_eps,
             local_sync,
             ctl: Mutex::new(ctl),
             mgr_handle,
+            standby_handle,
             mem_handles,
+            recovery,
             tracer,
             mgr_busy,
             mem_busy,
@@ -499,6 +563,12 @@ impl Samhita {
         }
         let sched_grants_before = self.sched.as_ref().map_or(0, |s| s.grants());
         let local_before = self.local_sync.as_ref().map(|ls| ls.stats()).unwrap_or_default();
+        let recovery_before = (
+            self.recovery.log_records_shipped.load(Ordering::Relaxed),
+            self.recovery.lease_reclaims.load(Ordering::Relaxed),
+            self.recovery.stale_releases.load(Ordering::Relaxed),
+            self.recovery.standby_serves.load(Ordering::Relaxed),
+        );
         let endpoints: Vec<Endpoint<Msg>> = (0..nthreads)
             .map(|t| self.fabric.add_endpoint(self.placement.compute_node(t)))
             .collect();
@@ -527,6 +597,7 @@ impl Samhita {
                     let mem_eps = self.mem_eps.clone();
                     let local_sync = self.local_sync.clone();
                     let mgr_ep = self.mgr_ep;
+                    let standby_ep = self.standby_ep;
                     let tracer = self.tracer.clone();
                     let task = det_tasks.as_ref().map(|ts| ts[t].clone());
                     s.spawn(move || {
@@ -538,7 +609,8 @@ impl Samhita {
                         // the baton would hang forever instead of unwinding.
                         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                             let mut ctx = ThreadCtx::new(
-                                t as u32, nthreads, cfg, ep, mgr_ep, mem_eps, local_sync,
+                                t as u32, nthreads, cfg, ep, mgr_ep, standby_ep, mem_eps,
+                                local_sync,
                             );
                             if let Some(tr) = &tracer {
                                 ctx.attach_trace(tr.buf(TrackId::Thread(t as u32)));
@@ -619,6 +691,18 @@ impl Samhita {
                 st.contended_acquires - local_before.contended_acquires;
             report.local_handoff_wait_ns = st.handoff_wait_ns - local_before.handoff_wait_ns;
         }
+        // Recovery counters: cumulative mirrors published under the same
+        // before-the-response-leaves discipline as the busy mirrors, so the
+        // deltas are final once every thread has settled its traffic.
+        report.log_records_shipped =
+            self.recovery.log_records_shipped.load(Ordering::Relaxed) - recovery_before.0;
+        report.lease_reclaims =
+            self.recovery.lease_reclaims.load(Ordering::Relaxed) - recovery_before.1;
+        report.stale_releases =
+            self.recovery.stale_releases.load(Ordering::Relaxed) - recovery_before.2;
+        report.standby_serves =
+            self.recovery.standby_serves.load(Ordering::Relaxed) - recovery_before.3;
+        report.takeover_ns = self.recovery.takeover_ns.load(Ordering::Relaxed);
         report.layout = Some(self.layout);
         report
     }
@@ -652,6 +736,9 @@ impl Samhita {
                 ctl.send_shutdown(ep);
             }
             ctl.send_shutdown(self.mgr_ep);
+            if let Some(sb) = self.standby_ep {
+                ctl.send_shutdown(sb);
+            }
         }
         // Hand the baton over so the service tasks can run their loops to
         // the shutdown message and retire; take it back once they joined.
@@ -663,6 +750,9 @@ impl Samhita {
         }
         if let Some(h) = self.mgr_handle.take() {
             stats.manager = h.join().expect("manager panicked");
+        }
+        if let Some(h) = self.standby_handle.take() {
+            stats.standby = Some(h.join().expect("standby manager panicked"));
         }
         if let Some(host) = &self.host_task {
             host.resume();
@@ -809,15 +899,27 @@ fn mem_server_loop(
     server.stats()
 }
 
+#[allow(clippy::too_many_arguments)]
 fn manager_loop(
     ep: Endpoint<Msg>,
     mut engine: ManagerEngine,
     track: Option<SharedTrack>,
     ctl: EndpointId,
     dedup: bool,
+    standby: Option<EndpointId>,
+    died_at: Option<SimTime>,
+    recovery: Arc<RecoveryMirror>,
     busy: Arc<AtomicU64>,
     queue: Arc<Mutex<QueueMirror>>,
 ) -> ManagerStats {
+    // Replies to the host control endpoint are normally fault-exempt (the
+    // host models out-of-band experimenter access), but no amount of
+    // out-of-band reliability revives a dead process: once a configured
+    // manager crash has passed, ctl replies go through the faulted path so
+    // the crash fate drops them like everything else — otherwise a host
+    // setup RPC could be answered while its log record dies with the ship,
+    // leaving the standby permanently ignorant of state the host observed.
+    let ctl_reliable = |at: SimTime| died_at.is_none_or(|d| at < d);
     // Replay protection. Each client's tokens arrive monotonically (its
     // requests are serialized and the fabric preserves per-sender order), so
     // a high-water mark per source detects retransmissions, and the last
@@ -827,6 +929,12 @@ fn manager_loop(
     // answered when granted.
     let mut hwm: HashMap<EndpointId, u64> = HashMap::new();
     let mut done: HashMap<EndpointId, (u64, SimTime, MgrResponse)> = HashMap::new();
+    // Write-ahead log records the standby has not yet acknowledged. Every
+    // serve ships the whole suffix, so a batch lost on the wire (or to the
+    // crash itself) is repaired by the next serve's re-ship; the standby
+    // deduplicates replays by sequence number.
+    let mut unacked: Vec<MgrLogRecord> = Vec::new();
+    let mut shipped: u64 = 0;
     while let Ok(env) = ep.recv() {
         match env.msg {
             Msg::MgrReq { token, tid, req } => {
@@ -845,7 +953,7 @@ fn manager_loop(
                                 let at = (*at).max(env.deliver_at);
                                 let wire = resp.wire_bytes();
                                 let msg = Msg::MgrResp { token, resp: resp.clone() };
-                                let _ = if env.src == ctl {
+                                let _ = if env.src == ctl && ctl_reliable(at) {
                                     ep.send_reliable(env.src, at, wire, MsgClass::Sync, msg)
                                 } else {
                                     ep.send(env.src, at, wire, MsgClass::Sync, msg)
@@ -857,7 +965,11 @@ fn manager_loop(
                     hwm.insert(env.src, token);
                 }
                 let op = track.as_ref().map(|_| req.label());
-                let outgoing = engine.handle(env.src, tid, token, req, env.deliver_at);
+                let rec = engine.record(env.src, tid, token, req, env.deliver_at);
+                if standby.is_some() {
+                    unacked.push(rec.clone());
+                }
+                let outgoing = engine.apply(rec);
                 // Publish virtual busy time before any response leaves (see
                 // mem_server_loop for the visibility argument). The queue
                 // mirror rides the same window.
@@ -876,6 +988,189 @@ fn manager_loop(
                         done.insert(out.dst, (out.token, out.at, out.resp.clone()));
                     }
                     let msg = Msg::MgrResp { token: out.token, resp: out.resp };
+                    let _ = if out.dst == ctl && ctl_reliable(out.at) {
+                        ep.send_reliable(out.dst, out.at, wire, MsgClass::Sync, msg)
+                    } else {
+                        ep.send(out.dst, out.at, wire, MsgClass::Sync, msg)
+                    };
+                }
+                if let (Some(track), Some(op)) = (&track, op) {
+                    track.push(engine.last_done(), EventKind::MgrServe { op, tid });
+                }
+                if let Some(sb) = standby {
+                    // Write-ahead shipping: responses and the log batch leave
+                    // at the same virtual instant (`last_done`), and a
+                    // manager crash is a structural fault keyed on that
+                    // instant — so the crash can never deliver a response
+                    // whose record it dropped. Only a *random* loss can
+                    // separate them, and the next serve's re-ship repairs it
+                    // (with lock leases covering the tail case of a crash
+                    // right after).
+                    shipped += unacked.len() as u64;
+                    recovery.log_records_shipped.store(shipped, Ordering::Relaxed);
+                    let msg = Msg::MgrLog { records: unacked.clone() };
+                    let wire = msg.wire_bytes();
+                    let _ = ep.send(sb, engine.last_done(), wire, MsgClass::Control, msg);
+                }
+            }
+            Msg::MgrLogAck { upto } => {
+                // A lost ack is simply ignored: the suffix stays unacked and
+                // the next serve re-ships it.
+                if !env.lost {
+                    unacked.retain(|r| r.seq > upto);
+                }
+            }
+            Msg::Shutdown => break,
+            other => panic!("manager received unexpected message: {other:?}"),
+        }
+    }
+    ep.exit_task();
+    let mut stats = engine.stats();
+    stats.log_records_shipped = shipped;
+    stats
+}
+
+/// The hot-standby manager's event loop.
+///
+/// **Before takeover** it is a pure log sink: every non-lost [`Msg::MgrLog`]
+/// batch is folded into its own engine (skipping already-applied sequence
+/// numbers — batches always restart at the first unacknowledged record), the
+/// primary's replay-protection state is reconstructed from the records'
+/// `(src, token)` pairs and the fold's outputs, and an ack is returned.
+/// Nothing is sent to clients and nothing is traced: replay is bookkeeping,
+/// not service.
+///
+/// **Takeover** is the first non-lost client request: a client only re-homes
+/// after exhausting its retry budget against the primary, so the primary is
+/// dead. From then on the standby serves exactly like the primary — same
+/// record→apply path, same replay-cache discipline (a request the primary
+/// already answered is re-answered from the reconstructed cache, never
+/// re-applied), traced as `MgrServe` on its own track. Between requests it
+/// sleeps only until the earliest lock-lease expiry; waking at that virtual
+/// deadline with no message, it folds a `ReclaimExpired` sweep into the log
+/// so a lock whose holder (or whose release) died with the primary is handed
+/// to the next waiter instead of blocking the run forever.
+fn standby_loop(
+    ep: Endpoint<Msg>,
+    mut engine: ManagerEngine,
+    track: Option<SharedTrack>,
+    ctl: EndpointId,
+    recovery: Arc<RecoveryMirror>,
+) -> ManagerStats {
+    let mut hwm: HashMap<EndpointId, u64> = HashMap::new();
+    let mut done: HashMap<EndpointId, (u64, SimTime, MgrResponse)> = HashMap::new();
+    let mut active = false;
+    let mut serves: u64 = 0;
+    loop {
+        // An active standby sleeps only until the earliest lease expiry:
+        // reaching the deadline with no message triggers a reclaim sweep.
+        let deadline = if active { engine.next_lease_expiry() } else { None };
+        let env = match deadline {
+            Some(at) => match ep.recv_deadline(at) {
+                Ok(Some(env)) => env,
+                Ok(None) => {
+                    let outs = engine.apply(engine.record_reclaim(at));
+                    let st = engine.stats();
+                    recovery.lease_reclaims.store(st.lease_reclaims, Ordering::Relaxed);
+                    recovery.stale_releases.store(st.stale_releases, Ordering::Relaxed);
+                    if let Some(track) = &track {
+                        for (lock, holder) in engine.take_reclaims() {
+                            track.push(at, EventKind::LeaseReclaim { lock, holder });
+                        }
+                    }
+                    // Reclaimed locks hand to their next queued waiter: the
+                    // grants answer those waiters' original acquire tokens.
+                    for out in outs {
+                        done.insert(out.dst, (out.token, out.at, out.resp.clone()));
+                        let wire = out.resp.wire_bytes();
+                        let msg = Msg::MgrResp { token: out.token, resp: out.resp };
+                        let _ = if out.dst == ctl {
+                            ep.send_reliable(out.dst, out.at, wire, MsgClass::Sync, msg)
+                        } else {
+                            ep.send(out.dst, out.at, wire, MsgClass::Sync, msg)
+                        };
+                    }
+                    continue;
+                }
+                Err(_) => break,
+            },
+            None => match ep.recv() {
+                Ok(env) => env,
+                Err(_) => break,
+            },
+        };
+        match env.msg {
+            Msg::MgrLog { records } => {
+                // A lost batch never reached the standby; the primary's next
+                // serve re-ships the suffix.
+                if env.lost {
+                    continue;
+                }
+                for rec in records {
+                    if rec.seq <= engine.applied_seq() {
+                        continue; // already folded (batches re-ship the suffix)
+                    }
+                    if let MgrLogOp::Request { src, token, .. } = &rec.op {
+                        let seen = hwm.entry(*src).or_insert(0);
+                        *seen = (*seen).max(*token);
+                    }
+                    // Replay: fold the record, filing its outputs in the
+                    // reconstructed replay cache WITHOUT sending them — the
+                    // primary already answered these requests.
+                    for out in engine.apply(rec) {
+                        done.insert(out.dst, (out.token, out.at, out.resp));
+                    }
+                }
+                let ack = Msg::MgrLogAck { upto: engine.applied_seq() };
+                let wire = ack.wire_bytes();
+                let _ = ep.send(env.src, env.deliver_at, wire, MsgClass::Control, ack);
+            }
+            Msg::MgrReq { token, tid, req } => {
+                // A lost request never reached the standby; discard it.
+                if env.lost {
+                    continue;
+                }
+                if !active {
+                    active = true;
+                    recovery.takeover_ns.store(env.deliver_at.as_ns(), Ordering::Relaxed);
+                }
+                // Replay protection, seeded by the log replay above: a
+                // request the primary already served is re-answered from the
+                // reconstructed cache, never re-applied.
+                let seen = hwm.get(&env.src).copied().unwrap_or(0);
+                if token < seen {
+                    continue;
+                }
+                if token == seen {
+                    if let Some((t, at, resp)) = done.get(&env.src) {
+                        if *t == token {
+                            let at = (*at).max(env.deliver_at);
+                            let wire = resp.wire_bytes();
+                            let msg = Msg::MgrResp { token, resp: resp.clone() };
+                            let _ = if env.src == ctl {
+                                ep.send_reliable(env.src, at, wire, MsgClass::Sync, msg)
+                            } else {
+                                ep.send(env.src, at, wire, MsgClass::Sync, msg)
+                            };
+                        }
+                    }
+                    continue;
+                }
+                hwm.insert(env.src, token);
+                let op = track.as_ref().map(|_| req.label());
+                let outgoing =
+                    engine.apply(engine.record(env.src, tid, token, req, env.deliver_at));
+                serves += 1;
+                // Publish before any response leaves (the busy-mirror
+                // visibility discipline, applied to the recovery counters).
+                let st = engine.stats();
+                recovery.standby_serves.store(serves, Ordering::Relaxed);
+                recovery.lease_reclaims.store(st.lease_reclaims, Ordering::Relaxed);
+                recovery.stale_releases.store(st.stale_releases, Ordering::Relaxed);
+                for out in outgoing {
+                    let wire = out.resp.wire_bytes();
+                    done.insert(out.dst, (out.token, out.at, out.resp.clone()));
+                    let msg = Msg::MgrResp { token: out.token, resp: out.resp };
                     let _ = if out.dst == ctl {
                         ep.send_reliable(out.dst, out.at, wire, MsgClass::Sync, msg)
                     } else {
@@ -887,7 +1182,7 @@ fn manager_loop(
                 }
             }
             Msg::Shutdown => break,
-            other => panic!("manager received unexpected message: {other:?}"),
+            other => panic!("standby manager received unexpected message: {other:?}"),
         }
     }
     ep.exit_task();

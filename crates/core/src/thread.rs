@@ -37,7 +37,7 @@ use samhita_scl::{Endpoint, EndpointId, MsgClass, RetryPolicy, SimTime};
 use samhita_trace::{EventKind, FetchKind, TraceBuf};
 
 use crate::cache::SoftCache;
-use crate::config::{ConsistencyVariant, SamhitaConfig};
+use crate::config::{ConsistencyVariant, RuntimeKind, SamhitaConfig};
 use crate::freelist::FreeListAlloc;
 use crate::layout::{AddressLayout, Region};
 use crate::localsync::LocalSync;
@@ -101,6 +101,7 @@ impl ThreadCtx {
         cfg: Arc<SamhitaConfig>,
         ep: Endpoint<Msg>,
         mgr_ep: EndpointId,
+        standby_ep: Option<EndpointId>,
         mem_eps: Vec<EndpointId>,
         local_sync: Option<Arc<LocalSync>>,
     ) -> Self {
@@ -121,10 +122,20 @@ impl ThreadCtx {
             max_attempts: cfg.retry.max_attempts,
             seed: cfg.faults.seed ^ (u64::from(tid) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
         };
+        // Grant-liveness probe for blocked manager requests (see
+        // `Channel::probe_ns`): one lease period, so a waiter orphaned by a
+        // manager crash resurfaces on the same timescale the standby uses
+        // to reclaim expired leases. Deterministic-runtime only — on the OS
+        // runtime `recv_deadline` degrades to a wall-clock poll and the
+        // probe would fire nondeterministically.
+        let probe_ns =
+            (cfg.runtime == RuntimeKind::Det && standby_ep.is_some()).then_some(cfg.mgr_lease_ns);
         let chan = Channel::new(
             tid,
             ep,
             mgr_ep,
+            standby_ep,
+            probe_ns,
             mem_eps,
             cfg.costs.send_ns as f64,
             cfg.replica_offset,
@@ -154,6 +165,7 @@ impl ThreadCtx {
         };
         match ctx.chan.rpc_mgr(MgrRequest::Register { observer: false }, MsgClass::Control) {
             MgrResponse::Registered { watermark } => ctx.last_seen = watermark,
+            MgrResponse::Err(e) => panic!("registration failed: {e}"),
             other => panic!("registration failed: {other:?}"),
         }
         // Registration is setup, not application time.
@@ -444,6 +456,7 @@ impl ThreadCtx {
                 MsgClass::Sync,
             ) {
                 MgrResponse::Granted { notices, watermark } => (notices, watermark),
+                MgrResponse::Err(e) => panic!("lock acquire failed: {e}"),
                 other => panic!("unexpected acquire response: {other:?}"),
             }
         };
@@ -471,11 +484,24 @@ impl ThreadCtx {
             ls.release(lock, self.tid, self.chan.now(), pages, updates);
             self.chan.charge(self.cfg.costs.local_sync_ns as f64);
         } else {
-            // Fire-and-forget: the manager orders the release before any
-            // subsequent grant; the releaser only pays the send cost (plus
-            // backoff for any retransmission after a send-time drop).
             let req = MgrRequest::Release { lock, pages, updates, last_seen: self.last_seen };
-            self.chan.send_mgr_oneway(req, MsgClass::Sync);
+            if self.chan.acked_releases() {
+                // With a hot standby, a fire-and-forget release could vanish
+                // with the crashed primary and leave the lock held until its
+                // lease expires. Upgrade to a full RPC: the channel's
+                // retry/failover machinery lands it at whichever manager is
+                // alive, and the stall is attributed like any manager wait.
+                match self.rpc_mgr_traced(req, MsgClass::Sync) {
+                    MgrResponse::Ok => {}
+                    MgrResponse::Err(e) => panic!("release failed: {e}"),
+                    other => panic!("unexpected release response: {other:?}"),
+                }
+            } else {
+                // Fire-and-forget: the manager orders the release before any
+                // subsequent grant; the releaser only pays the send cost (plus
+                // backoff for any retransmission after a send-time drop).
+                self.chan.send_mgr_oneway(req, MsgClass::Sync);
+            }
         }
         self.sync_time += self.chan.now() - t0;
     }
@@ -497,6 +523,7 @@ impl ThreadCtx {
                 MsgClass::Sync,
             ) {
                 MgrResponse::BarrierReleased { notices, watermark } => (notices, watermark),
+                MgrResponse::Err(e) => panic!("barrier wait failed: {e}"),
                 other => panic!("unexpected barrier response: {other:?}"),
             }
         };
@@ -537,6 +564,7 @@ impl ThreadCtx {
                 self.apply_notices(&notices);
                 self.last_seen = watermark;
             }
+            MgrResponse::Err(e) => panic!("cond wait failed: {e}"),
             other => panic!("unexpected cond-wait response: {other:?}"),
         }
         self.sync_time += self.chan.now() - t0;
@@ -547,6 +575,7 @@ impl ThreadCtx {
         let t0 = self.chan.now();
         match self.rpc_mgr_traced(MgrRequest::CondSignal { cond }, MsgClass::Sync) {
             MgrResponse::Ok => {}
+            MgrResponse::Err(e) => panic!("cond signal failed: {e}"),
             other => panic!("unexpected signal response: {other:?}"),
         }
         self.sync_time += self.chan.now() - t0;
@@ -557,6 +586,7 @@ impl ThreadCtx {
         let t0 = self.chan.now();
         match self.rpc_mgr_traced(MgrRequest::CondBroadcast { cond }, MsgClass::Sync) {
             MgrResponse::Ok => {}
+            MgrResponse::Err(e) => panic!("cond broadcast failed: {e}"),
             other => panic!("unexpected broadcast response: {other:?}"),
         }
         self.sync_time += self.chan.now() - t0;
@@ -567,6 +597,7 @@ impl ThreadCtx {
     pub fn create_lock(&mut self) -> u32 {
         match self.rpc_mgr_traced(MgrRequest::CreateLock, MsgClass::Control) {
             MgrResponse::SyncId(id) => id,
+            MgrResponse::Err(e) => panic!("create-lock failed: {e}"),
             other => panic!("unexpected create-lock response: {other:?}"),
         }
     }
@@ -881,17 +912,20 @@ impl ThreadCtx {
             let req = MgrRequest::Exit { pages: Vec::new(), updates: Vec::new() };
             match self.chan.rpc_mgr(req, MsgClass::Control) {
                 MgrResponse::Ok => {}
+                MgrResponse::Err(e) => panic!("exit failed: {e}"),
                 other => panic!("unexpected exit response: {other:?}"),
             }
         } else {
             match self.chan.rpc_mgr(MgrRequest::Exit { pages, updates }, MsgClass::Control) {
                 MgrResponse::Ok => {}
+                MgrResponse::Err(e) => panic!("exit failed: {e}"),
                 other => panic!("unexpected exit response: {other:?}"),
             }
         }
         let mut stats = self.stats;
         stats.retries = self.chan.retries();
         stats.failovers = self.chan.failovers();
+        stats.mgr_failovers = self.chan.mgr_failovers();
         stats.total = end_clock.saturating_sub(self.epoch_clock);
         stats.sync = end_sync.saturating_sub(self.epoch_sync);
         stats.compute = stats.total.saturating_sub(stats.sync);

@@ -269,6 +269,51 @@ impl<M: Send + Clone + 'static> Endpoint<M> {
         }
     }
 
+    /// Block until a message arrives *or* virtual time reaches `deadline`,
+    /// whichever is earlier; `Ok(None)` means the deadline fired with no
+    /// deliverable message at or before it. On a bound endpoint the wait is
+    /// a scheduler yield, so the deadline is exact in virtual time — this
+    /// is how a standby manager sleeps until the next lock-lease expiry
+    /// without any wall-clock timer. A staged message due at or before the
+    /// deadline always wins over the deadline itself.
+    ///
+    /// Unbound (OS runtime) there is no shared virtual clock to wait on, so
+    /// this degrades to a short wall-clock poll; callers on that runtime
+    /// must treat `Ok(None)` as "nothing yet", not as a virtual instant.
+    pub fn recv_deadline(&self, deadline: SimTime) -> Result<Option<Envelope<M>>, SclError> {
+        let mut det = self.det.lock();
+        let Some(st) = det.as_mut() else {
+            drop(det);
+            return match self.rx.recv_timeout(Duration::from_millis(1)) {
+                Ok(env) => Ok(Some(env)),
+                Err(RecvTimeoutError::Timeout) => Ok(None),
+                Err(RecvTimeoutError::Disconnected) => Err(SclError::ChannelClosed),
+            };
+        };
+        let dl = deadline.as_ns();
+        loop {
+            st.drain(&self.rx);
+            let target = match st.heap.peek() {
+                Some(Reverse(top)) => top.eff.min(dl),
+                None if st.closed => return Err(SclError::ChannelClosed),
+                None => dl,
+            };
+            let granted = st.task.yield_until(target);
+            st.drain(&self.rx);
+            if let Some(Reverse(top2)) = st.heap.peek() {
+                if top2.eff <= granted {
+                    let env = st.heap.pop().expect("peeked").0.env;
+                    let backlog = st.heap.len() as u64;
+                    self.sample_backlog(backlog);
+                    return Ok(Some(env));
+                }
+            }
+            if granted >= dl {
+                return Ok(None);
+            }
+        }
+    }
+
     /// Non-blocking receive. On a bound endpoint this returns the staged
     /// minimum by effective time without any finality wait — callers that
     /// mix it with deterministic `recv` must tolerate tentative order.
@@ -316,6 +361,44 @@ mod tests {
         assert!(b.recv_timeout(Duration::from_millis(1)).unwrap().is_none());
         a.send(b.id(), SimTime::ZERO, 1, MsgClass::Control, 9).unwrap();
         assert_eq!(b.try_recv().unwrap().msg, 9);
+    }
+
+    #[test]
+    fn recv_deadline_polls_on_unbound_endpoints() {
+        let fabric = Fabric::<u8>::new(Topology::single_node(1));
+        let a = fabric.add_endpoint(NodeId(0));
+        let b = fabric.add_endpoint(NodeId(0));
+        assert!(b.recv_deadline(SimTime::from_ns(10)).unwrap().is_none());
+        a.send(b.id(), SimTime::ZERO, 1, MsgClass::Control, 4).unwrap();
+        assert_eq!(b.recv_deadline(SimTime::from_ns(10)).unwrap().unwrap().msg, 4);
+    }
+
+    #[test]
+    fn recv_deadline_is_exact_in_virtual_time_on_bound_endpoints() {
+        use samhita_sched::Scheduler;
+        let sched = Scheduler::new(0);
+        let host = sched.register_running();
+        let fabric = Fabric::<u8>::new(Topology::single_node(1));
+        let a = fabric.add_endpoint(NodeId(0));
+        let b = fabric.add_endpoint(NodeId(0));
+        let task = sched.register_parked();
+        b.bind_task(&task);
+        let b_id = b.id();
+        let h = std::thread::spawn(move || {
+            task.start();
+            // The message is already in flight, due no earlier than 1000 ns;
+            // a 500 ns deadline fires first, with the message left staged.
+            assert!(b.recv_deadline(SimTime::from_ns(500)).unwrap().is_none());
+            // With a late deadline the staged message wins over it.
+            let env = b.recv_deadline(SimTime::from_ms(1)).unwrap().expect("message due first");
+            assert_eq!(env.msg, 7);
+            assert!(env.deliver_at >= SimTime::from_ns(1000));
+            task.exit();
+        });
+        a.send(b_id, SimTime::from_ns(1000), 8, MsgClass::Control, 7).unwrap();
+        host.suspend();
+        h.join().unwrap();
+        host.resume();
     }
 
     #[test]

@@ -47,6 +47,8 @@ pub struct CheckSummary {
     pub diff_bytes: u64,
     /// Fine-grain bytes flushed by threads (servers may apply more).
     pub fine_bytes: u64,
+    /// Lease reclamations audited against the holder's actual hold.
+    pub lease_reclaims: u64,
 }
 
 impl fmt::Display for CheckSummary {
@@ -54,13 +56,14 @@ impl fmt::Display for CheckSummary {
         write!(
             f,
             "{} holds on {} locks, {} invalidations, {} barrier episodes, \
-             {} diff bytes conserved, {} fine bytes accounted",
+             {} diff bytes conserved, {} fine bytes accounted, {} lease reclaims",
             self.lock_holds,
             self.locks,
             self.invalidations,
             self.barrier_episodes,
             self.diff_bytes,
-            self.fine_bytes
+            self.fine_bytes,
+            self.lease_reclaims
         )
     }
 }
@@ -81,6 +84,9 @@ pub enum Violation {
     },
     /// A lock event without its counterpart on the same thread.
     UnpairedLock { lock: u32, tid: u32, at: u64, what: &'static str },
+    /// The standby reclaimed a lease from a thread that never held the lock
+    /// at that point in virtual time.
+    ReclaimWithoutHold { lock: u32, holder: u32, at: u64 },
     /// An invalidation with no causally-ordered diff flush by the writer.
     UnorderedInvalidate {
         page: u64,
@@ -120,6 +126,11 @@ impl fmt::Display for Violation {
             Violation::UnpairedLock { lock, tid, at, what } => {
                 write!(f, "unpaired lock event on lock {lock}: thread {tid} {what} at {at}ns")
             }
+            Violation::ReclaimWithoutHold { lock, holder, at } => write!(
+                f,
+                "bogus lease reclaim of lock {lock} at {at}ns: thread {holder} never held it \
+                 at that point"
+            ),
             Violation::UnorderedInvalidate { page, reader, writer, at, earliest_flush } => {
                 match earliest_flush {
                     Some(flush) => write!(
@@ -220,6 +231,33 @@ impl RunTrace {
             // A hold still open at thread exit excludes everyone forever.
             for (lock, acq) in open {
                 intervals.entry(lock).or_default().push((acq, u64::MAX, tid));
+            }
+        }
+        // Lease reclamations (standby track) forcibly end the named holder's
+        // hold at the reclaim stamp; the deposed holder's own release, if it
+        // ever arrives, is stale and must not extend the interval. A reclaim
+        // whose end is already earlier is a release that was in flight when
+        // the standby swept — legal, nothing to truncate.
+        for (track, events) in &self.tracks {
+            if !matches!(track, TrackId::MgrStandby | TrackId::Manager) {
+                continue;
+            }
+            for e in events {
+                let EventKind::LeaseReclaim { lock, holder } = e.kind else { continue };
+                let at = e.at.as_ns();
+                let hold = intervals.get_mut(&lock).and_then(|holds| {
+                    holds
+                        .iter_mut()
+                        .filter(|(acq, _, tid)| *tid == holder && *acq <= at)
+                        .max_by_key(|(acq, _, _)| *acq)
+                });
+                match hold {
+                    Some((_, end, _)) => {
+                        *end = (*end).min(at);
+                        summary.lease_reclaims += 1;
+                    }
+                    None => violations.push(Violation::ReclaimWithoutHold { lock, holder, at }),
+                }
             }
         }
         summary.locks = intervals.len();
@@ -642,6 +680,59 @@ mod tests {
             violations[0],
             Violation::BarrierArity { barrier: 0, tid: 1, episodes: 1, expected: 2 }
         ));
+    }
+
+    #[test]
+    fn lease_reclaim_closes_the_deposed_holders_interval() {
+        // T0 acquires at 100 and only releases (stale) at 700, after the
+        // standby reclaimed the lease at 500 and granted T1. Without the
+        // reclaim this is a textbook overlap; with it the intervals are
+        // [100, 500] and [500, 600].
+        let trace = RunTrace::from_tracks(vec![
+            (
+                TrackId::Thread(0),
+                vec![
+                    ev(100, EventKind::LockAcquire { lock: 4, wait_ns: 0 }),
+                    ev(700, EventKind::LockRelease { lock: 4 }),
+                ],
+            ),
+            (
+                TrackId::Thread(1),
+                vec![
+                    ev(500, EventKind::LockAcquire { lock: 4, wait_ns: 400 }),
+                    ev(600, EventKind::LockRelease { lock: 4 }),
+                ],
+            ),
+            (TrackId::MgrStandby, vec![ev(500, EventKind::LeaseReclaim { lock: 4, holder: 0 })]),
+        ]);
+        let summary = trace.check_invariants().expect("reclaim resolves the overlap");
+        assert_eq!(summary.lease_reclaims, 1);
+        assert_eq!(summary.lock_holds, 2);
+        // Sanity: the same trace without the reclaim event is rejected.
+        let without = RunTrace::from_tracks(
+            trace.tracks.iter().filter(|(t, _)| *t != TrackId::MgrStandby).cloned().collect(),
+        );
+        let violations = without.check_invariants().expect_err("overlap without reclaim");
+        assert!(matches!(violations[0], Violation::LockOverlap { lock: 4, .. }));
+    }
+
+    #[test]
+    fn rejects_reclaim_from_a_thread_that_never_held() {
+        let trace = RunTrace::from_tracks(vec![
+            (
+                TrackId::Thread(0),
+                vec![
+                    ev(100, EventKind::LockAcquire { lock: 2, wait_ns: 0 }),
+                    ev(200, EventKind::LockRelease { lock: 2 }),
+                ],
+            ),
+            (TrackId::MgrStandby, vec![ev(300, EventKind::LeaseReclaim { lock: 2, holder: 9 })]),
+        ]);
+        let violations = trace.check_invariants().expect_err("must reject");
+        assert_eq!(violations[0], Violation::ReclaimWithoutHold { lock: 2, holder: 9, at: 300 });
+        let msg = violations[0].to_string();
+        assert!(msg.contains("lock 2"), "{msg}");
+        assert!(msg.contains("thread 9 never held"), "{msg}");
     }
 
     #[test]

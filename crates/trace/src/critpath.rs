@@ -298,7 +298,7 @@ impl Index {
                         }
                     }
                 }
-                TrackId::Manager => {
+                TrackId::Manager | TrackId::MgrStandby => {
                     for e in events {
                         if let EventKind::MgrServe { op, tid } = e.kind {
                             let done = e.at.as_ns();

@@ -15,6 +15,9 @@ pub enum TrackId {
     Thread(u32),
     /// The central manager.
     Manager,
+    /// The hot-standby manager (replays the primary's log; serves only
+    /// after a failover).
+    MgrStandby,
     /// A memory server, by index.
     MemServer(u32),
     /// The interconnect (one aggregate track; events carry src/dst).
@@ -27,6 +30,7 @@ impl TrackId {
         match self {
             TrackId::Thread(t) => format!("thread {t}"),
             TrackId::Manager => "manager".to_string(),
+            TrackId::MgrStandby => "mgr standby".to_string(),
             TrackId::MemServer(i) => format!("mem server {i}"),
             TrackId::Fabric => "fabric".to_string(),
         }
@@ -39,6 +43,7 @@ impl TrackId {
         match self {
             TrackId::Thread(t) => u64::from(*t),
             TrackId::Manager => 1000,
+            TrackId::MgrStandby => 999,
             TrackId::MemServer(i) => 1001 + u64::from(*i),
             TrackId::Fabric => 2000,
         }
@@ -129,6 +134,13 @@ pub enum EventKind {
     /// bytes (thread track). The per-page `DiffFlush`/`FineFlush` events
     /// still precede this one, so byte-conservation checks are unchanged.
     BatchFlush { server: u32, parts: u32, bytes: u64 },
+    /// A thread exhausted its retries against the primary manager and
+    /// re-homed all manager traffic to the hot standby; `op` is the
+    /// request that detected the crash (thread track).
+    MgrFailover { op: &'static str },
+    /// The active standby reclaimed `lock` from `holder` because its lease
+    /// expired (standby track).
+    LeaseReclaim { lock: u32, holder: u32 },
 }
 
 impl EventKind {
@@ -158,6 +170,8 @@ impl EventKind {
             EventKind::Retry { .. } => "retry",
             EventKind::Failover { .. } => "failover",
             EventKind::BatchFlush { .. } => "batch-flush",
+            EventKind::MgrFailover { .. } => "mgr-failover",
+            EventKind::LeaseReclaim { .. } => "lease-reclaim",
         }
     }
 

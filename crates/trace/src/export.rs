@@ -86,6 +86,10 @@ fn args_of(kind: &EventKind) -> Vec<(&'static str, String)> {
             ("parts", parts.to_string()),
             ("bytes", bytes.to_string()),
         ],
+        EventKind::MgrFailover { op } => vec![("op", s(op))],
+        EventKind::LeaseReclaim { lock, holder } => {
+            vec![("lock", lock.to_string()), ("holder", holder.to_string())]
+        }
     }
 }
 
@@ -111,9 +115,11 @@ fn category(kind: &EventKind) -> &'static str {
         | EventKind::BarrierRelease { .. } => "sync",
         EventKind::MgrRpc { .. } | EventKind::MgrServe { .. } => "mgr",
         EventKind::FabricSend { .. } => "fabric",
-        EventKind::FaultInjected { .. } | EventKind::Retry { .. } | EventKind::Failover { .. } => {
-            "fault"
-        }
+        EventKind::FaultInjected { .. }
+        | EventKind::Retry { .. }
+        | EventKind::Failover { .. }
+        | EventKind::MgrFailover { .. }
+        | EventKind::LeaseReclaim { .. } => "fault",
     }
 }
 

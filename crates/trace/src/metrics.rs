@@ -178,7 +178,7 @@ impl MetricsTimeline {
             (TrackId::Fabric, EventKind::FabricSend { bytes, .. }) => {
                 self.bucket_at(at).fabric_bytes += bytes;
             }
-            (TrackId::Manager, EventKind::MgrServe { .. }) => {
+            (TrackId::Manager | TrackId::MgrStandby, EventKind::MgrServe { .. }) => {
                 self.bucket_at(at).mgr_busy_ns += costs.mgr_service_ns;
             }
             (TrackId::MemServer(_), EventKind::ServeFetch { pages, .. }) => {

@@ -253,7 +253,7 @@ impl SpanGraph {
                     });
                     g.build_thread_spans(*track, events, &w);
                 }
-                TrackId::Manager => {
+                TrackId::Manager | TrackId::MgrStandby => {
                     for e in events {
                         if let EventKind::MgrServe { op, tid } = e.kind {
                             let start = e.at.as_ns().saturating_sub(costs.mgr_service_ns);

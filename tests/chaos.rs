@@ -227,61 +227,78 @@ fn server_crash_mid_batch_fails_over_and_keeps_invariants() {
     trace.check_invariants().expect("batched failover must preserve every RegC invariant");
 }
 
-/// P=8 fault plans for the deterministic-scheduler suite: a heavy drop
-/// plan and a mid-run crash of memory server 1 (Jacobi's home, so the
-/// crash forces failovers even at higher thread counts).
-fn p8_plans() -> Vec<(&'static str, FaultConfig)> {
+/// Seeded fault plans for the deterministic-scheduler scale suite
+/// (P ∈ {8, 64}): a heavy drop plan, a mid-run crash of memory server 1
+/// (Jacobi's home, so the crash forces failovers at every thread count),
+/// and a mixed drop+dup plan.
+fn scale_plans() -> Vec<(&'static str, FaultConfig)> {
     vec![
-        ("p8-drop", FaultConfig::lossy(0xC1, 0.08, 0.0, 0.0, 0)),
+        ("scale-drop", FaultConfig::lossy(0xC1, 0.08, 0.0, 0.0, 0)),
         (
-            "p8-crash",
+            "scale-crash",
             FaultConfig { crash: Some((1, 70_000)), ..FaultConfig::lossy(0xC2, 0.03, 0.0, 0.0, 0) },
         ),
+        ("scale-drop-dup", FaultConfig::lossy(0xC3, 0.05, 0.03, 0.0, 0)),
     ]
 }
 
-const JACOBI_P8: JacobiParams = JacobiParams { n: 16, iters: 4, threads: 8 };
-
-#[test]
-fn p8_faulty_runs_match_fault_free_results_and_reproduce_bit_identically() {
-    // Eight compute threads under the deterministic scheduler: every seeded
-    // fault plan must (a) leave the computed grid bit-identical to the
-    // fault-free run — applications cannot tell recovery happened — and
-    // (b) itself be bit-reproducible: two runs of the same plan produce
-    // byte-identical reports, virtual timing and fabric counters included.
-    let baseline = run_jacobi(&SamhitaRt::new(replicated_cluster()), &JACOBI_P8);
-    assert_eq!(baseline.grid, serial_reference_jacobi(JACOBI_P8.n, JACOBI_P8.iters));
-    for (name, faults) in p8_plans() {
-        let cfg = SamhitaConfig { faults, ..replicated_cluster() };
-        let a = run_jacobi(&SamhitaRt::new(cfg.clone()), &JACOBI_P8);
-        assert_eq!(a.grid, baseline.grid, "plan {name} perturbed the Jacobi grid at P=8");
-        assert!(a.report.fabric.total_faults() > 0, "plan {name} injected nothing");
-        let b = run_jacobi(&SamhitaRt::new(cfg), &JACOBI_P8);
-        assert_eq!(
-            format!("{:?}", a.report),
-            format!("{:?}", b.report),
-            "plan {name}: a seeded faulty P=8 run must reproduce bit-identically"
-        );
+/// Jacobi sized so every thread owns at least one interior row: the P=8
+/// shape is the suite's historical one; P=64 widens the grid and shortens
+/// the sweep to keep runtime bounded.
+fn scale_jacobi(threads: u32) -> JacobiParams {
+    if threads <= 16 {
+        JacobiParams { n: 16, iters: 4, threads }
+    } else {
+        JacobiParams { n: 64, iters: 2, threads }
     }
 }
 
 #[test]
-fn p8_faulty_runs_pass_the_invariant_checker() {
-    for (name, faults) in p8_plans() {
-        let cfg = SamhitaConfig { tracing: true, faults, ..replicated_cluster() };
-        let rt = SamhitaRt::new(cfg);
-        let r = run_jacobi(&rt, &JACOBI_P8);
-        if name == "p8-crash" {
-            assert!(
-                r.report.total_of(|t| t.failovers) > 0,
-                "crashing server 1 mid-run must drive failovers at P=8"
+fn scaled_faulty_runs_match_fault_free_results_and_reproduce_bit_identically() {
+    // P=8 and P=64 compute threads under the deterministic scheduler: every
+    // seeded fault plan must (a) leave the computed grid bit-identical to
+    // the fault-free run — applications cannot tell recovery happened — and
+    // (b) itself be bit-reproducible: two runs of the same plan produce
+    // byte-identical reports, virtual timing and fabric counters included.
+    for threads in [8u32, 64] {
+        let p = scale_jacobi(threads);
+        let baseline = run_jacobi(&SamhitaRt::new(replicated_cluster()), &p);
+        assert_eq!(baseline.grid, serial_reference_jacobi(p.n, p.iters));
+        for (name, faults) in scale_plans() {
+            let cfg = SamhitaConfig { faults, ..replicated_cluster() };
+            let a = run_jacobi(&SamhitaRt::new(cfg.clone()), &p);
+            assert_eq!(a.grid, baseline.grid, "plan {name} perturbed the grid at P={threads}");
+            assert!(a.report.fabric.total_faults() > 0, "plan {name} injected nothing");
+            let b = run_jacobi(&SamhitaRt::new(cfg), &p);
+            assert_eq!(
+                format!("{:?}", a.report),
+                format!("{:?}", b.report),
+                "plan {name}: a seeded faulty P={threads} run must reproduce bit-identically"
             );
         }
-        let trace = rt.take_trace().expect("tracing was enabled");
-        let summary = trace
-            .check_invariants()
-            .unwrap_or_else(|e| panic!("plan {name} broke a RegC invariant at P=8: {e:?}"));
-        assert!(summary.diff_bytes > 0, "plan {name}: the run must have flushed diffs");
+    }
+}
+
+#[test]
+fn scaled_faulty_runs_pass_the_invariant_checker() {
+    for threads in [8u32, 64] {
+        let p = scale_jacobi(threads);
+        for (name, faults) in scale_plans() {
+            let cfg = SamhitaConfig { tracing: true, faults, ..replicated_cluster() };
+            let rt = SamhitaRt::new(cfg);
+            let r = run_jacobi(&rt, &p);
+            if name == "scale-crash" {
+                assert!(
+                    r.report.total_of(|t| t.failovers) > 0,
+                    "crashing server 1 mid-run must drive failovers at P={threads}"
+                );
+            }
+            let trace = rt.take_trace().expect("tracing was enabled");
+            let summary = trace.check_invariants().unwrap_or_else(|e| {
+                panic!("plan {name} broke a RegC invariant at P={threads}: {e:?}")
+            });
+            assert!(summary.diff_bytes > 0, "plan {name}: the run must have flushed diffs");
+        }
     }
 }
 

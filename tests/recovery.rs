@@ -1,0 +1,229 @@
+//! Manager crash recovery: the replicated manager state machine under fire.
+//!
+//! Every mutation the primary manager applies is a typed log record shipped
+//! (write-ahead, same virtual instant as the response) to a hot standby on
+//! another node. These tests crash the primary mid-run and demand that the
+//! clients' retry/failover path re-homes to the standby, that the standby's
+//! replayed state answers every in-flight and future request, and that the
+//! application cannot tell: final shared-memory contents bit-identical to a
+//! fault-free run, every RegC invariant intact, and the whole recovered
+//! execution itself bit-reproducible under the deterministic scheduler.
+
+mod common;
+
+use common::{generate, interpret, run_on_dsm};
+use samhita_repro::core::{FaultConfig, Samhita, SamhitaConfig, TopologyKind};
+use samhita_repro::kernels::{
+    run_jacobi, run_md, run_micro, serial_reference_jacobi, AllocMode, JacobiParams, MdParams,
+    MicroParams,
+};
+use samhita_repro::rt::SamhitaRt;
+use samhita_repro::trace::{EventKind, TrackId};
+
+/// The paper's six-node cluster with a hot-standby manager configured:
+/// node 0 manager, nodes 1–2 memory servers, compute on 3–5, standby on
+/// the last compute node (5) so a manager-node crash cannot take it too.
+fn standby_cluster() -> SamhitaConfig {
+    SamhitaConfig {
+        manager_standby: true,
+        mem_servers: 2,
+        replica_offset: 1,
+        topology: TopologyKind::Cluster { nodes: 6 },
+        ..SamhitaConfig::default()
+    }
+}
+
+/// The standby cluster with the primary manager crashing at `at_ns`
+/// (virtual). From that instant every envelope into or out of the primary
+/// is dropped; only the host's reliable control plane still reaches it.
+fn mgr_crash(at_ns: u64) -> SamhitaConfig {
+    SamhitaConfig {
+        faults: FaultConfig { mgr_crash: Some(at_ns), ..FaultConfig::default() },
+        ..standby_cluster()
+    }
+}
+
+const JACOBI_P8: JacobiParams = JacobiParams { n: 16, iters: 4, threads: 8 };
+const JACOBI_P64: JacobiParams = JacobiParams { n: 64, iters: 2, threads: 64 };
+
+fn micro_params() -> MicroParams {
+    MicroParams {
+        n_outer: 4,
+        m_inner: 2,
+        s_rows: 2,
+        b_cols: 32,
+        mode: AllocMode::Global,
+        threads: 3,
+    }
+}
+
+#[test]
+fn jacobi_p8_survives_a_manager_crash_bit_identically() {
+    let baseline = run_jacobi(&SamhitaRt::new(standby_cluster()), &JACOBI_P8);
+    assert_eq!(baseline.grid, serial_reference_jacobi(JACOBI_P8.n, JACOBI_P8.iters));
+    let r = run_jacobi(&SamhitaRt::new(mgr_crash(60_000)), &JACOBI_P8);
+    assert_eq!(r.grid, baseline.grid, "manager crash perturbed the Jacobi grid at P=8");
+    assert!(r.report.mgr_failovers() > 0, "the crash must drive threads to the standby");
+    assert!(r.report.takeover_ns > 0, "the standby must have taken over");
+    assert!(r.report.standby_serves > 0, "the standby must have served requests");
+    assert!(r.report.log_records_shipped > 0, "the primary must have shipped its log");
+}
+
+#[test]
+fn jacobi_p64_survives_a_manager_crash_bit_identically() {
+    let baseline = run_jacobi(&SamhitaRt::new(standby_cluster()), &JACOBI_P64);
+    assert_eq!(baseline.grid, serial_reference_jacobi(JACOBI_P64.n, JACOBI_P64.iters));
+    let r = run_jacobi(&SamhitaRt::new(mgr_crash(60_000)), &JACOBI_P64);
+    assert_eq!(r.grid, baseline.grid, "manager crash perturbed the Jacobi grid at P=64");
+    assert!(r.report.mgr_failovers() > 0, "the crash must drive threads to the standby");
+    assert!(r.report.standby_serves > 0, "the standby must have served requests");
+}
+
+#[test]
+fn micro_gsum_survives_a_manager_crash_bit_identically() {
+    let baseline = run_micro(&SamhitaRt::new(standby_cluster()), &micro_params());
+    let r = run_micro(&SamhitaRt::new(mgr_crash(20_000)), &micro_params());
+    assert_eq!(
+        r.gsum.to_bits(),
+        baseline.gsum.to_bits(),
+        "manager crash perturbed the micro-benchmark sum: {} != {}",
+        r.gsum,
+        baseline.gsum
+    );
+    assert!(r.report.mgr_failovers() > 0, "the crash must drive threads to the standby");
+}
+
+#[test]
+fn md_positions_survive_a_manager_crash_bit_identically() {
+    let p = MdParams { n: 24, steps: 4, dt: 1e-3, threads: 8, seed: 42 };
+    let baseline = run_md(&SamhitaRt::new(standby_cluster()), &p);
+    let r = run_md(&SamhitaRt::new(mgr_crash(60_000)), &p);
+    assert_eq!(
+        r.positions, baseline.positions,
+        "manager crash perturbed the MD trajectory (positions must be bit-identical)"
+    );
+    assert!(r.report.mgr_failovers() > 0, "the crash must drive threads to the standby");
+}
+
+#[test]
+fn random_program_survives_a_manager_crash_at_p8_and_p64() {
+    for (threads, crash_ns) in [(8u32, 50_000u64), (64, 50_000)] {
+        let phases = generate(97, threads, 4);
+        let (want_slots, want_accs) = interpret(&phases, threads);
+        let sys = Samhita::new(mgr_crash(crash_ns));
+        let (slots, accs, report) = run_on_dsm(&sys, &phases, threads);
+        assert_eq!(slots, want_slots, "P={threads}: slots diverged after manager failover");
+        assert_eq!(accs, want_accs, "P={threads}: accumulators diverged after manager failover");
+        assert!(
+            report.mgr_failovers() > 0,
+            "P={threads}: the crash must drive threads to the standby"
+        );
+    }
+}
+
+#[test]
+fn recovered_run_is_bit_reproducible_and_passes_the_invariant_checker() {
+    let observe = || {
+        let cfg = SamhitaConfig { tracing: true, ..mgr_crash(60_000) };
+        let rt = SamhitaRt::new(cfg);
+        let r = run_jacobi(&rt, &JACOBI_P8);
+        let trace = rt.take_trace().expect("tracing was enabled");
+        (format!("{:?}", r.report), trace)
+    };
+    let (report_a, trace_a) = observe();
+    let (report_b, trace_b) = observe();
+    assert_eq!(report_a, report_b, "a recovered run must reproduce bit-identically");
+    assert_eq!(trace_a.checksum(), trace_b.checksum(), "trace checksums must match across runs");
+
+    // The recovered protocol timeline still satisfies every RegC invariant
+    // (lock intervals now span primary-served acquires and standby-served
+    // releases; diff-byte conservation spans the failover).
+    let summary = trace_a.check_invariants().expect("recovered timeline must satisfy RegC");
+    assert!(summary.diff_bytes > 0, "the run must have flushed (and conserved) diffs");
+
+    // The failover is visible in the trace: threads record the re-home,
+    // and the standby's track carries real serves after the takeover.
+    let failovers = (0..JACOBI_P8.threads)
+        .filter_map(|t| trace_a.track(TrackId::Thread(t)))
+        .flatten()
+        .filter(|e| matches!(e.kind, EventKind::MgrFailover { .. }))
+        .count();
+    assert!(failovers > 0, "no thread traced a MgrFailover event");
+    let standby = trace_a.track(TrackId::MgrStandby).unwrap_or(&[]);
+    assert!(
+        standby.iter().any(|e| matches!(e.kind, EventKind::MgrServe { .. })),
+        "the standby track must carry post-takeover serves"
+    );
+}
+
+#[test]
+fn fault_free_standby_ships_the_log_but_never_takes_over() {
+    // With a standby configured but no crash, the log is shipped and the
+    // standby stays a silent replica: no takeover, no serves, no reclaims —
+    // and the application result is still exactly the serial reference.
+    let r = run_jacobi(&SamhitaRt::new(standby_cluster()), &JACOBI_P8);
+    assert_eq!(r.grid, serial_reference_jacobi(JACOBI_P8.n, JACOBI_P8.iters));
+    assert!(r.report.log_records_shipped > 0, "the primary must ship its log");
+    assert_eq!(r.report.mgr_failovers(), 0, "no thread may fail over without a crash");
+    assert_eq!(r.report.takeover_ns, 0, "the standby must not take over without a crash");
+    assert_eq!(r.report.standby_serves, 0, "the standby must not serve without a crash");
+    assert_eq!(r.report.lease_reclaims, 0, "no lease may expire in a fault-free run");
+}
+
+#[test]
+fn expired_lease_is_reclaimed_and_the_stale_release_absorbed() {
+    // Thread 0 takes a lock and disappears into a long compute phase — far
+    // longer than the lease — while the primary crashes. Thread 1 keeps the
+    // manager busy, fails over, and activates the standby, whose lease sweep
+    // must reclaim thread 0's expired lock *in virtual time* (no wall-clock
+    // timer anywhere). Thread 0's eventual release arrives stale and must be
+    // absorbed (acknowledged, not applied). Nobody else touches thread 0's
+    // data, so the final memory is still exact.
+    let cfg = SamhitaConfig {
+        tracing: true,
+        mgr_lease_ns: 20_000, // 20 µs leases: expired long before the release
+        faults: FaultConfig { mgr_crash: Some(30_000), ..FaultConfig::default() },
+        ..standby_cluster()
+    };
+    let sys = Samhita::new(cfg);
+    let slot = sys.alloc_global(16);
+    let lock_a = sys.create_mutex();
+    let lock_b = sys.create_mutex();
+    let report = sys.run(2, move |ctx| {
+        if ctx.tid() == 0 {
+            ctx.lock(lock_a);
+            ctx.write_u64(slot, 41);
+            // ~14 ms of virtual compute: the lease (20 µs) expires, the
+            // primary crashes, and the standby takes over meanwhile.
+            ctx.compute(40_000_000);
+            ctx.write_u64(slot + 8, 42);
+            ctx.unlock(lock_a); // stale: the standby reclaimed this lease
+        } else {
+            // Keep manager traffic flowing so the crash is detected and the
+            // standby activated well before thread 0 resurfaces.
+            for _ in 0..40 {
+                ctx.lock(lock_b);
+                ctx.unlock(lock_b);
+            }
+        }
+    });
+    assert!(report.mgr_failovers() > 0, "the crash must drive thread 1 to the standby");
+    assert_eq!(report.lease_reclaims, 1, "exactly one lease (thread 0's) must be reclaimed");
+    assert_eq!(report.stale_releases, 1, "thread 0's late release must be absorbed as stale");
+
+    let mut bytes = [0u8; 16];
+    sys.read_global(slot, &mut bytes);
+    assert_eq!(u64::from_le_bytes(bytes[..8].try_into().unwrap()), 41);
+    assert_eq!(u64::from_le_bytes(bytes[8..].try_into().unwrap()), 42);
+
+    let trace = sys.take_trace().expect("tracing was enabled");
+    let standby = trace.track(TrackId::MgrStandby).unwrap_or(&[]);
+    assert!(
+        standby.iter().any(|e| matches!(e.kind, EventKind::LeaseReclaim { .. })),
+        "the standby track must record the lease reclaim"
+    );
+    // The invariant checker knows a reclaim deposes the holder: the deposed
+    // interval is truncated at the reclaim stamp instead of flagging the
+    // stale release as a protocol violation.
+    trace.check_invariants().expect("a reclaimed lease must keep the timeline consistent");
+}
