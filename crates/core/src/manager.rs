@@ -343,17 +343,18 @@ impl ManagerEngine {
             }
             MgrRequest::Acquire { lock, pages, updates, last_seen } => {
                 self.stats.acquires += 1;
-                self.publish(tid, pages, updates);
                 if !self.threads.contains_key(&tid) {
                     let resp = MgrResponse::Err(MgrError::Unregistered { tid });
                     return vec![Outgoing { dst: src, token, at: done, resp }];
                 }
-                let waiter = Waiter { tid, token, ready: done, last_seen };
-                let lease = self.lease;
-                let Some(state) = self.locks.get_mut(lock as usize) else {
+                if lock as usize >= self.locks.len() {
                     let resp = MgrResponse::Err(MgrError::UnknownLock { lock });
                     return vec![Outgoing { dst: src, token, at: done, resp }];
-                };
+                }
+                self.publish(tid, pages, updates);
+                let waiter = Waiter { tid, token, ready: done, last_seen };
+                let lease = self.lease;
+                let state = &mut self.locks[lock as usize];
                 if state.holder.is_none() {
                     state.holder = Some(tid);
                     let at = done.max(state.free_at);
@@ -366,6 +367,10 @@ impl ManagerEngine {
             }
             MgrRequest::Release { lock, pages, updates, last_seen: _ } => {
                 self.stats.releases += 1;
+                if !self.threads.contains_key(&tid) {
+                    let resp = MgrResponse::Err(MgrError::Unregistered { tid });
+                    return vec![Outgoing { dst: src, token, at: done, resp }];
+                }
                 self.publish(tid, pages, updates);
                 let mut out = self.release_lock(lock, tid, done, src, token);
                 // In standby mode, releases are acknowledged so the client
@@ -379,15 +384,16 @@ impl ManagerEngine {
             }
             MgrRequest::BarrierWait { barrier, pages, updates, last_seen } => {
                 self.stats.barrier_waits += 1;
-                self.publish(tid, pages, updates);
                 if !self.threads.contains_key(&tid) {
                     let resp = MgrResponse::Err(MgrError::Unregistered { tid });
                     return vec![Outgoing { dst: src, token, at: done, resp }];
                 }
-                let Some(state) = self.barriers.get_mut(barrier as usize) else {
+                if barrier as usize >= self.barriers.len() {
                     let resp = MgrResponse::Err(MgrError::UnknownBarrier { barrier });
                     return vec![Outgoing { dst: src, token, at: done, resp }];
-                };
+                }
+                self.publish(tid, pages, updates);
+                let state = &mut self.barriers[barrier as usize];
                 state.waiting.push(Waiter { tid, token, ready: done, last_seen });
                 if state.waiting.len() as u32 == state.parties {
                     self.stats.barrier_releases += 1;
@@ -415,7 +421,6 @@ impl ManagerEngine {
             }
             MgrRequest::CondWait { cond, lock, pages, updates, last_seen } => {
                 self.stats.cond_waits += 1;
-                self.publish(tid, pages, updates);
                 if !self.threads.contains_key(&tid) {
                     let resp = MgrResponse::Err(MgrError::Unregistered { tid });
                     return vec![Outgoing { dst: src, token, at: done, resp }];
@@ -424,12 +429,13 @@ impl ManagerEngine {
                     let resp = MgrResponse::Err(MgrError::UnknownLock { lock });
                     return vec![Outgoing { dst: src, token, at: done, resp }];
                 }
-                let waiter = Waiter { tid, token, ready: done, last_seen };
-                let Some(state) = self.conds.get_mut(cond as usize) else {
+                if cond as usize >= self.conds.len() {
                     let resp = MgrResponse::Err(MgrError::UnknownCond { cond });
                     return vec![Outgoing { dst: src, token, at: done, resp }];
-                };
-                state.waiters.push_back((waiter, lock));
+                }
+                self.publish(tid, pages, updates);
+                let waiter = Waiter { tid, token, ready: done, last_seen };
+                self.conds[cond as usize].waiters.push_back((waiter, lock));
                 // Atomically release the lock the caller held.
                 self.release_lock(lock, tid, done, src, token)
             }
@@ -461,6 +467,10 @@ impl ManagerEngine {
         }
     }
 
+    /// Record a sync op's flushed pages and fine updates as a write-notice
+    /// interval. Callers must validate the request (registered thread, known
+    /// sync-object id) *first*: a rejected request publishes nothing, so its
+    /// flush never becomes visible to later grantees under an error response.
     fn publish(&mut self, tid: u32, pages: Vec<u64>, updates: Vec<FineUpdate>) {
         if !pages.is_empty() || !updates.is_empty() {
             self.stats.notices_published += 1;

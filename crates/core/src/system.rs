@@ -219,7 +219,16 @@ impl Samhita {
             ctl_endpoint.bind_task(host);
         }
         let ctl_id = ctl_endpoint.id();
-        let dedup = cfg.faults.is_active();
+        let faults_active = cfg.faults.is_active();
+        // Server-side replay protection. Duplicates reach the servers from
+        // two sources: a fault plan (dup/drop-forced retransmission), and —
+        // even in a fault-free run — the grant-liveness probe that a standby
+        // configuration arms on every client (see `ThreadCtx::new`), which
+        // re-sends a blocked request's token once per lease period. Replay
+        // protection is a prerequisite of probing, so dedup is on whenever
+        // either source exists; otherwise a probed-but-deferred acquire,
+        // barrier wait, or cond wait would be applied twice.
+        let dedup = faults_active || cfg.manager_standby;
 
         // Memory servers.
         let mut mem_eps = Vec::new();
@@ -270,8 +279,10 @@ impl Samhita {
 
         // Deterministic fault injection: structural faults (crash windows
         // need the crashed endpoint's id) are resolved here, then the plan
-        // is installed before any protocol traffic flows.
-        if dedup {
+        // is installed before any protocol traffic flows. Installed only for
+        // an actually-active plan — a fault-free standby run stays on the
+        // unfaulted fabric path.
+        if faults_active {
             let f = &cfg.faults;
             let mut plan = samhita_scl::FaultPlan::lossy(
                 f.seed,
@@ -306,7 +317,8 @@ impl Samhita {
         let mgr_queue = Arc::new(Mutex::new(QueueMirror::default()));
         let mgr_queue_loop = Arc::clone(&mgr_queue);
         let mgr_recovery = Arc::clone(&recovery);
-        let mgr_died_at = dedup.then(|| cfg.faults.mgr_crash.map(SimTime::from_ns)).flatten();
+        let mgr_died_at =
+            faults_active.then(|| cfg.faults.mgr_crash.map(SimTime::from_ns)).flatten();
         let mgr_handle = Some(std::thread::spawn(move || {
             manager_loop(
                 mgr_endpoint,
@@ -328,7 +340,8 @@ impl Samhita {
             let engine = ManagerEngine::new(&cfg);
             let track = tracer.as_ref().map(|t| t.shared_track(TrackId::MgrStandby));
             let rec = Arc::clone(&recovery);
-            std::thread::spawn(move || standby_loop(ep, engine, track, ctl_id, rec))
+            let det = cfg.runtime == RuntimeKind::Det;
+            std::thread::spawn(move || standby_loop(ep, engine, track, ctl_id, det, rec))
         });
 
         // Host control client (registers like a thread, but never syncs).
@@ -1049,12 +1062,16 @@ fn manager_loop(
 /// sleeps only until the earliest lock-lease expiry; waking at that virtual
 /// deadline with no message, it folds a `ReclaimExpired` sweep into the log
 /// so a lock whose holder (or whose release) died with the primary is handed
-/// to the next waiter instead of blocking the run forever.
+/// to the next waiter instead of blocking the run forever. The sweep is
+/// deterministic-runtime only (`det`): leases expire in virtual time, and
+/// only a scheduler-bound endpoint can observe "virtual time reached the
+/// expiry" — see the `deadline` computation below.
 fn standby_loop(
     ep: Endpoint<Msg>,
     mut engine: ManagerEngine,
     track: Option<SharedTrack>,
     ctl: EndpointId,
+    det: bool,
     recovery: Arc<RecoveryMirror>,
 ) -> ManagerStats {
     let mut hwm: HashMap<EndpointId, u64> = HashMap::new();
@@ -1064,7 +1081,12 @@ fn standby_loop(
     loop {
         // An active standby sleeps only until the earliest lease expiry:
         // reaching the deadline with no message triggers a reclaim sweep.
-        let deadline = if active { engine.next_lease_expiry() } else { None };
+        // Deterministic runtime only: on an unbound (OS-runtime) endpoint
+        // `recv_deadline` degrades to a ~1ms wall-clock poll whose `Ok(None)`
+        // means "nothing yet", not "virtual time reached the expiry" —
+        // sweeping there would depose live holders on wall-clock cadence.
+        // Mirrors the probe gating in `ThreadCtx::new`.
+        let deadline = if active && det { engine.next_lease_expiry() } else { None };
         let env = match deadline {
             Some(at) => match ep.recv_deadline(at) {
                 Ok(Some(env)) => env,

@@ -171,6 +171,61 @@ fn fault_free_standby_ships_the_log_but_never_takes_over() {
 }
 
 #[test]
+fn fault_free_probe_resends_are_absorbed_not_reapplied() {
+    // A standby configuration arms the clients' grant-liveness probe even
+    // in a fault-free run: any request whose grant is deferred past the
+    // lease period re-sends its token. The live primary must absorb those
+    // duplicates through replay protection — a re-applied probe would queue
+    // the acquire twice and count the barrier arrival twice (releasing the
+    // barrier before the peer arrives), silently corrupting synchronization.
+    let cfg = SamhitaConfig {
+        mgr_lease_ns: 20_000, // 20 µs leases: blocked waiters probe many times
+        ..standby_cluster()
+    };
+    let sys = Samhita::new(cfg);
+    let slot = sys.alloc_global(24);
+    let lock = sys.create_mutex();
+    let barrier = sys.create_barrier(2);
+    let report = sys.run(2, move |ctx| {
+        if ctx.tid() == 0 {
+            // Hold the lock across ~100 µs of compute — several lease
+            // periods — so thread 1's queued acquire probes repeatedly.
+            ctx.lock(lock);
+            ctx.write_u64(slot, 7);
+            ctx.compute(300_000);
+            ctx.unlock(lock);
+            // Arrive at the barrier equally late: thread 1 waits (and
+            // probes) there; a double-counted arrival would release it
+            // before this thread ever arrives.
+            ctx.compute(300_000);
+            ctx.barrier(barrier);
+        } else {
+            // Let thread 0 take the lock first; the remaining ~80 µs of its
+            // hold still spans several lease periods of blocked probing.
+            ctx.compute(50_000);
+            ctx.lock(lock);
+            let v = ctx.read_u64(slot);
+            ctx.write_u64(slot + 8, v + 1);
+            ctx.unlock(lock);
+            ctx.barrier(barrier);
+            ctx.write_u64(slot + 16, 9);
+        }
+    });
+    // The lock handed off exactly once, the barrier released exactly once,
+    // and RegC propagated the holder's write to the queued waiter.
+    let mut bytes = [0u8; 24];
+    sys.read_global(slot, &mut bytes);
+    assert_eq!(u64::from_le_bytes(bytes[..8].try_into().unwrap()), 7);
+    assert_eq!(u64::from_le_bytes(bytes[8..16].try_into().unwrap()), 8);
+    assert_eq!(u64::from_le_bytes(bytes[16..].try_into().unwrap()), 9);
+    // Absorbing probes is the primary's job; the standby stays silent.
+    assert_eq!(report.mgr_failovers(), 0, "no thread may fail over without a crash");
+    assert_eq!(report.takeover_ns, 0, "the standby must not take over without a crash");
+    assert_eq!(report.standby_serves, 0, "the standby must not serve without a crash");
+    assert_eq!(report.lease_reclaims, 0, "a live primary's leases must not be reclaimed");
+}
+
+#[test]
 fn expired_lease_is_reclaimed_and_the_stale_release_absorbed() {
     // Thread 0 takes a lock and disappears into a long compute phase — far
     // longer than the lease — while the primary crashes. Thread 1 keeps the
