@@ -1,0 +1,230 @@
+//! Criterion benches for the simulator's own hot paths — the code the
+//! host-side profiler (`samhita-prof`) attributes wall time to: regc
+//! diffing, `UpdateBatch` apply at a memory server, one deterministic
+//! scheduler step, the det-endpoint staged receive (heap pop), trace-event
+//! emission, and span-graph/critical-path construction. An end-to-end
+//! jacobi pair (tracing on vs off) sits at the bottom so the
+//! tracing-disabled fast path shows up as a whole-run ns-per-event number,
+//! not just a micro-benchmark delta.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use samhita_bench::thread_windows;
+use samhita_core::SamhitaConfig;
+use samhita_kernels::{run_jacobi, JacobiParams};
+use samhita_mem::{MemRequest, MemoryServer, PageId, ServiceModel};
+use samhita_regc::{Diff, UpdateBatch, UpdatePart};
+use samhita_rt::SamhitaRt;
+use samhita_sched::Scheduler;
+use samhita_scl::SimTime;
+use samhita_trace::{critical_path, EventKind, TraceBuf, Tracer, TrackId};
+
+const PAGE: usize = 4096;
+
+/// Word-granularity twin diffing — the regc hot loop on every flush.
+fn bench_diff_compute(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpaths/diff");
+    let twin = vec![0u8; PAGE];
+    let mut sparse = twin.clone();
+    for i in (0..PAGE).step_by(512) {
+        sparse[i] = 0xFF;
+    }
+    g.throughput(Throughput::Bytes(PAGE as u64));
+    g.bench_function("compute_sparse_4k", |b| {
+        b.iter(|| std::hint::black_box(Diff::compute(&twin, &sparse)))
+    });
+    g.finish();
+}
+
+/// Applying one flush's `UpdateBatch` at a memory server.
+fn bench_batch_apply(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpaths/batch_apply");
+    let twin = vec![0u8; PAGE];
+    let mut dirty = twin.clone();
+    for i in (0..PAGE).step_by(256) {
+        dirty[i] = 0x7F;
+    }
+    let diff = Diff::compute(&twin, &dirty);
+    let make_batch = || {
+        let mut batch = UpdateBatch::new();
+        for page in 0..8u64 {
+            batch.push(UpdatePart::Diff { page, diff: diff.clone() });
+            batch.push(UpdatePart::Fine { page, offset: 64, bytes: vec![3u8; 32] });
+        }
+        batch
+    };
+    g.bench_function("apply_16_parts", |b| {
+        b.iter_batched(
+            || {
+                let mut server = MemoryServer::new(PAGE, ServiceModel::default());
+                for page in 0..8u64 {
+                    server.handle(
+                        MemRequest::WritePage { page: PageId(page), bytes: vec![0u8; PAGE] },
+                        SimTime::ZERO,
+                    );
+                }
+                (server, make_batch())
+            },
+            |(mut server, batch)| {
+                std::hint::black_box(
+                    server.handle(MemRequest::UpdateBatch { batch }, SimTime::from_ns(100)),
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+/// One deterministic scheduler step: a Running task yields to a future
+/// instant and — being the only Ready task — re-grants itself. The pick
+/// scan is the cost under measurement; the parked variant scans a realistic
+/// task table.
+fn bench_sched_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpaths/sched");
+    g.bench_function("step_self_regrant_1_task", |b| {
+        let sched = Scheduler::new(7);
+        let task = sched.register_running();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            std::hint::black_box(task.yield_until(t))
+        });
+    });
+    g.bench_function("step_self_regrant_64_tasks", |b| {
+        let sched = Scheduler::new(7);
+        let task = sched.register_running();
+        let _parked: Vec<_> = (0..63).map(|_| sched.register_parked()).collect();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            std::hint::black_box(task.yield_until(t))
+        });
+    });
+    g.finish();
+}
+
+/// Deterministic endpoint receive: drain the physical channel into the
+/// per-sender-monotone heap, then pop in effective-time order.
+fn bench_det_recv(c: &mut Criterion) {
+    use samhita_scl::{Fabric, MsgClass, NodeId, Topology};
+    let mut g = c.benchmark_group("hotpaths/det_recv");
+    let topo = Topology::cluster(2, samhita_scl::profiles::ib_qdr());
+    let fabric = Fabric::<u64>::new(topo);
+    let dst = fabric.add_endpoint(NodeId(1));
+    let srcs: Vec<_> = (0..4).map(|_| fabric.add_endpoint(NodeId(0))).collect();
+    g.bench_function("stage_and_pop_64", |b| {
+        b.iter(|| {
+            for i in 0..64u64 {
+                let src = &srcs[(i % 4) as usize];
+                src.send(dst.id(), SimTime::from_ns(i * 10), 64, MsgClass::Data, i).expect("send");
+            }
+            let mut sum = 0u64;
+            for _ in 0..64 {
+                sum += dst.recv().expect("recv").msg;
+            }
+            std::hint::black_box(sum)
+        })
+    });
+    g.finish();
+}
+
+/// Trace-event emission into the bounded per-track ring.
+fn bench_trace_emit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpaths/trace");
+    g.bench_function("emit_ring_push", |b| {
+        let tracer = Tracer::new(1 << 14);
+        let mut buf: TraceBuf = tracer.buf(TrackId::Thread(0));
+        let mut at = 0u64;
+        b.iter(|| {
+            at += 1;
+            buf.push(SimTime::from_ns(at), EventKind::DiffFlush { page: at % 64, bytes: 128 });
+            std::hint::black_box(buf.len())
+        });
+    });
+    // The payload a `BatchFlush` event carries: `wire_bytes` walks every
+    // part (and every diff's runs). Before the lazy `trace(|| ...)` path
+    // this was computed per flush per server even with tracing off; now an
+    // untraced run skips it entirely, so this number *is* the per-flush
+    // saving.
+    let twin = vec![0u8; PAGE];
+    let mut dirty = twin.clone();
+    for i in (0..PAGE).step_by(256) {
+        dirty[i] = 0x7F;
+    }
+    let diff = Diff::compute(&twin, &dirty);
+    let mut batch = UpdateBatch::new();
+    for page in 0..8u64 {
+        batch.push(UpdatePart::Diff { page, diff: diff.clone() });
+        batch.push(UpdatePart::Fine { page, offset: 64, bytes: vec![3u8; 32] });
+    }
+    g.bench_function("construct_batch_flush_event", |b| {
+        b.iter(|| {
+            std::hint::black_box(EventKind::BatchFlush {
+                server: 0,
+                parts: batch.len() as u32,
+                bytes: batch.wire_bytes() as u64,
+            })
+        })
+    });
+    g.finish();
+}
+
+/// Span-graph / critical-path construction from a finished trace.
+fn bench_critpath_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpaths/critpath");
+    g.sample_size(10);
+    let cfg = SamhitaConfig { tracing: true, max_threads: 8, ..SamhitaConfig::small_for_tests() };
+    let rt = SamhitaRt::new(cfg.clone());
+    let p = JacobiParams { n: 16, iters: 2, threads: 8 };
+    let report = run_jacobi(&rt, &p).report;
+    let trace = rt.take_trace().expect("tracing was enabled");
+    let windows = thread_windows(&report);
+    let costs = cfg.service_costs();
+    g.bench_function("jacobi_8t", |b| {
+        b.iter(|| std::hint::black_box(critical_path(&trace, &windows, &costs)))
+    });
+    g.finish();
+}
+
+/// Whole-run cost with tracing off vs on. The off variant is the common
+/// production configuration and the target of the lazy trace-construction
+/// fast path; the delta between the two is what tracing actually costs.
+fn bench_end_to_end_tracing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpaths/jacobi_8t");
+    g.sample_size(10);
+    let p = JacobiParams { n: 16, iters: 2, threads: 8 };
+    let base = SamhitaConfig { max_threads: 8, ..SamhitaConfig::small_for_tests() };
+    // One extra run to report the constant event count: divide the ns/iter
+    // below by this for ns-per-simulated-event.
+    let rt = SamhitaRt::new(SamhitaConfig { tracing: false, ..base.clone() });
+    let events = run_jacobi(&rt, &p).report.fabric.total_msgs();
+    eprintln!("hotpaths/jacobi_8t: {events} simulated events per iteration");
+    g.bench_function("tracing_off", |b| {
+        let cfg = SamhitaConfig { tracing: false, ..base.clone() };
+        b.iter(|| {
+            let rt = SamhitaRt::new(cfg.clone());
+            std::hint::black_box(run_jacobi(&rt, &p).report.makespan)
+        })
+    });
+    g.bench_function("tracing_on", |b| {
+        let cfg = SamhitaConfig { tracing: true, ..base.clone() };
+        b.iter(|| {
+            let rt = SamhitaRt::new(cfg.clone());
+            std::hint::black_box(run_jacobi(&rt, &p).report.makespan)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_diff_compute,
+    bench_batch_apply,
+    bench_sched_step,
+    bench_det_recv,
+    bench_trace_emit,
+    bench_critpath_build,
+    bench_end_to_end_tracing
+);
+criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! the CI regression gate.
 //!
 //! ```text
-//! bench-diff <baseline> <fresh> [--tolerance 0.05]
+//! bench-diff <baseline> <fresh> [--tolerance 0.05] [--host-advisory 1.5]
 //! ```
 //!
 //! `baseline` and `fresh` are either two directories (every `BENCH_*.json`
@@ -12,6 +12,12 @@
 //! configuration fingerprint does not match its baseline, or when a
 //! baseline report has no fresh counterpart. `git_rev` differences are
 //! ignored — comparing across commits is the entire point.
+//!
+//! Host wall-clock cost (the v5 `host` section) always hard-fails only on
+//! blowups (see `HOST_BLOWUP_RATIO` in the report module). `--host-advisory
+//! RATIO` adds a stricter host ns-per-event gate at the given ratio — CI
+//! runs it as a separate `continue-on-error` step so drift is visible
+//! without flaking the build on machine noise.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -22,11 +28,13 @@ struct Args {
     baseline: PathBuf,
     fresh: PathBuf,
     tolerance: f64,
+    host_advisory: Option<f64>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut positional = Vec::new();
     let mut tolerance = 0.05;
+    let mut host_advisory = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -37,8 +45,19 @@ fn parse_args() -> Result<Args, String> {
                     return Err(format!("tolerance {tolerance} out of range [0, 1)"));
                 }
             }
+            "--host-advisory" => {
+                let v = it.next().ok_or("--host-advisory needs a ratio (e.g. 1.5)")?;
+                let r: f64 = v.parse().map_err(|_| format!("bad host-advisory ratio '{v}'"))?;
+                if r <= 1.0 {
+                    return Err(format!("host-advisory ratio {r} must exceed 1"));
+                }
+                host_advisory = Some(r);
+            }
             "--help" | "-h" => {
-                println!("usage: bench-diff <baseline> <fresh> [--tolerance 0.05]");
+                println!(
+                    "usage: bench-diff <baseline> <fresh> [--tolerance 0.05] \
+                     [--host-advisory 1.5]"
+                );
                 std::process::exit(0);
             }
             _ => positional.push(PathBuf::from(arg)),
@@ -49,7 +68,7 @@ fn parse_args() -> Result<Args, String> {
     }
     let fresh = positional.pop().expect("two positionals");
     let baseline = positional.pop().expect("two positionals");
-    Ok(Args { baseline, fresh, tolerance })
+    Ok(Args { baseline, fresh, tolerance, host_advisory })
 }
 
 /// Pair up reports: by filename for directories, directly for files.
@@ -83,7 +102,10 @@ fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}\nusage: bench-diff <baseline> <fresh> [--tolerance 0.05]");
+            eprintln!(
+                "error: {e}\nusage: bench-diff <baseline> <fresh> [--tolerance 0.05] \
+                 [--host-advisory 1.5]"
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -117,6 +139,17 @@ fn main() -> ExitCode {
             println!("{line}");
         }
         failures.extend(cmp.regressions);
+        // Stricter host gate, opted into per invocation. Separate from
+        // compare() so the always-on gate keeps its blowup-only semantics.
+        if let (Some(ratio), Some(bh), Some(fh)) = (args.host_advisory, &base.host, &fresh.host) {
+            if bh.ns_per_event > 0.0 && fh.ns_per_event > bh.ns_per_event * ratio {
+                failures.push(format!(
+                    "{}: host ns/event {:.1} exceeds {ratio}x the baseline {:.1} \
+                     (--host-advisory)",
+                    fresh.kernel, fh.ns_per_event, bh.ns_per_event
+                ));
+            }
+        }
     }
 
     if failures.is_empty() {

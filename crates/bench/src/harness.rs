@@ -30,6 +30,18 @@ pub fn run_summary(report: &RunReport) -> String {
         report.msgs_per_sync_op(),
         report.sync_ops()
     ));
+    // Host-side cost of producing the run: wall time, simulated-event
+    // throughput, and peak RSS. Always printed — this is the one line on
+    // the *host* clock, and it reads 0 only for reports built by hand.
+    let host_ns = report.host_wall_ns.get();
+    let events = report.fabric.total_msgs();
+    let events_per_sec = if host_ns == 0 { 0.0 } else { events as f64 / (host_ns as f64 / 1e9) };
+    out.push_str(&format!(
+        "  host              {:.3}s wall, {:.0} simulated events/s, peak RSS {} MiB\n",
+        host_ns as f64 / 1e9,
+        events_per_sec,
+        samhita_prof::peak_rss_bytes() >> 20
+    ));
     // Service-side utilization rides on the always-on busy accounting; a
     // native (non-DSM) run has no services and skips the lines entirely.
     if report.layout.is_some() {

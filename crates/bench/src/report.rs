@@ -34,7 +34,14 @@ use samhita_trace::{
 /// standby serves, and the takeover instant. The gate requires it to stay
 /// all-quiet on fault-free runs — recovery machinery firing without an
 /// injected fault is itself a regression.
-pub const SCHEMA: &str = "samhita-bench-report-v4";
+/// v5 adds the host-side cost section (`host`): wall-clock time, simulated
+/// events driven, ns-per-event, allocation counts, peak RSS, and a
+/// per-phase wall/alloc table from `samhita-prof`. Host numbers are
+/// machine-dependent by nature; the gate treats them with a generous
+/// blowup-only ratio and they are excluded from the determinism
+/// fingerprint and from byte-identity comparisons (`from_run` leaves the
+/// section empty — only the report binaries attach it).
+pub const SCHEMA: &str = "samhita-bench-report-v5";
 
 /// Number of timeline intervals summarized into a report.
 const TIMELINE_BUCKETS: u64 = 20;
@@ -324,6 +331,85 @@ pub struct HotspotEntry {
     pub counters: PageCounters,
 }
 
+/// Wall-clock and allocation totals for one profiled phase; see
+/// [`samhita_prof::Phase`] for what each label covers.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HostPhase {
+    /// Stable phase label (`sched_step`, `regc_diff`, …).
+    pub name: String,
+    /// Wall-clock nanoseconds inside the phase.
+    pub wall_ns: u64,
+    /// Phase entries.
+    pub calls: u64,
+    /// Heap allocations attributed to the phase (0 unless the profiler was
+    /// built with `alloc-count`).
+    pub allocs: u64,
+    /// Bytes requested by those allocations.
+    pub alloc_bytes: u64,
+}
+
+/// Host-side (wall-clock) cost of producing a run. Everything else in a
+/// [`BenchReport`] is virtual-time and deterministic; this section is
+/// machine- and load-dependent by nature. It is therefore excluded from
+/// the config fingerprint, never populated by [`BenchReport::from_run`]
+/// (the report binaries attach it after the run), and compared only with
+/// a generous blowup-only gate.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HostSummary {
+    /// Wall-clock nanoseconds the run took on the host.
+    pub wall_ns: u64,
+    /// Simulated events driven (total fabric messages).
+    pub events: u64,
+    /// `wall_ns / events`; 0 when no events were simulated.
+    pub ns_per_event: f64,
+    /// Total heap allocations during the run (`alloc-count` builds; else 0).
+    pub allocs: u64,
+    /// `allocs / events`; 0 when no events were simulated.
+    pub allocs_per_event: f64,
+    /// Peak resident set size of the process in bytes (0 off-Linux).
+    pub peak_rss_bytes: u64,
+    /// Per-phase wall/alloc breakdown, in [`samhita_prof::Phase::ALL`]
+    /// order, plus a final `other` row for unattributed allocations.
+    pub phases: Vec<HostPhase>,
+}
+
+impl HostSummary {
+    /// Roll up a profiler snapshot into the report section. `wall_ns` is
+    /// the run's end-to-end host time and `events` the simulated-event
+    /// denominator (fabric messages).
+    pub fn from_prof(prof: &samhita_prof::HostReport, wall_ns: u64, events: u64) -> HostSummary {
+        let per = |n: u64| if events == 0 { 0.0 } else { n as f64 / events as f64 };
+        let mut phases: Vec<HostPhase> = prof
+            .phases
+            .iter()
+            .map(|(p, s)| HostPhase {
+                name: p.label().to_string(),
+                wall_ns: s.wall_ns,
+                calls: s.calls,
+                allocs: s.allocs,
+                alloc_bytes: s.alloc_bytes,
+            })
+            .collect();
+        phases.push(HostPhase {
+            name: "other".to_string(),
+            wall_ns: 0,
+            calls: 0,
+            allocs: prof.other.allocs,
+            alloc_bytes: prof.other.alloc_bytes,
+        });
+        let allocs = prof.total_allocs();
+        HostSummary {
+            wall_ns,
+            events,
+            ns_per_event: per(wall_ns),
+            allocs,
+            allocs_per_event: per(allocs),
+            peak_rss_bytes: samhita_prof::peak_rss_bytes(),
+            phases,
+        }
+    }
+}
+
 /// Machine-readable record of one benchmark run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BenchReport {
@@ -359,6 +445,10 @@ pub struct BenchReport {
     pub critical_path: Option<CritPathSummary>,
     /// Top pages by coherence churn, with allocation sites.
     pub hotspots: Vec<HotspotEntry>,
+    /// Host-side wall-clock cost; absent from [`BenchReport::from_run`]
+    /// output so determinism comparisons stay byte-exact. Attach with
+    /// [`BenchReport::with_host`].
+    pub host: Option<HostSummary>,
 }
 
 /// FNV-1a fingerprint of a configuration + kernel parameterization.
@@ -432,7 +522,16 @@ impl BenchReport {
             recovery: RecoverySummary::of(report),
             critical_path: critical,
             hotspots,
+            host: None,
         }
+    }
+
+    /// Attach a host-cost section; used by the report binaries after the
+    /// run (never by [`BenchReport::from_run`], which must stay
+    /// deterministic byte-for-byte).
+    pub fn with_host(mut self, host: HostSummary) -> Self {
+        self.host = Some(host);
+        self
     }
 
     /// Serialize as a JSON object (`BENCH_<kernel>.json` contents).
@@ -579,7 +678,37 @@ impl BenchReport {
                 c.fine_bytes
             ));
         }
-        out.push_str("]}");
+        out.push_str("],");
+        match &self.host {
+            None => out.push_str("\"host\":null}"),
+            Some(h) => {
+                out.push_str(&format!(
+                    "\"host\":{{\"wall_ns\":{},\"events\":{},\"ns_per_event\":{},\
+                     \"allocs\":{},\"allocs_per_event\":{},\"peak_rss_bytes\":{},\"phases\":[",
+                    h.wall_ns,
+                    h.events,
+                    h.ns_per_event,
+                    h.allocs,
+                    h.allocs_per_event,
+                    h.peak_rss_bytes
+                ));
+                for (i, p) in h.phases.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!(
+                        "{{\"name\":\"{}\",\"wall_ns\":{},\"calls\":{},\"allocs\":{},\
+                         \"alloc_bytes\":{}}}",
+                        escape(&p.name),
+                        p.wall_ns,
+                        p.calls,
+                        p.allocs,
+                        p.alloc_bytes
+                    ));
+                }
+                out.push_str("]}}");
+            }
+        }
         debug_assert!(samhita_trace::validate_json(&out).is_ok(), "report serializer broke");
         out
     }
@@ -589,7 +718,11 @@ impl BenchReport {
         let v = JsonValue::parse(input)?;
         let schema = req_str(&v, "schema")?;
         if schema != SCHEMA {
-            return Err(format!("unsupported report schema {schema:?} (want {SCHEMA:?})"));
+            return Err(format!(
+                "unsupported report schema {schema:?} (want {SCHEMA:?}) — this report was \
+                 written by a different tool version; regenerate it (and any committed \
+                 baselines) with bench-report"
+            ));
         }
         let histogram = |name: &str| -> Result<HistogramSummary, String> {
             let h = v.get(name).ok_or_else(|| format!("missing histogram {name:?}"))?;
@@ -701,6 +834,34 @@ impl BenchReport {
                 },
             });
         }
+        let host = match v.get("host") {
+            None | Some(JsonValue::Null) => None,
+            Some(h) => {
+                let mut phases = Vec::new();
+                for p in h
+                    .get("phases")
+                    .and_then(|p| p.as_array())
+                    .ok_or("missing or non-array host phases")?
+                {
+                    phases.push(HostPhase {
+                        name: req_str(p, "name")?.to_string(),
+                        wall_ns: req_u64(p, "wall_ns")?,
+                        calls: req_u64(p, "calls")?,
+                        allocs: req_u64(p, "allocs")?,
+                        alloc_bytes: req_u64(p, "alloc_bytes")?,
+                    });
+                }
+                Some(HostSummary {
+                    wall_ns: req_u64(h, "wall_ns")?,
+                    events: req_u64(h, "events")?,
+                    ns_per_event: req_f64(h, "ns_per_event")?,
+                    allocs: req_u64(h, "allocs")?,
+                    allocs_per_event: req_f64(h, "allocs_per_event")?,
+                    peak_rss_bytes: req_u64(h, "peak_rss_bytes")?,
+                    phases,
+                })
+            }
+        };
         Ok(BenchReport {
             kernel: req_str(&v, "kernel")?.to_string(),
             params: req_str(&v, "params")?.to_string(),
@@ -728,6 +889,7 @@ impl BenchReport {
             recovery,
             critical_path,
             hotspots,
+            host,
         })
     }
 }
@@ -766,6 +928,17 @@ const SYNC_FRACTION_SLACK: f64 = 0.005;
 
 /// Absolute slack for the manager queue-wait fraction gate, same rationale.
 const QUEUE_WAIT_SLACK: f64 = 0.005;
+
+/// Host wall-clock numbers vary with machine and load, so the host gate
+/// only trips on blowups: fresh ns-per-event beyond this multiple of the
+/// baseline. Ordinary noise (2–4x across CI runners) passes; an
+/// accidentally quadratic hot path (10–100x) does not.
+const HOST_BLOWUP_RATIO: f64 = 16.0;
+
+/// Floor under the host gate: baselines generated on a fast machine can
+/// carry a tiny ns-per-event that would make even the generous ratio
+/// flappy, so regressions under this absolute ceiling never trip it.
+const HOST_NS_PER_EVENT_FLOOR: f64 = 50_000.0;
 
 /// Compare `fresh` against `base`: makespan and sync fraction may grow by at
 /// most `tolerance` (relative, e.g. `0.05` for 5%; sync fraction gets an
@@ -910,6 +1083,33 @@ pub fn compare(base: &BenchReport, fresh: &BenchReport, tolerance: f64) -> Compa
             r.takeover_ns
         ));
     }
+
+    // Host gate: wall-clock cost per simulated event. Machine-dependent,
+    // so the line is informational and the failure threshold is a blowup
+    // ratio, not a tolerance — it exists to catch accidental algorithmic
+    // regressions in the simulator itself (e.g. a linear scan going
+    // quadratic), not scheduler jitter. Only checked when both reports
+    // carry a host section.
+    if let (Some(bh), Some(fh)) = (&base.host, &fresh.host) {
+        cmp.lines.push(format!(
+            "{:>10}  host ns/event {:>14.1} -> {:>14.1}  ({:+.2}%)",
+            fresh.kernel,
+            bh.ns_per_event,
+            fh.ns_per_event,
+            pct(bh.ns_per_event, fh.ns_per_event)
+        ));
+        if bh.ns_per_event > 0.0
+            && fh.ns_per_event > bh.ns_per_event * HOST_BLOWUP_RATIO
+            && fh.ns_per_event > HOST_NS_PER_EVENT_FLOOR
+        {
+            cmp.regressions.push(format!(
+                "{}: host ns/event blew up {:.1} -> {:.1} (over {HOST_BLOWUP_RATIO}x the \
+                 baseline) — the simulator itself got drastically slower on this \
+                 configuration; profile with bench-report and the hotpaths bench",
+                fresh.kernel, bh.ns_per_event, fh.ns_per_event
+            ));
+        }
+    }
     cmp
 }
 
@@ -995,6 +1195,37 @@ mod tests {
                 site: "shared".into(),
                 counters: PageCounters { refetches: 12, invalidations: 11, ..Default::default() },
             }],
+            host: Some(HostSummary {
+                wall_ns: 5_000_000,
+                events: 1000,
+                ns_per_event: 5_000.0,
+                allocs: 12_000,
+                allocs_per_event: 12.0,
+                peak_rss_bytes: 64 << 20,
+                phases: vec![
+                    HostPhase {
+                        name: "sched_step".into(),
+                        wall_ns: 900_000,
+                        calls: 4_000,
+                        allocs: 0,
+                        alloc_bytes: 0,
+                    },
+                    HostPhase {
+                        name: "regc_diff".into(),
+                        wall_ns: 400_000,
+                        calls: 200,
+                        allocs: 600,
+                        alloc_bytes: 48_000,
+                    },
+                    HostPhase {
+                        name: "other".into(),
+                        wall_ns: 0,
+                        calls: 0,
+                        allocs: 11_400,
+                        alloc_bytes: 900_000,
+                    },
+                ],
+            }),
         }
     }
 
@@ -1005,8 +1236,14 @@ mod tests {
         samhita_trace::validate_json(&json).expect("valid JSON");
         assert_eq!(BenchReport::from_json(&json).expect("parses"), r);
 
-        // Without the trace-derived sections, too.
-        let bare = BenchReport { timeline: None, critical_path: None, hotspots: Vec::new(), ..r };
+        // Without the trace-derived and host sections, too.
+        let bare = BenchReport {
+            timeline: None,
+            critical_path: None,
+            hotspots: Vec::new(),
+            host: None,
+            ..r
+        };
         assert_eq!(BenchReport::from_json(&bare.to_json()).expect("parses"), bare);
     }
 
@@ -1019,11 +1256,65 @@ mod tests {
     }
 
     #[test]
+    fn from_json_schema_mismatch_names_both_versions_and_the_fix() {
+        // An old baseline (previous schema rev) must fail with a message
+        // that names both versions and says to regenerate — not a field-
+        // level parse error.
+        let stale = sample().to_json().replace(SCHEMA, "samhita-bench-report-v4");
+        let err = BenchReport::from_json(&stale).unwrap_err();
+        assert!(err.contains("samhita-bench-report-v4"), "missing found version: {err}");
+        assert!(err.contains(SCHEMA), "missing wanted version: {err}");
+        assert!(err.contains("regenerate"), "missing remedy: {err}");
+    }
+
+    #[test]
     fn identical_reports_pass_the_gate() {
         let r = sample();
         let cmp = compare(&r, &r, 0.05);
         assert!(cmp.passed(), "self-comparison regressed: {:?}", cmp.regressions);
-        assert_eq!(cmp.lines.len(), 9);
+        assert_eq!(cmp.lines.len(), 10);
+    }
+
+    #[test]
+    fn host_gate_trips_only_on_blowups() {
+        let base = sample();
+        // 8x slower per event: noisy, but no failure.
+        let mut noisy = base.clone();
+        let h = noisy.host.as_mut().unwrap();
+        h.ns_per_event *= 8.0;
+        h.wall_ns *= 8;
+        assert!(compare(&base, &noisy, 0.05).passed());
+        // 20x slower per event: algorithmic blowup, hard failure.
+        let mut blown = base.clone();
+        let h = blown.host.as_mut().unwrap();
+        h.ns_per_event *= 20.0;
+        h.wall_ns *= 20;
+        let cmp = compare(&base, &blown, 0.05);
+        assert!(!cmp.passed());
+        assert!(cmp.regressions[0].contains("host ns/event"), "{:?}", cmp.regressions);
+    }
+
+    #[test]
+    fn host_gate_skips_when_either_side_lacks_the_section() {
+        let with = sample();
+        let without = BenchReport { host: None, ..sample() };
+        for (a, b) in [(&with, &without), (&without, &with), (&without, &without)] {
+            let cmp = compare(a, b, 0.05);
+            assert!(cmp.passed(), "{:?}", cmp.regressions);
+            assert_eq!(cmp.lines.len(), 9, "host line must be absent");
+        }
+    }
+
+    #[test]
+    fn host_gate_ignores_sub_floor_blowups() {
+        // A 4 ns/event baseline regressing to 80 ns/event is a 20x ratio
+        // but far below any real cost — the floor keeps it advisory.
+        let mut base = sample();
+        let h = base.host.as_mut().unwrap();
+        h.ns_per_event = 4.0;
+        let mut fresh = base.clone();
+        fresh.host.as_mut().unwrap().ns_per_event = 80.0;
+        assert!(compare(&base, &fresh, 0.05).passed());
     }
 
     #[test]

@@ -68,6 +68,6 @@ pub use config::{
 pub use layout::{AddressLayout, Placement, Region};
 pub use localsync::LocalSyncStats;
 pub use msg::MgrError;
-pub use stats::{RunReport, ThreadStats, TimeBreakdown};
+pub use stats::{HostNanos, RunReport, ThreadStats, TimeBreakdown};
 pub use system::{Samhita, SystemStats};
 pub use thread::ThreadCtx;

@@ -181,10 +181,16 @@ impl Channel {
     }
 
     /// Record one protocol event at the current virtual time, if tracing.
+    ///
+    /// Takes a closure so the event is never *constructed* when tracing is
+    /// off — some payloads are not free to build (`BatchFlush` walks the
+    /// batch for its wire size), and the common production configuration
+    /// runs untraced. Construction is pure, so skipping it cannot move
+    /// virtual time; `tests/prof.rs` pins the byte-identity.
     #[inline]
-    pub(crate) fn trace(&mut self, kind: EventKind) {
+    pub(crate) fn trace(&mut self, kind: impl FnOnce() -> EventKind) {
         if let Some(buf) = self.trace.as_mut() {
-            buf.push(self.clock, kind);
+            buf.push(self.clock, kind());
         }
     }
 
@@ -238,7 +244,7 @@ impl Channel {
     fn note_retry(&mut self, op: &'static str, attempt: u32, resume_at: SimTime) {
         self.retries += 1;
         self.clock = self.clock.max(resume_at);
-        self.trace(EventKind::Retry { op, attempt });
+        self.trace(|| EventKind::Retry { op, attempt });
     }
 
     // ------------------------------------------------------------------
@@ -271,7 +277,7 @@ impl Channel {
             .unwrap_or_else(|| panic!("memory server {from} unreachable and no live replica"));
         if self.failed_servers.insert(from) {
             self.failovers += 1;
-            self.trace(EventKind::Failover { from, to });
+            self.trace(|| EventKind::Failover { from, to });
         }
         to
     }
@@ -296,7 +302,7 @@ impl Channel {
         );
         self.mgr_failed = true;
         self.mgr_failovers += 1;
-        self.trace(EventKind::MgrFailover { op });
+        self.trace(|| EventKind::MgrFailover { op });
     }
 
     // ------------------------------------------------------------------
@@ -357,7 +363,7 @@ impl Channel {
                                 // the same token via the outer loop; a live
                                 // manager's replay cache absorbs it.
                                 self.clock = self.clock.max(at);
-                                self.trace(EventKind::Retry { op, attempt });
+                                self.trace(|| EventKind::Retry { op, attempt });
                                 break 'await_reply;
                             }
                         }

@@ -173,6 +173,34 @@ impl ThreadStats {
     }
 }
 
+/// Wall-clock nanoseconds measured on the *host*, wrapped so the value is
+/// redacted from `Debug` output: determinism tests compare `RunReport`
+/// debug strings across runs, and host time is the one field that may
+/// legitimately differ between two bit-identical virtual executions.
+/// Read it with [`HostNanos::get`]; never let it influence virtual state.
+#[derive(Clone, Copy, Default, Serialize, Deserialize)]
+pub struct HostNanos(u64);
+
+impl HostNanos {
+    /// Wrap a host-clock duration.
+    pub fn new(ns: u64) -> Self {
+        HostNanos(ns)
+    }
+
+    /// The wall-clock nanoseconds.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Debug for HostNanos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Deliberately constant: host time must never enter a determinism
+        // fingerprint, and debug-formatted reports are one.
+        f.write_str("HostNanos(<host>)")
+    }
+}
+
 /// The result of one `Samhita::run` (or one native-baseline run).
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct RunReport {
@@ -239,6 +267,10 @@ pub struct RunReport {
     /// Virtual instant the standby served its first post-takeover request
     /// (0 = the primary survived the whole run).
     pub takeover_ns: u64,
+    /// End-to-end wall-clock duration of the run on the host. Purely
+    /// observational: redacted from `Debug` (see [`HostNanos`]) and never
+    /// serialized into determinism-compared artifacts.
+    pub host_wall_ns: HostNanos,
 }
 
 impl RunReport {

@@ -559,6 +559,10 @@ impl Samhita {
             "nthreads {nthreads} exceeds provisioned max_threads {}",
             self.cfg.max_threads
         );
+        // Host clock, read exactly twice (here and at return) and stored
+        // only in the Debug-redacted `host_wall_ns`: wall time is reported,
+        // never consulted, so it cannot perturb virtual execution.
+        let host_start = std::time::Instant::now();
         let fabric_before = self.fabric.stats();
         let mgr_busy_before = self.mgr_busy.load(Ordering::Relaxed);
         let mem_busy_before: Vec<u64> =
@@ -717,6 +721,9 @@ impl Samhita {
             self.recovery.standby_serves.load(Ordering::Relaxed) - recovery_before.3;
         report.takeover_ns = self.recovery.takeover_ns.load(Ordering::Relaxed);
         report.layout = Some(self.layout);
+        report.host_wall_ns = crate::stats::HostNanos::new(
+            u64::try_from(host_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        );
         report
     }
 

@@ -181,8 +181,10 @@ impl ThreadCtx {
     }
 
     /// Record one protocol event at the current virtual time, if tracing.
+    /// Takes a closure so untraced runs never construct the event (see
+    /// [`Channel::trace`]).
     #[inline]
-    fn trace(&mut self, kind: EventKind) {
+    fn trace(&mut self, kind: impl FnOnce() -> EventKind) {
         self.chan.trace(kind);
     }
 
@@ -192,7 +194,7 @@ impl ThreadCtx {
         let wait_ns = (self.chan.now() - t0).as_ns();
         self.stats.fetch_latency.record(wait_ns);
         self.waits.fetch += wait_ns;
-        self.trace(EventKind::Fetch { page, pages, kind, wait_ns });
+        self.trace(|| EventKind::Fetch { page, pages, kind, wait_ns });
     }
 
     // ------------------------------------------------------------------
@@ -334,7 +336,7 @@ impl ThreadCtx {
             if outcome.twin_created {
                 self.stats.twins_created += 1;
                 self.stats.hot.record_twin(page);
-                self.trace(EventKind::TwinCreate { page });
+                self.trace(|| EventKind::TwinCreate { page });
             }
             if outcome.log_fine_grain {
                 self.writeset.record(at, chunk);
@@ -416,7 +418,7 @@ impl ThreadCtx {
             if outcome.twin_created {
                 self.stats.twins_created += 1;
                 self.stats.hot.record_twin(page);
-                self.trace(EventKind::TwinCreate { page });
+                self.trace(|| EventKind::TwinCreate { page });
             }
             if outcome.log_fine_grain {
                 self.writeset.record(at, &scratch);
@@ -444,7 +446,7 @@ impl ThreadCtx {
         let t0 = self.chan.now();
         let (pages, updates) = self.flush_all();
         let req_at = self.chan.now();
-        self.trace(EventKind::LockRequest { lock });
+        self.trace(|| EventKind::LockRequest { lock });
         let (notices, wm) = if let Some(ls) = self.local_sync.clone() {
             let (at, notices, wm) =
                 ls.acquire(lock, self.tid, self.chan.now(), pages, updates, self.last_seen);
@@ -463,7 +465,7 @@ impl ThreadCtx {
         let wait_ns = (self.chan.now() - req_at).as_ns();
         self.stats.lock_wait.record(wait_ns);
         self.waits.lock += wait_ns;
-        self.trace(EventKind::LockAcquire { lock, wait_ns });
+        self.trace(|| EventKind::LockAcquire { lock, wait_ns });
         self.apply_notices(&notices);
         self.last_seen = wm;
         self.region.enter();
@@ -479,7 +481,7 @@ impl ThreadCtx {
         // Stamped after the flush and before the wire send: on a correct run
         // this always precedes the next holder's grant stamp, which is what
         // lets the trace checker treat [acquire, release] as the hold.
-        self.trace(EventKind::LockRelease { lock });
+        self.trace(|| EventKind::LockRelease { lock });
         if let Some(ls) = self.local_sync.clone() {
             ls.release(lock, self.tid, self.chan.now(), pages, updates);
             self.chan.charge(self.cfg.costs.local_sync_ns as f64);
@@ -511,7 +513,7 @@ impl ThreadCtx {
         let t0 = self.chan.now();
         let (pages, updates) = self.flush_all();
         let arrive_at = self.chan.now();
-        self.trace(EventKind::BarrierArrive { barrier });
+        self.trace(|| EventKind::BarrierArrive { barrier });
         let (notices, wm) = if let Some(ls) = self.local_sync.clone() {
             let (at, notices, wm) =
                 ls.barrier_wait(barrier, self.tid, self.chan.now(), pages, updates, self.last_seen);
@@ -530,7 +532,7 @@ impl ThreadCtx {
         let wait_ns = (self.chan.now() - arrive_at).as_ns();
         self.stats.barrier_wait.record(wait_ns);
         self.waits.barrier += wait_ns;
-        self.trace(EventKind::BarrierRelease { barrier, wait_ns });
+        self.trace(|| EventKind::BarrierRelease { barrier, wait_ns });
         self.apply_notices(&notices);
         self.last_seen = wm;
         self.stats.barriers += 1;
@@ -545,7 +547,7 @@ impl ThreadCtx {
         let (pages, updates) = self.flush_all();
         // On the trace, a cond wait is a lock release (the atomic handoff to
         // the manager) followed by a re-acquire at wake-up.
-        self.trace(EventKind::LockRelease { lock });
+        self.trace(|| EventKind::LockRelease { lock });
         let req_at = self.chan.now();
         match self.chan.rpc_mgr(
             MgrRequest::CondWait { cond, lock, pages, updates, last_seen: self.last_seen },
@@ -560,7 +562,7 @@ impl ThreadCtx {
                 // breakdown.
                 self.stats.lock_wait.record(wait_ns);
                 self.waits.lock += wait_ns;
-                self.trace(EventKind::LockAcquire { lock, wait_ns });
+                self.trace(|| EventKind::LockAcquire { lock, wait_ns });
                 self.apply_notices(&notices);
                 self.last_seen = watermark;
             }
@@ -731,7 +733,7 @@ impl ThreadCtx {
             let (line, victim) = self.cache.pop_victim().expect("full cache has lines");
             self.stats.evictions += 1;
             let diffs = self.cache.diffs_of_evicted(victim);
-            self.trace(EventKind::Evict { line, dirty_pages: diffs.len() as u32 });
+            self.trace(|| EventKind::Evict { line, dirty_pages: diffs.len() as u32 });
             let mut batches = BTreeMap::new();
             for (page, diff) in diffs {
                 self.stage_diff(&mut batches, page, diff);
@@ -745,13 +747,11 @@ impl ThreadCtx {
             return;
         }
         let first = PageId(line * self.cache.line_pages() as u64);
+        let pages = self.cache.line_pages() as u32;
         let home = self.home_map.home_of_line(line);
-        let req = MemRequest::FetchLine { first, pages: self.cache.line_pages() as u32 };
+        let req = MemRequest::FetchLine { first, pages };
         if self.chan.try_prefetch(home, line, req) {
-            self.trace(EventKind::PrefetchIssue {
-                page: first.0,
-                pages: self.cache.line_pages() as u32,
-            });
+            self.trace(|| EventKind::PrefetchIssue { page: first.0, pages });
         }
     }
 
@@ -767,7 +767,7 @@ impl ThreadCtx {
         let bytes = diff.payload_bytes() as u64;
         self.stats.diff_bytes_flushed += bytes;
         self.stats.hot.record_diff(page, bytes);
-        self.trace(EventKind::DiffFlush { page, bytes });
+        self.trace(|| EventKind::DiffFlush { page, bytes });
         self.pending_pages.insert(page);
         let home = self.home_map.home_of_page(PageId(page));
         batches.entry(home).or_default().push(UpdatePart::Diff { page, diff });
@@ -779,7 +779,7 @@ impl ThreadCtx {
     /// deterministic.
     fn flush_batches(&mut self, batches: BTreeMap<u32, UpdateBatch>) {
         for (server, batch) in batches {
-            self.trace(EventKind::BatchFlush {
+            self.trace(|| EventKind::BatchFlush {
                 server,
                 parts: batch.len() as u32,
                 bytes: batch.wire_bytes() as u64,
@@ -815,7 +815,7 @@ impl ThreadCtx {
         for (page, offset, bytes) in parts {
             self.stats.fine_bytes_flushed += bytes.len() as u64;
             self.stats.hot.record_fine(page, bytes.len() as u64);
-            self.trace(EventKind::FineFlush { page, bytes: bytes.len() as u64 });
+            self.trace(|| EventKind::FineFlush { page, bytes: bytes.len() as u64 });
             let home = self.home_map.home_of_page(PageId(page));
             batches.entry(home).or_default().push(UpdatePart::Fine {
                 page,
@@ -850,7 +850,7 @@ impl ThreadCtx {
                 if self.cache.invalidate_page(page) {
                     self.stats.invalidations += 1;
                     self.stats.hot.record_invalidate(page);
-                    self.trace(EventKind::Invalidate { page, writer: n.writer });
+                    self.trace(|| EventKind::Invalidate { page, writer: n.writer });
                 }
                 self.poison_prefetch(page);
             }
@@ -886,7 +886,7 @@ impl ThreadCtx {
         let resp = self.chan.rpc_mgr(req, class);
         let wait_ns = (self.chan.now() - t0).as_ns();
         self.waits.mgr += wait_ns;
-        self.trace(EventKind::MgrRpc { op, wait_ns });
+        self.trace(|| EventKind::MgrRpc { op, wait_ns });
         resp
     }
 

@@ -225,6 +225,7 @@ impl MemoryServer {
                 // window). One DMA scatter setup covers every part; see
                 // [`ServiceModel::batch_apply_ns`] for why no per-byte cost
                 // is charged here.
+                let _prof = samhita_prof::enter(samhita_prof::Phase::BatchApply);
                 let service = self.model.batch_apply_ns();
                 let mut parts = 0u32;
                 for part in batch.into_parts() {

@@ -35,6 +35,7 @@ impl Diff {
     /// # Panics
     /// Panics if the slices differ in length.
     pub fn compute(twin: &[u8], current: &[u8]) -> Diff {
+        let _prof = samhita_prof::enter(samhita_prof::Phase::RegcDiff);
         assert_eq!(twin.len(), current.len(), "twin/page size mismatch");
         let mut runs: Vec<DiffRun> = Vec::new();
         let mut open: Option<DiffRun> = None;

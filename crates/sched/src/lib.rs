@@ -187,6 +187,7 @@ impl Scheduler {
     /// must have cleared `running` (or be about to re-grant to itself — the
     /// pick may select the caller; the hand-off is uniform either way).
     fn pick(&self, inner: &mut Inner) {
+        let _prof = samhita_prof::enter(samhita_prof::Phase::SchedStep);
         debug_assert!(inner.running.is_none());
         let mut best: Option<(u64, u64, usize)> = None;
         for (id, t) in inner.tasks.iter().enumerate() {

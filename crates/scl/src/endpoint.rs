@@ -73,6 +73,7 @@ struct DetState<M> {
 impl<M> DetState<M> {
     /// Pull everything physically available into the staging heap.
     fn drain(&mut self, rx: &Receiver<Envelope<M>>) {
+        let _prof = samhita_prof::enter(samhita_prof::Phase::ChannelRecv);
         loop {
             match rx.try_recv() {
                 Ok(env) => {

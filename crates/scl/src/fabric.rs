@@ -113,6 +113,7 @@ impl<M: Send + Clone + 'static> Fabric<M> {
         class: MsgClass,
         msg: M,
     ) -> Result<(SimTime, SendFate), SclError> {
+        let _prof = samhita_prof::enter(samhita_prof::Phase::ChannelSend);
         let slots = self.slots.read();
         let src_slot = slots.get(src.0 as usize).ok_or(SclError::UnknownEndpoint(src))?;
         let dst_slot = slots.get(dst.0 as usize).ok_or(SclError::UnknownEndpoint(dst))?;

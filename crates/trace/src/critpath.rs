@@ -402,6 +402,7 @@ pub fn critical_path(
     windows: &[ThreadWindow],
     costs: &ServiceCosts,
 ) -> CriticalPathReport {
+    let _prof = samhita_prof::enter(samhita_prof::Phase::SpanGraph);
     let Some(w) = windows.iter().max_by_key(|w| (w.end_ns - w.epoch_ns, w.tid)) else {
         return CriticalPathReport::default();
     };

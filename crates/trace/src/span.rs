@@ -235,6 +235,7 @@ impl SpanGraph {
     /// Build the graph from a recorded trace, the run's per-thread windows,
     /// and the deterministic service-cost model.
     pub fn build(trace: &RunTrace, windows: &[ThreadWindow], costs: &ServiceCosts) -> SpanGraph {
+        let _prof = samhita_prof::enter(samhita_prof::Phase::SpanGraph);
         let mut g = SpanGraph::default();
         let window_of: HashMap<u32, ThreadWindow> = windows.iter().map(|w| (w.tid, *w)).collect();
 

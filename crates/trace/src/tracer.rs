@@ -37,6 +37,7 @@ impl TraceBuf {
     /// Record one event. O(1); drops the oldest event when full.
     #[inline]
     pub fn push(&mut self, at: SimTime, kind: EventKind) {
+        let _prof = samhita_prof::enter(samhita_prof::Phase::TraceEvent);
         if self.events.len() >= self.capacity {
             self.events.pop_front();
             self.dropped += 1;

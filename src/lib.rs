@@ -19,6 +19,7 @@
 pub use samhita_core as core;
 pub use samhita_kernels as kernels;
 pub use samhita_mem as mem;
+pub use samhita_prof as prof;
 pub use samhita_regc as regc;
 pub use samhita_rt as rt;
 pub use samhita_scl as scl;

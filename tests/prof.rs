@@ -1,0 +1,116 @@
+//! The observability layer's tentpole invariant: host-side profiling is
+//! *provably invisible* to virtual time. Running with the profiler enabled
+//! must produce bit-identical virtual results — run report, trace
+//! checksum, and the full serialized `BenchReport` (whose `host` section
+//! `from_run` never populates) — at P = 1, 8, and 64. The host section
+//! itself lives outside the determinism fingerprint: `RunReport` carries
+//! its wall time in a Debug-redacted `HostNanos`, so the debug-string
+//! comparison the determinism suites rely on cannot see the host clock.
+
+use std::sync::Mutex;
+
+use samhita_bench::{BenchReport, HostSummary};
+use samhita_repro::core::{RunReport, SamhitaConfig};
+use samhita_repro::kernels::{run_jacobi, JacobiParams};
+use samhita_repro::prof;
+use samhita_repro::rt::SamhitaRt;
+
+/// The profiler's counters are process-global; serialize every test that
+/// toggles them so parallel test threads cannot interleave enable/reset.
+static PROF_LOCK: Mutex<()> = Mutex::new(());
+
+fn config() -> SamhitaConfig {
+    SamhitaConfig { tracing: true, max_threads: 64, ..SamhitaConfig::small_for_tests() }
+}
+
+/// One full observation of a jacobi run: the report (Debug form covers every
+/// virtual-time statistic), the trace checksum, and the serialized
+/// `BenchReport`. Caller controls whether the profiler is live.
+fn observe(threads: u32, profiled: bool) -> (RunReport, String, u64, String) {
+    let cfg = config();
+    let rt = SamhitaRt::new(cfg.clone());
+    let p = JacobiParams { n: 64, iters: 2, threads };
+    prof::reset();
+    prof::enable(profiled);
+    let report = run_jacobi(&rt, &p).report;
+    let trace = rt.take_trace().expect("tracing was enabled");
+    let bench =
+        BenchReport::from_run("jacobi", &format!("{p:?}"), &cfg, threads, &report, Some(&trace));
+    prof::enable(false);
+    let debug = format!("{report:?}");
+    (report, debug, trace.checksum(), bench.to_json())
+}
+
+#[test]
+fn profiling_is_invisible_to_virtual_results_at_p1_p8_p64() {
+    let _guard = PROF_LOCK.lock().unwrap();
+    for threads in [1u32, 8, 64] {
+        let (_, debug_off, checksum_off, json_off) = observe(threads, false);
+        let (_, debug_on, checksum_on, json_on) = observe(threads, true);
+        assert_eq!(
+            debug_off, debug_on,
+            "P={threads}: run report must be bit-identical with profiling on vs off"
+        );
+        assert_eq!(
+            checksum_off, checksum_on,
+            "P={threads}: trace checksum must be identical with profiling on vs off"
+        );
+        assert_eq!(
+            json_off, json_on,
+            "P={threads}: serialized BenchReport must be byte-identical with profiling on vs off"
+        );
+    }
+}
+
+#[test]
+fn host_wall_clock_is_excluded_from_the_determinism_fingerprint() {
+    let _guard = PROF_LOCK.lock().unwrap();
+    // Two profiled runs: wall clocks inevitably differ, yet the Debug form
+    // the determinism suites compare must not — HostNanos redacts itself.
+    let (report_a, debug_a, _, _) = observe(8, true);
+    let (report_b, debug_b, _, _) = observe(8, true);
+    assert!(report_a.host_wall_ns.get() > 0, "run() must stamp a host wall time");
+    assert!(report_b.host_wall_ns.get() > 0);
+    assert_eq!(debug_a, debug_b, "host wall time leaked into the determinism fingerprint");
+    assert!(
+        debug_a.contains("HostNanos(<host>)"),
+        "HostNanos must redact its value in Debug output"
+    );
+}
+
+#[test]
+fn host_summary_attaches_with_real_phase_data_and_round_trips() {
+    let _guard = PROF_LOCK.lock().unwrap();
+    let cfg = config();
+    let rt = SamhitaRt::new(cfg.clone());
+    let p = JacobiParams { n: 64, iters: 2, threads: 8 };
+    prof::reset();
+    prof::enable(true);
+    let report = run_jacobi(&rt, &p).report;
+    let trace = rt.take_trace().expect("tracing was enabled");
+    // Keep the profiler live through report construction so the
+    // span-graph/critpath build phase is captured, as bench-report does.
+    let bench = BenchReport::from_run("jacobi", &format!("{p:?}"), &cfg, 8, &report, Some(&trace));
+    prof::enable(false);
+    assert!(bench.host.is_none(), "from_run must never populate the host section");
+
+    let events = report.fabric.total_msgs();
+    let host = HostSummary::from_prof(&prof::snapshot(), report.host_wall_ns.get(), events);
+    assert_eq!(host.events, events);
+    assert!(host.wall_ns > 0);
+    assert!(host.ns_per_event > 0.0);
+    let names: Vec<&str> = host.phases.iter().map(|p| p.name.as_str()).collect();
+    for want in
+        ["sched_step", "regc_diff", "batch_apply", "channel_send", "trace_event", "span_graph"]
+    {
+        assert!(names.contains(&want), "missing phase {want:?} in {names:?}");
+    }
+    assert!(
+        host.phases.iter().any(|p| p.name == "span_graph" && p.calls > 0),
+        "critpath/span-graph build during from_run must be attributed"
+    );
+
+    let with = bench.with_host(host);
+    let parsed = BenchReport::from_json(&with.to_json()).expect("host-bearing report parses");
+    assert_eq!(parsed.to_json(), with.to_json(), "host section must survive a JSON round trip");
+}
